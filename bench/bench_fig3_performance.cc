@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Bench binary for Figure 3: total cycles, conventional vs
+ * block-structured, 64 KB 4-way icache, real predictors.
+ */
+
+#include <iostream>
+
+#include "exp/figures.hh"
+
+int
+main()
+{
+    bsisa::runCycleComparison(std::cout, false);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Bench binary for Figure 4: the same comparison as Figure 3 under
+ * perfect branch prediction.
+ */
+
+#include <iostream>
+
+#include "exp/figures.hh"
+
+int
+main()
+{
+    bsisa::runCycleComparison(std::cout, true);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Bench binary: regenerates one of the paper's artifacts (see
+ * DESIGN.md's experiment index).  Scale with BSISA_SCALE.
+ */
+
+#include <iostream>
+
+#include "exp/figures.hh"
+
+int
+main()
+{
+    bsisa::runBlockSizeComparison(std::cout);
+    return 0;
+}

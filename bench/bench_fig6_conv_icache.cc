@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Bench binary for Figure 6: conventional-ISA slowdown relative to a
+ * perfect icache across 16/32/64 KB icaches.
+ */
+
+#include <iostream>
+
+#include "exp/figures.hh"
+
+int
+main()
+{
+    bsisa::runIcacheSweep(std::cout, false);
+    return 0;
+}

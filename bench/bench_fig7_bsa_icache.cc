@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Bench binary for Figure 7: block-structured-ISA slowdown relative
+ * to a perfect icache across 16/32/64 KB icaches (code duplication at
+ * work).
+ */
+
+#include <iostream>
+
+#include "exp/figures.hh"
+
+int
+main()
+{
+    bsisa::runIcacheSweep(std::cout, true);
+    return 0;
+}

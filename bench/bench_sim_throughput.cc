@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain itself: BlockC
+ * compilation, block enlargement, functional interpretation, and
+ * cycle-level simulation throughput.  These are engineering
+ * benchmarks, not paper artifacts; they keep the simulator's speed
+ * honest as the code evolves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/enlarge.hh"
+#include "codegen/layout.hh"
+#include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "workloads/specmix.hh"
+
+namespace
+{
+
+using namespace bsisa;
+
+const char *kSource = R"(
+    var d[64];
+    fn work(x, i) {
+        var t = x;
+        for (var k = 0; k < 4; k = k + 1) {
+            if (d[(i + k) & 63] & 1) { t = t * 3 + 1; }
+            else { t = t + k; }
+        }
+        return t;
+    }
+    fn main() {
+        var acc = 0;
+        for (var i = 0; i < 200; i = i + 1) { acc = acc + work(acc, i); }
+        return acc;
+    }
+)";
+
+void
+BM_CompileBlockC(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Module m = compileBlockCOrDie(kSource);
+        benchmark::DoNotOptimize(m.numOps());
+    }
+}
+BENCHMARK(BM_CompileBlockC);
+
+void
+BM_GenerateWorkload(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const WorkloadParams &params = suite[0].params;  // compress
+    for (auto _ : state) {
+        Module m = generateWorkload(params);
+        benchmark::DoNotOptimize(m.numOps());
+    }
+}
+BENCHMARK(BM_GenerateWorkload);
+
+void
+BM_BlockEnlargement(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    for (auto _ : state) {
+        BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+        benchmark::DoNotOptimize(bsa.numOps());
+    }
+}
+BENCHMARK(BM_BlockEnlargement);
+
+void
+BM_FunctionalInterp(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = 200000;
+    for (auto _ : state) {
+        Interp::Limits limits;
+        limits.maxOps = budget;
+        Interp interp(m, limits);
+        interp.run();
+        benchmark::DoNotOptimize(interp.dynOps());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget));
+}
+BENCHMARK(BM_FunctionalInterp);
+
+void
+BM_ConvTimingSim(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = 200000;
+    for (auto _ : state) {
+        MachineConfig machine;
+        Interp::Limits limits;
+        limits.maxOps = budget;
+        const SimResult r = runConventional(m, machine, limits);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget));
+}
+BENCHMARK(BM_ConvTimingSim);
+
+void
+BM_BsaTimingSim(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    layoutBsaModule(bsa);
+    const std::uint64_t budget = 200000;
+    for (auto _ : state) {
+        MachineConfig machine;
+        Interp::Limits limits;
+        limits.maxOps = budget;
+        const SimResult r = runBlockStructured(bsa, machine, limits);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget));
+}
+BENCHMARK(BM_BsaTimingSim);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Icache study: the paper's figure-6/7 experiment on a single
+ * workload, extended with a finer size sweep.
+ *
+ * Generates the synthetic gcc stand-in (the suite's most icache-bound
+ * benchmark), then sweeps the L1 icache from 4 KB to 256 KB for both
+ * machines and reports cycles, miss rates, and the slowdown relative
+ * to a perfect icache — making the code-duplication cost of block
+ * enlargement directly visible.
+ */
+
+#include <iostream>
+
+#include "codegen/layout.hh"
+#include "exp/runner.hh"
+#include "support/table.hh"
+#include "workloads/specmix.hh"
+
+using namespace bsisa;
+
+int
+main()
+{
+    const auto suite = specint95Suite();
+    const SpecBenchmark &bench = suite[1];  // gcc
+    std::cout << "workload: synthetic '" << bench.params.name
+              << "' stand-in\n";
+
+    const Module module = generateWorkload(bench.params);
+    BsaModule bsa = enlargeModule(module, EnlargeConfig{});
+    const std::uint64_t bsa_bytes = layoutBsaModule(bsa);
+    std::cout << "conventional code: " << module.numOps() * opBytes
+              << " bytes; block-structured code: " << bsa_bytes
+              << " bytes (duplication!)\n\n";
+
+    Interp::Limits limits;
+    limits.maxOps = bench.paperInstructions / 400;
+
+    // Perfect-icache baselines.
+    MachineConfig ideal;
+    ideal.icache.perfect = true;
+    const std::uint64_t conv_base =
+        runConventional(module, ideal, limits).cycles;
+    const std::uint64_t bsa_base =
+        runBlockStructured(bsa, ideal, limits).cycles;
+
+    Table t({"icache", "conv cycles", "conv miss%", "conv slowdown",
+             "bsa cycles", "bsa miss%", "bsa slowdown"});
+    for (unsigned kb : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        MachineConfig machine;
+        machine.icache.sizeBytes = kb * 1024;
+        const SimResult conv =
+            runConventional(module, machine, limits);
+        const SimResult blk =
+            runBlockStructured(bsa, machine, limits);
+        t.addRow({std::to_string(kb) + "KB",
+                  Table::fmtSep(conv.cycles),
+                  Table::fmt(100.0 * conv.icache.missRate(), 2),
+                  Table::fmt(double(conv.cycles) / conv_base - 1.0, 3),
+                  Table::fmtSep(blk.cycles),
+                  Table::fmt(100.0 * blk.icache.missRate(), 2),
+                  Table::fmt(double(blk.cycles) / bsa_base - 1.0, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe block-structured executable needs roughly "
+                 "twice the icache for the\nsame miss rate — the "
+                 "price of keeping every block combination as a\n"
+                 "separate enlarged block (paper, section 5).\n";
+    return 0;
+}

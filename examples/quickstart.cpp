@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: compile a BlockC program, run it on both machines, and
+ * compare.
+ *
+ * This walks the library's whole public pipeline in ~80 lines:
+ *   1. compile BlockC source to the conventional load/store ISA;
+ *   2. execute it functionally (correct answer, dynamic op count);
+ *   3. run the block enlargement pass to get a block-structured
+ *      program;
+ *   4. simulate both programs cycle-by-cycle on identically
+ *      configured 16-wide machines;
+ *   5. print the comparison.
+ */
+
+#include <iostream>
+
+#include "codegen/layout.hh"
+#include "core/enlarge.hh"
+#include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "sim/interp.hh"
+#include "support/table.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+const char *kProgram = R"(
+    // A toy histogram/transform kernel.
+    var data[256];
+    var hist[16];
+
+    fn classify(v) {
+        if (v < 0) { return 0; }
+        if (v < 100) { return 1; }
+        return 2;
+    }
+
+    fn main() {
+        // Fill with a deterministic pseudo-random sequence.
+        var x = 12345;
+        for (var i = 0; i < 256; i = i + 1) {
+            x = (x * 1103515245 + 12345) & 0x7fffffff;
+            data[i] = x & 0xff;
+        }
+        // Histogram with a data-dependent branch per element.
+        var sum = 0;
+        for (var i = 0; i < 256; i = i + 1) {
+            var v = data[i];
+            if (v & 1) { hist[v & 15] = hist[v & 15] + 1; }
+            else { sum = sum + classify(v); }
+        }
+        return sum;
+    }
+)";
+
+} // namespace
+
+int
+main()
+{
+    // 1. Compile.
+    const Module module = compileBlockCOrDie(kProgram);
+    std::cout << "compiled: " << module.functions.size()
+              << " functions, " << module.numOps()
+              << " static operations\n";
+
+    // 2. Functional execution.
+    Interp interp(module);
+    interp.run();
+    std::cout << "program result: " << interp.exitValue() << " ("
+              << interp.dynOps() << " dynamic ops)\n\n";
+
+    // 3. Block enlargement.
+    EnlargeStats stats;
+    BsaModule bsa = enlargeModule(module, EnlargeConfig{}, nullptr,
+                                  &stats);
+    layoutBsaModule(bsa);
+    std::cout << "block enlargement: " << stats.atomicBlocks
+              << " atomic blocks, " << stats.mergedEdges
+              << " trap->fault conversions, code expansion "
+              << stats.expansion() << "x\n\n";
+
+    // 4. Cycle-level simulation of both machines.
+    RunConfig config;
+    const PairResult r = runPair(module, config);
+
+    // 5. Report.
+    Table t({"metric", "conventional", "block-structured"});
+    t.addRow({"cycles", Table::fmtSep(r.conv.cycles),
+              Table::fmtSep(r.bsa.cycles)});
+    t.addRow({"retired ops", Table::fmtSep(r.conv.retiredOps),
+              Table::fmtSep(r.bsa.retiredOps)});
+    t.addRow({"avg block size", Table::fmt(r.conv.avgBlockSize(), 2),
+              Table::fmt(r.bsa.avgBlockSize(), 2)});
+    t.addRow({"IPC", Table::fmt(r.conv.ipc(), 2),
+              Table::fmt(r.bsa.ipc(), 2)});
+    t.addRow({"branch accuracy",
+              Table::fmt(100.0 * r.conv.branchAccuracy(), 1) + "%",
+              Table::fmt(100.0 * r.bsa.branchAccuracy(), 1) + "%"});
+    t.print(std::cout);
+    std::cout << "\nexecution time reduction: "
+              << Table::fmt(100.0 * r.reduction(), 1) << "%\n";
+    return 0;
+}

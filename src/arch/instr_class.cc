@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table-1 latency definitions.
+ */
+
+#include "arch/instr_class.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+unsigned
+execLatency(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntAlu:
+        return 1;
+      case InstrClass::FpAdd:
+        return 3;
+      case InstrClass::FpIntMul:
+        return 3;
+      case InstrClass::FpIntDiv:
+        return 8;
+      case InstrClass::Load:
+        return 2;
+      case InstrClass::Store:
+        return 1;
+      case InstrClass::BitField:
+        return 1;
+      case InstrClass::Branch:
+        return 1;
+    }
+    panic("bad instruction class");
+}
+
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntAlu:
+        return "Integer";
+      case InstrClass::FpAdd:
+        return "FP Add";
+      case InstrClass::FpIntMul:
+        return "FP/INT Mul";
+      case InstrClass::FpIntDiv:
+        return "FP/INT Div";
+      case InstrClass::Load:
+        return "Load";
+      case InstrClass::Store:
+        return "Store";
+      case InstrClass::BitField:
+        return "Bit Field";
+      case InstrClass::Branch:
+        return "Branch";
+    }
+    panic("bad instruction class");
+}
+
+} // namespace bsisa

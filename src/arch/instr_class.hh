@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Instruction classes and execution latencies.
+ *
+ * This reproduces Table 1 of the paper exactly: eight classes with
+ * execution latencies of 1 (integer ALU), 3 (FP add/convert), 3
+ * (FP/INT multiply), 8 (FP/INT divide), 2 (loads), 1 (stores), 1
+ * (shift and bit testing), and 1 (control).
+ */
+
+#ifndef BSISA_ARCH_INSTR_CLASS_HH
+#define BSISA_ARCH_INSTR_CLASS_HH
+
+namespace bsisa
+{
+
+/** The paper's Table-1 instruction classes. */
+enum class InstrClass : unsigned char
+{
+    IntAlu,    //!< INT add, sub and logic OPs
+    FpAdd,     //!< FP add, sub, and convert
+    FpIntMul,  //!< FP mul and INT mul
+    FpIntDiv,  //!< FP div and INT div
+    Load,      //!< Memory loads
+    Store,     //!< Memory stores
+    BitField,  //!< Shift, and bit testing
+    Branch,    //!< Control instructions
+};
+
+constexpr unsigned numInstrClasses = 8;
+
+/** Execution latency in cycles for a class (Table 1). */
+unsigned execLatency(InstrClass cls);
+
+/** Human-readable class name. */
+const char *instrClassName(InstrClass cls);
+
+} // namespace bsisa
+
+#endif // BSISA_ARCH_INSTR_CLASS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Register numbering and the ABI.
+ *
+ * The conventional ISA modelled here is a register-windowed load/store
+ * architecture with 32 architectural GPRs per window.  On a call, the
+ * callee receives a fresh window whose low 32 registers are copied from
+ * the caller (so argument registers carry values in); on return, the
+ * return-value register is copied back and the caller's window is
+ * restored.  Register windows keep every register effectively preserved
+ * across calls, which removes caller/callee-save traffic from the
+ * register allocator without affecting anything the paper measures
+ * (fetch rate, prediction accuracy, icache behaviour).
+ *
+ * Before register allocation, functions additionally use an unbounded
+ * set of virtual registers numbered from firstVirtualReg upward; the
+ * low 32 numbers always refer to the architectural registers so ABI
+ * copies can be expressed in the same operation format.
+ */
+
+#ifndef BSISA_ARCH_REG_HH
+#define BSISA_ARCH_REG_HH
+
+#include <cstdint>
+
+namespace bsisa
+{
+
+/** Register number; < numArchRegs means architectural. */
+using RegNum = std::uint32_t;
+
+constexpr RegNum numArchRegs = 32;
+
+/** r0 is hardwired to zero. */
+constexpr RegNum regZero = 0;
+/** Stack pointer (frame allocation for spills and local arrays). */
+constexpr RegNum regSp = 1;
+/** First argument / return-value register. */
+constexpr RegNum regArg0 = 4;
+/** Number of register arguments in the ABI. */
+constexpr unsigned numArgRegs = 8;
+/** Return value register (same as first argument register). */
+constexpr RegNum regRet = regArg0;
+/** First register the allocator may assign freely. */
+constexpr RegNum firstAllocatableReg = 12;
+
+/** Virtual registers are numbered from here before allocation. */
+constexpr RegNum firstVirtualReg = numArchRegs;
+
+/** True iff @p r is an architectural register. */
+constexpr bool
+isArchReg(RegNum r)
+{
+    return r < numArchRegs;
+}
+
+} // namespace bsisa
+
+#endif // BSISA_ARCH_REG_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "cache/cache.hh"
+
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+std::uint32_t
+CacheConfig::numSets() const
+{
+    return sizeBytes / (assoc * lineBytes);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    if (!cfg.perfect) {
+        BSISA_ASSERT(isPowerOfTwo(cfg.lineBytes));
+        const std::uint32_t sets = cfg.numSets();
+        BSISA_ASSERT(sets > 0 && isPowerOfTwo(sets),
+                     "cache sets must be a nonzero power of two");
+        setShift = floorLog2(cfg.lineBytes);
+        setMask = sets - 1;
+        lines.resize(std::size_t(sets) * cfg.assoc);
+    } else {
+        setShift = 0;
+        setMask = 0;
+    }
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++statistics.accesses;
+    if (cfg.perfect)
+        return true;
+
+    const std::uint64_t line_addr = addr >> setShift;
+    const std::uint32_t set = line_addr & setMask;
+    const std::uint64_t tag = line_addr >> 0;  // full line addr as tag
+    Line *base = &lines[std::size_t(set) * cfg.assoc];
+
+    ++useClock;
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    ++statistics.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+unsigned
+Cache::accessRange(std::uint64_t addr, std::uint32_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    const std::uint64_t first = addr / cfg.lineBytes;
+    const std::uint64_t last = (addr + bytes - 1) / cfg.lineBytes;
+    unsigned missing = 0;
+    for (std::uint64_t line = first; line <= last; ++line)
+        missing += !access(line * cfg.lineBytes);
+    return missing;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines)
+        line.valid = false;
+}
+
+} // namespace bsisa

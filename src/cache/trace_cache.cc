@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace cache implementation.
+ */
+
+#include "cache/trace_cache.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+TraceCache::TraceCache(const TraceCacheConfig &config)
+    : cfg(config), slots(config.entries)
+{
+    BSISA_ASSERT(cfg.entries % cfg.assoc == 0);
+    BSISA_ASSERT(cfg.maxBlocks >= 1 && cfg.maxOps >= 1);
+}
+
+std::size_t
+TraceCache::setOf(std::uint64_t start) const
+{
+    const std::size_t sets = cfg.entries / cfg.assoc;
+    // Mix function and block id bits.
+    return (start ^ (start >> 32)) % sets;
+}
+
+const Trace *
+TraceCache::lookup(std::uint64_t start,
+                   const std::vector<bool> &predictedDirs)
+{
+    Trace *base = &slots[setOf(start) * cfg.assoc];
+    ++clock;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Trace &trace = base[w];
+        if (!trace.valid || trace.start != start)
+            continue;
+        // The trace is usable when its interior directions agree with
+        // the predictions we have.
+        bool match = trace.dirs.size() <= predictedDirs.size();
+        for (std::size_t i = 0; match && i < trace.dirs.size(); ++i)
+            match = trace.dirs[i] == predictedDirs[i];
+        if (match) {
+            trace.lastUse = clock;
+            ++nHits;
+            return &trace;
+        }
+    }
+    ++nMisses;
+    return nullptr;
+}
+
+void
+TraceCache::install(const Trace &trace)
+{
+    BSISA_ASSERT(trace.valid && !trace.blocks.empty());
+    Trace *base = &slots[setOf(trace.start) * cfg.assoc];
+    ++clock;
+    Trace *victim = base;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Trace &slot = base[w];
+        // Replace an existing same-start same-dirs trace in place.
+        if (slot.valid && slot.start == trace.start &&
+            slot.dirs == trace.dirs) {
+            victim = &slot;
+            break;
+        }
+        if (!slot.valid) {
+            victim = &slot;
+        } else if (victim->valid && slot.lastUse < victim->lastUse) {
+            victim = &slot;
+        }
+    }
+    *victim = trace;
+    victim->lastUse = clock;
+}
+
+} // namespace bsisa

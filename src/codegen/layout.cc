@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Layout implementation.
+ */
+
+#include "codegen/layout.hh"
+
+namespace bsisa
+{
+
+ConvLayout::ConvLayout(const Module &module)
+{
+    std::uint64_t addr = codeBase;
+    blockAddr.resize(module.functions.size());
+    blockBytes.resize(module.functions.size());
+    for (const Function &fn : module.functions) {
+        blockAddr[fn.id].resize(fn.blocks.size());
+        blockBytes[fn.id].resize(fn.blocks.size());
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            blockAddr[fn.id][b] = addr;
+            const auto bytes = static_cast<std::uint32_t>(
+                fn.blocks[b].ops.size() * opBytes);
+            blockBytes[fn.id][b] = bytes;
+            addr += bytes;
+        }
+    }
+    total = addr - codeBase;
+}
+
+std::uint64_t
+layoutBsaModule(BsaModule &bsa)
+{
+    // Group blocks by (function, head) in trie-emission order: the
+    // blocks vector was already filled head-by-head in discovery
+    // order, so a single sequential pass keeps variants adjacent.
+    std::uint64_t addr = codeBase;
+    for (AtomicBlock &blk : bsa.blocks) {
+        blk.addr = addr;
+        addr += blk.sizeBytes();
+    }
+    return addr - codeBase;
+}
+
+} // namespace bsisa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Code layout: assigns instruction-memory addresses to the blocks of
+ * both program forms so the icache model sees realistic footprints.
+ *
+ * Conventional code lays out each function's blocks in id order
+ * (roughly source order, which approximates the fall-through layout a
+ * real compiler emits).  Block-structured code lays out each head's
+ * variants consecutively, heads in discovery order, functions in id
+ * order; enlarged variants therefore dilute locality exactly as the
+ * paper's duplication discussion describes.
+ */
+
+#ifndef BSISA_CODEGEN_LAYOUT_HH
+#define BSISA_CODEGEN_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bsa.hh"
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Base address of the code segment. */
+constexpr std::uint64_t codeBase = 0x10000;
+
+/** Conventional-program layout. */
+class ConvLayout
+{
+  public:
+    explicit ConvLayout(const Module &module);
+
+    /** Address of (func, block). */
+    std::uint64_t
+    addrOf(FuncId func, BlockId block) const
+    {
+        return blockAddr[func][block];
+    }
+
+    /** Size in bytes of (func, block). */
+    std::uint32_t
+    bytesOf(FuncId func, BlockId block) const
+    {
+        return blockBytes[func][block];
+    }
+
+    /** Total code bytes. */
+    std::uint64_t totalBytes() const { return total; }
+
+  private:
+    std::vector<std::vector<std::uint64_t>> blockAddr;
+    std::vector<std::vector<std::uint32_t>> blockBytes;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Assign AtomicBlock::addr for every block of @p bsa; returns total
+ * code bytes.
+ */
+std::uint64_t layoutBsaModule(BsaModule &bsa);
+
+} // namespace bsisa
+
+#endif // BSISA_CODEGEN_LAYOUT_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The block-structured ISA program form.
+ *
+ * A BsaModule is the output of the block enlargement pass: a set of
+ * AtomicBlocks (the architectural units of the block-structured ISA)
+ * plus, per function, a *variant trie* for every enlargement head.
+ *
+ * Trie structure.  For each head basic block the compiler explores
+ * merges with control-flow successors ("the compiler attempts to
+ * combine as many different combinations of blocks as possible",
+ * section 4.2).  Each trie node appends one basic block to the merge
+ * path.  Edges are either:
+ *   - fault edges (the predecessor's trap became a fault operation;
+ *     two possible children keyed by the trap direction), or
+ *   - thru edges (the predecessor ended in an unconditional jump; the
+ *     jump is deleted and there is a single child).
+ *
+ * A node is *emitted* as a real AtomicBlock iff the dynamic variant
+ * selection can stop there: leaves, and nodes missing a child on one
+ * trap direction.  A node with both trap children is pass-through
+ * (control always commits one of the deeper variants).  Fault targets
+ * point to the sibling variant when it exists and otherwise to the
+ * nearest emitted ancestor-with-real-trap, exactly reproducing the
+ * paper's BC/BD example in figure 1.
+ */
+
+#ifndef BSISA_CORE_BSA_HH
+#define BSISA_CORE_BSA_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** One atomic block of the block-structured ISA. */
+struct AtomicBlock
+{
+    AtomicBlockId id = invalidId;
+    FuncId func = invalidId;
+
+    /** Operations including interior Fault ops; terminator last. */
+    std::vector<Operation> ops;
+
+    /** Constituent basic blocks, in merge order. */
+    std::vector<BlockId> bbs;
+
+    /** Trap directions consumed between trap-merged blocks, in order
+     *  (thru merges contribute no entry). */
+    std::vector<bool> dirs;
+
+    unsigned numFaults = 0;
+
+    /** log2 of the block's control-flow successor count (carried by
+     *  the trap operation per section 4.1; drives the BHR shift). */
+    std::uint8_t succBits = 0;
+
+    /** Assigned code address (set by layout). */
+    std::uint64_t addr = 0;
+
+    std::uint32_t
+    sizeBytes() const
+    {
+        return static_cast<std::uint32_t>(ops.size()) * opBytes;
+    }
+
+    const Operation &terminator() const { return ops.back(); }
+};
+
+/** One node of a variant trie. */
+struct TrieNode
+{
+    BlockId bb = invalidId;   //!< basic block this node appends
+    int parent = -1;
+    /** Children by trap direction (fault edges). */
+    int childTaken = -1;
+    int childNotTaken = -1;
+    /** Child via unconditional-jump deletion (thru edge). */
+    int childThru = -1;
+    /** Operation count of the merged block up to this node. */
+    unsigned sizeOps = 0;
+    /** Fault count of the merged block up to this node. */
+    unsigned faults = 0;
+    /** Emitted atomic block, or invalidId for pass-through nodes. */
+    AtomicBlockId block = invalidId;
+};
+
+/** The variant trie of one enlargement head. */
+struct HeadTrie
+{
+    BlockId head = invalidId;
+    std::vector<TrieNode> nodes;  //!< nodes[0] is the root
+    /** Emitted node indices in canonical (variant) order. */
+    std::vector<int> emitted;
+    /** Number of selection bits needed: ceil(log2(|emitted|)). */
+    std::uint8_t variantBits = 0;
+};
+
+/** Per-function enlargement output. */
+struct BsaFunction
+{
+    FuncId id = invalidId;
+    std::unordered_map<BlockId, HeadTrie> tries;
+};
+
+/** Where an atomic block lives in its variant trie. */
+struct BlockOrigin
+{
+    FuncId func = invalidId;
+    BlockId head = invalidId;
+    int node = -1;
+};
+
+/** A block-structured ISA program. */
+struct BsaModule
+{
+    const Module *src = nullptr;
+    std::vector<AtomicBlock> blocks;
+    std::vector<BsaFunction> funcs;
+    /** origin[i] locates blocks[i] in its trie. */
+    std::vector<BlockOrigin> origin;
+
+    /** The trie for (func, head); the head must exist. */
+    const HeadTrie &trie(FuncId func, BlockId head) const;
+    /** Null when (func, head) is not an enlargement head. */
+    const HeadTrie *findTrie(FuncId func, BlockId head) const;
+
+    /** Total operation count across atomic blocks (code expansion). */
+    std::size_t numOps() const;
+
+    /** Total code bytes. */
+    std::uint64_t
+    codeBytes() const
+    {
+        return numOps() * opBytes;
+    }
+};
+
+} // namespace bsisa
+
+#endif // BSISA_CORE_BSA_HH

@@ -1,0 +1,612 @@
+/**
+ * @file
+ * Block enlargement implementation.
+ *
+ * Phase 1 builds a variant trie per enlargement head (fixpoint over
+ * heads discovered from emitted blocks' exits) and assigns atomic
+ * block ids to emitted nodes.  Phase 2 assembles each emitted block's
+ * operations, converting merged traps into fault operations whose
+ * targets are the sibling variants (cascading through pass-through
+ * siblings to their default emitted descendant).
+ */
+
+#include "core/enlarge.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "ir/cfg.hh"
+#include "ir/dom.hh"
+#include "support/bitutil.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+/** Builder state shared across the fixpoint. */
+class Enlarger
+{
+  public:
+    Enlarger(const Module &module, const EnlargeConfig &config,
+             const ProfileData *profile)
+        : module(module), config(config), profile(profile)
+    {
+        out.src = &module;
+        out.funcs.resize(module.functions.size());
+        for (FuncId f = 0; f < module.functions.size(); ++f)
+            out.funcs[f].id = f;
+        doms.resize(module.functions.size());
+    }
+
+    BsaModule
+    run(EnlargeStats *stats)
+    {
+        enqueueHead(module.mainFunc, 0);
+        while (!worklist.empty()) {
+            const auto [f, h] = worklist.front();
+            worklist.pop_front();
+            buildTrie(f, h);
+        }
+        assembleAll();
+        computeSuccBits();
+        if (stats)
+            fillStats(*stats);
+        return std::move(out);
+    }
+
+  private:
+    const Module &module;
+    const EnlargeConfig &config;
+    const ProfileData *profile;
+    BsaModule out;
+    std::vector<std::unique_ptr<DomInfo>> doms;
+    std::deque<std::pair<FuncId, BlockId>> worklist;
+    std::set<std::pair<FuncId, BlockId>> seen;
+    std::size_t mergedEdges = 0;
+    std::size_t thruMerges = 0;
+
+    const DomInfo &
+    dom(FuncId f)
+    {
+        if (!doms[f])
+            doms[f] = std::make_unique<DomInfo>(module.functions[f]);
+        return *doms[f];
+    }
+
+    void
+    enqueueHead(FuncId f, BlockId h)
+    {
+        if (seen.insert({f, h}).second)
+            worklist.push_back({f, h});
+    }
+
+    /** True iff merging node @p n with successor @p succ is allowed. */
+    bool
+    canMerge(const Function &fn, const HeadTrie &trie, int n,
+             BlockId succ, bool is_thru)
+    {
+        const TrieNode &node = trie.nodes[n];
+        if (!config.enabled)
+            return false;
+        // Condition 5: library code is never enlarged.
+        if (fn.isLibrary && !config.enlargeLibraryFunctions)
+            return false;
+        // Condition 1: respect the issue width.
+        const unsigned new_size = node.sizeOps - (is_thru ? 1 : 0) +
+            static_cast<unsigned>(fn.blocks[succ].ops.size());
+        if (new_size > config.maxOps)
+            return false;
+        // Condition 2: fault budget.
+        if (!is_thru && node.faults + 1 > config.maxFaults)
+            return false;
+        // Condition 4: never merge separate loop iterations.
+        if (!config.mergeAcrossBackEdges &&
+            dom(fn.id).isBackEdge(node.bb, succ)) {
+            return false;
+        }
+        // No block may appear twice in one merge path (guards against
+        // non-back-edge cycles in irreducible regions).
+        for (int walk = n; walk != -1; walk = trie.nodes[walk].parent)
+            if (trie.nodes[walk].bb == succ)
+                return false;
+        // Profile-guided filter (section-6 extension): leave weakly
+        // biased traps unmerged to limit duplication.
+        if (!is_thru && profile && config.minMergeBias > 0.0) {
+            const BranchProfile bp = profile->lookup(fn.id, node.bb);
+            if (bp.total() > 0 && bp.bias() < config.minMergeBias)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    expand(const Function &fn, HeadTrie &trie, int n)
+    {
+        const Operation term =
+            fn.blocks[trie.nodes[n].bb].terminator();
+        if (term.op == Opcode::Jmp) {
+            const BlockId succ = term.target0;
+            if (canMerge(fn, trie, n, succ, true)) {
+                const int child = addChild(fn, trie, n, succ, true);
+                trie.nodes[n].childThru = child;
+                ++thruMerges;
+                expand(fn, trie, child);
+            }
+            return;
+        }
+        if (term.op != Opcode::Trap)
+            return;  // condition 3: call/ret/ijmp/halt never merge
+        // Taken side first, then not-taken; both are attempted ("as
+        // many different combinations of blocks as possible").
+        if (canMerge(fn, trie, n, term.target0, false)) {
+            const int child = addChild(fn, trie, n, term.target0, false);
+            trie.nodes[n].childTaken = child;
+            ++mergedEdges;
+            expand(fn, trie, child);
+        }
+        if (term.target1 != term.target0 &&
+            canMerge(fn, trie, n, term.target1, false)) {
+            const int child = addChild(fn, trie, n, term.target1, false);
+            trie.nodes[n].childNotTaken = child;
+            ++mergedEdges;
+            expand(fn, trie, child);
+        }
+    }
+
+    int
+    addChild(const Function &fn, HeadTrie &trie, int parent, BlockId bb,
+             bool is_thru)
+    {
+        TrieNode node;
+        node.bb = bb;
+        node.parent = parent;
+        node.sizeOps = trie.nodes[parent].sizeOps - (is_thru ? 1 : 0) +
+            static_cast<unsigned>(fn.blocks[bb].ops.size());
+        node.faults = trie.nodes[parent].faults + (is_thru ? 0 : 1);
+        trie.nodes.push_back(node);
+        return static_cast<int>(trie.nodes.size() - 1);
+    }
+
+    /** Emitted iff variant selection can stop at @p n. */
+    static bool
+    isEmitted(const Function &fn, const HeadTrie &trie, int n)
+    {
+        const TrieNode &node = trie.nodes[n];
+        const Operation &term = fn.blocks[node.bb].terminator();
+        switch (term.op) {
+          case Opcode::Jmp:
+            return node.childThru == -1;
+          case Opcode::Trap:
+            return node.childTaken == -1 || node.childNotTaken == -1;
+          default:
+            return true;  // leaves by condition 3
+        }
+    }
+
+    /** Nodes reachable from the root, in index (creation) order. */
+    static std::vector<int>
+    reachableNodes(const HeadTrie &trie)
+    {
+        std::vector<int> stack{0};
+        std::vector<int> reach;
+        while (!stack.empty()) {
+            const int n = stack.back();
+            stack.pop_back();
+            reach.push_back(n);
+            const TrieNode &node = trie.nodes[n];
+            for (int child :
+                 {node.childThru, node.childTaken, node.childNotTaken}) {
+                if (child != -1)
+                    stack.push_back(child);
+            }
+        }
+        std::sort(reach.begin(), reach.end());
+        return reach;
+    }
+
+    void
+    collectEmitted(const Function &fn, HeadTrie &trie)
+    {
+        trie.emitted.clear();
+        for (int n : reachableNodes(trie))
+            if (isEmitted(fn, trie, n))
+                trie.emitted.push_back(n);
+    }
+
+    /**
+     * Prune the trie until at most maxVariantsPerHead variants remain:
+     * repeatedly delete the children of the deepest trap node whose
+     * subtree consists only of leaves.
+     */
+    void
+    pruneTrie(const Function &fn, HeadTrie &trie)
+    {
+        auto depth = [&](int n) {
+            int d = 0;
+            for (int w = n; w != -1; w = trie.nodes[w].parent)
+                ++d;
+            return d;
+        };
+        auto is_leaf = [&](int n) {
+            const TrieNode &node = trie.nodes[n];
+            return node.childTaken == -1 && node.childNotTaken == -1 &&
+                   node.childThru == -1;
+        };
+
+        collectEmitted(fn, trie);
+        while (trie.emitted.size() > config.maxVariantsPerHead) {
+            // Deepest node all of whose children are leaves.  Cutting
+            // a trap pair reduces the variant count by one; cutting a
+            // thru child is count-neutral but shrinks the tree so a
+            // reducing cut becomes available next round.  The tree
+            // strictly shrinks, so this terminates (at worst at the
+            // root, which is a single variant).
+            int best = -1;
+            int best_depth = -1;
+            for (int n : reachableNodes(trie)) {
+                const TrieNode &node = trie.nodes[n];
+                const bool has_children = node.childTaken != -1 ||
+                                          node.childNotTaken != -1 ||
+                                          node.childThru != -1;
+                if (!has_children || is_leaf(n))
+                    continue;
+                if (node.childTaken != -1 && !is_leaf(node.childTaken))
+                    continue;
+                if (node.childNotTaken != -1 &&
+                    !is_leaf(node.childNotTaken)) {
+                    continue;
+                }
+                if (node.childThru != -1 && !is_leaf(node.childThru))
+                    continue;
+                if (depth(n) > best_depth) {
+                    best_depth = depth(n);
+                    best = n;
+                }
+            }
+            BSISA_ASSERT(best != -1, "prune found no candidate");
+            // Orphan the children; compactTrie drops them (they are no
+            // longer reachable from the root).
+            TrieNode &node = trie.nodes[best];
+            for (int child :
+                 {node.childTaken, node.childNotTaken, node.childThru}) {
+                if (child != -1)
+                    trie.nodes[child].parent = -2;
+            }
+            node.childTaken = -1;
+            node.childNotTaken = -1;
+            node.childThru = -1;
+            collectEmitted(fn, trie);
+        }
+    }
+
+    void
+    buildTrie(FuncId f, BlockId head)
+    {
+        const Function &fn = module.functions[f];
+        BSISA_ASSERT(head < fn.blocks.size());
+
+        HeadTrie trie;
+        trie.head = head;
+        TrieNode root;
+        root.bb = head;
+        root.sizeOps = static_cast<unsigned>(fn.blocks[head].ops.size());
+        trie.nodes.push_back(root);
+        expand(fn, trie, 0);
+        pruneTrie(fn, trie);
+
+        // Drop orphaned subtrees so indices only reference live nodes.
+        compactTrie(trie);
+        collectEmitted(fn, trie);
+        BSISA_ASSERT(!trie.emitted.empty());
+        trie.variantBits =
+            static_cast<std::uint8_t>(ceilLog2(trie.emitted.size()));
+
+        // Assign atomic block ids and enqueue successor heads.
+        for (int n : trie.emitted) {
+            AtomicBlock blk;
+            blk.id = static_cast<AtomicBlockId>(out.blocks.size());
+            blk.func = f;
+            trie.nodes[n].block = blk.id;
+            out.blocks.push_back(std::move(blk));
+            out.origin.push_back({f, head, n});
+
+            const Operation &term =
+                fn.blocks[trie.nodes[n].bb].terminator();
+            switch (term.op) {
+              case Opcode::Jmp:
+                enqueueHead(f, term.target0);
+                break;
+              case Opcode::Trap:
+                // Both targets become heads: the maximal variant only
+                // exits through unmerged directions, but the fetch
+                // engine may legally commit a *shallower* variant and
+                // continue through a merged direction, so a block must
+                // exist at every trap target (this mirrors the paper's
+                // trap operation carrying two explicit block targets).
+                enqueueHead(f, term.target0);
+                enqueueHead(f, term.target1);
+                break;
+              case Opcode::Call:
+                enqueueHead(term.callee, 0);
+                enqueueHead(f, term.target0);
+                break;
+              case Opcode::IJmp:
+                for (BlockId t : fn.jumpTables[term.imm])
+                    enqueueHead(f, t);
+                break;
+              default:
+                break;
+            }
+        }
+        out.funcs[f].tries.emplace(head, std::move(trie));
+    }
+
+    /** Remove nodes unreachable from the root after pruning. */
+    static void
+    compactTrie(HeadTrie &trie)
+    {
+        std::vector<int> remap(trie.nodes.size(), -1);
+        std::vector<TrieNode> kept;
+        // Root-first DFS preserves construction (variant) order.
+        std::vector<int> stack{0};
+        std::vector<int> order;
+        while (!stack.empty()) {
+            const int n = stack.back();
+            stack.pop_back();
+            order.push_back(n);
+            const TrieNode &node = trie.nodes[n];
+            // Push in reverse so visitation matches creation order.
+            if (node.childNotTaken != -1)
+                stack.push_back(node.childNotTaken);
+            if (node.childTaken != -1)
+                stack.push_back(node.childTaken);
+            if (node.childThru != -1)
+                stack.push_back(node.childThru);
+        }
+        std::sort(order.begin(), order.end());
+        for (int n : order) {
+            remap[n] = static_cast<int>(kept.size());
+            kept.push_back(trie.nodes[n]);
+        }
+        for (TrieNode &node : kept) {
+            if (node.parent >= 0)
+                node.parent = remap[node.parent];
+            if (node.childTaken != -1)
+                node.childTaken = remap[node.childTaken];
+            if (node.childNotTaken != -1)
+                node.childNotTaken = remap[node.childNotTaken];
+            if (node.childThru != -1)
+                node.childThru = remap[node.childThru];
+        }
+        trie.nodes = std::move(kept);
+    }
+
+    /**
+     * Default emitted descendant of @p n: follow thru children and
+     * the not-taken-preferred trap child until an emitted node.
+     */
+    int
+    defaultEmitted(const Function &fn, const HeadTrie &trie, int n) const
+    {
+        int cur = n;
+        for (;;) {
+            const TrieNode &node = trie.nodes[cur];
+            if (isEmitted(fn, trie, cur))
+                return cur;
+            if (node.childThru != -1) {
+                cur = node.childThru;
+            } else if (node.childNotTaken != -1) {
+                cur = node.childNotTaken;
+            } else {
+                BSISA_ASSERT(node.childTaken != -1);
+                cur = node.childTaken;
+            }
+        }
+    }
+
+    void
+    assembleAll()
+    {
+        for (auto &bf : out.funcs) {
+            const Function &fn = module.functions[bf.id];
+            for (auto &[head, trie] : bf.tries)
+                for (int n : trie.emitted)
+                    assembleBlock(fn, trie, n);
+        }
+    }
+
+    void
+    assembleBlock(const Function &fn, const HeadTrie &trie, int n)
+    {
+        AtomicBlock &blk = out.blocks[trie.nodes[n].block];
+
+        // Path root..n.
+        std::vector<int> path;
+        for (int w = n; w != -1; w = trie.nodes[w].parent)
+            path.push_back(w);
+        std::reverse(path.begin(), path.end());
+
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            const TrieNode &node = trie.nodes[path[i]];
+            const Block &bb = fn.blocks[node.bb];
+            blk.bbs.push_back(node.bb);
+            const bool last = i + 1 == path.size();
+            if (last) {
+                blk.ops.insert(blk.ops.end(), bb.ops.begin(),
+                               bb.ops.end());
+                break;
+            }
+            const int child = path[i + 1];
+            const bool is_thru = node.childThru == child;
+            // Interior operations always copy over.
+            blk.ops.insert(blk.ops.end(), bb.ops.begin(),
+                           bb.ops.end() - 1);
+            if (is_thru)
+                continue;  // unconditional jump deleted
+            // Trap -> fault conversion.
+            const Operation &trap = bb.terminator();
+            const bool dir_taken = node.childTaken == child;
+            blk.dirs.push_back(dir_taken);
+            // Fault target: sibling variant, else this node itself.
+            const int sibling =
+                dir_taken ? node.childNotTaken : node.childTaken;
+            int target_node =
+                sibling != -1 ? defaultEmitted(fn, trie, sibling)
+                              : path[i];
+            BSISA_ASSERT(trie.nodes[target_node].block != invalidId,
+                         "fault target is not an emitted block");
+            Operation fault = makeFault(
+                trap.src1, trie.nodes[target_node].block);
+            // Merged with the taken target: fault fires when the
+            // condition is FALSE (complemented, per section 2).
+            fault.imm = dir_taken ? 1 : 0;
+            blk.ops.push_back(fault);
+            ++blk.numFaults;
+        }
+        BSISA_ASSERT(blk.ops.size() <= config.maxOps,
+                     "atomic block exceeds the issue width");
+        BSISA_ASSERT(blk.ops.back().terminates());
+    }
+
+    /** Variant count of the trie rooted at (f, head). */
+    std::size_t
+    headVariants(FuncId f, BlockId head) const
+    {
+        const HeadTrie *trie = out.findTrie(f, head);
+        BSISA_ASSERT(trie, "missing trie for f", f, " B", head);
+        return trie->emitted.size();
+    }
+
+    void
+    computeSuccBits()
+    {
+        for (AtomicBlock &blk : out.blocks) {
+            const Function &fn = module.functions[blk.func];
+            const BlockOrigin &org = out.origin[blk.id];
+            const HeadTrie &trie = out.trie(org.func, org.head);
+            const TrieNode &node = trie.nodes[org.node];
+            Operation &term = blk.ops.back();
+            std::size_t succs = 0;
+            switch (term.op) {
+              case Opcode::Trap:
+                // A committed block exits only through unmerged
+                // directions (the variant walk descends through merged
+                // ones), so only those contribute successors.
+                if (node.childTaken == -1)
+                    succs += headVariants(blk.func, term.target0);
+                if (node.childNotTaken == -1 &&
+                    term.target1 != term.target0) {
+                    succs += headVariants(blk.func, term.target1);
+                }
+                break;
+              case Opcode::Jmp:
+                succs = headVariants(blk.func, term.target0);
+                break;
+              case Opcode::Call:
+                succs = headVariants(term.callee, 0);
+                break;
+              case Opcode::Ret:
+                succs = 4;  // continuation head comes from the RAS;
+                            // its variant needs up to 2 bits
+                break;
+              case Opcode::IJmp: {
+                for (BlockId t : fn.jumpTables[term.imm])
+                    succs += headVariants(blk.func, t);
+                succs = std::min<std::size_t>(succs, 8);
+                break;
+              }
+              case Opcode::Halt:
+                succs = 1;
+                break;
+              default:
+                panic("bad atomic block terminator");
+            }
+            blk.succBits = static_cast<std::uint8_t>(
+                std::min<unsigned>(3, ceilLog2(std::max<std::size_t>(
+                                          1, succs))));
+            term.succBits = blk.succBits;
+        }
+    }
+
+    void
+    fillStats(EnlargeStats &stats) const
+    {
+        stats.atomicBlocks = out.blocks.size();
+        stats.mergedEdges = mergedEdges;
+        stats.thruMerges = thruMerges;
+        for (const auto &blk : out.blocks)
+            stats.bsaOps += blk.ops.size();
+        for (const auto &bf : out.funcs)
+            stats.heads += bf.tries.size();
+        // Reachable conventional ops (heads' functions only would skew
+        // small; count the whole module).
+        stats.srcOps = module.numOps();
+    }
+};
+
+} // namespace
+
+const HeadTrie &
+BsaModule::trie(FuncId func, BlockId head) const
+{
+    const HeadTrie *t = findTrie(func, head);
+    BSISA_ASSERT(t, "no trie for f", func, " B", head);
+    return *t;
+}
+
+const HeadTrie *
+BsaModule::findTrie(FuncId func, BlockId head) const
+{
+    if (func >= funcs.size())
+        return nullptr;
+    const auto it = funcs[func].tries.find(head);
+    return it == funcs[func].tries.end() ? nullptr : &it->second;
+}
+
+std::size_t
+BsaModule::numOps() const
+{
+    std::size_t n = 0;
+    for (const auto &blk : blocks)
+        n += blk.ops.size();
+    return n;
+}
+
+BsaModule
+enlargeModule(const Module &module, const EnlargeConfig &config,
+              const ProfileData *profile, EnlargeStats *stats)
+{
+    Enlarger enlarger(module, config, profile);
+    return enlarger.run(stats);
+}
+
+unsigned
+splitOversizedBlocks(Module &module, unsigned maxOps)
+{
+    BSISA_ASSERT(maxOps >= 2);
+    unsigned splits = 0;
+    for (Function &fn : module.functions) {
+        // New tail blocks are appended and revisited by this loop, so
+        // a single pass reaches the fixpoint.
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            if (fn.blocks[b].ops.size() <= maxOps)
+                continue;
+            // Keep maxOps-1 ops plus a new jump; move the rest.
+            const BlockId rest = fn.newBlock();
+            Block &blk = fn.blocks[b];  // revalidate after newBlock
+            auto cut = blk.ops.begin() + (maxOps - 1);
+            fn.blocks[rest].ops.assign(cut, blk.ops.end());
+            blk.ops.erase(cut, blk.ops.end());
+            blk.ops.push_back(makeJmp(rest));
+            ++splits;
+        }
+    }
+    return splits;
+}
+
+} // namespace bsisa

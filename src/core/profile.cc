@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Profile collection via functional execution.
+ */
+
+#include "core/profile.hh"
+
+#include "sim/interp.hh"
+
+namespace bsisa
+{
+
+ProfileData
+collectProfile(const Module &module, std::uint64_t maxOps)
+{
+    ProfileData profile;
+    Interp::Limits limits;
+    limits.maxOps = maxOps;
+    Interp interp(module, limits);
+    BlockEvent ev;
+    while (interp.step(ev)) {
+        if (ev.exit == ExitKind::Trap)
+            profile.record(ev.func, ev.block, ev.taken);
+    }
+    return profile;
+}
+
+} // namespace bsisa

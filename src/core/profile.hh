@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Branch-bias profiles.
+ *
+ * A ProfileData records, per (function, block), how often the block's
+ * trap was taken.  It feeds the profile-guided enlargement filter
+ * (the paper's section-6 "profiling" future-work item) and the
+ * workload characterization reports.
+ */
+
+#ifndef BSISA_CORE_PROFILE_HH
+#define BSISA_CORE_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Dynamic execution counts of one block's trap. */
+struct BranchProfile
+{
+    std::uint64_t taken = 0;
+    std::uint64_t notTaken = 0;
+
+    std::uint64_t total() const { return taken + notTaken; }
+
+    /** max(p, 1-p); 1.0 when never executed (treated as biased). */
+    double
+    bias() const
+    {
+        const std::uint64_t t = total();
+        if (t == 0)
+            return 1.0;
+        const double p = double(taken) / double(t);
+        return p > 0.5 ? p : 1.0 - p;
+    }
+};
+
+/** Profile for a whole module. */
+class ProfileData
+{
+  public:
+    /** Record one execution of (func, block) with trap direction. */
+    void
+    record(FuncId func, BlockId block, bool taken)
+    {
+        BranchProfile &p = counts[key(func, block)];
+        if (taken)
+            ++p.taken;
+        else
+            ++p.notTaken;
+    }
+
+    /** Profile for (func, block); zeroes when never executed. */
+    BranchProfile
+    lookup(FuncId func, BlockId block) const
+    {
+        const auto it = counts.find(key(func, block));
+        return it == counts.end() ? BranchProfile{} : it->second;
+    }
+
+    std::size_t size() const { return counts.size(); }
+
+  private:
+    static std::uint64_t
+    key(FuncId func, BlockId block)
+    {
+        return (std::uint64_t(func) << 32) | block;
+    }
+
+    std::unordered_map<std::uint64_t, BranchProfile> counts;
+};
+
+/**
+ * Collect a branch profile by functionally executing @p module for at
+ * most @p maxOps operations.
+ */
+ProfileData collectProfile(const Module &module, std::uint64_t maxOps);
+
+} // namespace bsisa
+
+#endif // BSISA_CORE_PROFILE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-figure experiment drivers.
+ *
+ * Each function regenerates one of the paper's tables or figures (or
+ * one of DESIGN.md's ablations) over the synthetic SPECint95 suite and
+ * renders it as text; the bench/ binaries are thin wrappers.  The
+ * drivers also return their numbers so tests can assert the shapes.
+ *
+ * The dynamic-op budget is Table-2's instruction counts divided by
+ * the BSISA_SCALE env var (default specScaleDivisor).
+ */
+
+#ifndef BSISA_EXP_FIGURES_HH
+#define BSISA_EXP_FIGURES_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "workloads/specmix.hh"
+
+namespace bsisa
+{
+
+/** One benchmark's outcome in a two-machine comparison. */
+struct BenchOutcome
+{
+    std::string name;
+    std::uint64_t convCycles = 0;
+    std::uint64_t bsaCycles = 0;
+    double convBlockSize = 0.0;
+    double bsaBlockSize = 0.0;
+    double convIcacheMissRate = 0.0;
+    double bsaIcacheMissRate = 0.0;
+    std::uint64_t dynOps = 0;
+
+    double
+    reduction() const
+    {
+        return convCycles
+                   ? 1.0 - double(bsaCycles) / double(convCycles)
+                   : 0.0;
+    }
+};
+
+/** Scale divisor from BSISA_SCALE (default specScaleDivisor). */
+std::uint64_t scaleDivisor();
+
+/** Table 1: instruction classes and latencies. */
+void printTable1(std::ostream &os);
+
+/** Table 2: benchmarks, inputs, dynamic instruction counts. */
+std::vector<BenchOutcome> printTable2(std::ostream &os);
+
+/** Figures 3/4: total cycles, conventional vs block-structured; set
+ *  @p perfectPrediction for figure 4. */
+std::vector<BenchOutcome> runCycleComparison(std::ostream &os,
+                                             bool perfectPrediction);
+
+/** Figure 5: average retired block sizes. */
+std::vector<BenchOutcome> runBlockSizeComparison(std::ostream &os);
+
+/** Figures 6/7: relative execution-time increase over a perfect
+ *  icache for 16/32/64 KB icaches; one row per benchmark, one column
+ *  per size.  @p blockStructured selects the machine. */
+struct IcacheSweepRow
+{
+    std::string name;
+    /** Relative increase per icache size, icacheSizesKB order. */
+    std::vector<double> relativeIncrease;
+};
+extern const std::vector<unsigned> icacheSizesKB;
+std::vector<IcacheSweepRow> runIcacheSweep(std::ostream &os,
+                                           bool blockStructured);
+
+/** Ablation: enlargement limits (issue width / fault budget). */
+void runLimitsAblation(std::ostream &os);
+
+/** Ablation: profile-guided merge filtering (section-6 extension). */
+void runProfileAblation(std::ostream &os);
+
+/** Ablation: predictor geometry sweep. */
+void runPredictorAblation(std::ostream &os);
+
+} // namespace bsisa
+
+#endif // BSISA_EXP_FIGURES_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "exp/runner.hh"
+
+#include "codegen/layout.hh"
+#include "sim/bsa_source.hh"
+#include "sim/conv_source.hh"
+#include "sim/pipeline.hh"
+#include "sim/tc_source.hh"
+
+namespace bsisa
+{
+
+SimResult
+runConventional(const Module &module, const MachineConfig &machine,
+                Interp::Limits limits)
+{
+    const ConvLayout layout(module);
+    ConvFetchSource source(module, layout, machine, limits);
+    return simulatePipeline(source, machine);
+}
+
+SimResult
+runBlockStructured(const BsaModule &bsa, const MachineConfig &machine,
+                   Interp::Limits limits)
+{
+    BsaFetchSource source(bsa, machine, limits);
+    return simulatePipeline(source, machine);
+}
+
+TraceCacheResult
+runTraceCache(const Module &module, const MachineConfig &machine,
+              const TraceCacheConfig &tcConfig, Interp::Limits limits)
+{
+    const ConvLayout layout(module);
+    TraceCacheFetchSource source(module, layout, machine, tcConfig,
+                                 limits);
+    TraceCacheResult result;
+    result.sim = simulatePipeline(source, machine);
+    result.traceHits = source.traceHits();
+    result.traceMisses = source.traceMisses();
+    return result;
+}
+
+PairResult
+runPair(const Module &module, const RunConfig &config)
+{
+    PairResult result;
+
+    const ConvLayout conv_layout(module);
+    result.convCodeBytes = conv_layout.totalBytes();
+    result.conv = runConventional(module, config.machine, config.limits);
+
+    EnlargeConfig enlarge_cfg = config.enlarge;
+    ProfileData profile;
+    const ProfileData *profile_ptr = nullptr;
+    if (config.minMergeBias > 0.0) {
+        profile = collectProfile(module, config.limits.maxOps);
+        profile_ptr = &profile;
+        enlarge_cfg.minMergeBias = config.minMergeBias;
+    }
+    BsaModule bsa =
+        enlargeModule(module, enlarge_cfg, profile_ptr, &result.enlarge);
+    result.bsaCodeBytes = layoutBsaModule(bsa);
+    result.bsa =
+        runBlockStructured(bsa, config.machine, config.limits);
+
+    // Conventional dynamic op count (Table 2's metric).
+    Interp interp(module, config.limits);
+    interp.run();
+    result.dynOps = interp.dynOps();
+    return result;
+}
+
+} // namespace bsisa

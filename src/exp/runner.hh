@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment runner: one-call timing simulation of a compiled program
+ * on the conventional and the block-structured machine, as the paper's
+ * evaluation does (section 5: identically configured implementations,
+ * same compiler, same functional units, caches, and cycle time).
+ */
+
+#ifndef BSISA_EXP_RUNNER_HH
+#define BSISA_EXP_RUNNER_HH
+
+#include "core/enlarge.hh"
+#include "ir/module.hh"
+#include "sim/interp.hh"
+#include "sim/machine.hh"
+
+namespace bsisa
+{
+
+/** Everything one experiment needs. */
+struct RunConfig
+{
+    MachineConfig machine;
+    EnlargeConfig enlarge;
+    Interp::Limits limits;
+    /** Collect a profile first and filter merges by bias (section-6
+     *  extension); 0 disables. */
+    double minMergeBias = 0.0;
+};
+
+/** Results for one benchmark under one configuration. */
+struct PairResult
+{
+    SimResult conv;
+    SimResult bsa;
+    EnlargeStats enlarge;
+    std::uint64_t convCodeBytes = 0;
+    std::uint64_t bsaCodeBytes = 0;
+    std::uint64_t dynOps = 0;  //!< conventional dynamic op count
+
+    /** Execution-time reduction of BSA relative to conventional. */
+    double
+    reduction() const
+    {
+        return conv.cycles
+                   ? 1.0 - double(bsa.cycles) / double(conv.cycles)
+                   : 0.0;
+    }
+};
+
+/** Simulate the conventional machine only. */
+SimResult runConventional(const Module &module,
+                          const MachineConfig &machine,
+                          Interp::Limits limits);
+
+/** Enlarge (per @p config) then simulate the BSA machine only. */
+SimResult runBlockStructured(const BsaModule &bsa,
+                             const MachineConfig &machine,
+                             Interp::Limits limits);
+
+/** Full pair: conventional and block-structured on one module. */
+PairResult runPair(const Module &module, const RunConfig &config);
+
+/**
+ * Extension: conventional machine augmented with a trace cache (the
+ * paper's section-3 competitor / section-6 complement).  Returns the
+ * cycle result plus the trace cache's hit statistics.
+ */
+struct TraceCacheResult
+{
+    SimResult sim;
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = traceHits + traceMisses;
+        return total ? double(traceHits) / double(total) : 0.0;
+    }
+};
+struct TraceCacheConfig;
+TraceCacheResult runTraceCache(const Module &module,
+                               const MachineConfig &machine,
+                               const TraceCacheConfig &tcConfig,
+                               Interp::Limits limits);
+
+} // namespace bsisa
+
+#endif // BSISA_EXP_RUNNER_HH

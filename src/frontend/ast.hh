@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Abstract syntax tree for BlockC.
+ *
+ * All values are 64-bit signed words.  Globals may be scalars or
+ * arrays; locals and parameters are scalars held in virtual registers.
+ */
+
+#ifndef BSISA_FRONTEND_AST_HH
+#define BSISA_FRONTEND_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/diag.hh"
+
+namespace bsisa
+{
+
+// ---------------------------------------------------------------- Expr
+
+enum class ExprKind : unsigned char
+{
+    IntLit,
+    VarRef,    //!< local, parameter, or global scalar
+    Index,     //!< global array element
+    Unary,
+    Binary,
+    CallExpr,
+};
+
+enum class UnaryOp : unsigned char { Neg, Not, BitNot };
+
+enum class BinaryOp : unsigned char
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    ExprKind kind;
+    SrcLoc loc;
+
+    std::int64_t intValue = 0;      // IntLit
+    std::string name;               // VarRef, Index, CallExpr
+    UnaryOp unaryOp = UnaryOp::Neg;
+    BinaryOp binaryOp = BinaryOp::Add;
+    ExprPtr lhs;                    // Unary operand, Binary lhs, Index idx
+    ExprPtr rhs;                    // Binary rhs
+    std::vector<ExprPtr> args;      // CallExpr
+};
+
+// ---------------------------------------------------------------- Stmt
+
+enum class StmtKind : unsigned char
+{
+    VarDecl,     //!< var name (= init)?
+    Assign,      //!< name = expr
+    IndexAssign, //!< name[idx] = expr
+    If,
+    While,
+    For,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    Halt,
+    ExprStmt,
+    BlockStmt,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    StmtKind kind;
+    SrcLoc loc;
+
+    std::string name;           // VarDecl, Assign, IndexAssign
+    ExprPtr index;              // IndexAssign
+    ExprPtr value;              // init / rhs / condition / return value /
+                                // switch selector / ExprStmt
+    std::vector<StmtPtr> body;  // If-then, While/For body, BlockStmt,
+                                // Switch cases (one BlockStmt per case)
+    std::vector<StmtPtr> elseBody;  // If-else
+    StmtPtr forInit;            // For
+    StmtPtr forStep;            // For
+};
+
+// ------------------------------------------------------------- TopLevel
+
+struct GlobalDecl
+{
+    SrcLoc loc;
+    std::string name;
+    std::uint64_t arraySize = 0;  //!< 0 = scalar
+    std::int64_t init = 0;        //!< scalar initializer
+};
+
+struct FuncDecl
+{
+    SrcLoc loc;
+    std::string name;
+    bool isLibrary = false;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+};
+
+/** A parsed translation unit. */
+struct ParsedProgram
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_AST_HH

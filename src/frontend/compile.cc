@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BlockC compilation driver.
+ */
+
+#include "frontend/compile.hh"
+
+#include "core/enlarge.hh"
+#include "frontend/irgen.hh"
+#include "frontend/lexer.hh"
+#include "frontend/parser.hh"
+#include "frontend/sema.hh"
+#include "ir/verifier.hh"
+#include "opt/inliner.hh"
+#include "opt/passes.hh"
+#include "regalloc/linearscan.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+CompileResult
+compileBlockC(const std::string &source, const CompileOptions &options)
+{
+    CompileResult result;
+    DiagSink diags;
+
+    const auto tokens = lex(source, diags);
+    const auto parsed = parse(tokens, diags);
+    const auto sema = analyze(parsed, diags);
+    if (diags.hasErrors()) {
+        result.errors = diags.summary();
+        return result;
+    }
+
+    result.module = generateIR(parsed, sema);
+    verifyModuleOrDie(result.module, "after IR generation");
+    if (options.inlineSmall) {
+        inlineCalls(result.module, InlineOptions{});
+        verifyModuleOrDie(result.module, "after inlining");
+    }
+    if (options.optimize) {
+        optimizeModule(result.module);
+        verifyModuleOrDie(result.module, "after optimization");
+    }
+    if (options.allocate) {
+        allocateModule(result.module);
+        verifyModuleOrDie(result.module, "after register allocation");
+    }
+    if (options.maxBlockOps > 0) {
+        splitOversizedBlocks(result.module, options.maxBlockOps);
+        verifyModuleOrDie(result.module, "after block splitting");
+    }
+    result.ok = true;
+    return result;
+}
+
+Module
+compileBlockCOrDie(const std::string &source, const CompileOptions &options)
+{
+    CompileResult result = compileBlockC(source, options);
+    if (!result.ok)
+        fatal("BlockC compilation failed:\n", result.errors);
+    return std::move(result.module);
+}
+
+} // namespace bsisa

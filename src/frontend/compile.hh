@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One-call BlockC compilation driver: source text to a register-
+ * allocated Module ready for the conventional simulator or the block
+ * enlargement pass.
+ */
+
+#ifndef BSISA_FRONTEND_COMPILE_HH
+#define BSISA_FRONTEND_COMPILE_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+struct CompileOptions
+{
+    /** Inline small leaf functions before optimizing (the paper's
+     *  section-6 extension; lets enlargement merge past former call
+     *  sites). */
+    bool inlineSmall = false;
+    /** Run the mid-end optimization pipeline. */
+    bool optimize = true;
+    /** Run register allocation (leave virtual registers if false). */
+    bool allocate = true;
+    /** Split basic blocks larger than this many operations (the
+     *  block-structured issue width); 0 disables splitting. */
+    unsigned maxBlockOps = 16;
+};
+
+struct CompileResult
+{
+    bool ok = false;
+    Module module;
+    std::string errors;  //!< diagnostics when !ok
+};
+
+/** Compile BlockC source text. */
+CompileResult compileBlockC(const std::string &source,
+                            const CompileOptions &options = {});
+
+/** Compile, fatal()ing on any diagnostic (for tests and examples). */
+Module compileBlockCOrDie(const std::string &source,
+                          const CompileOptions &options = {});
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_COMPILE_HH

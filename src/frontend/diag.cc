@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Diagnostics implementation.
+ */
+
+#include "frontend/diag.hh"
+
+#include <sstream>
+
+namespace bsisa
+{
+
+std::string
+SrcLoc::toString() const
+{
+    std::ostringstream os;
+    os << line << ":" << col;
+    return os.str();
+}
+
+std::string
+Diag::toString() const
+{
+    return loc.toString() + ": error: " + message;
+}
+
+void
+DiagSink::error(SrcLoc loc, const std::string &message)
+{
+    diags.push_back({loc, message});
+}
+
+std::string
+DiagSink::summary() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags)
+        os << d.toString() << "\n";
+    return os.str();
+}
+
+} // namespace bsisa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Diagnostics for the BlockC front end: source positions and an error
+ * collector shared by the lexer, parser, and semantic analysis.
+ */
+
+#ifndef BSISA_FRONTEND_DIAG_HH
+#define BSISA_FRONTEND_DIAG_HH
+
+#include <string>
+#include <vector>
+
+namespace bsisa
+{
+
+/** 1-based source location. */
+struct SrcLoc
+{
+    unsigned line = 0;
+    unsigned col = 0;
+
+    std::string toString() const;
+};
+
+/** One diagnostic message. */
+struct Diag
+{
+    SrcLoc loc;
+    std::string message;
+
+    std::string toString() const;
+};
+
+/** Collects diagnostics; compilation is rejected if any were emitted. */
+class DiagSink
+{
+  public:
+    void error(SrcLoc loc, const std::string &message);
+
+    bool hasErrors() const { return !diags.empty(); }
+    const std::vector<Diag> &errors() const { return diags; }
+
+    /** All diagnostics joined by newlines (for test assertions). */
+    std::string summary() const;
+
+  private:
+    std::vector<Diag> diags;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_DIAG_HH

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * BlockC IR generation.
+ *
+ * Control flow lowers to the conventional ISA's terminators: if/while/
+ * for produce Trap blocks, switch produces an IJmp through a jump
+ * table, calls produce Call terminators with an explicit continuation
+ * block.  Short-circuit && and || lower to control flow, matching C
+ * semantics.  Statements after a return/break/continue open a fresh
+ * unreachable block; the simplify-cfg pass removes it later.
+ */
+
+#include "frontend/irgen.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+class FuncGen
+{
+  public:
+    FuncGen(Module &module, Function &fn, const FuncDecl &decl,
+            const ParsedProgram &prog, const SemaResult &sema)
+        : module(module), fn(fn), decl(decl), prog(prog), sema(sema)
+    {
+    }
+
+    void
+    run()
+    {
+        cur = fn.newBlock();
+        pushScope();
+        for (unsigned i = 0; i < decl.params.size(); ++i) {
+            const RegNum v = fn.newReg();
+            locals.back()[decl.params[i]] = v;
+            emit(makeMov(v, regArg0 + i));
+        }
+        genStmts(decl.body);
+        if (!blockDone()) {
+            if (isMain()) {
+                emit(makeHalt());
+            } else {
+                emit(makeMovI(regRet, 0));
+                emit(makeRet());
+            }
+        }
+    }
+
+  private:
+    Module &module;
+    Function &fn;
+    const FuncDecl &decl;
+    const ParsedProgram &prog;
+    const SemaResult &sema;
+
+    BlockId cur = 0;
+    /** Lexical scope stack of name -> register maps. */
+    std::vector<std::map<std::string, RegNum>> locals;
+    std::vector<BlockId> breakTargets;
+    std::vector<BlockId> continueTargets;
+
+    void pushScope() { locals.emplace_back(); }
+    void popScope() { locals.pop_back(); }
+
+    const RegNum *
+    lookupLocal(const std::string &name) const
+    {
+        for (auto it = locals.rbegin(); it != locals.rend(); ++it) {
+            const auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    bool isMain() const { return decl.name == "main"; }
+
+    void emit(Operation op) { fn.blocks[cur].ops.push_back(op); }
+
+    bool blockDone() const { return fn.blocks[cur].sealed(); }
+
+    /** Begin a new block and make it current. */
+    BlockId
+    startBlock()
+    {
+        cur = fn.newBlock();
+        return cur;
+    }
+
+    std::uint64_t
+    globalAddr(const std::string &name) const
+    {
+        const auto it = sema.globals.find(name);
+        BSISA_ASSERT(it != sema.globals.end());
+        return Module::dataBase + it->second.addr;
+    }
+
+    FuncId
+    funcId(const std::string &name) const
+    {
+        const auto it = sema.functions.find(name);
+        BSISA_ASSERT(it != sema.functions.end());
+        return static_cast<FuncId>(it->second.index);
+    }
+
+    // ------------------------------------------------------ statements
+
+    void
+    genStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts) {
+            if (blockDone()) {
+                // Dead code after return/break/continue/halt; emit into
+                // an unreachable block that simplify-cfg deletes.
+                startBlock();
+            }
+            genStmt(*s);
+        }
+    }
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::VarDecl: {
+            const RegNum v = fn.newReg();
+            if (s.value) {
+                const RegNum init = genExpr(*s.value);
+                emit(makeMov(v, init));
+            } else {
+                emit(makeMovI(v, 0));
+            }
+            locals.back()[s.name] = v;
+            break;
+          }
+          case StmtKind::Assign: {
+            const RegNum value = genExpr(*s.value);
+            if (const RegNum *reg = lookupLocal(s.name)) {
+                emit(makeMov(*reg, value));
+            } else {
+                const RegNum base = fn.newReg();
+                emit(makeMovI(base, globalAddr(s.name)));
+                emit(makeSt(base, 0, value));
+            }
+            break;
+          }
+          case StmtKind::IndexAssign: {
+            const RegNum addr = genArrayAddr(s.name, *s.index);
+            const RegNum value = genExpr(*s.value);
+            emit(makeSt(addr, 0, value));
+            break;
+          }
+          case StmtKind::If: {
+            const RegNum cond = genExpr(*s.value);
+            const BlockId then_b = fn.newBlock();
+            const BlockId else_b =
+                s.elseBody.empty() ? invalidId : fn.newBlock();
+            const BlockId join_b = fn.newBlock();
+            emit(makeTrap(cond, then_b,
+                          else_b == invalidId ? join_b : else_b));
+            cur = then_b;
+            pushScope();
+            genStmts(s.body);
+            popScope();
+            if (!blockDone())
+                emit(makeJmp(join_b));
+            if (else_b != invalidId) {
+                cur = else_b;
+                pushScope();
+                genStmts(s.elseBody);
+                popScope();
+                if (!blockDone())
+                    emit(makeJmp(join_b));
+            }
+            cur = join_b;
+            break;
+          }
+          case StmtKind::While: {
+            const BlockId head = fn.newBlock();
+            emit(makeJmp(head));
+            cur = head;
+            const RegNum cond = genExpr(*s.value);
+            const BlockId body = fn.newBlock();
+            const BlockId exit = fn.newBlock();
+            emit(makeTrap(cond, body, exit));
+            breakTargets.push_back(exit);
+            continueTargets.push_back(head);
+            cur = body;
+            pushScope();
+            genStmts(s.body);
+            popScope();
+            if (!blockDone())
+                emit(makeJmp(head));
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            cur = exit;
+            break;
+          }
+          case StmtKind::For: {
+            pushScope();  // the init variable scopes over the loop
+            if (s.forInit)
+                genStmt(*s.forInit);
+            const BlockId head = fn.newBlock();
+            emit(makeJmp(head));
+            cur = head;
+            const BlockId body = fn.newBlock();
+            const BlockId exit = fn.newBlock();
+            if (s.value) {
+                const RegNum cond = genExpr(*s.value);
+                emit(makeTrap(cond, body, exit));
+            } else {
+                emit(makeJmp(body));
+            }
+            const BlockId step = fn.newBlock();
+            breakTargets.push_back(exit);
+            continueTargets.push_back(step);
+            cur = body;
+            pushScope();
+            genStmts(s.body);
+            popScope();
+            if (!blockDone())
+                emit(makeJmp(step));
+            cur = step;
+            if (s.forStep)
+                genStmt(*s.forStep);
+            if (!blockDone())
+                emit(makeJmp(head));
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            popScope();
+            cur = exit;
+            break;
+          }
+          case StmtKind::Switch: {
+            const RegNum sel = genExpr(*s.value);
+            const BlockId join_b = fn.newBlock();
+            std::vector<BlockId> case_blocks;
+            for (std::size_t i = 0; i < s.body.size(); ++i)
+                case_blocks.push_back(fn.newBlock());
+            const auto table =
+                static_cast<std::uint32_t>(fn.jumpTables.size());
+            fn.jumpTables.push_back(case_blocks);
+            emit(makeIJmp(sel, table));
+            for (std::size_t i = 0; i < s.body.size(); ++i) {
+                cur = case_blocks[i];
+                pushScope();
+                genStmts(s.body[i]->body);
+                popScope();
+                if (!blockDone())
+                    emit(makeJmp(join_b));
+            }
+            cur = join_b;
+            break;
+          }
+          case StmtKind::Return: {
+            if (s.value) {
+                const RegNum v = genExpr(*s.value);
+                emit(makeMov(regRet, v));
+            } else {
+                emit(makeMovI(regRet, 0));
+            }
+            emit(isMain() ? makeHalt() : makeRet());
+            break;
+          }
+          case StmtKind::Break:
+            BSISA_ASSERT(!breakTargets.empty());
+            emit(makeJmp(breakTargets.back()));
+            break;
+          case StmtKind::Continue:
+            BSISA_ASSERT(!continueTargets.empty());
+            emit(makeJmp(continueTargets.back()));
+            break;
+          case StmtKind::Halt:
+            emit(makeHalt());
+            break;
+          case StmtKind::ExprStmt:
+            genExpr(*s.value);
+            break;
+          case StmtKind::BlockStmt:
+            pushScope();
+            genStmts(s.body);
+            popScope();
+            break;
+        }
+    }
+
+    // ----------------------------------------------------- expressions
+
+    /** Address of name[idx] into a fresh register. */
+    RegNum
+    genArrayAddr(const std::string &name, const Expr &idx)
+    {
+        const RegNum i = genExpr(idx);
+        const RegNum off = fn.newReg();
+        emit(makeBinI(Opcode::ShlI, off, i, 3));
+        const RegNum base = fn.newReg();
+        emit(makeMovI(base, globalAddr(name)));
+        const RegNum addr = fn.newReg();
+        emit(makeBin(Opcode::Add, addr, base, off));
+        return addr;
+    }
+
+    RegNum
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit: {
+            const RegNum v = fn.newReg();
+            emit(makeMovI(v, e.intValue));
+            return v;
+          }
+          case ExprKind::VarRef: {
+            if (const RegNum *reg = lookupLocal(e.name))
+                return *reg;
+            const RegNum base = fn.newReg();
+            emit(makeMovI(base, globalAddr(e.name)));
+            const RegNum v = fn.newReg();
+            emit(makeLd(v, base, 0));
+            return v;
+          }
+          case ExprKind::Index: {
+            const RegNum addr = genArrayAddr(e.name, *e.lhs);
+            const RegNum v = fn.newReg();
+            emit(makeLd(v, addr, 0));
+            return v;
+          }
+          case ExprKind::Unary: {
+            const RegNum operand = genExpr(*e.lhs);
+            const RegNum v = fn.newReg();
+            switch (e.unaryOp) {
+              case UnaryOp::Neg:
+                emit(makeBin(Opcode::Sub, v, regZero, operand));
+                break;
+              case UnaryOp::Not:
+                emit(makeBinI(Opcode::CmpEqI, v, operand, 0));
+                break;
+              case UnaryOp::BitNot: {
+                const RegNum ones = fn.newReg();
+                emit(makeMovI(ones, -1));
+                emit(makeBin(Opcode::Xor, v, operand, ones));
+                break;
+              }
+            }
+            return v;
+          }
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::CallExpr: {
+            std::vector<RegNum> args;
+            for (const auto &a : e.args)
+                args.push_back(genExpr(*a));
+            for (unsigned i = 0; i < args.size(); ++i)
+                emit(makeMov(regArg0 + i, args[i]));
+            const BlockId cont = fn.newBlock();
+            emit(makeCall(funcId(e.name), cont));
+            cur = cont;
+            const RegNum v = fn.newReg();
+            emit(makeMov(v, regRet));
+            return v;
+          }
+        }
+        panic("bad expression kind");
+    }
+
+    RegNum
+    genBinary(const Expr &e)
+    {
+        // Short-circuit forms lower to control flow.
+        if (e.binaryOp == BinaryOp::LogAnd ||
+            e.binaryOp == BinaryOp::LogOr) {
+            const bool is_and = e.binaryOp == BinaryOp::LogAnd;
+            const RegNum result = fn.newReg();
+            const RegNum lhs = genExpr(*e.lhs);
+            emit(makeMovI(result, is_and ? 0 : 1));
+            const BlockId rhs_b = fn.newBlock();
+            const BlockId join_b = fn.newBlock();
+            emit(is_and ? makeTrap(lhs, rhs_b, join_b)
+                        : makeTrap(lhs, join_b, rhs_b));
+            cur = rhs_b;
+            const RegNum rhs = genExpr(*e.rhs);
+            emit(makeBin(Opcode::CmpNe, result, rhs, regZero));
+            if (!blockDone())
+                emit(makeJmp(join_b));
+            cur = join_b;
+            return result;
+        }
+
+        const RegNum lhs = genExpr(*e.lhs);
+        const RegNum rhs = genExpr(*e.rhs);
+        const RegNum v = fn.newReg();
+        switch (e.binaryOp) {
+          case BinaryOp::Add:
+            emit(makeBin(Opcode::Add, v, lhs, rhs));
+            break;
+          case BinaryOp::Sub:
+            emit(makeBin(Opcode::Sub, v, lhs, rhs));
+            break;
+          case BinaryOp::Mul:
+            emit(makeBin(Opcode::Mul, v, lhs, rhs));
+            break;
+          case BinaryOp::Div:
+            emit(makeBin(Opcode::Div, v, lhs, rhs));
+            break;
+          case BinaryOp::Rem:
+            emit(makeBin(Opcode::Rem, v, lhs, rhs));
+            break;
+          case BinaryOp::And:
+            emit(makeBin(Opcode::And, v, lhs, rhs));
+            break;
+          case BinaryOp::Or:
+            emit(makeBin(Opcode::Or, v, lhs, rhs));
+            break;
+          case BinaryOp::Xor:
+            emit(makeBin(Opcode::Xor, v, lhs, rhs));
+            break;
+          case BinaryOp::Shl:
+            emit(makeBin(Opcode::Shl, v, lhs, rhs));
+            break;
+          case BinaryOp::Shr:
+            emit(makeBin(Opcode::Shr, v, lhs, rhs));
+            break;
+          case BinaryOp::Eq:
+            emit(makeBin(Opcode::CmpEq, v, lhs, rhs));
+            break;
+          case BinaryOp::Ne:
+            emit(makeBin(Opcode::CmpNe, v, lhs, rhs));
+            break;
+          case BinaryOp::Lt:
+            emit(makeBin(Opcode::CmpLt, v, lhs, rhs));
+            break;
+          case BinaryOp::Le:
+            emit(makeBin(Opcode::CmpLe, v, lhs, rhs));
+            break;
+          case BinaryOp::Gt:
+            emit(makeBin(Opcode::CmpLt, v, rhs, lhs));
+            break;
+          case BinaryOp::Ge:
+            emit(makeBin(Opcode::CmpLe, v, rhs, lhs));
+            break;
+          case BinaryOp::LogAnd:
+          case BinaryOp::LogOr:
+            panic("handled above");
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+Module
+generateIR(const ParsedProgram &prog, const SemaResult &sema)
+{
+    Module module;
+    module.allocData(sema.dataWords);
+    for (const auto &g : prog.globals) {
+        const auto it = sema.globals.find(g.name);
+        if (it == sema.globals.end())
+            continue;
+        if (!it->second.isArray)
+            module.data[it->second.addr / 8] =
+                static_cast<std::uint64_t>(g.init);
+    }
+
+    // Create all functions first so calls can reference ids.
+    for (const auto &f : prog.functions) {
+        Function &fn = module.addFunction(f.name);
+        fn.isLibrary = f.isLibrary;
+        if (f.name == "main")
+            module.mainFunc = fn.id;
+    }
+    for (unsigned i = 0; i < prog.functions.size(); ++i) {
+        FuncGen gen(module, module.functions[i], prog.functions[i], prog,
+                    sema);
+        gen.run();
+    }
+    return module;
+}
+
+} // namespace bsisa

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * IR generation: lower a semantically-valid BlockC program to a Module
+ * in pre-register-allocation form (virtual registers).
+ */
+
+#ifndef BSISA_FRONTEND_IRGEN_HH
+#define BSISA_FRONTEND_IRGEN_HH
+
+#include "frontend/ast.hh"
+#include "frontend/sema.hh"
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/**
+ * Lower @p prog to IR.  @p sema must come from analyze() on the same
+ * program with no errors reported.
+ */
+Module generateIR(const ParsedProgram &prog, const SemaResult &sema);
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_IRGEN_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * BlockC lexer implementation.
+ */
+
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace bsisa
+{
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::EndOfFile: return "end of file";
+      case TokKind::Ident: return "identifier";
+      case TokKind::IntLit: return "integer literal";
+      case TokKind::KwFn: return "'fn'";
+      case TokKind::KwVar: return "'var'";
+      case TokKind::KwIf: return "'if'";
+      case TokKind::KwElse: return "'else'";
+      case TokKind::KwWhile: return "'while'";
+      case TokKind::KwFor: return "'for'";
+      case TokKind::KwReturn: return "'return'";
+      case TokKind::KwBreak: return "'break'";
+      case TokKind::KwContinue: return "'continue'";
+      case TokKind::KwHalt: return "'halt'";
+      case TokKind::KwLibrary: return "'library'";
+      case TokKind::KwSwitch: return "'switch'";
+      case TokKind::KwCase: return "'case'";
+      case TokKind::KwDefault: return "'default'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Comma: return "','";
+      case TokKind::Semi: return "';'";
+      case TokKind::Colon: return "':'";
+      case TokKind::Assign: return "'='";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::Eq: return "'=='";
+      case TokKind::Ne: return "'!='";
+      case TokKind::Lt: return "'<'";
+      case TokKind::Le: return "'<='";
+      case TokKind::Gt: return "'>'";
+      case TokKind::Ge: return "'>='";
+    }
+    return "?";
+}
+
+std::vector<Token>
+lex(const std::string &source, DiagSink &diags)
+{
+    static const std::unordered_map<std::string, TokKind> keywords = {
+        {"fn", TokKind::KwFn},
+        {"var", TokKind::KwVar},
+        {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},
+        {"while", TokKind::KwWhile},
+        {"for", TokKind::KwFor},
+        {"return", TokKind::KwReturn},
+        {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue},
+        {"halt", TokKind::KwHalt},
+        {"library", TokKind::KwLibrary},
+        {"switch", TokKind::KwSwitch},
+        {"case", TokKind::KwCase},
+        {"default", TokKind::KwDefault},
+    };
+
+    std::vector<Token> toks;
+    std::size_t i = 0;
+    unsigned line = 1, col = 1;
+
+    auto peek = [&](std::size_t off = 0) -> char {
+        return i + off < source.size() ? source[i + off] : '\0';
+    };
+    auto advance = [&]() {
+        if (source[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++i;
+    };
+    auto push = [&](TokKind kind, SrcLoc loc) {
+        Token t;
+        t.kind = kind;
+        t.loc = loc;
+        toks.push_back(std::move(t));
+    };
+
+    while (i < source.size()) {
+        const char c = peek();
+        const SrcLoc loc{line, col};
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Comments: // to end of line, /* ... */.
+        if (c == '/' && peek(1) == '/') {
+            while (i < source.size() && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (i < source.size() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (i >= source.size()) {
+                diags.error(loc, "unterminated block comment");
+            } else {
+                advance();
+                advance();
+            }
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                text.push_back(peek());
+                advance();
+            }
+            const auto kw = keywords.find(text);
+            Token t;
+            t.kind = kw != keywords.end() ? kw->second : TokKind::Ident;
+            t.loc = loc;
+            t.text = std::move(text);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::uint64_t value = 0;
+            bool overflow = false;
+            bool hex = false;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                hex = true;
+                advance();
+                advance();
+            }
+            while (std::isalnum(static_cast<unsigned char>(peek()))) {
+                const char d = peek();
+                int digit;
+                if (d >= '0' && d <= '9')
+                    digit = d - '0';
+                else if (hex && d >= 'a' && d <= 'f')
+                    digit = d - 'a' + 10;
+                else if (hex && d >= 'A' && d <= 'F')
+                    digit = d - 'A' + 10;
+                else {
+                    diags.error({line, col}, "bad digit in integer literal");
+                    break;
+                }
+                const std::uint64_t base = hex ? 16 : 10;
+                if (value > (~0ULL - digit) / base)
+                    overflow = true;
+                value = value * base + digit;
+                advance();
+            }
+            if (overflow)
+                diags.error(loc, "integer literal overflows 64 bits");
+            Token t;
+            t.kind = TokKind::IntLit;
+            t.loc = loc;
+            t.intValue = static_cast<std::int64_t>(value);
+            toks.push_back(std::move(t));
+            continue;
+        }
+
+        // Operators and punctuation.
+        auto two = [&](char second, TokKind twoKind, TokKind oneKind) {
+            advance();
+            if (peek() == second) {
+                advance();
+                push(twoKind, loc);
+            } else {
+                push(oneKind, loc);
+            }
+        };
+        switch (c) {
+          case '(': advance(); push(TokKind::LParen, loc); break;
+          case ')': advance(); push(TokKind::RParen, loc); break;
+          case '{': advance(); push(TokKind::LBrace, loc); break;
+          case '}': advance(); push(TokKind::RBrace, loc); break;
+          case '[': advance(); push(TokKind::LBracket, loc); break;
+          case ']': advance(); push(TokKind::RBracket, loc); break;
+          case ',': advance(); push(TokKind::Comma, loc); break;
+          case ';': advance(); push(TokKind::Semi, loc); break;
+          case ':': advance(); push(TokKind::Colon, loc); break;
+          case '+': advance(); push(TokKind::Plus, loc); break;
+          case '-': advance(); push(TokKind::Minus, loc); break;
+          case '*': advance(); push(TokKind::Star, loc); break;
+          case '/': advance(); push(TokKind::Slash, loc); break;
+          case '%': advance(); push(TokKind::Percent, loc); break;
+          case '^': advance(); push(TokKind::Caret, loc); break;
+          case '~': advance(); push(TokKind::Tilde, loc); break;
+          case '&': two('&', TokKind::AmpAmp, TokKind::Amp); break;
+          case '|': two('|', TokKind::PipePipe, TokKind::Pipe); break;
+          case '=': two('=', TokKind::Eq, TokKind::Assign); break;
+          case '!': two('=', TokKind::Ne, TokKind::Bang); break;
+          case '<':
+            advance();
+            if (peek() == '<') {
+                advance();
+                push(TokKind::Shl, loc);
+            } else if (peek() == '=') {
+                advance();
+                push(TokKind::Le, loc);
+            } else {
+                push(TokKind::Lt, loc);
+            }
+            break;
+          case '>':
+            advance();
+            if (peek() == '>') {
+                advance();
+                push(TokKind::Shr, loc);
+            } else if (peek() == '=') {
+                advance();
+                push(TokKind::Ge, loc);
+            } else {
+                push(TokKind::Gt, loc);
+            }
+            break;
+          default:
+            diags.error(loc, std::string("unexpected character '") + c +
+                                 "'");
+            advance();
+            break;
+        }
+    }
+
+    Token eof;
+    eof.kind = TokKind::EndOfFile;
+    eof.loc = {line, col};
+    toks.push_back(std::move(eof));
+    return toks;
+}
+
+} // namespace bsisa

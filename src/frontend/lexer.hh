@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lexer for BlockC, the C-subset source language of the toolchain.
+ *
+ * BlockC stands in for the C front end the paper used (the Intel
+ * Reference C Compiler); see README.md for the language reference.
+ */
+
+#ifndef BSISA_FRONTEND_LEXER_HH
+#define BSISA_FRONTEND_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/diag.hh"
+
+namespace bsisa
+{
+
+enum class TokKind : unsigned char
+{
+    EndOfFile,
+    Ident,
+    IntLit,
+    // Keywords
+    KwFn, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak,
+    KwContinue, KwHalt, KwLibrary, KwSwitch, KwCase, KwDefault,
+    // Punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Colon,
+    // Operators
+    Assign,            // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** One token with its source location. */
+struct Token
+{
+    TokKind kind = TokKind::EndOfFile;
+    SrcLoc loc;
+    std::string text;        //!< identifier spelling
+    std::int64_t intValue = 0;  //!< IntLit value
+};
+
+/** Spelling of a token kind for diagnostics. */
+const char *tokKindName(TokKind kind);
+
+/**
+ * Tokenize @p source.  Lexical errors are reported to @p diags and the
+ * offending characters skipped; an EndOfFile token always terminates
+ * the stream.
+ */
+std::vector<Token> lex(const std::string &source, DiagSink &diags);
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_LEXER_HH

@@ -1,0 +1,629 @@
+/**
+ * @file
+ * BlockC recursive-descent parser.
+ *
+ * Expression grammar (loosest to tightest):
+ *   logor:  logand ('||' logand)*
+ *   logand: bitor ('&&' bitor)*
+ *   bitor:  bitxor ('|' bitxor)*
+ *   bitxor: bitand ('^' bitand)*
+ *   bitand: equality ('&' equality)*
+ *   equality: relational (('=='|'!=') relational)*
+ *   relational: shift (('<'|'<='|'>'|'>=') shift)*
+ *   shift: additive (('<<'|'>>') additive)*
+ *   additive: term (('+'|'-') term)*
+ *   term: unary (('*'|'/'|'%') unary)*
+ *   unary: ('-'|'!'|'~')* primary
+ *   primary: intlit | ident | ident '(' args ')' | ident '[' expr ']'
+ *          | '(' expr ')'
+ */
+
+#include "frontend/parser.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::vector<Token> &tokens, DiagSink &diags)
+        : toks(tokens), diags(diags)
+    {
+    }
+
+    ParsedProgram
+    parseProgram()
+    {
+        ParsedProgram prog;
+        while (!at(TokKind::EndOfFile)) {
+            if (at(TokKind::KwVar)) {
+                parseGlobal(prog);
+            } else if (at(TokKind::KwFn) || at(TokKind::KwLibrary)) {
+                parseFunction(prog);
+            } else {
+                error("expected 'var', 'fn', or 'library' at top level");
+                recoverTo({TokKind::KwVar, TokKind::KwFn,
+                           TokKind::KwLibrary});
+            }
+        }
+        return prog;
+    }
+
+  private:
+    const std::vector<Token> &toks;
+    DiagSink &diags;
+    std::size_t pos = 0;
+
+    const Token &cur() const { return toks[pos]; }
+    bool at(TokKind k) const { return cur().kind == k; }
+
+    const Token &
+    take()
+    {
+        const Token &t = cur();
+        if (!at(TokKind::EndOfFile))
+            ++pos;
+        return t;
+    }
+
+    void
+    error(const std::string &msg)
+    {
+        diags.error(cur().loc, msg);
+    }
+
+    bool
+    expect(TokKind k, const char *context)
+    {
+        if (at(k)) {
+            take();
+            return true;
+        }
+        error(std::string("expected ") + tokKindName(k) + " " + context +
+              ", found " + tokKindName(cur().kind));
+        return false;
+    }
+
+    void
+    recoverTo(std::initializer_list<TokKind> kinds)
+    {
+        while (!at(TokKind::EndOfFile)) {
+            for (TokKind k : kinds)
+                if (at(k))
+                    return;
+            take();
+        }
+    }
+
+    // ------------------------------------------------------ top level
+
+    void
+    parseGlobal(ParsedProgram &prog)
+    {
+        GlobalDecl g;
+        g.loc = cur().loc;
+        take();  // var
+        if (!at(TokKind::Ident)) {
+            error("expected global variable name");
+            recoverTo({TokKind::Semi});
+            take();
+            return;
+        }
+        g.name = take().text;
+        if (at(TokKind::LBracket)) {
+            take();
+            if (at(TokKind::IntLit)) {
+                const std::int64_t n = take().intValue;
+                if (n <= 0)
+                    diags.error(g.loc, "array size must be positive");
+                else
+                    g.arraySize = static_cast<std::uint64_t>(n);
+            } else {
+                error("expected constant array size");
+            }
+            expect(TokKind::RBracket, "after array size");
+        }
+        if (at(TokKind::Assign)) {
+            take();
+            bool negative = false;
+            if (at(TokKind::Minus)) {
+                take();
+                negative = true;
+            }
+            if (at(TokKind::IntLit)) {
+                g.init = take().intValue;
+                if (negative)
+                    g.init = -g.init;
+            } else {
+                error("global initializer must be an integer constant");
+            }
+        }
+        expect(TokKind::Semi, "after global declaration");
+        prog.globals.push_back(std::move(g));
+    }
+
+    void
+    parseFunction(ParsedProgram &prog)
+    {
+        FuncDecl f;
+        f.loc = cur().loc;
+        if (at(TokKind::KwLibrary)) {
+            take();
+            f.isLibrary = true;
+        }
+        if (!expect(TokKind::KwFn, "to begin a function")) {
+            recoverTo({TokKind::KwFn, TokKind::KwVar, TokKind::KwLibrary});
+            return;
+        }
+        if (at(TokKind::Ident)) {
+            f.name = take().text;
+        } else {
+            error("expected function name");
+        }
+        expect(TokKind::LParen, "after function name");
+        if (!at(TokKind::RParen)) {
+            for (;;) {
+                if (at(TokKind::Ident)) {
+                    f.params.push_back(take().text);
+                } else {
+                    error("expected parameter name");
+                    break;
+                }
+                if (!at(TokKind::Comma))
+                    break;
+                take();
+            }
+        }
+        expect(TokKind::RParen, "after parameters");
+        f.body = parseBraceBlock();
+        prog.functions.push_back(std::move(f));
+    }
+
+    // ------------------------------------------------------ statements
+
+    std::vector<StmtPtr>
+    parseBraceBlock()
+    {
+        std::vector<StmtPtr> stmts;
+        if (!expect(TokKind::LBrace, "to begin a block"))
+            return stmts;
+        while (!at(TokKind::RBrace) && !at(TokKind::EndOfFile)) {
+            if (StmtPtr s = parseStmt())
+                stmts.push_back(std::move(s));
+        }
+        expect(TokKind::RBrace, "to end a block");
+        return stmts;
+    }
+
+    StmtPtr
+    makeStmt(StmtKind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->loc = cur().loc;
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        switch (cur().kind) {
+          case TokKind::KwVar:
+            return parseVarDecl();
+          case TokKind::KwIf:
+            return parseIf();
+          case TokKind::KwWhile:
+            return parseWhile();
+          case TokKind::KwFor:
+            return parseFor();
+          case TokKind::KwSwitch:
+            return parseSwitch();
+          case TokKind::KwReturn: {
+            StmtPtr s = makeStmt(StmtKind::Return);
+            take();
+            if (!at(TokKind::Semi))
+                s->value = parseExpr();
+            expect(TokKind::Semi, "after return");
+            return s;
+          }
+          case TokKind::KwBreak: {
+            StmtPtr s = makeStmt(StmtKind::Break);
+            take();
+            expect(TokKind::Semi, "after break");
+            return s;
+          }
+          case TokKind::KwContinue: {
+            StmtPtr s = makeStmt(StmtKind::Continue);
+            take();
+            expect(TokKind::Semi, "after continue");
+            return s;
+          }
+          case TokKind::KwHalt: {
+            StmtPtr s = makeStmt(StmtKind::Halt);
+            take();
+            expect(TokKind::Semi, "after halt");
+            return s;
+          }
+          case TokKind::LBrace: {
+            StmtPtr s = makeStmt(StmtKind::BlockStmt);
+            s->body = parseBraceBlock();
+            return s;
+          }
+          default:
+            return parseSimpleStmt(true);
+        }
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        StmtPtr s = makeStmt(StmtKind::VarDecl);
+        take();  // var
+        if (at(TokKind::Ident)) {
+            s->name = take().text;
+        } else {
+            error("expected local variable name");
+            recoverTo({TokKind::Semi, TokKind::RBrace});
+        }
+        if (at(TokKind::Assign)) {
+            take();
+            s->value = parseExpr();
+        }
+        expect(TokKind::Semi, "after variable declaration");
+        return s;
+    }
+
+    /**
+     * Assignment, index assignment, or expression statement.  With
+     * @p requireSemi false this parses a 'for' clause (no semicolon).
+     */
+    StmtPtr
+    parseSimpleStmt(bool requireSemi)
+    {
+        // Lookahead for 'ident =' and 'ident [ ... ] ='.
+        if (at(TokKind::Ident)) {
+            if (toks[pos + 1].kind == TokKind::Assign) {
+                StmtPtr s = makeStmt(StmtKind::Assign);
+                s->name = take().text;
+                take();  // =
+                s->value = parseExpr();
+                if (requireSemi)
+                    expect(TokKind::Semi, "after assignment");
+                return s;
+            }
+            if (toks[pos + 1].kind == TokKind::LBracket) {
+                // Could be an index assignment or an array read inside
+                // an expression; scan for the matching ']' then '='.
+                std::size_t scan = pos + 2;
+                int depth = 1;
+                while (scan < toks.size() && depth > 0) {
+                    if (toks[scan].kind == TokKind::LBracket)
+                        ++depth;
+                    if (toks[scan].kind == TokKind::RBracket)
+                        --depth;
+                    ++scan;
+                }
+                if (scan < toks.size() &&
+                    toks[scan].kind == TokKind::Assign) {
+                    StmtPtr s = makeStmt(StmtKind::IndexAssign);
+                    s->name = take().text;
+                    take();  // [
+                    s->index = parseExpr();
+                    expect(TokKind::RBracket, "after index");
+                    take();  // =
+                    s->value = parseExpr();
+                    if (requireSemi)
+                        expect(TokKind::Semi, "after assignment");
+                    return s;
+                }
+            }
+        }
+        StmtPtr s = makeStmt(StmtKind::ExprStmt);
+        s->value = parseExpr();
+        if (requireSemi)
+            expect(TokKind::Semi, "after expression");
+        return s;
+    }
+
+    StmtPtr
+    parseIf()
+    {
+        StmtPtr s = makeStmt(StmtKind::If);
+        take();  // if
+        expect(TokKind::LParen, "after 'if'");
+        s->value = parseExpr();
+        expect(TokKind::RParen, "after condition");
+        s->body = parseBraceBlock();
+        if (at(TokKind::KwElse)) {
+            take();
+            if (at(TokKind::KwIf)) {
+                s->elseBody.push_back(parseIf());
+            } else {
+                s->elseBody = parseBraceBlock();
+            }
+        }
+        return s;
+    }
+
+    StmtPtr
+    parseWhile()
+    {
+        StmtPtr s = makeStmt(StmtKind::While);
+        take();  // while
+        expect(TokKind::LParen, "after 'while'");
+        s->value = parseExpr();
+        expect(TokKind::RParen, "after condition");
+        s->body = parseBraceBlock();
+        return s;
+    }
+
+    StmtPtr
+    parseFor()
+    {
+        StmtPtr s = makeStmt(StmtKind::For);
+        take();  // for
+        expect(TokKind::LParen, "after 'for'");
+        if (!at(TokKind::Semi)) {
+            s->forInit = at(TokKind::KwVar) ? parseVarDecl()
+                                            : parseSimpleStmt(true);
+        } else {
+            take();  // ;
+        }
+        if (s->forInit && s->forInit->kind != StmtKind::VarDecl &&
+            s->forInit->kind != StmtKind::Assign &&
+            s->forInit->kind != StmtKind::IndexAssign &&
+            s->forInit->kind != StmtKind::ExprStmt) {
+            diags.error(s->loc, "bad 'for' initializer");
+        }
+        if (!at(TokKind::Semi))
+            s->value = parseExpr();
+        expect(TokKind::Semi, "after 'for' condition");
+        if (!at(TokKind::RParen))
+            s->forStep = parseSimpleStmt(false);
+        expect(TokKind::RParen, "after 'for' clauses");
+        s->body = parseBraceBlock();
+        return s;
+    }
+
+    /**
+     * switch (expr) { case 0: {..} case 1: {..} ... }
+     *
+     * Case labels must be 0..N-1 in order; the selector is reduced
+     * modulo N at run time (this maps directly onto the ISA's indirect
+     * jump through a jump table).
+     */
+    StmtPtr
+    parseSwitch()
+    {
+        StmtPtr s = makeStmt(StmtKind::Switch);
+        take();  // switch
+        expect(TokKind::LParen, "after 'switch'");
+        s->value = parseExpr();
+        expect(TokKind::RParen, "after selector");
+        expect(TokKind::LBrace, "to begin switch body");
+        std::int64_t expected = 0;
+        while (at(TokKind::KwCase)) {
+            const SrcLoc case_loc = cur().loc;
+            take();
+            if (at(TokKind::IntLit)) {
+                const std::int64_t label = take().intValue;
+                if (label != expected) {
+                    diags.error(case_loc,
+                                "case labels must be dense from 0 (expected "
+                                + std::to_string(expected) + ")");
+                }
+            } else {
+                error("expected integer case label");
+            }
+            ++expected;
+            expect(TokKind::Colon, "after case label");
+            StmtPtr body = makeStmt(StmtKind::BlockStmt);
+            body->body = parseBraceBlock();
+            s->body.push_back(std::move(body));
+        }
+        if (s->body.empty())
+            diags.error(s->loc, "switch must have at least one case");
+        expect(TokKind::RBrace, "to end switch body");
+        return s;
+    }
+
+    // ----------------------------------------------------- expressions
+
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->loc = cur().loc;
+        return e;
+    }
+
+    ExprPtr
+    binaryChain(ExprPtr (Parser::*sub)(),
+                std::initializer_list<std::pair<TokKind, BinaryOp>> table)
+    {
+        ExprPtr lhs = (this->*sub)();
+        for (;;) {
+            bool matched = false;
+            for (const auto &[tok, op] : table) {
+                if (at(tok)) {
+                    ExprPtr e = makeExpr(ExprKind::Binary);
+                    take();
+                    e->binaryOp = op;
+                    e->lhs = std::move(lhs);
+                    e->rhs = (this->*sub)();
+                    lhs = std::move(e);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseLogOr();
+    }
+
+    ExprPtr
+    parseLogOr()
+    {
+        return binaryChain(&Parser::parseLogAnd,
+                           {{TokKind::PipePipe, BinaryOp::LogOr}});
+    }
+
+    ExprPtr
+    parseLogAnd()
+    {
+        return binaryChain(&Parser::parseBitOr,
+                           {{TokKind::AmpAmp, BinaryOp::LogAnd}});
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        return binaryChain(&Parser::parseBitXor,
+                           {{TokKind::Pipe, BinaryOp::Or}});
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        return binaryChain(&Parser::parseBitAnd,
+                           {{TokKind::Caret, BinaryOp::Xor}});
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        return binaryChain(&Parser::parseEquality,
+                           {{TokKind::Amp, BinaryOp::And}});
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        return binaryChain(&Parser::parseRelational,
+                           {{TokKind::Eq, BinaryOp::Eq},
+                            {TokKind::Ne, BinaryOp::Ne}});
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        return binaryChain(&Parser::parseShift,
+                           {{TokKind::Lt, BinaryOp::Lt},
+                            {TokKind::Le, BinaryOp::Le},
+                            {TokKind::Gt, BinaryOp::Gt},
+                            {TokKind::Ge, BinaryOp::Ge}});
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        return binaryChain(&Parser::parseAdditive,
+                           {{TokKind::Shl, BinaryOp::Shl},
+                            {TokKind::Shr, BinaryOp::Shr}});
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        return binaryChain(&Parser::parseTerm,
+                           {{TokKind::Plus, BinaryOp::Add},
+                            {TokKind::Minus, BinaryOp::Sub}});
+    }
+
+    ExprPtr
+    parseTerm()
+    {
+        return binaryChain(&Parser::parseUnary,
+                           {{TokKind::Star, BinaryOp::Mul},
+                            {TokKind::Slash, BinaryOp::Div},
+                            {TokKind::Percent, BinaryOp::Rem}});
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(TokKind::Minus) || at(TokKind::Bang) || at(TokKind::Tilde)) {
+            ExprPtr e = makeExpr(ExprKind::Unary);
+            const TokKind k = take().kind;
+            e->unaryOp = k == TokKind::Minus  ? UnaryOp::Neg
+                         : k == TokKind::Bang ? UnaryOp::Not
+                                              : UnaryOp::BitNot;
+            e->lhs = parseUnary();
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(TokKind::IntLit)) {
+            ExprPtr e = makeExpr(ExprKind::IntLit);
+            e->intValue = take().intValue;
+            return e;
+        }
+        if (at(TokKind::LParen)) {
+            take();
+            ExprPtr e = parseExpr();
+            expect(TokKind::RParen, "after parenthesized expression");
+            return e;
+        }
+        if (at(TokKind::Ident)) {
+            if (toks[pos + 1].kind == TokKind::LParen) {
+                ExprPtr e = makeExpr(ExprKind::CallExpr);
+                e->name = take().text;
+                take();  // (
+                if (!at(TokKind::RParen)) {
+                    for (;;) {
+                        e->args.push_back(parseExpr());
+                        if (!at(TokKind::Comma))
+                            break;
+                        take();
+                    }
+                }
+                expect(TokKind::RParen, "after call arguments");
+                return e;
+            }
+            if (toks[pos + 1].kind == TokKind::LBracket) {
+                ExprPtr e = makeExpr(ExprKind::Index);
+                e->name = take().text;
+                take();  // [
+                e->lhs = parseExpr();
+                expect(TokKind::RBracket, "after index");
+                return e;
+            }
+            ExprPtr e = makeExpr(ExprKind::VarRef);
+            e->name = take().text;
+            return e;
+        }
+        error(std::string("expected an expression, found ") +
+              tokKindName(cur().kind));
+        // Synthesize a zero so parsing can continue.
+        ExprPtr e = makeExpr(ExprKind::IntLit);
+        if (!at(TokKind::EndOfFile) && !at(TokKind::Semi) &&
+            !at(TokKind::RBrace))
+            take();
+        return e;
+    }
+};
+
+} // namespace
+
+ParsedProgram
+parse(const std::vector<Token> &tokens, DiagSink &diags)
+{
+    Parser p(tokens, diags);
+    return p.parseProgram();
+}
+
+} // namespace bsisa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Recursive-descent parser for BlockC.
+ */
+
+#ifndef BSISA_FRONTEND_PARSER_HH
+#define BSISA_FRONTEND_PARSER_HH
+
+#include "frontend/ast.hh"
+#include "frontend/lexer.hh"
+
+namespace bsisa
+{
+
+/**
+ * Parse a token stream into a ParsedProgram.  Syntax errors go to
+ * @p diags; the parser recovers at statement/declaration boundaries so
+ * multiple errors can be reported per run.
+ */
+ParsedProgram parse(const std::vector<Token> &tokens, DiagSink &diags);
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_PARSER_HH

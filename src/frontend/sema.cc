@@ -1,0 +1,316 @@
+/**
+ * @file
+ * BlockC semantic analysis.
+ */
+
+#include "frontend/sema.hh"
+
+#include <set>
+#include <vector>
+
+#include "arch/reg.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+class Analyzer
+{
+  public:
+    Analyzer(const ParsedProgram &prog, DiagSink &diags)
+        : prog(prog), diags(diags)
+    {
+    }
+
+    SemaResult
+    run()
+    {
+        collectGlobals();
+        collectFunctions();
+        for (const auto &f : prog.functions)
+            checkFunction(f);
+        return std::move(result);
+    }
+
+  private:
+    const ParsedProgram &prog;
+    DiagSink &diags;
+    SemaResult result;
+
+    // Per-function state: a stack of lexical scopes, innermost last.
+    std::vector<std::set<std::string>> scopes;
+    bool inMain = false;
+    unsigned loopDepth = 0;
+
+    void pushScope() { scopes.emplace_back(); }
+    void popScope() { scopes.pop_back(); }
+
+    bool
+    isDeclared(const std::string &name) const
+    {
+        for (const auto &scope : scopes)
+            if (scope.count(name))
+                return true;
+        return false;
+    }
+
+    void
+    collectGlobals()
+    {
+        for (const auto &g : prog.globals) {
+            if (result.globals.count(g.name)) {
+                diags.error(g.loc, "duplicate global '" + g.name + "'");
+                continue;
+            }
+            GlobalSym sym;
+            sym.isArray = g.arraySize > 0;
+            sym.words = sym.isArray ? g.arraySize : 1;
+            sym.addr = 0;  // assigned below, after dedup
+            result.globals.emplace(g.name, sym);
+        }
+        // Assign addresses in declaration order (skipping duplicates).
+        std::set<std::string> assigned;
+        std::uint64_t words = 0;
+        for (const auto &g : prog.globals) {
+            if (!assigned.insert(g.name).second)
+                continue;
+            auto it = result.globals.find(g.name);
+            it->second.addr = words * 8;  // offset; rebased by irgen
+            words += it->second.words;
+        }
+        result.dataWords = words;
+    }
+
+    void
+    collectFunctions()
+    {
+        for (unsigned i = 0; i < prog.functions.size(); ++i) {
+            const FuncDecl &f = prog.functions[i];
+            if (result.functions.count(f.name)) {
+                diags.error(f.loc, "duplicate function '" + f.name + "'");
+                continue;
+            }
+            if (result.globals.count(f.name)) {
+                diags.error(f.loc, "'" + f.name +
+                                       "' is both a global and a function");
+            }
+            if (f.params.size() > numArgRegs) {
+                diags.error(f.loc, "too many parameters (ABI limit is " +
+                                       std::to_string(numArgRegs) + ")");
+            }
+            FuncSym sym;
+            sym.index = i;
+            sym.arity = static_cast<unsigned>(f.params.size());
+            sym.isLibrary = f.isLibrary;
+            result.functions.emplace(f.name, sym);
+        }
+        const auto main_it = result.functions.find("main");
+        if (main_it == result.functions.end()) {
+            DiagSink &d = diags;
+            d.error({1, 1}, "program has no 'main' function");
+        } else {
+            if (main_it->second.arity != 0)
+                diags.error(prog.functions[main_it->second.index].loc,
+                            "'main' must take no parameters");
+            if (main_it->second.isLibrary)
+                diags.error(prog.functions[main_it->second.index].loc,
+                            "'main' cannot be a library function");
+        }
+    }
+
+    void
+    checkFunction(const FuncDecl &f)
+    {
+        scopes.clear();
+        pushScope();
+        inMain = f.name == "main";
+        loopDepth = 0;
+        for (const auto &p : f.params) {
+            if (!scopes.back().insert(p).second)
+                diags.error(f.loc, "duplicate parameter '" + p + "'");
+            if (result.globals.count(p))
+                diags.error(f.loc, "parameter '" + p +
+                                       "' shadows a global");
+        }
+        checkStmts(f.body);
+        popScope();
+    }
+
+    void
+    checkStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts)
+            checkStmt(*s);
+    }
+
+    void
+    checkStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::VarDecl:
+            if (s.value)
+                checkExpr(*s.value);
+            // BlockC has lexical block scoping: a local is visible
+            // from its declaration to the end of its enclosing block
+            // and may shadow outer locals (but not globals).
+            if (result.globals.count(s.name)) {
+                diags.error(s.loc,
+                            "local '" + s.name + "' shadows a global");
+            } else if (!scopes.back().insert(s.name).second) {
+                diags.error(s.loc, "duplicate local '" + s.name +
+                                       "' in the same scope");
+            }
+            break;
+          case StmtKind::Assign:
+            checkExpr(*s.value);
+            if (isDeclared(s.name))
+                break;
+            if (auto it = result.globals.find(s.name);
+                it != result.globals.end()) {
+                if (it->second.isArray)
+                    diags.error(s.loc, "cannot assign to array '" +
+                                           s.name + "' without an index");
+                break;
+            }
+            diags.error(s.loc, "assignment to undeclared '" + s.name + "'");
+            break;
+          case StmtKind::IndexAssign: {
+            checkExpr(*s.index);
+            checkExpr(*s.value);
+            const auto it = result.globals.find(s.name);
+            if (it == result.globals.end())
+                diags.error(s.loc, "unknown array '" + s.name + "'");
+            else if (!it->second.isArray)
+                diags.error(s.loc, "'" + s.name + "' is not an array");
+            break;
+          }
+          case StmtKind::If:
+            checkExpr(*s.value);
+            pushScope();
+            checkStmts(s.body);
+            popScope();
+            pushScope();
+            checkStmts(s.elseBody);
+            popScope();
+            break;
+          case StmtKind::While:
+            checkExpr(*s.value);
+            ++loopDepth;
+            pushScope();
+            checkStmts(s.body);
+            popScope();
+            --loopDepth;
+            break;
+          case StmtKind::For:
+            pushScope();  // the init variable scopes over the loop
+            if (s.forInit)
+                checkStmt(*s.forInit);
+            if (s.value)
+                checkExpr(*s.value);
+            if (s.forStep)
+                checkStmt(*s.forStep);
+            ++loopDepth;
+            pushScope();
+            checkStmts(s.body);
+            popScope();
+            --loopDepth;
+            popScope();
+            break;
+          case StmtKind::Switch:
+            checkExpr(*s.value);
+            for (const auto &c : s.body) {
+                pushScope();
+                checkStmts(c->body);
+                popScope();
+            }
+            break;
+          case StmtKind::Return:
+            if (s.value)
+                checkExpr(*s.value);
+            break;
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            if (loopDepth == 0)
+                diags.error(s.loc, "break/continue outside a loop");
+            break;
+          case StmtKind::Halt:
+            if (!inMain)
+                diags.error(s.loc, "halt is only allowed in main");
+            break;
+          case StmtKind::ExprStmt:
+            checkExpr(*s.value);
+            break;
+          case StmtKind::BlockStmt:
+            pushScope();
+            checkStmts(s.body);
+            popScope();
+            break;
+        }
+    }
+
+    void
+    checkExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            break;
+          case ExprKind::VarRef:
+            if (isDeclared(e.name))
+                break;
+            if (auto it = result.globals.find(e.name);
+                it != result.globals.end()) {
+                if (it->second.isArray)
+                    diags.error(e.loc, "array '" + e.name +
+                                           "' used without an index");
+                break;
+            }
+            diags.error(e.loc, "undeclared identifier '" + e.name + "'");
+            break;
+          case ExprKind::Index: {
+            checkExpr(*e.lhs);
+            const auto it = result.globals.find(e.name);
+            if (it == result.globals.end())
+                diags.error(e.loc, "unknown array '" + e.name + "'");
+            else if (!it->second.isArray)
+                diags.error(e.loc, "'" + e.name + "' is not an array");
+            break;
+          }
+          case ExprKind::Unary:
+            checkExpr(*e.lhs);
+            break;
+          case ExprKind::Binary:
+            checkExpr(*e.lhs);
+            checkExpr(*e.rhs);
+            break;
+          case ExprKind::CallExpr: {
+            for (const auto &a : e.args)
+                checkExpr(*a);
+            const auto it = result.functions.find(e.name);
+            if (it == result.functions.end()) {
+                diags.error(e.loc, "call to unknown function '" + e.name +
+                                       "'");
+            } else if (it->second.arity != e.args.size()) {
+                diags.error(e.loc,
+                            "'" + e.name + "' expects " +
+                                std::to_string(it->second.arity) +
+                                " arguments, got " +
+                                std::to_string(e.args.size()));
+            }
+            break;
+          }
+        }
+    }
+};
+
+} // namespace
+
+SemaResult
+analyze(const ParsedProgram &prog, DiagSink &diags)
+{
+    Analyzer a(prog, diags);
+    return a.run();
+}
+
+} // namespace bsisa

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Semantic analysis for BlockC: name resolution and well-formedness
+ * checks, producing the symbol tables IR generation consumes.
+ */
+
+#ifndef BSISA_FRONTEND_SEMA_HH
+#define BSISA_FRONTEND_SEMA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "frontend/ast.hh"
+
+namespace bsisa
+{
+
+/** A resolved global symbol. */
+struct GlobalSym
+{
+    std::uint64_t addr = 0;   //!< byte address in the data segment
+    std::uint64_t words = 1;  //!< 1 for scalars
+    bool isArray = false;
+};
+
+/** A resolved function symbol. */
+struct FuncSym
+{
+    unsigned index = 0;  //!< position in ParsedProgram::functions
+    unsigned arity = 0;
+    bool isLibrary = false;
+};
+
+/** Symbol tables produced by sema and consumed by irgen. */
+struct SemaResult
+{
+    std::map<std::string, GlobalSym> globals;
+    std::map<std::string, FuncSym> functions;
+    std::uint64_t dataWords = 0;  //!< total data-segment size
+};
+
+/**
+ * Analyze @p prog.  Errors go to @p diags; the result is meaningful
+ * only if no errors were reported.  Checks:
+ *   - no duplicate global / function / parameter / local names,
+ *   - a zero-argument 'main' exists and is not a library function,
+ *   - every name reference resolves, with array/scalar use matching
+ *     the declaration, and calls matching the callee's arity,
+ *   - break/continue appear only inside loops,
+ *   - halt appears only in main,
+ *   - call argument counts fit the ABI's register argument limit.
+ */
+SemaResult analyze(const ParsedProgram &prog, DiagSink &diags);
+
+} // namespace bsisa
+
+#endif // BSISA_FRONTEND_SEMA_HH

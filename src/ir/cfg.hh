@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Control-flow-graph utilities over a Function: successor/predecessor
+ * computation, reverse post-order, and reachability.  The view is
+ * intra-procedural: a Call's successor is its continuation block.
+ */
+
+#ifndef BSISA_IR_CFG_HH
+#define BSISA_IR_CFG_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Successor block ids of @p block within @p func (deduplicated,
+ *  stable order: taken/first target before fall-through/second). */
+std::vector<BlockId> blockSuccessors(const Function &func, BlockId block);
+
+/** Predecessor lists for every block of @p func. */
+std::vector<std::vector<BlockId>> blockPredecessors(const Function &func);
+
+/** Blocks in reverse post-order from the entry; unreachable blocks are
+ *  omitted. */
+std::vector<BlockId> reversePostOrder(const Function &func);
+
+/** Per-block reachability from the entry. */
+std::vector<bool> reachableBlocks(const Function &func);
+
+} // namespace bsisa
+
+#endif // BSISA_IR_CFG_HH

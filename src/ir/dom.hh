@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dominator tree and natural-loop detection.
+ *
+ * Block enlargement's termination condition 4 ("separate loop
+ * iterations are not combined") is implemented as: never merge across a
+ * back edge, where a back edge u->v is an edge whose target dominates
+ * its source.  Dominators are computed with the Cooper-Harvey-Kennedy
+ * iterative algorithm over the reverse post-order.
+ */
+
+#ifndef BSISA_IR_DOM_HH
+#define BSISA_IR_DOM_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Dominator information for one function. */
+class DomInfo
+{
+  public:
+    /** Compute dominators (and back-edge/loop-header facts) for
+     *  @p func. */
+    explicit DomInfo(const Function &func);
+
+    /** True iff @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** Immediate dominator of @p block; the entry returns itself.
+     *  Unreachable blocks return invalidId. */
+    BlockId idom(BlockId block) const;
+
+    /** True iff the edge from->to is a back edge of a natural loop. */
+    bool isBackEdge(BlockId from, BlockId to) const;
+
+    /** True iff @p block is a natural-loop header. */
+    bool isLoopHeader(BlockId block) const;
+
+    /** True iff @p block is reachable from the entry. */
+    bool reachable(BlockId block) const;
+
+  private:
+    std::vector<BlockId> idoms;
+    std::vector<bool> loopHeaders;
+    std::vector<unsigned> rpoIndex;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_IR_DOM_HH

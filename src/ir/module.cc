@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Module implementation.
+ */
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+std::size_t
+Function::numOps() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks)
+        n += b.ops.size();
+    return n;
+}
+
+Function &
+Module::addFunction(const std::string &name)
+{
+    Function f;
+    f.id = static_cast<FuncId>(functions.size());
+    f.name = name;
+    functions.push_back(std::move(f));
+    return functions.back();
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    for (auto &f : functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+std::size_t
+Module::numOps() const
+{
+    std::size_t n = 0;
+    for (const auto &f : functions)
+        n += f.numOps();
+    return n;
+}
+
+} // namespace bsisa

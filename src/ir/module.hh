@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The compiler's program representation: a Module of Functions, each a
+ * control-flow graph of Blocks of Operations.
+ *
+ * The same representation is used before register allocation (virtual
+ * registers numbered from firstVirtualReg) and after (architectural
+ * registers only); Function::numVirtualRegs distinguishes the two.
+ * This is also the executable form of the *conventional* ISA: the
+ * functional interpreter and the timing model run it directly.
+ */
+
+#ifndef BSISA_IR_MODULE_HH
+#define BSISA_IR_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/operation.hh"
+
+namespace bsisa
+{
+
+/**
+ * A basic block: a non-empty operation sequence whose last operation is
+ * the unique terminator.
+ */
+struct Block
+{
+    std::vector<Operation> ops;
+
+    /** The terminating operation; the block must be sealed. */
+    const Operation &terminator() const { return ops.back(); }
+    Operation &terminator() { return ops.back(); }
+
+    /** True once the block ends in a terminator. */
+    bool
+    sealed() const
+    {
+        return !ops.empty() && ops.back().terminates();
+    }
+
+    /** Operation count including the terminator. */
+    std::size_t size() const { return ops.size(); }
+};
+
+/**
+ * A function: blocks[0] is the entry.  Functions marked as library code
+ * are exempt from block enlargement (termination condition 5).
+ */
+struct Function
+{
+    FuncId id = invalidId;
+    std::string name;
+    std::vector<Block> blocks;
+
+    /** Total register name space; numArchRegs once allocated. */
+    RegNum numVirtualRegs = numArchRegs;
+
+    /** Frame bytes reserved on entry (spill slots + local arrays). */
+    std::uint32_t frameSize = 0;
+
+    /** Library code is never enlarged (termination condition 5). */
+    bool isLibrary = false;
+
+    /** Jump tables for IJmp operations; entries are block ids. */
+    std::vector<std::vector<BlockId>> jumpTables;
+
+    /** Allocate a fresh virtual register. */
+    RegNum newReg() { return numVirtualRegs++; }
+
+    /** Append an empty block, returning its id. */
+    BlockId
+    newBlock()
+    {
+        blocks.emplace_back();
+        return static_cast<BlockId>(blocks.size() - 1);
+    }
+
+    /** Static operation count over all blocks. */
+    std::size_t numOps() const;
+};
+
+/**
+ * A whole program plus its initialized global data segment.
+ *
+ * Global data is an array of 64-bit words starting at dataBase in the
+ * simulated address space; the front end and the workload generator
+ * allocate from it linearly.
+ */
+struct Module
+{
+    std::vector<Function> functions;
+    FuncId mainFunc = invalidId;
+
+    std::vector<std::uint64_t> data;
+    static constexpr std::uint64_t dataBase = 0x100000;
+    static constexpr std::uint64_t stackBase = 0x10000000;
+
+    /** Append a named function, returning a reference to it. */
+    Function &addFunction(const std::string &name);
+
+    /** Function lookup by name; null when absent. */
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+
+    /** Reserve @p words of global data, returning the byte address. */
+    std::uint64_t
+    allocData(std::size_t words)
+    {
+        const std::uint64_t addr = dataBase + data.size() * 8;
+        data.resize(data.size() + words, 0);
+        return addr;
+    }
+
+    /** Static operation count over all functions. */
+    std::size_t numOps() const;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_IR_MODULE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * IR printing implementation.
+ */
+
+#include "ir/printer.hh"
+
+namespace bsisa
+{
+
+void
+printFunction(std::ostream &os, const Function &func)
+{
+    os << "func " << func.name << " (f" << func.id << ")";
+    if (func.isLibrary)
+        os << " [library]";
+    os << " vregs=" << func.numVirtualRegs
+       << " frame=" << func.frameSize << "\n";
+    for (BlockId b = 0; b < func.blocks.size(); ++b) {
+        os << "  B" << b << ":\n";
+        for (const auto &op : func.blocks[b].ops)
+            os << "    " << op.toString() << "\n";
+    }
+    for (std::size_t t = 0; t < func.jumpTables.size(); ++t) {
+        os << "  table " << t << ":";
+        for (BlockId target : func.jumpTables[t])
+            os << " B" << target;
+        os << "\n";
+    }
+}
+
+void
+printModule(std::ostream &os, const Module &module)
+{
+    os << "module: " << module.functions.size() << " functions, "
+       << module.data.size() << " data words, main=f" << module.mainFunc
+       << "\n";
+    for (const auto &f : module.functions)
+        printFunction(os, f);
+}
+
+} // namespace bsisa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual dumps of IR modules and functions.
+ */
+
+#ifndef BSISA_IR_PRINTER_HH
+#define BSISA_IR_PRINTER_HH
+
+#include <ostream>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Print one function with block labels. */
+void printFunction(std::ostream &os, const Function &func);
+
+/** Print every function of the module. */
+void printModule(std::ostream &os, const Module &module);
+
+} // namespace bsisa
+
+#endif // BSISA_IR_PRINTER_HH

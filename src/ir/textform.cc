@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Textual IR serializer and assembler.
+ */
+
+#include "ir/textform.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+void
+serializeModule(std::ostream &os, const Module &module)
+{
+    os << "module main=f" << module.mainFunc << "\n";
+    os << "data " << module.data.size() << "\n";
+    for (std::size_t i = 0; i < module.data.size(); ++i)
+        if (module.data[i] != 0)
+            os << i << " " << module.data[i] << "\n";
+    os << "end\n";
+    for (const Function &fn : module.functions) {
+        os << "func " << fn.name << " id=" << fn.id
+           << " library=" << (fn.isLibrary ? 1 : 0)
+           << " vregs=" << fn.numVirtualRegs
+           << " frame=" << fn.frameSize << "\n";
+        for (const Block &blk : fn.blocks) {
+            os << "block\n";
+            for (const Operation &op : blk.ops)
+                os << "  " << op.toString() << "\n";
+            os << "endblock\n";
+        }
+        for (const auto &table : fn.jumpTables) {
+            os << "table";
+            for (BlockId target : table)
+                os << " B" << target;
+            os << "\n";
+        }
+        os << "endfunc\n";
+    }
+}
+
+std::string
+moduleToText(const Module &module)
+{
+    std::ostringstream os;
+    serializeModule(os, module);
+    return os.str();
+}
+
+namespace
+{
+
+/** Tokenizer for operation lines: splits on spaces, commas, and
+ *  brackets, keeping bracket/paren tokens out entirely. */
+std::vector<std::string>
+opTokens(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+            c == '[' || c == ']' || c == '(' || c == ')') {
+            if (!cur.empty()) {
+                tokens.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+    return tokens;
+}
+
+bool
+parseReg(const std::string &tok, RegNum &out)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        return false;
+    char *end = nullptr;
+    out = static_cast<RegNum>(
+        std::strtoul(tok.c_str() + 1, &end, 10));
+    return end && *end == '\0';
+}
+
+bool
+parseImm(const std::string &tok, std::int64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = static_cast<std::int64_t>(
+        std::strtoll(tok.c_str(), &end, 10));
+    return end && *end == '\0';
+}
+
+bool
+parsePrefixed(const std::string &tok, char prefix, std::uint32_t &out)
+{
+    if (tok.size() < 2 || tok[0] != prefix)
+        return false;
+    char *end = nullptr;
+    out = static_cast<std::uint32_t>(
+        std::strtoul(tok.c_str() + 1, &end, 10));
+    return end && *end == '\0';
+}
+
+bool
+parseBlockRef(const std::string &tok, std::uint32_t &out)
+{
+    return parsePrefixed(tok, 'B', out);
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> map = [] {
+        std::map<std::string, Opcode> m;
+        for (int i = 0; i <= static_cast<int>(Opcode::Halt); ++i) {
+            const Opcode op = static_cast<Opcode>(i);
+            m[opcodeName(op)] = op;
+        }
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+bool
+parseOperationText(const std::string &line, Operation &out,
+                   std::string &error)
+{
+    const auto tokens = opTokens(line);
+    if (tokens.empty()) {
+        error = "empty operation";
+        return false;
+    }
+    const auto it = mnemonicMap().find(tokens[0]);
+    if (it == mnemonicMap().end()) {
+        error = "unknown mnemonic '" + tokens[0] + "'";
+        return false;
+    }
+    const Opcode op = it->second;
+    out = Operation{};
+    out.op = op;
+
+    auto fail = [&](const char *what) {
+        error = std::string("bad ") + what + " in '" + line + "'";
+        return false;
+    };
+
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      case Opcode::MovI:
+        if (tokens.size() != 3 || !parseReg(tokens[1], out.dst) ||
+            !parseImm(tokens[2], out.imm)) {
+            return fail("movi operands");
+        }
+        return true;
+      case Opcode::Mov:
+      case Opcode::FCvt:
+        if (tokens.size() != 3 || !parseReg(tokens[1], out.dst) ||
+            !parseReg(tokens[2], out.src1)) {
+            return fail("unary operands");
+        }
+        return true;
+      case Opcode::AddI:
+      case Opcode::AndI:
+      case Opcode::CmpEqI:
+      case Opcode::CmpLtI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+        if (tokens.size() != 4 || !parseReg(tokens[1], out.dst) ||
+            !parseReg(tokens[2], out.src1) ||
+            !parseImm(tokens[3], out.imm)) {
+            return fail("immediate operands");
+        }
+        return true;
+      case Opcode::Ld:
+        // ld rD, [rB + imm]
+        if (tokens.size() != 5 || !parseReg(tokens[1], out.dst) ||
+            !parseReg(tokens[2], out.src1) || tokens[3] != "+" ||
+            !parseImm(tokens[4], out.imm)) {
+            return fail("load operands");
+        }
+        return true;
+      case Opcode::St:
+        // st [rB + imm], rV
+        if (tokens.size() != 5 || !parseReg(tokens[1], out.src1) ||
+            tokens[2] != "+" || !parseImm(tokens[3], out.imm) ||
+            !parseReg(tokens[4], out.src2)) {
+            return fail("store operands");
+        }
+        return true;
+      case Opcode::Jmp:
+        if (tokens.size() != 2 || !parseBlockRef(tokens[1], out.target0))
+            return fail("jump target");
+        return true;
+      case Opcode::Trap: {
+        // trap rC, Bt, Bf (succBits k)
+        if (tokens.size() != 6 || !parseReg(tokens[1], out.src1) ||
+            !parseBlockRef(tokens[2], out.target0) ||
+            !parseBlockRef(tokens[3], out.target1) ||
+            tokens[4] != "succBits") {
+            return fail("trap operands");
+        }
+        std::int64_t bits;
+        if (!parseImm(tokens[5], bits) || bits < 0 || bits > 3)
+            return fail("trap succBits");
+        out.succBits = static_cast<std::uint8_t>(bits);
+        return true;
+      }
+      case Opcode::Fault: {
+        std::uint32_t target;
+        const bool inverted = tokens.size() == 4 && tokens[3] == "inv";
+        if ((tokens.size() != 3 && !inverted) ||
+            !parseReg(tokens[1], out.src1) || tokens[2][0] != 'A' ||
+            !parsePrefixed(tokens[2].substr(1), 'B', target)) {
+            return fail("fault operands");
+        }
+        out.target0 = target;
+        out.imm = inverted ? 1 : 0;
+        return true;
+      }
+      case Opcode::Call: {
+        // call fN, cont BN
+        std::uint32_t callee;
+        if (tokens.size() != 4 || !parsePrefixed(tokens[1], 'f', callee)
+            || tokens[2] != "cont" ||
+            !parseBlockRef(tokens[3], out.target0)) {
+            return fail("call operands");
+        }
+        out.callee = callee;
+        return true;
+      }
+      case Opcode::IJmp:
+        // ijmp rS, table T
+        if (tokens.size() != 4 || !parseReg(tokens[1], out.src1) ||
+            tokens[2] != "table" || !parseImm(tokens[3], out.imm)) {
+            return fail("ijmp operands");
+        }
+        return true;
+      default:
+        // Plain three-register form.
+        if (tokens.size() != 4 || !parseReg(tokens[1], out.dst) ||
+            !parseReg(tokens[2], out.src1) ||
+            !parseReg(tokens[3], out.src2)) {
+            return fail("register operands");
+        }
+        return true;
+    }
+}
+
+ParseModuleResult
+parseModuleText(const std::string &text)
+{
+    ParseModuleResult result;
+    std::istringstream is(text);
+    std::string line;
+    unsigned line_no = 0;
+
+    auto fail = [&](const std::string &msg) {
+        result.error = "line " + std::to_string(line_no) + ": " + msg;
+        return result;
+    };
+    auto next_line = [&](std::string &out) {
+        while (std::getline(is, out)) {
+            ++line_no;
+            // Trim leading whitespace and skip blanks/comments.
+            std::size_t start = out.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            out = out.substr(start);
+            if (out[0] == '#')
+                continue;
+            return true;
+        }
+        return false;
+    };
+
+    if (!next_line(line) || line.rfind("module main=f", 0) != 0)
+        return fail("expected 'module main=fN'");
+    result.module.mainFunc = static_cast<FuncId>(
+        std::strtoul(line.c_str() + 13, nullptr, 10));
+
+    if (!next_line(line) || line.rfind("data ", 0) != 0)
+        return fail("expected 'data N'");
+    const std::size_t words =
+        std::strtoull(line.c_str() + 5, nullptr, 10);
+    result.module.allocData(words);
+    for (;;) {
+        if (!next_line(line))
+            return fail("unterminated data section");
+        if (line == "end")
+            break;
+        std::istringstream ls(line);
+        std::size_t index;
+        std::uint64_t value;
+        if (!(ls >> index >> value) || index >= words)
+            return fail("bad data entry '" + line + "'");
+        result.module.data[index] = value;
+    }
+
+    while (next_line(line)) {
+        if (line.rfind("func ", 0) != 0)
+            return fail("expected 'func', got '" + line + "'");
+        std::istringstream ls(line.substr(5));
+        std::string name, id_kv, lib_kv, vregs_kv, frame_kv;
+        if (!(ls >> name >> id_kv >> lib_kv >> vregs_kv >> frame_kv))
+            return fail("bad func header");
+        Function &fn = result.module.addFunction(name);
+        auto kv = [&](const std::string &s,
+                      const char *key) -> std::int64_t {
+            const std::string prefix = std::string(key) + "=";
+            if (s.rfind(prefix, 0) != 0)
+                return -1;
+            return std::strtoll(s.c_str() + prefix.size(), nullptr, 10);
+        };
+        if (kv(id_kv, "id") != fn.id)
+            return fail("function id mismatch (must be sequential)");
+        fn.isLibrary = kv(lib_kv, "library") == 1;
+        fn.numVirtualRegs =
+            static_cast<RegNum>(kv(vregs_kv, "vregs"));
+        fn.frameSize = static_cast<std::uint32_t>(kv(frame_kv, "frame"));
+
+        for (;;) {
+            if (!next_line(line))
+                return fail("unterminated function");
+            if (line == "endfunc")
+                break;
+            if (line == "block") {
+                const BlockId b = fn.newBlock();
+                for (;;) {
+                    if (!next_line(line))
+                        return fail("unterminated block");
+                    if (line == "endblock")
+                        break;
+                    Operation op;
+                    std::string err;
+                    if (!parseOperationText(line, op, err))
+                        return fail(err);
+                    fn.blocks[b].ops.push_back(op);
+                }
+            } else if (line.rfind("table", 0) == 0) {
+                std::istringstream ts(line.substr(5));
+                std::vector<BlockId> table;
+                std::string tok;
+                while (ts >> tok) {
+                    std::uint32_t target;
+                    if (!parseBlockRef(tok, target))
+                        return fail("bad table entry '" + tok + "'");
+                    table.push_back(target);
+                }
+                fn.jumpTables.push_back(std::move(table));
+            } else {
+                return fail("unexpected line '" + line + "'");
+            }
+        }
+    }
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace bsisa

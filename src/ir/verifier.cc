@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Module verification implementation.
+ */
+
+#include "ir/verifier.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+void
+verifyFunction(const Module &module, const Function &func,
+               std::vector<std::string> &problems)
+{
+    auto report = [&](BlockId b, const std::string &msg) {
+        std::ostringstream os;
+        os << "function '" << func.name << "' block " << b << ": " << msg;
+        problems.push_back(os.str());
+    };
+
+    if (func.blocks.empty()) {
+        report(0, "function has no blocks");
+        return;
+    }
+
+    const auto check_target = [&](BlockId b, std::uint32_t target,
+                                  const char *what) {
+        if (target >= func.blocks.size())
+            report(b, std::string(what) + " target out of range");
+    };
+
+    for (BlockId b = 0; b < func.blocks.size(); ++b) {
+        const Block &blk = func.blocks[b];
+        if (blk.ops.empty()) {
+            report(b, "empty block");
+            continue;
+        }
+        if (!blk.sealed()) {
+            report(b, "block does not end in a terminator");
+            continue;
+        }
+        for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+            const Operation &op = blk.ops[i];
+            if (op.terminates() && i + 1 != blk.ops.size()) {
+                report(b, "terminator in block interior at op " +
+                              std::to_string(i));
+            }
+            if (hasDest(op.op)) {
+                if (op.dst >= func.numVirtualRegs)
+                    report(b, "dest register out of range: " +
+                                  op.toString());
+                if (op.dst == regZero)
+                    report(b, "write to hardwired zero register: " +
+                                  op.toString());
+            }
+            const unsigned nsrc = numSources(op.op);
+            if (nsrc >= 1 && op.src1 >= func.numVirtualRegs)
+                report(b, "src1 register out of range: " + op.toString());
+            if (nsrc >= 2 && op.src2 >= func.numVirtualRegs)
+                report(b, "src2 register out of range: " + op.toString());
+
+            switch (op.op) {
+              case Opcode::Jmp:
+                check_target(b, op.target0, "jmp");
+                break;
+              case Opcode::Trap:
+                check_target(b, op.target0, "trap taken");
+                check_target(b, op.target1, "trap not-taken");
+                break;
+              case Opcode::Call:
+                if (op.callee >= module.functions.size())
+                    report(b, "call to unknown function");
+                check_target(b, op.target0, "call continuation");
+                break;
+              case Opcode::IJmp: {
+                const auto table = static_cast<std::size_t>(op.imm);
+                if (table >= func.jumpTables.size()) {
+                    report(b, "ijmp references missing jump table");
+                } else if (func.jumpTables[table].empty()) {
+                    report(b, "ijmp jump table is empty");
+                } else {
+                    for (BlockId t : func.jumpTables[table])
+                        check_target(b, t, "ijmp");
+                }
+                break;
+              }
+              case Opcode::Fault:
+                report(b, "fault operation in pre-enlargement IR");
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    std::vector<std::string> problems;
+    if (module.functions.empty()) {
+        problems.push_back("module has no functions");
+        return problems;
+    }
+    if (module.mainFunc >= module.functions.size()) {
+        problems.push_back("module has no valid main function");
+        return problems;
+    }
+    for (const auto &f : module.functions)
+        verifyFunction(module, f, problems);
+    // NOTE: main is not required to contain a halt: a program whose
+    // main provably loops forever (e.g. a server loop cut off by the
+    // simulator's op budget) legitimately has its halt eliminated as
+    // unreachable code.
+    return problems;
+}
+
+void
+verifyModuleOrDie(const Module &module, const char *when)
+{
+    const auto problems = verifyModule(module);
+    if (!problems.empty())
+        fatal("module verification failed ", when, ": ", problems.front(),
+              " (", problems.size(), " problems total)");
+}
+
+} // namespace bsisa

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Structural verification of Modules.
+ *
+ * The verifier is run after each compiler pass in tests and guards the
+ * invariants the interpreter and the timing model rely on: sealed
+ * blocks, in-range targets, register numbers within the declared name
+ * space, valid call graph, and a Halt-terminated main.
+ */
+
+#ifndef BSISA_IR_VERIFIER_HH
+#define BSISA_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Verify @p module; returns a list of problems (empty = valid). */
+std::vector<std::string> verifyModule(const Module &module);
+
+/** Verify and fatal() with the first problem if invalid. */
+void verifyModuleOrDie(const Module &module, const char *when);
+
+} // namespace bsisa
+
+#endif // BSISA_IR_VERIFIER_HH

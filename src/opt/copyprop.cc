@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Block-local copy propagation.
+ *
+ * After "mov dst, src", later reads of dst are rewritten to src until
+ * either register is redefined.  Copies through chains resolve to the
+ * oldest still-valid source.
+ */
+
+#include <unordered_map>
+
+#include "opt/passes.hh"
+#include "regalloc/liveness.hh"
+
+namespace bsisa
+{
+
+unsigned
+copyPropagate(Function &func)
+{
+    unsigned rewritten = 0;
+    for (Block &blk : func.blocks) {
+        // copyOf[r] = the register r currently mirrors.
+        std::unordered_map<RegNum, RegNum> copy_of;
+
+        auto resolve = [&](RegNum r) {
+            const auto it = copy_of.find(r);
+            return it == copy_of.end() ? r : it->second;
+        };
+        auto invalidate = [&](RegNum r) {
+            copy_of.erase(r);
+            for (auto it = copy_of.begin(); it != copy_of.end();) {
+                if (it->second == r)
+                    it = copy_of.erase(it);
+                else
+                    ++it;
+            }
+        };
+
+        for (Operation &op : blk.ops) {
+            const unsigned nsrc = numSources(op.op);
+            if (nsrc >= 1) {
+                const RegNum r = resolve(op.src1);
+                if (r != op.src1) {
+                    op.src1 = r;
+                    ++rewritten;
+                }
+            }
+            if (nsrc >= 2) {
+                const RegNum r = resolve(op.src2);
+                if (r != op.src2) {
+                    op.src2 = r;
+                    ++rewritten;
+                }
+            }
+
+            const RegNum def = opDef(op);
+            if (def == invalidId)
+                continue;
+            invalidate(def);
+            if (op.op == Opcode::Mov && op.src1 != def)
+                copy_of[def] = op.src1;
+        }
+    }
+    return rewritten;
+}
+
+} // namespace bsisa

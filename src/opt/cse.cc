@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Block-local common-subexpression elimination.
+ *
+ * Pure operations with identical opcode/operands/immediate reuse the
+ * earlier result through a Mov (copy propagation and DCE then clean
+ * up).  Loads participate until any store or call invalidates memory;
+ * we make no aliasing claims, so invalidation is total.
+ */
+
+#include <map>
+#include <tuple>
+
+#include "opt/passes.hh"
+#include "regalloc/liveness.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+using ExprKey =
+    std::tuple<Opcode, RegNum, RegNum, std::int64_t, unsigned /*epoch*/>;
+
+bool
+cseEligible(const Operation &op)
+{
+    if (!hasDest(op.op))
+        return false;
+    switch (op.op) {
+      case Opcode::MovI:  // handled by constant folding
+      case Opcode::Mov:   // handled by copy propagation
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+unsigned
+localCSE(Function &func)
+{
+    unsigned replaced = 0;
+    for (Block &blk : func.blocks) {
+        // Value side carries the version the holder register had when
+        // the expression was recorded; a later redefinition of the
+        // holder makes the entry unusable.
+        std::map<ExprKey, std::pair<RegNum, unsigned>> available;
+        // Version counter per register: bumping it invalidates every
+        // expression that read the old value.
+        std::map<RegNum, unsigned> version;
+        unsigned mem_epoch = 0;
+
+        auto ver = [&](RegNum r) {
+            const auto it = version.find(r);
+            return it == version.end() ? 0u : it->second;
+        };
+
+        for (Operation &op : blk.ops) {
+            if (op.op == Opcode::St || op.op == Opcode::Call) {
+                ++mem_epoch;
+            }
+            if (!cseEligible(op)) {
+                if (const RegNum def = opDef(op); def != invalidId)
+                    ++version[def];
+                continue;
+            }
+
+            const unsigned nsrc = numSources(op.op);
+            // Key mixes source-register versions so stale entries never
+            // match, and the memory epoch for loads.
+            const unsigned key_epoch =
+                (op.op == Opcode::Ld ? mem_epoch * 0x10000 : 0) +
+                (nsrc >= 1 ? ver(op.src1) : 0) * 0x100 +
+                (nsrc >= 2 ? ver(op.src2) : 0);
+            const ExprKey key{op.op, nsrc >= 1 ? op.src1 : 0,
+                              nsrc >= 2 ? op.src2 : 0, op.imm, key_epoch};
+
+            const auto it = available.find(key);
+            if (it != available.end() && it->second.first != op.dst &&
+                ver(it->second.first) == it->second.second) {
+                op = makeMov(op.dst, it->second.first);
+                ++version[op.dst];
+                ++replaced;
+                continue;
+            }
+            const unsigned new_ver = ++version[op.dst];
+            available[key] = {op.dst, new_ver};
+        }
+    }
+    return replaced;
+}
+
+} // namespace bsisa

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Global dead-code elimination.
+ *
+ * Uses liveness to delete pure operations whose destination is dead at
+ * their program point.  Stores, calls, faults, and terminators are
+ * never deleted.
+ */
+
+#include "opt/passes.hh"
+#include "regalloc/liveness.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+bool
+hasSideEffects(const Operation &op)
+{
+    switch (op.op) {
+      case Opcode::St:
+      case Opcode::Fault:
+        return true;
+      default:
+        return op.terminates();
+    }
+}
+
+} // namespace
+
+unsigned
+deadCodeElim(Function &func)
+{
+    const Liveness live = computeLiveness(func);
+    unsigned removed = 0;
+    std::vector<RegNum> uses;
+
+    for (BlockId b = 0; b < func.blocks.size(); ++b) {
+        Block &blk = func.blocks[b];
+        RegSet alive = live.liveOut[b];
+        // Backward walk marking dead pure definitions.
+        std::vector<bool> dead(blk.ops.size(), false);
+        for (std::size_t i = blk.ops.size(); i-- > 0;) {
+            const Operation &op = blk.ops[i];
+            const RegNum def = opDef(op);
+            const bool def_live = def != invalidId && alive.contains(def);
+            if (!hasSideEffects(op) && def != invalidId && !def_live) {
+                dead[i] = true;
+                continue;
+            }
+            if (def != invalidId)
+                alive.erase(def);
+            uses.clear();
+            opUses(op, uses);
+            for (RegNum u : uses)
+                alive.insert(u);
+        }
+
+        std::vector<Operation> kept;
+        kept.reserve(blk.ops.size());
+        for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+            if (dead[i])
+                ++removed;
+            else
+                kept.push_back(blk.ops[i]);
+        }
+        blk.ops = std::move(kept);
+    }
+    return removed;
+}
+
+} // namespace bsisa

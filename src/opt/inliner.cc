@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Inliner implementation.
+ *
+ * Leaf-only inlining per round (a callee is eligible only when it
+ * contains no calls itself), repeated for a bounded number of rounds
+ * so call chains flatten bottom-up; this sidesteps recursion analysis
+ * entirely, because self-recursion requires a call.
+ */
+
+#include "opt/inliner.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+bool
+isLeaf(const Function &fn)
+{
+    for (const Block &blk : fn.blocks)
+        for (const Operation &op : blk.ops)
+            if (op.op == Opcode::Call || op.op == Opcode::Halt)
+                return false;
+    return true;
+}
+
+/** Clone @p callee's body into @p caller; returns the entry block id
+ *  of the clone.  Returns within the callee become jumps to
+ *  @p continuation. */
+BlockId
+cloneInto(Function &caller, const Function &callee,
+          BlockId continuation)
+{
+    BSISA_ASSERT(callee.frameSize == 0,
+                 "inlining requires pre-RA IR (no frames yet)");
+    const BlockId block_offset =
+        static_cast<BlockId>(caller.blocks.size());
+    const std::uint32_t table_offset =
+        static_cast<std::uint32_t>(caller.jumpTables.size());
+    // Virtual registers shift into the caller's fresh name space;
+    // architectural registers (the ABI wiring) pass through.
+    const RegNum reg_base = caller.numVirtualRegs;
+    auto remap_reg = [&](RegNum r) {
+        return r < firstVirtualReg
+                   ? r
+                   : reg_base + (r - firstVirtualReg);
+    };
+    caller.numVirtualRegs +=
+        callee.numVirtualRegs - firstVirtualReg;
+
+    for (const auto &table : callee.jumpTables) {
+        std::vector<BlockId> remapped;
+        for (BlockId target : table)
+            remapped.push_back(target + block_offset);
+        caller.jumpTables.push_back(std::move(remapped));
+    }
+
+    for (const Block &src : callee.blocks) {
+        const BlockId b = caller.newBlock();
+        for (Operation op : src.ops) {
+            if (hasDest(op.op))
+                op.dst = remap_reg(op.dst);
+            const unsigned nsrc = numSources(op.op);
+            if (nsrc >= 1)
+                op.src1 = remap_reg(op.src1);
+            if (nsrc >= 2)
+                op.src2 = remap_reg(op.src2);
+            switch (op.op) {
+              case Opcode::Jmp:
+                op.target0 += block_offset;
+                break;
+              case Opcode::Trap:
+                op.target0 += block_offset;
+                op.target1 += block_offset;
+                break;
+              case Opcode::IJmp:
+                op.imm += table_offset;
+                break;
+              case Opcode::Ret:
+                // The return value is already in regRet; fall through
+                // to the call's continuation.
+                op = makeJmp(continuation);
+                break;
+              case Opcode::Call:
+              case Opcode::Halt:
+                panic("ineligible callee slipped through");
+              default:
+                break;
+            }
+            caller.blocks[b].ops.push_back(op);
+        }
+    }
+    return block_offset;
+}
+
+} // namespace
+
+InlineStats
+inlineCalls(Module &module, const InlineOptions &options)
+{
+    InlineStats stats;
+
+    std::vector<std::size_t> initial_ops;
+    for (const Function &fn : module.functions)
+        initial_ops.push_back(fn.numOps());
+
+    for (unsigned round = 0; round < options.maxRounds; ++round) {
+        // Eligibility is computed per round so freshly flattened
+        // functions become leaves for the next round.
+        std::vector<bool> eligible(module.functions.size());
+        for (FuncId f = 0; f < module.functions.size(); ++f) {
+            const Function &fn = module.functions[f];
+            eligible[f] = !fn.isLibrary && isLeaf(fn) &&
+                          fn.numOps() <= options.maxCalleeOps;
+        }
+
+        unsigned inlined_this_round = 0;
+        for (FuncId f = 0; f < module.functions.size(); ++f) {
+            Function &caller = module.functions[f];
+            const std::size_t budget = static_cast<std::size_t>(
+                double(initial_ops[f]) * options.growthLimit);
+            for (BlockId b = 0; b < caller.blocks.size(); ++b) {
+                if (caller.numOps() > budget)
+                    break;
+                const Operation term = caller.blocks[b].terminator();
+                if (term.op != Opcode::Call || !eligible[term.callee] ||
+                    term.callee == f) {
+                    continue;
+                }
+                const BlockId entry = cloneInto(
+                    caller, module.functions[term.callee],
+                    term.target0);
+                caller.blocks[b].terminator() = makeJmp(entry);
+                ++inlined_this_round;
+            }
+        }
+        stats.callsInlined += inlined_this_round;
+        ++stats.rounds;
+        if (inlined_this_round == 0)
+            break;
+    }
+    return stats;
+}
+
+} // namespace bsisa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Function inlining — the paper's section-6 future-work item:
+ * "Inlining can increase the fetch bandwidth used by eliminating
+ * procedure calls and returns, allowing the block enlargement
+ * optimization to combine blocks that previously could not be
+ * combined" (enlargement condition 3 stops at every call).
+ *
+ * The pass runs on pre-register-allocation IR.  A call site is inlined
+ * when the callee is small enough, not a library function, and not
+ * (transitively) recursive.  The callee's blocks are cloned into the
+ * caller with virtual registers and block ids remapped; its returns
+ * become jumps to the call's continuation.  Argument and result wiring
+ * rides the existing ABI copies (args staged in r4..r11 immediately
+ * before the call, result read from r4 immediately after), which the
+ * front end and the workload generator both guarantee.
+ */
+
+#ifndef BSISA_OPT_INLINER_HH
+#define BSISA_OPT_INLINER_HH
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+struct InlineOptions
+{
+    /** Only callees with at most this many operations are inlined. */
+    unsigned maxCalleeOps = 24;
+    /** Repeat passes so call chains flatten (bounded). */
+    unsigned maxRounds = 3;
+    /** Cap on a function's growth, as a multiple of its initial size. */
+    double growthLimit = 8.0;
+};
+
+struct InlineStats
+{
+    unsigned callsInlined = 0;
+    unsigned rounds = 0;
+};
+
+/** Inline eligible call sites across @p module (pre-RA IR only). */
+InlineStats inlineCalls(Module &module, const InlineOptions &options);
+
+} // namespace bsisa
+
+#endif // BSISA_OPT_INLINER_HH

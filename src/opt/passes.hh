@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Mid-end optimization passes.
+ *
+ * The paper's compiler applies "the standard set of optimizations" in
+ * the Intel Reference C Compiler before the block-structured back end;
+ * this is our equivalent: local constant folding/propagation, local
+ * copy propagation, local common-subexpression elimination, global
+ * dead-code elimination, and CFG simplification.  All passes preserve
+ * the functional semantics checked by the interpreter-equivalence
+ * property tests.
+ */
+
+#ifndef BSISA_OPT_PASSES_HH
+#define BSISA_OPT_PASSES_HH
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Per-pass change counts, for tests and reporting. */
+struct OptStats
+{
+    unsigned folded = 0;       //!< ops simplified by constant folding
+    unsigned copiesProp = 0;   //!< uses rewritten by copy propagation
+    unsigned cseReplaced = 0;  //!< ops replaced by CSE
+    unsigned deadRemoved = 0;  //!< ops removed by DCE
+    unsigned blocksRemoved = 0;   //!< unreachable/empty blocks removed
+    unsigned blocksMerged = 0;    //!< straight-line chains spliced
+    unsigned branchesSimplified = 0;  //!< constant traps rewritten
+};
+
+/** Fold constant expressions; block-local value tracking. */
+unsigned constantFold(Function &func);
+
+/** Propagate Mov sources into later uses; block-local. */
+unsigned copyPropagate(Function &func);
+
+/** Eliminate recomputed pure expressions; block-local. */
+unsigned localCSE(Function &func);
+
+/** Remove operations whose results are never used (global liveness). */
+unsigned deadCodeElim(Function &func);
+
+/**
+ * CFG cleanup: fold constant traps, thread jump-only blocks, merge
+ * single-predecessor straight-line chains, and drop unreachable
+ * blocks.  Returns blocks removed + merged + branches simplified.
+ */
+OptStats simplifyCFG(Function &func);
+
+/** Run the full pipeline to a fixpoint (bounded); aggregates stats. */
+OptStats optimizeFunction(Function &func);
+
+/** Optimize every function of @p module. */
+OptStats optimizeModule(Module &module);
+
+} // namespace bsisa
+
+#endif // BSISA_OPT_PASSES_HH

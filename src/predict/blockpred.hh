@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The block-structured ISA successor predictor (section 4.3).
+ *
+ * This is the paper's three-way modification of the Two-Level Adaptive
+ * Branch Predictor:
+ *
+ *   1. BTB entries are widened to hold all (up to eight) control-flow
+ *      successors of an atomic block.  The trap's two explicit targets
+ *      are installed on first encounter; the remaining slots fill in
+ *      as fault mispredictions reveal them.
+ *   2. Each PHT entry holds three 2-bit counters producing a 3-bit
+ *      prediction: one bit for the trap direction and two bits
+ *      selecting the successor's enlarged variant (equivalently,
+ *      predicting the fault operations of the next block).
+ *   3. The branch history register shifts by a VARIABLE number of bits
+ *      each prediction: the log2 of the block's successor count,
+ *      carried by the trap operation, so blocks with few successors do
+ *      not flush useful history.
+ */
+
+#ifndef BSISA_PREDICT_BLOCKPRED_HH
+#define BSISA_PREDICT_BLOCKPRED_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predict/twolevel.hh"
+#include "support/sat_counter.hh"
+
+namespace bsisa
+{
+
+/** Successor slots per BTB entry (8 = 2 faults + trap, section 4.2). */
+constexpr unsigned btbSuccessorSlots = 8;
+
+class BlockPredictor
+{
+  public:
+    explicit BlockPredictor(const PredictorConfig &config);
+
+    /** A 3-bit structural prediction. */
+    struct Prediction
+    {
+        bool trapTaken = false;
+        unsigned variantBits = 0;  //!< 2 bits selecting the variant
+    };
+
+    /** Predict the successor-selection bits for the block at @p pc. */
+    Prediction predict(std::uint64_t pc) const;
+
+    /**
+     * Train the three counters and shift the history register.
+     *
+     * @param pc Block address.
+     * @param actual Actual selection bits.
+     * @param succBits History bits to shift (the trap operation's
+     *                 successor-count log, section 4.1).
+     * @param succIndex Index of the actual successor within the
+     *                  block's successor set (the value shifted in).
+     */
+    void update(std::uint64_t pc, const Prediction &actual,
+                unsigned succBits, unsigned succIndex);
+
+    /**
+     * BTB successor lookup: the token stored in slot @p slot of the
+     * entry for @p pc, or ~0 when the entry or slot is unknown.
+     */
+    std::uint64_t successor(std::uint64_t pc, unsigned slot) const;
+
+    /** Most recently observed successor for @p pc (~0 if none). */
+    std::uint64_t lastSuccessor(std::uint64_t pc) const;
+
+    /** True iff a BTB entry exists for @p pc. */
+    bool hasEntry(std::uint64_t pc) const;
+
+    /** Record the actual successor token in slot @p slot. */
+    void install(std::uint64_t pc, unsigned slot, std::uint64_t token);
+
+    /** Call/return stack for block-level return-head prediction. */
+    void pushReturn(std::uint64_t token);
+    std::uint64_t popReturn();
+
+    const PredictorConfig &config() const { return cfg; }
+
+  private:
+    PredictorConfig cfg;
+    std::uint64_t historyMask;
+    /** One entry for global schemes, historyEntries for PA*. */
+    std::vector<std::uint64_t> histories;
+
+    std::uint64_t &historyFor(std::uint64_t pc);
+    std::uint64_t historyFor(std::uint64_t pc) const;
+
+    struct PhtEntry
+    {
+        SatCounter trap{2, 1};
+        SatCounter variant1{2, 0};
+        SatCounter variant0{2, 0};
+    };
+    std::vector<PhtEntry> pht;
+
+    struct BtbEntry
+    {
+        std::uint64_t tag = ~0ull;
+        std::array<std::uint64_t, btbSuccessorSlots> succ;
+        std::uint8_t knownMask = 0;
+        std::uint64_t lastSucc = ~0ull;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb;
+    std::uint64_t btbClock = 0;
+    std::vector<std::uint64_t> ras;
+
+    std::size_t phtIndex(std::uint64_t pc) const;
+    const BtbEntry *lookup(std::uint64_t pc) const;
+    BtbEntry &lookupOrAllocate(std::uint64_t pc);
+};
+
+} // namespace bsisa
+
+#endif // BSISA_PREDICT_BLOCKPRED_HH

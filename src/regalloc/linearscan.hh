@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Linear-scan register allocation (Poletto-Sarkar style).
+ *
+ * Maps a function's virtual registers onto the allocatable subset of
+ * the 32 architectural GPRs, spilling to stack-frame slots addressed
+ * off the stack pointer.  Two architectural registers (r2, r3) are
+ * reserved as spill scratches; ABI registers (r4-r11) and the stack
+ * pointer are never allocated.
+ */
+
+#ifndef BSISA_REGALLOC_LINEARSCAN_HH
+#define BSISA_REGALLOC_LINEARSCAN_HH
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Allocation summary, for reporting and tests. */
+struct RegAllocStats
+{
+    unsigned intervals = 0;    //!< virtual registers seen
+    unsigned spilled = 0;      //!< intervals sent to the stack
+    unsigned spillOpsAdded = 0;  //!< reload/store operations inserted
+};
+
+/** Scratch registers reserved for spill reloads. */
+constexpr RegNum regScratch0 = 2;
+constexpr RegNum regScratch1 = 3;
+
+/**
+ * Allocate registers for @p func in place.  On return the function
+ * uses only architectural registers (numVirtualRegs == numArchRegs)
+ * and frameSize covers its spill slots.
+ */
+RegAllocStats allocateRegisters(Function &func);
+
+/** Allocate registers for every function of @p module. */
+RegAllocStats allocateModule(Module &module);
+
+} // namespace bsisa
+
+#endif // BSISA_REGALLOC_LINEARSCAN_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Liveness analysis implementation.
+ */
+
+#include "regalloc/liveness.hh"
+
+#include "ir/cfg.hh"
+
+namespace bsisa
+{
+
+void
+opUses(const Operation &op, std::vector<RegNum> &uses)
+{
+    switch (op.op) {
+      case Opcode::Call:
+        // The callee's register window is initialized from every
+        // architectural register, so they are all live into a call.
+        for (RegNum r = 1; r < numArchRegs; ++r)
+            uses.push_back(r);
+        return;
+      case Opcode::Ret:
+        uses.push_back(regRet);
+        return;
+      case Opcode::Halt:
+        // Keep the program's exit value observable.
+        uses.push_back(regRet);
+        return;
+      default:
+        break;
+    }
+    const unsigned n = numSources(op.op);
+    if (n >= 1)
+        uses.push_back(op.src1);
+    if (n >= 2)
+        uses.push_back(op.src2);
+}
+
+RegNum
+opDef(const Operation &op)
+{
+    if (op.op == Opcode::Call)
+        return regRet;  // the returned value is written back
+    return hasDest(op.op) ? op.dst : invalidId;
+}
+
+Liveness
+computeLiveness(const Function &func)
+{
+    const RegNum universe = func.numVirtualRegs;
+    const std::size_t n = func.blocks.size();
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(n, RegSet(universe));
+    std::vector<RegSet> kill(n, RegSet(universe));
+    std::vector<RegNum> uses;
+    for (std::size_t b = 0; b < n; ++b) {
+        for (const Operation &op : func.blocks[b].ops) {
+            uses.clear();
+            opUses(op, uses);
+            for (RegNum u : uses)
+                if (u != regZero && !kill[b].contains(u))
+                    gen[b].insert(u);
+            const RegNum d = opDef(op);
+            if (d != invalidId)
+                kill[b].insert(d);
+        }
+    }
+
+    std::vector<std::vector<BlockId>> succs(n);
+    for (std::size_t b = 0; b < n; ++b)
+        succs[b] = blockSuccessors(func, static_cast<BlockId>(b));
+
+    Liveness live;
+    live.liveIn.assign(n, RegSet(universe));
+    live.liveOut.assign(n, RegSet(universe));
+
+    // Iterate to fixpoint (reverse order converges fast on reducible
+    // CFGs).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = n; i-- > 0;) {
+            const BlockId b = static_cast<BlockId>(i);
+            for (BlockId s : succs[b])
+                changed |= live.liveOut[b].unionWith(live.liveIn[s]);
+            // liveIn = gen | (liveOut - kill).  liveIn only grows
+            // across iterations, so assignment is monotone here.
+            changed |= live.liveIn[b].assignTransfer(
+                gen[b], live.liveOut[b], kill[b]);
+        }
+    }
+    return live;
+}
+
+} // namespace bsisa

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-function register liveness analysis.
+ *
+ * Classic backward dataflow over the CFG producing live-in/live-out
+ * bit sets per block.  Registers are the union of architectural and
+ * virtual numbers; dense bitsets keep the analysis cheap even for
+ * functions with thousands of virtual registers.
+ */
+
+#ifndef BSISA_REGALLOC_LIVENESS_HH
+#define BSISA_REGALLOC_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Dense register set. */
+class RegSet
+{
+  public:
+    explicit RegSet(RegNum universe = 0)
+        : words((universe + 63) / 64, 0)
+    {
+    }
+
+    void
+    insert(RegNum r)
+    {
+        words[r >> 6] |= 1ULL << (r & 63);
+    }
+
+    void
+    erase(RegNum r)
+    {
+        words[r >> 6] &= ~(1ULL << (r & 63));
+    }
+
+    bool
+    contains(RegNum r) const
+    {
+        return (words[r >> 6] >> (r & 63)) & 1;
+    }
+
+    /** this |= other; returns true if this changed. */
+    bool
+    unionWith(const RegSet &other)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const std::uint64_t merged = words[i] | other.words[i];
+            if (merged != words[i]) {
+                words[i] = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** this = gen | (out & ~kill); returns true if this changed. */
+    bool
+    assignTransfer(const RegSet &gen, const RegSet &out, const RegSet &kill)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const std::uint64_t v =
+                gen.words[i] | (out.words[i] & ~kill.words[i]);
+            if (v != words[i]) {
+                words[i] = v;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (std::uint64_t w : words)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+  private:
+    std::vector<std::uint64_t> words;
+};
+
+/**
+ * Register uses of @p op appended to @p uses.  A Call conservatively
+ * reads every architectural register (the callee's window is copied
+ * from them); a Ret reads the return-value register.
+ */
+void opUses(const Operation &op, std::vector<RegNum> &uses);
+
+/** Defined register of @p op, or invalidId. */
+RegNum opDef(const Operation &op);
+
+/** Liveness result: one live-in and live-out set per block. */
+struct Liveness
+{
+    std::vector<RegSet> liveIn;
+    std::vector<RegSet> liveOut;
+};
+
+/** Compute liveness for @p func. */
+Liveness computeLiveness(const Function &func);
+
+} // namespace bsisa
+
+#endif // BSISA_REGALLOC_LIVENESS_HH

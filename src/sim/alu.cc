@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ALU semantics implementation.
+ */
+
+#include "sim/alu.hh"
+
+#include <bit>
+#include <climits>
+
+namespace bsisa
+{
+
+namespace
+{
+
+std::int64_t
+signedDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return INT64_MIN;
+    return a / b;
+}
+
+std::int64_t
+signedRem(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+std::uint64_t
+fp(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+fp(std::uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+} // namespace
+
+bool
+evalAluOp(const Operation &op, std::uint64_t s1, std::uint64_t s2,
+          std::uint64_t &out)
+{
+    const auto i1 = static_cast<std::int64_t>(s1);
+    const auto i2 = static_cast<std::int64_t>(s2);
+    const auto uimm = static_cast<std::uint64_t>(op.imm);
+    switch (op.op) {
+      case Opcode::Nop: return false;
+      case Opcode::MovI: out = uimm; return true;
+      case Opcode::Mov: out = s1; return true;
+      case Opcode::Add: out = s1 + s2; return true;
+      case Opcode::AddI: out = s1 + uimm; return true;
+      case Opcode::Sub: out = s1 - s2; return true;
+      case Opcode::And: out = s1 & s2; return true;
+      case Opcode::AndI: out = s1 & uimm; return true;
+      case Opcode::Or: out = s1 | s2; return true;
+      case Opcode::Xor: out = s1 ^ s2; return true;
+      case Opcode::CmpEq: out = s1 == s2; return true;
+      case Opcode::CmpEqI: out = s1 == uimm; return true;
+      case Opcode::CmpNe: out = s1 != s2; return true;
+      case Opcode::CmpLt: out = i1 < i2; return true;
+      case Opcode::CmpLtI: out = i1 < op.imm; return true;
+      case Opcode::CmpLe: out = i1 <= i2; return true;
+      case Opcode::Shl: out = s1 << (s2 & 63); return true;
+      case Opcode::ShlI: out = s1 << (op.imm & 63); return true;
+      case Opcode::Shr: out = s1 >> (s2 & 63); return true;
+      case Opcode::ShrI: out = s1 >> (op.imm & 63); return true;
+      case Opcode::BitTest: out = (s1 >> (s2 & 63)) & 1; return true;
+      case Opcode::Mul: out = s1 * s2; return true;
+      case Opcode::Div:
+        out = static_cast<std::uint64_t>(signedDiv(i1, i2));
+        return true;
+      case Opcode::Rem:
+        out = static_cast<std::uint64_t>(signedRem(i1, i2));
+        return true;
+      case Opcode::FAdd: out = fp(fp(s1) + fp(s2)); return true;
+      case Opcode::FSub: out = fp(fp(s1) - fp(s2)); return true;
+      case Opcode::FMul: out = fp(fp(s1) * fp(s2)); return true;
+      case Opcode::FDiv:
+        out = fp(fp(s2) == 0.0 ? 0.0 : fp(s1) / fp(s2));
+        return true;
+      case Opcode::FCvt:
+        out = fp(static_cast<double>(i1));
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace bsisa

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Single source of truth for ALU operation semantics.
+ *
+ * The conventional interpreter, the block-structured interpreter, and
+ * the constant folder all evaluate operations through this function so
+ * their semantics can never drift apart.
+ */
+
+#ifndef BSISA_SIM_ALU_HH
+#define BSISA_SIM_ALU_HH
+
+#include <cstdint>
+
+#include "arch/operation.hh"
+
+namespace bsisa
+{
+
+/**
+ * Evaluate a register-to-register/immediate computational operation.
+ *
+ * @param op The operation (imm is read for immediate forms).
+ * @param s1 Value of src1 (ignored when unused).
+ * @param s2 Value of src2 (ignored when unused).
+ * @param out Result on success.
+ * @retval true op is a pure computational op and was evaluated.
+ * @retval false op is a memory, control, or fault operation.
+ */
+bool evalAluOp(const Operation &op, std::uint64_t s1, std::uint64_t s2,
+               std::uint64_t &out);
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_ALU_HH

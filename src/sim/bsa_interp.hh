@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Functional interpreter for block-structured ISA programs.
+ *
+ * Executes a BsaModule with the architectural atomic-block semantics:
+ * every operation of a block executes into a speculation buffer; if
+ * any fault operation's condition fires, the whole block is suppressed
+ * (no architectural effect) and control redirects to the fault's
+ * target; otherwise the block commits atomically.
+ *
+ * The *variant policy* models the fetch engine's freedom: whenever
+ * control reaches an enlargement head, any emitted variant of that
+ * head is a legal block to fetch (a wrong one will fault its way to
+ * the right one).  The equivalence property test runs an adversarial
+ * random policy and checks that the final architectural state matches
+ * the conventional interpreter exactly.
+ */
+
+#ifndef BSISA_SIM_BSA_INTERP_HH
+#define BSISA_SIM_BSA_INTERP_HH
+
+#include <functional>
+
+#include "core/bsa.hh"
+#include "sim/interp.hh"
+#include "sim/memory.hh"
+
+namespace bsisa
+{
+
+/**
+ * Picks which emitted variant to fetch for a head.
+ * Receives the trie and must return one of trie.emitted's node
+ * indices.
+ */
+using VariantPolicy =
+    std::function<int(const BsaModule &, FuncId, const HeadTrie &)>;
+
+/** Always fetch the deepest variant consistent with nothing (the
+ *  first emitted node = shallowest in construction order is NOT used;
+ *  this policy picks variant 0 deterministically). */
+VariantPolicy firstVariantPolicy();
+
+/** Random variant selection from a deterministic seed. */
+VariantPolicy randomVariantPolicy(std::uint64_t seed);
+
+class BsaInterp
+{
+  public:
+    struct Limits
+    {
+        std::uint64_t maxOps = 1ull << 62;
+        std::uint64_t maxBlocks = 1ull << 62;
+    };
+
+    BsaInterp(const BsaModule &bsa, VariantPolicy policy, Limits limits);
+    BsaInterp(const BsaModule &bsa, VariantPolicy policy)
+        : BsaInterp(bsa, std::move(policy), Limits())
+    {
+    }
+
+    /**
+     * Execute one fetched atomic block (commit or suppress).
+     * @retval false the program halted or hit a limit.
+     */
+    bool step();
+
+    /** Run to completion or limit. */
+    void run();
+
+    bool halted() const { return isHalted; }
+
+    /** Committed (architecturally executed) operations. */
+    std::uint64_t committedOps() const { return nCommittedOps; }
+    /** Operations executed then suppressed by faults. */
+    std::uint64_t suppressedOps() const { return nSuppressedOps; }
+    /** Blocks committed. */
+    std::uint64_t committedBlocks() const { return nCommittedBlocks; }
+    /** Blocks suppressed by a firing fault. */
+    std::uint64_t suppressedBlocks() const { return nSuppressedBlocks; }
+
+    std::uint64_t exitValue() const;
+    std::uint64_t memChecksum() const { return mem.checksum(); }
+
+    /** Global-data-only checksum (see Interp::dataChecksum). */
+    std::uint64_t
+    dataChecksum() const
+    {
+        return mem.checksumRange(
+            Module::dataBase, Module::dataBase + module.data.size() * 8);
+    }
+
+  private:
+    struct Frame
+    {
+        FuncId func;
+        BlockId retTo;
+        std::vector<std::uint64_t> regs;
+    };
+
+    const BsaModule &bsa;
+    const Module &module;
+    VariantPolicy policy;
+    Limits limits;
+    Memory mem;
+    std::vector<Frame> frames;
+    AtomicBlockId curBlock;
+    bool isHalted = false;
+    std::uint64_t nCommittedOps = 0;
+    std::uint64_t nSuppressedOps = 0;
+    std::uint64_t nCommittedBlocks = 0;
+    std::uint64_t nSuppressedBlocks = 0;
+
+    /** Fetch the policy-chosen variant of (func, head). */
+    AtomicBlockId fetchHead(FuncId func, BlockId head);
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_BSA_INTERP_HH

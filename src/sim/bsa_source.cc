@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Block-structured fetch source implementation.
+ */
+
+#include "sim/bsa_source.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+std::uint64_t
+headToken(FuncId func, BlockId block)
+{
+    return (std::uint64_t(func) << 32) | block;
+}
+
+} // namespace
+
+BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
+                               const MachineConfig &config,
+                               Interp::Limits limits)
+    : bsa(bsa_mod), module(*bsa_mod.src),
+      perfect(config.perfectPrediction), predictor(config.predictor),
+      interp(module, limits)
+{
+    refill();
+}
+
+void
+BsaFetchSource::refill()
+{
+    while (!interpDone && events.size() < 64) {
+        BlockEvent ev;
+        if (interp.step(ev))
+            events.push_back(std::move(ev));
+        else
+            interpDone = true;
+    }
+}
+
+int
+BsaFetchSource::maximalVariant(FuncId func, BlockId head,
+                               unsigned &eventsUsed) const
+{
+    const HeadTrie &trie = bsa.trie(func, head);
+    const Function &fn = module.functions[func];
+    int node = 0;
+    unsigned i = 0;
+    BSISA_ASSERT(!events.empty() && events[0].block == head &&
+                 events[0].func == func);
+
+    for (;;) {
+        const TrieNode &tn = trie.nodes[node];
+        const Operation &term = fn.blocks[tn.bb].terminator();
+        int child = -1;
+        if (term.op == Opcode::Jmp) {
+            child = tn.childThru;
+        } else if (term.op == Opcode::Trap && i < events.size()) {
+            child = events[i].taken ? tn.childTaken : tn.childNotTaken;
+        }
+        if (child == -1 || i + 1 >= events.size()) {
+            // Stop here; if the walk was cut short by a truncated
+            // event stream the node may be pass-through, so fall to
+            // its default emitted descendant.
+            int stop = node;
+            while (trie.nodes[stop].block == invalidId) {
+                const TrieNode &cur = trie.nodes[stop];
+                stop = cur.childThru != -1        ? cur.childThru
+                       : cur.childNotTaken != -1 ? cur.childNotTaken
+                                                 : cur.childTaken;
+                BSISA_ASSERT(stop != -1);
+            }
+            const AtomicBlock &blk = bsa.blocks[trie.nodes[stop].block];
+            eventsUsed = static_cast<unsigned>(std::min<std::size_t>(
+                blk.bbs.size(), events.size()));
+            return stop;
+        }
+        node = child;
+        ++i;
+    }
+}
+
+bool
+BsaFetchSource::compatible(AtomicBlockId block, FuncId func,
+                           BlockId head) const
+{
+    if (block == invalidId)
+        return false;
+    const AtomicBlock &blk = bsa.blocks[block];
+    if (blk.func != func || blk.bbs.front() != head)
+        return false;
+    if (blk.bbs.size() > events.size())
+        return false;
+    for (std::size_t i = 0; i < blk.bbs.size(); ++i) {
+        const BlockEvent &ev = events[i];
+        if (ev.func != func || ev.block != blk.bbs[i])
+            return false;
+        if (i + 1 < blk.bbs.size() &&
+            (ev.nextFunc != func || ev.nextBlock != blk.bbs[i + 1])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+unsigned
+BsaFetchSource::variantIndex(const HeadTrie &trie, AtomicBlockId block)
+{
+    for (unsigned v = 0; v < trie.emitted.size(); ++v)
+        if (trie.nodes[trie.emitted[v]].block == block)
+            return v;
+    panic("block is not a variant of this trie");
+}
+
+void
+BsaFetchSource::predictSuccessor(const AtomicBlock &blk,
+                                 const BlockEvent &lastEvent)
+{
+    pendingRedirect = RedirectInfo{};
+    predictedNext = invalidId;
+
+    if (lastEvent.exit == ExitKind::Halt || events.empty())
+        return;
+
+    const FuncId next_func = lastEvent.nextFunc;
+    const BlockId next_head = lastEvent.nextBlock;
+    BSISA_ASSERT(events[0].func == next_func &&
+                 events[0].block == next_head);
+
+    const HeadTrie &next_trie = bsa.trie(next_func, next_head);
+    unsigned used = 0;
+    const int max_node = maximalVariant(next_func, next_head, used);
+    const AtomicBlockId s_max = next_trie.nodes[max_node].block;
+
+    if (perfect) {
+        predictedNext = s_max;
+        return;
+    }
+
+    const std::uint64_t pc = blk.addr;
+    const Operation &term = blk.terminator();
+
+    // Canonical successor slot layout: taken-side variants first.
+    auto side_variants = [&](BlockId target) -> const HeadTrie * {
+        return bsa.findTrie(blk.func, target);
+    };
+    auto slot_of = [&](bool taken_side, unsigned variant) -> unsigned {
+        unsigned slot = variant;
+        if (term.op == Opcode::Trap && !taken_side) {
+            const HeadTrie *t0 = side_variants(term.target0);
+            slot += t0 ? static_cast<unsigned>(t0->emitted.size()) : 0;
+        }
+        return slot & (btbSuccessorSlots - 1);
+    };
+
+    // ----------------------------------------------------- predict
+    AtomicBlockId candidate = invalidId;
+    const BlockPredictor::Prediction pred = predictor.predict(pc);
+    switch (term.op) {
+      case Opcode::Trap: {
+        const BlockId target =
+            pred.trapTaken ? term.target0 : term.target1;
+        if (const HeadTrie *trie = side_variants(target)) {
+            const unsigned nvar =
+                static_cast<unsigned>(trie->emitted.size());
+            const unsigned variant = std::min(pred.variantBits,
+                                              nvar - 1);
+            const AtomicBlockId structural =
+                trie->nodes[trie->emitted[variant]].block;
+            const unsigned slot = slot_of(pred.trapTaken, variant);
+            if (predictor.successor(pc, slot) == structural)
+                candidate = structural;
+            else if (predictor.lastSuccessor(pc) != ~0ull)
+                candidate = static_cast<AtomicBlockId>(
+                    predictor.lastSuccessor(pc));
+        }
+        break;
+      }
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret: {
+        FuncId hf = next_func;
+        BlockId hb = next_head;
+        if (term.op == Opcode::Ret) {
+            // The return address stack provides the head.
+            const std::uint64_t token = predictor.popReturn();
+            if (token == ~0ull)
+                break;
+            hf = static_cast<FuncId>(token >> 32);
+            hb = static_cast<BlockId>(token & 0xffffffff);
+        } else if (term.op == Opcode::Call) {
+            hf = term.callee;
+            hb = 0;
+        } else {
+            hb = term.target0;
+        }
+        if (const HeadTrie *trie = bsa.findTrie(hf, hb)) {
+            const unsigned nvar =
+                static_cast<unsigned>(trie->emitted.size());
+            const unsigned variant = std::min(pred.variantBits,
+                                              nvar - 1);
+            const AtomicBlockId structural =
+                trie->nodes[trie->emitted[variant]].block;
+            const unsigned slot = variant & (btbSuccessorSlots - 1);
+            if (predictor.successor(pc, slot) == structural)
+                candidate = structural;
+            else if (predictor.lastSuccessor(pc) != ~0ull)
+                candidate = static_cast<AtomicBlockId>(
+                    predictor.lastSuccessor(pc));
+        }
+        break;
+      }
+      case Opcode::IJmp: {
+        const std::uint64_t token = predictor.lastSuccessor(pc);
+        if (token != ~0ull)
+            candidate = static_cast<AtomicBlockId>(token);
+        break;
+      }
+      default:
+        break;
+    }
+    if (term.op == Opcode::Call)
+        predictor.pushReturn(headToken(blk.func, term.target0));
+
+    // ------------------------------------------------------- train
+    const unsigned actual_variant = variantIndex(next_trie, s_max);
+    BlockPredictor::Prediction actual;
+    actual.trapTaken =
+        term.op == Opcode::Trap ? lastEvent.taken : false;
+    actual.variantBits = actual_variant;
+    unsigned succ_index = actual_variant;
+    if (term.op == Opcode::Trap)
+        succ_index = slot_of(lastEvent.taken, actual_variant);
+    predictor.update(pc, actual, blk.succBits, succ_index);
+    predictor.install(pc, succ_index & (btbSuccessorSlots - 1), s_max);
+
+    // ---------------------------------------------------- classify
+    bool counted = blk.succBits > 0 || term.op == Opcode::IJmp;
+    if (counted)
+        ++nPredictions;
+
+    if (candidate != invalidId &&
+        compatible(candidate, next_func, next_head)) {
+        predictedNext = candidate;  // commits (possibly shallow)
+        return;
+    }
+
+    // Misprediction.
+    if (!counted)
+        ++nPredictions;  // cold-BTB misses on single-successor blocks
+    pendingRedirect.mispredicted = true;
+    const bool same_head =
+        candidate != invalidId &&
+        bsa.blocks[candidate].func == next_func &&
+        bsa.blocks[candidate].bbs.front() == next_head;
+
+    if (!same_head) {
+        // Wrong head (trap direction / indirect target / cold BTB):
+        // resolved by this block's terminator.
+        ++nTrapMiss;
+        pendingRedirect.resolveInWrongBlock = false;
+        pendingRedirect.resolveOpIdx =
+            static_cast<unsigned>(blk.ops.size() - 1);
+        if (candidate != invalidId) {
+            const AtomicBlock &wrong = bsa.blocks[candidate];
+            pendingRedirect.wrongOps = &wrong.ops;
+            pendingRedirect.wrongPc = wrong.addr;
+            pendingRedirect.wrongBytes = wrong.sizeBytes();
+        }
+        predictedNext = s_max;
+        return;
+    }
+
+    // Same head, wrong variant: a fault inside the wrong block fires.
+    ++nFaultMiss;
+    pendingRedirect.isFault = true;
+    pendingRedirect.resolveInWrongBlock = true;
+
+    // Walk the fault-target cascade until a compatible block.
+    AtomicBlockId wrong_id = candidate;
+    unsigned hops = 0;
+    for (;;) {
+        const AtomicBlock &wrong = bsa.blocks[wrong_id];
+        // Find the first divergent merge edge; thru edges cannot
+        // diverge, so it is always a fault edge.
+        unsigned fault_idx = 0;  // index among the block's fault ops
+        unsigned resolve_op = static_cast<unsigned>(wrong.ops.size() -
+                                                    1);
+        AtomicBlockId fault_target = invalidId;
+        unsigned fault_seen = 0;
+        // Recover fault op positions in order.
+        std::vector<unsigned> fault_ops;
+        for (unsigned i = 0; i < wrong.ops.size(); ++i)
+            if (wrong.ops[i].op == Opcode::Fault)
+                fault_ops.push_back(i);
+        // Determine divergence by comparing the merge path with the
+        // actual stream.
+        bool diverged = false;
+        unsigned dir_idx = 0;
+        for (std::size_t i = 0; i + 1 < wrong.bbs.size(); ++i) {
+            if (i >= events.size())
+                break;  // truncated stream at the program tail
+            const Function &fn = module.functions[wrong.func];
+            const Operation &t = fn.blocks[wrong.bbs[i]].terminator();
+            if (t.op != Opcode::Trap)
+                continue;  // thru edge
+            const bool actual_dir = events[i].taken;
+            const bool merged_dir = wrong.dirs[dir_idx];
+            if (actual_dir != merged_dir) {
+                diverged = true;
+                fault_idx = dir_idx;
+                resolve_op = fault_ops[fault_idx];
+                fault_target = wrong.ops[resolve_op].target0;
+                break;
+            }
+            ++dir_idx;
+        }
+        (void)fault_seen;
+        if (!diverged) {
+            if (hops == 0) {
+                // No divergent fault exists (possible only when the
+                // event stream is truncated at the program tail):
+                // resolve at the previous terminator instead.
+                pendingRedirect.resolveInWrongBlock = false;
+                pendingRedirect.resolveOpIdx =
+                    static_cast<unsigned>(blk.ops.size() - 1);
+            }
+            // The cascade landed on a compatible block.
+            break;
+        }
+        if (hops == 0) {
+            // The first wrong block is the one the pipeline issues.
+            pendingRedirect.resolveOpIdx = resolve_op;
+            pendingRedirect.wrongOps = &wrong.ops;
+            pendingRedirect.wrongPc = wrong.addr;
+            pendingRedirect.wrongBytes = wrong.sizeBytes();
+        }
+        ++hops;
+        ++nCascadeHops;
+        wrong_id = fault_target;
+        if (hops > 8) {
+            wrong_id = s_max;
+            break;
+        }
+    }
+    pendingRedirect.extraHops = hops > 0 ? hops - 1 : 0;
+    // The cascade-final compatible block; next() falls back to the
+    // maximal variant if the stream was truncated underneath us.
+    predictedNext = wrong_id;
+}
+
+bool
+BsaFetchSource::next(TimingUnit &unit)
+{
+    refill();
+    if (events.empty())
+        return false;
+
+    const FuncId func = events[0].func;
+    const BlockId head = events[0].block;
+
+    AtomicBlockId committed;
+    if (predictedNext != invalidId &&
+        compatible(predictedNext, func, head)) {
+        committed = predictedNext;
+    } else {
+        unsigned used = 0;
+        const int node = maximalVariant(func, head, used);
+        committed = bsa.trie(func, head).nodes[node].block;
+    }
+
+    const AtomicBlock &blk = bsa.blocks[committed];
+    unit.pc = blk.addr;
+    unit.bytes = blk.sizeBytes();
+    unit.ops = &blk.ops;
+    unit.redirect = pendingRedirect;
+
+    // Consume the block's events, concatenating memory addresses.
+    emitMemAddrs.clear();
+    const std::size_t consume =
+        std::min<std::size_t>(blk.bbs.size(), events.size());
+    BlockEvent last;
+    for (std::size_t i = 0; i < consume; ++i) {
+        BlockEvent &ev = events.front();
+        emitMemAddrs.insert(emitMemAddrs.end(), ev.memAddrs.begin(),
+                            ev.memAddrs.end());
+        if (i + 1 == consume)
+            last = std::move(ev);
+        events.pop_front();
+    }
+    unit.memAddrs = &emitMemAddrs;
+
+    refill();
+    predictSuccessor(blk, last);
+    return true;
+}
+
+} // namespace bsisa

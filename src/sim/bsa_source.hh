@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fetch source for the block-structured machine.
+ *
+ * Walks the committed basic-block stream (from the functional
+ * interpreter) and groups it into atomic blocks by descending each
+ * enlargement head's variant trie along the *actual* branch
+ * directions.  The block successor predictor chooses which variant the
+ * machine fetches; a compatible (prefix) choice commits directly —
+ * possibly a shallower block than the maximal one, wasting fetch
+ * bandwidth but costing no squash — while an incompatible choice is a
+ * misprediction whose resolving operation is either the previous
+ * block's trap (wrong direction / wrong head) or the first divergent
+ * fault inside the wrongly fetched block (wrong variant, the costly
+ * case the paper highlights: good work is discarded and re-executed).
+ */
+
+#ifndef BSISA_SIM_BSA_SOURCE_HH
+#define BSISA_SIM_BSA_SOURCE_HH
+
+#include <deque>
+
+#include "codegen/layout.hh"
+#include "core/bsa.hh"
+#include "predict/blockpred.hh"
+#include "sim/fetch_source.hh"
+#include "sim/interp.hh"
+#include "sim/machine.hh"
+
+namespace bsisa
+{
+
+class BsaFetchSource : public FetchSource
+{
+  public:
+    BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
+                   Interp::Limits limits);
+
+    bool next(TimingUnit &unit) override;
+
+    std::uint64_t predictions() const override { return nPredictions; }
+    std::uint64_t mispredicts() const override
+    {
+        return nTrapMiss + nFaultMiss;
+    }
+    std::uint64_t trapMispredicts() const override { return nTrapMiss; }
+    std::uint64_t faultMispredicts() const override
+    {
+        return nFaultMiss;
+    }
+    std::uint64_t cascadeHops() const override { return nCascadeHops; }
+
+  private:
+    const BsaModule &bsa;
+    const Module &module;
+    bool perfect;
+    BlockPredictor predictor;
+    Interp interp;
+
+    /** Lookahead of committed basic-block events. */
+    std::deque<BlockEvent> events;
+    bool interpDone = false;
+
+    /** Successor block the predictor chose for the upcoming head
+     *  (invalidId on the first unit / after Halt). */
+    AtomicBlockId predictedNext = invalidId;
+
+    /** Redirect info describing how the upcoming unit gets fetched. */
+    RedirectInfo pendingRedirect;
+
+    /** Stable storage for the emitted unit's memory addresses. */
+    std::vector<std::uint64_t> emitMemAddrs;
+
+    std::uint64_t nPredictions = 0;
+    std::uint64_t nTrapMiss = 0;
+    std::uint64_t nFaultMiss = 0;
+    std::uint64_t nCascadeHops = 0;
+
+    void refill();
+
+    /**
+     * Greedy maximal walk of (func, head)'s trie against the actual
+     * directions in the lookahead buffer.
+     * @return emitted trie node index; eventsUsed is the number of
+     *         buffered events the variant covers.
+     */
+    int maximalVariant(FuncId func, BlockId head,
+                       unsigned &eventsUsed) const;
+
+    /** True iff @p block's merge path matches the buffered events
+     *  (i.e. fetching it would commit without any fault firing). */
+    bool compatible(AtomicBlockId block, FuncId func,
+                    BlockId head) const;
+
+    /** Index of @p block within @p trie's emitted list. */
+    static unsigned variantIndex(const HeadTrie &trie,
+                                 AtomicBlockId block);
+
+    /** Predict the successor of the just-emitted block and set up
+     *  predictedNext/pendingRedirect for the next unit. */
+    void predictSuccessor(const AtomicBlock &blk,
+                          const BlockEvent &lastEvent);
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_BSA_SOURCE_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Conventional fetch source implementation.
+ */
+
+#include "sim/conv_source.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+/** Opaque token for predictor targets: (func, block). */
+std::uint64_t
+blockToken(FuncId func, BlockId block)
+{
+    return (std::uint64_t(func) << 32) | block;
+}
+
+} // namespace
+
+ConvFetchSource::ConvFetchSource(const Module &mod,
+                                 const ConvLayout &lay,
+                                 const MachineConfig &config,
+                                 Interp::Limits limits)
+    : module(mod), layout(lay), perfect(config.perfectPrediction),
+      predictor(config.predictor), interp(mod, limits)
+{
+    curValid = interp.step(cur);
+    nextValid = curValid && interp.step(nextEv);
+}
+
+void
+ConvFetchSource::advance()
+{
+    std::swap(cur, nextEv);
+    curValid = nextValid;
+    nextValid = curValid && interp.step(nextEv);
+}
+
+void
+ConvFetchSource::predictSuccessor()
+{
+    pendingRedirect = RedirectInfo{};
+    if (perfect)
+        return;
+
+    const Function &fn = module.functions[cur.func];
+    const std::uint64_t pc = layout.addrOf(cur.func, cur.block);
+    const Operation &term = fn.blocks[cur.block].terminator();
+
+    switch (cur.exit) {
+      case ExitKind::Trap: {
+        ++nPredictions;
+        const bool predicted = predictor.predictTaken(pc);
+        predictor.update(pc, cur.taken);
+        if (predicted != cur.taken) {
+            ++nMispredicts;
+            pendingRedirect.mispredicted = true;
+            pendingRedirect.resolveInWrongBlock = false;
+            pendingRedirect.resolveOpIdx =
+                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
+                                      1);
+            // The wrongly fetched block is the predicted direction's
+            // target.
+            const BlockId wrong =
+                predicted ? term.target0 : term.target1;
+            pendingRedirect.wrongOps = &fn.blocks[wrong].ops;
+            pendingRedirect.wrongPc = layout.addrOf(cur.func, wrong);
+            pendingRedirect.wrongBytes =
+                layout.bytesOf(cur.func, wrong);
+        }
+        break;
+      }
+      case ExitKind::IJump: {
+        ++nPredictions;
+        const std::uint64_t actual =
+            blockToken(cur.nextFunc, cur.nextBlock);
+        const std::uint64_t predicted = predictor.predictTarget(pc);
+        predictor.updateTarget(pc, actual);
+        if (predicted != actual) {
+            ++nMispredicts;
+            pendingRedirect.mispredicted = true;
+            pendingRedirect.resolveOpIdx =
+                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
+                                      1);
+            if (predicted != ~0ull) {
+                const auto wrong_func =
+                    static_cast<FuncId>(predicted >> 32);
+                const auto wrong_block =
+                    static_cast<BlockId>(predicted & 0xffffffff);
+                pendingRedirect.wrongOps =
+                    &module.functions[wrong_func]
+                         .blocks[wrong_block]
+                         .ops;
+                pendingRedirect.wrongPc =
+                    layout.addrOf(wrong_func, wrong_block);
+                pendingRedirect.wrongBytes =
+                    layout.bytesOf(wrong_func, wrong_block);
+            }
+        }
+        break;
+      }
+      case ExitKind::Call:
+        // Push the continuation; the callee entry is decodable.
+        predictor.pushReturn(blockToken(cur.func, term.target0));
+        break;
+      case ExitKind::Ret: {
+        ++nPredictions;
+        const std::uint64_t actual =
+            blockToken(cur.nextFunc, cur.nextBlock);
+        const std::uint64_t predicted = predictor.popReturn();
+        if (predicted != actual) {
+            ++nMispredicts;
+            pendingRedirect.mispredicted = true;
+            pendingRedirect.resolveOpIdx =
+                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
+                                      1);
+        }
+        break;
+      }
+      case ExitKind::Jump:
+      case ExitKind::Halt:
+        break;  // targets are decodable; never mispredicted
+    }
+}
+
+bool
+ConvFetchSource::next(TimingUnit &unit)
+{
+    if (!curValid)
+        return false;
+
+    unit.pc = layout.addrOf(cur.func, cur.block);
+    unit.bytes = layout.bytesOf(cur.func, cur.block);
+    unit.ops = &module.functions[cur.func].blocks[cur.block].ops;
+    emitMemAddrs.swap(cur.memAddrs);
+    unit.memAddrs = &emitMemAddrs;
+    unit.redirect = pendingRedirect;
+
+    // Predict this unit's successor; the result describes how the
+    // NEXT unit gets fetched.
+    predictSuccessor();
+    advance();
+    return true;
+}
+
+} // namespace bsisa

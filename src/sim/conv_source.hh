@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fetch source for the conventional machine: one basic block per
+ * cycle, a classic two-level adaptive predictor for trap directions,
+ * BTB-predicted indirect jumps, and a return address stack.
+ */
+
+#ifndef BSISA_SIM_CONV_SOURCE_HH
+#define BSISA_SIM_CONV_SOURCE_HH
+
+#include "codegen/layout.hh"
+#include "predict/twolevel.hh"
+#include "sim/fetch_source.hh"
+#include "sim/interp.hh"
+#include "sim/machine.hh"
+
+namespace bsisa
+{
+
+class ConvFetchSource : public FetchSource
+{
+  public:
+    ConvFetchSource(const Module &module, const ConvLayout &layout,
+                    const MachineConfig &config, Interp::Limits limits);
+
+    bool next(TimingUnit &unit) override;
+
+    std::uint64_t predictions() const override { return nPredictions; }
+    std::uint64_t mispredicts() const override { return nMispredicts; }
+    std::uint64_t trapMispredicts() const override
+    {
+        return nMispredicts;
+    }
+    std::uint64_t faultMispredicts() const override { return 0; }
+    std::uint64_t cascadeHops() const override { return 0; }
+
+  private:
+    const Module &module;
+    const ConvLayout &layout;
+    bool perfect;
+    TwoLevelPredictor predictor;
+    Interp interp;
+
+    /** Double-buffered events: current and lookahead. */
+    BlockEvent cur, nextEv;
+    bool curValid = false;
+    bool nextValid = false;
+    /** Stable storage for the emitted unit's memory addresses (cur is
+     *  recycled by advance() while the pipeline still reads the
+     *  unit). */
+    std::vector<std::uint64_t> emitMemAddrs;
+
+    /** Redirect info computed while predicting cur's successor. */
+    RedirectInfo pendingRedirect;
+
+    std::uint64_t nPredictions = 0;
+    std::uint64_t nMispredicts = 0;
+
+    void advance();
+    /** Predict cur's successor, filling pendingRedirect for the NEXT
+     *  unit and training the predictor. */
+    void predictSuccessor();
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_CONV_SOURCE_HH

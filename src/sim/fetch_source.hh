@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The interface between the ISA-specific fetch/prediction logic and
+ * the shared cycle-level pipeline core.
+ *
+ * A FetchSource walks the committed execution (driven by the
+ * functional interpreter) one fetch unit at a time — a basic block on
+ * the conventional machine, an atomic block on the block-structured
+ * machine — performing branch/successor prediction as it goes.  Each
+ * emitted TimingUnit carries the unit's static code, its dynamic
+ * memory addresses, and a description of how the unit came to be
+ * fetched (cleanly, or after a resolved misprediction, including the
+ * wrongly fetched block whose operations consumed machine resources).
+ */
+
+#ifndef BSISA_SIM_FETCH_SOURCE_HH
+#define BSISA_SIM_FETCH_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/operation.hh"
+
+namespace bsisa
+{
+
+/** How a unit's fetch was delayed by a misprediction. */
+struct RedirectInfo
+{
+    bool mispredicted = false;
+    /** True when the resolving operation is inside the WRONG block (a
+     *  fault); false when it is the previous unit's terminator. */
+    bool resolveInWrongBlock = false;
+    /** Index of the resolving operation within its block. */
+    unsigned resolveOpIdx = 0;
+    /** The wrongly fetched block (may be null for cold misses). */
+    const std::vector<Operation> *wrongOps = nullptr;
+    std::uint64_t wrongPc = 0;
+    std::uint32_t wrongBytes = 0;
+    /** Additional fault-cascade redirects beyond the first. */
+    unsigned extraHops = 0;
+    /** Classification: fault (variant) vs trap (direction) miss. */
+    bool isFault = false;
+};
+
+/** One committed fetch unit plus its fetch-path history. */
+struct TimingUnit
+{
+    std::uint64_t pc = 0;
+    std::uint32_t bytes = 0;
+    /** True when the unit was supplied by a side structure (trace
+     *  cache) and must not touch the instruction cache. */
+    bool skipIcache = false;
+    const std::vector<Operation> *ops = nullptr;
+    /** Ld/St addresses in operation order (correct path only). */
+    const std::vector<std::uint64_t> *memAddrs = nullptr;
+    RedirectInfo redirect;
+};
+
+class FetchSource
+{
+  public:
+    virtual ~FetchSource() = default;
+
+    /** Produce the next committed unit; false at end of program. */
+    virtual bool next(TimingUnit &unit) = 0;
+
+    /** Successor predictions made so far. */
+    virtual std::uint64_t predictions() const = 0;
+    virtual std::uint64_t mispredicts() const = 0;
+    virtual std::uint64_t trapMispredicts() const = 0;
+    virtual std::uint64_t faultMispredicts() const = 0;
+    virtual std::uint64_t cascadeHops() const = 0;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_FETCH_SOURCE_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Functional interpreter implementation.
+ */
+
+#include "sim/interp.hh"
+
+#include "sim/alu.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+Interp::Interp(const Module &mod, Limits lim)
+    : module(mod), limits(lim)
+{
+    BSISA_ASSERT(mod.mainFunc < mod.functions.size());
+    mem.init(Module::dataBase, mod.data);
+
+    const Function &main_fn = module.functions[module.mainFunc];
+    Frame f;
+    f.func = module.mainFunc;
+    f.retTo = invalidId;
+    f.regs.assign(std::max<RegNum>(main_fn.numVirtualRegs, numArchRegs), 0);
+    f.regs[regSp] = Module::stackBase - main_fn.frameSize;
+    frames.push_back(std::move(f));
+}
+
+std::uint64_t
+Interp::readReg(const Frame &f, RegNum r) const
+{
+    if (r == regZero)
+        return 0;
+    BSISA_ASSERT(r < f.regs.size(), "register r", r, " out of range");
+    return f.regs[r];
+}
+
+void
+Interp::writeReg(Frame &f, RegNum r, std::uint64_t v)
+{
+    BSISA_ASSERT(r != regZero && r < f.regs.size());
+    f.regs[r] = v;
+}
+
+std::uint64_t
+Interp::exitValue() const
+{
+    BSISA_ASSERT(!frames.empty());
+    return frames.front().regs[regRet];
+}
+
+bool
+Interp::step(BlockEvent &ev)
+{
+    if (isHalted || ops >= limits.maxOps || blocks >= limits.maxBlocks)
+        return false;
+
+    Frame &frame = frames.back();
+    const Function &fn = module.functions[frame.func];
+    BSISA_ASSERT(curBlock < fn.blocks.size());
+    const Block &blk = fn.blocks[curBlock];
+    BSISA_ASSERT(blk.sealed());
+
+    ev.func = frame.func;
+    ev.block = curBlock;
+    ev.taken = false;
+    ev.memAddrs.clear();
+
+    for (const Operation &op : blk.ops) {
+        ++ops;
+
+        const unsigned nsrc = numSources(op.op);
+        const std::uint64_t s1 = nsrc >= 1 ? readReg(frame, op.src1) : 0;
+        const std::uint64_t s2 = nsrc >= 2 ? readReg(frame, op.src2) : 0;
+
+        std::uint64_t result;
+        if (evalAluOp(op, s1, s2, result)) {
+            writeReg(frame, op.dst, result);
+            continue;
+        }
+
+        switch (op.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::Ld: {
+            const std::uint64_t addr =
+                s1 + static_cast<std::uint64_t>(op.imm);
+            ev.memAddrs.push_back(addr);
+            writeReg(frame, op.dst, mem.read(addr));
+            break;
+          }
+          case Opcode::St: {
+            const std::uint64_t addr =
+                s1 + static_cast<std::uint64_t>(op.imm);
+            ev.memAddrs.push_back(addr);
+            mem.write(addr, s2);
+            break;
+          }
+          case Opcode::Fault:
+            panic("fault operation reached the conventional interpreter");
+          case Opcode::Jmp:
+            ev.exit = ExitKind::Jump;
+            ev.nextFunc = frame.func;
+            ev.nextBlock = op.target0;
+            break;
+          case Opcode::Trap: {
+            const bool taken = s1 != 0;
+            ev.exit = ExitKind::Trap;
+            ev.taken = taken;
+            ev.nextFunc = frame.func;
+            ev.nextBlock = taken ? op.target0 : op.target1;
+            break;
+          }
+          case Opcode::IJmp: {
+            const auto &table = fn.jumpTables[op.imm];
+            BSISA_ASSERT(!table.empty());
+            ev.exit = ExitKind::IJump;
+            ev.nextFunc = frame.func;
+            ev.nextBlock = table[s1 % table.size()];
+            break;
+          }
+          case Opcode::Call: {
+            const Function &callee = module.functions[op.callee];
+            ev.exit = ExitKind::Call;
+            ev.nextFunc = op.callee;
+            ev.nextBlock = 0;
+
+            Frame nf;
+            nf.func = op.callee;
+            nf.retTo = op.target0;
+            nf.regs.assign(
+                std::max<RegNum>(callee.numVirtualRegs, numArchRegs), 0);
+            for (RegNum r = 0; r < numArchRegs; ++r)
+                nf.regs[r] = frame.regs[r];
+            nf.regs[regSp] -= callee.frameSize;
+            if (frames.size() >= 100000)
+                fatal("call stack overflow (runaway recursion?)");
+            frames.push_back(std::move(nf));
+            break;
+          }
+          case Opcode::Ret: {
+            BSISA_ASSERT(frames.size() > 1,
+                         "ret from the bottom frame; main must halt");
+            ev.exit = ExitKind::Ret;
+            const std::uint64_t ret_val = frame.regs[regRet];
+            const BlockId ret_to = frame.retTo;
+            frames.pop_back();
+            frames.back().regs[regRet] = ret_val;
+            ev.nextFunc = frames.back().func;
+            ev.nextBlock = ret_to;
+            break;
+          }
+          case Opcode::Halt:
+            ev.exit = ExitKind::Halt;
+            ev.nextFunc = invalidId;
+            ev.nextBlock = invalidId;
+            isHalted = true;
+            break;
+          default:
+            panic("unhandled opcode ", opcodeName(op.op));
+        }
+        // 'frame' may dangle after Call/Ret; both are terminators so
+        // the loop ends here anyway.
+        if (op.op == Opcode::Call || op.op == Opcode::Ret)
+            break;
+    }
+
+    ++blocks;
+    if (!isHalted)
+        curBlock = ev.nextBlock;
+    return true;
+}
+
+void
+Interp::run()
+{
+    BlockEvent ev;
+    while (step(ev)) {
+    }
+}
+
+} // namespace bsisa

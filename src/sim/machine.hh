@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine configuration for the cycle-level timing models.
+ *
+ * Defaults reproduce the paper's processor (section 4.3): sixteen-wide
+ * issue, one fetch unit (atomic block or basic block) per cycle, a
+ * 32-block/512-operation instruction window, sixteen uniform pipelined
+ * functional units with Table-1 latencies, a 16 KB L1 dcache and a
+ * 64 KB 4-way L1 icache, both backed by perfect 6-cycle L2 caches.
+ */
+
+#ifndef BSISA_SIM_MACHINE_HH
+#define BSISA_SIM_MACHINE_HH
+
+#include "cache/cache.hh"
+#include "predict/twolevel.hh"
+
+namespace bsisa
+{
+
+struct MachineConfig
+{
+    /** Maximum operations issued per cycle and per fetch unit. */
+    unsigned issueWidth = 16;
+
+    /** Window capacity in operations (32 blocks x 16 ops). */
+    unsigned windowOps = 512;
+
+    /** Window capacity in fetch units (atomic blocks). */
+    unsigned windowUnits = 32;
+
+    /** Pipeline stages between fetch and earliest issue. */
+    unsigned frontendDepth = 3;
+
+    /** Extra bubbles after a resolved misprediction redirect. */
+    unsigned redirectPenalty = 2;
+
+    /** Perfect-L2 access latency (both icache and dcache sides). */
+    unsigned l2Latency = 6;
+
+    CacheConfig icache{64 * 1024, 4, 64, false};
+    CacheConfig dcache{16 * 1024, 4, 64, false};
+
+    PredictorConfig predictor;
+
+    /** Oracle branch prediction (figure 4). */
+    bool perfectPrediction = false;
+};
+
+/** Aggregate result of one timing simulation. */
+struct SimResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retiredOps = 0;
+    std::uint64_t retiredUnits = 0;      //!< committed blocks
+    std::uint64_t wrongPathOps = 0;      //!< issued then squashed
+    std::uint64_t predictions = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t trapMispredicts = 0;   //!< wrong head (direction)
+    std::uint64_t faultMispredicts = 0;  //!< wrong variant
+    std::uint64_t cascadeHops = 0;       //!< extra fault redirects
+    /** Fetch-stall cycle breakdown. */
+    std::uint64_t stallRedirect = 0;  //!< waiting on mispredict resolve
+    std::uint64_t stallWindow = 0;    //!< waiting for window space
+    std::uint64_t stallIcache = 0;    //!< waiting on icache fills
+    CacheStats icache;
+    CacheStats dcache;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(retiredOps) / double(cycles) : 0.0;
+    }
+
+    /** Average retired block size (figure 5). */
+    double
+    avgBlockSize() const
+    {
+        return retiredUnits ? double(retiredOps) / double(retiredUnits)
+                            : 0.0;
+    }
+
+    double
+    branchAccuracy() const
+    {
+        return predictions
+                   ? 1.0 - double(mispredicts) / double(predictions)
+                   : 1.0;
+    }
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_MACHINE_HH

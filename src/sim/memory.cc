@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sparse memory implementation.
+ */
+
+#include "sim/memory.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace bsisa
+{
+
+void
+Memory::checkAligned(std::uint64_t addr)
+{
+    if (addr & 7)
+        fatal("unaligned memory access at 0x", std::hex, addr);
+}
+
+std::uint64_t
+Memory::read(std::uint64_t addr) const
+{
+    checkAligned(addr);
+    const auto it = pages.find(addr >> pageShift);
+    if (it == pages.end())
+        return 0;
+    return it->second[(addr >> 3) & (pageWords - 1)];
+}
+
+void
+Memory::write(std::uint64_t addr, std::uint64_t value)
+{
+    checkAligned(addr);
+    auto &page = pages[addr >> pageShift];
+    if (page.empty())
+        page.assign(pageWords, 0);
+    page[(addr >> 3) & (pageWords - 1)] = value;
+}
+
+void
+Memory::init(std::uint64_t addr, const std::vector<std::uint64_t> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        write(addr + i * 8, words[i]);
+}
+
+std::uint64_t
+Memory::checksumRange(std::uint64_t lo, std::uint64_t hi) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[page_idx, words] : pages) {
+        const std::uint64_t page_base = page_idx << pageShift;
+        if (page_base + (std::uint64_t(pageWords) << 3) <= lo ||
+            page_base >= hi) {
+            continue;
+        }
+        for (unsigned i = 0; i < pageWords; ++i) {
+            const std::uint64_t addr = page_base + (std::uint64_t(i) << 3);
+            if (addr < lo || addr >= hi || words[i] == 0)
+                continue;
+            std::uint64_t h =
+                (page_idx * pageWords + i) * 0x9e3779b97f4a7c15ULL;
+            h ^= words[i] + 0x165667b19e3779f9ULL + (h << 6);
+            std::uint64_t state = h;
+            sum += splitmix64(state);
+        }
+    }
+    return sum;
+}
+
+std::uint64_t
+Memory::checksum() const
+{
+    // Sum of per-word hashes: order independent so the page-map
+    // iteration order cannot leak into the result.
+    std::uint64_t sum = 0;
+    for (const auto &[page_idx, words] : pages) {
+        for (unsigned i = 0; i < pageWords; ++i) {
+            if (words[i] == 0)
+                continue;
+            std::uint64_t h =
+                (page_idx * pageWords + i) * 0x9e3779b97f4a7c15ULL;
+            h ^= words[i] + 0x165667b19e3779f9ULL + (h << 6);
+            std::uint64_t state = h;
+            sum += splitmix64(state);
+        }
+    }
+    return sum;
+}
+
+} // namespace bsisa

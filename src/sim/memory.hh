@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse 64-bit-word memory for functional simulation.
+ *
+ * Pages of 512 words (4 KB) are allocated on first touch.  All accesses
+ * are 8-byte aligned; the compiler only generates word-granular data.
+ */
+
+#ifndef BSISA_SIM_MEMORY_HH
+#define BSISA_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bsisa
+{
+
+class Memory
+{
+  public:
+    /** Read the 64-bit word at @p addr (must be 8-byte aligned). */
+    std::uint64_t read(std::uint64_t addr) const;
+
+    /**
+     * Speculative read: wrong-path code may compute arbitrary
+     * addresses, so the access is silently aligned and unmapped pages
+     * read as zero.
+     */
+    std::uint64_t
+    readSpec(std::uint64_t addr) const
+    {
+        return read(addr & ~7ULL);
+    }
+
+    /** Write the 64-bit word at @p addr (must be 8-byte aligned). */
+    void write(std::uint64_t addr, std::uint64_t value);
+
+    /** Bulk-initialize words starting at @p addr. */
+    void init(std::uint64_t addr, const std::vector<std::uint64_t> &words);
+
+    /** Order-independent checksum over all nonzero words. */
+    std::uint64_t checksum() const;
+
+    /** Checksum restricted to addresses in [lo, hi). */
+    std::uint64_t checksumRange(std::uint64_t lo, std::uint64_t hi) const;
+
+  private:
+    static constexpr unsigned pageWords = 512;
+    static constexpr unsigned pageShift = 12;  // 4 KB pages
+
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> pages;
+
+    static void checkAligned(std::uint64_t addr);
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_MEMORY_HH

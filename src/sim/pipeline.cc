@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Pipeline core implementation.
+ */
+
+#include "sim/pipeline.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+/** Scheduler state shared across units. */
+struct SchedState
+{
+    explicit SchedState(const MachineConfig &config)
+        : cfg(config), slots(config.issueWidth),
+          icache(config.icache), dcache(config.dcache)
+    {
+        regReady.assign(numArchRegs, 0);
+    }
+
+    const MachineConfig &cfg;
+    IssueSlots slots;
+    Cache icache;
+    Cache dcache;
+    std::vector<std::uint64_t> regReady;
+
+    /** In-flight units: (retireCycle, opCount). */
+    std::deque<std::pair<std::uint64_t, unsigned>> inflight;
+    unsigned inflightOps = 0;
+
+    std::uint64_t lastFetch = 0;
+    std::uint64_t lastRetire = 0;
+
+    /** Completion times of the previous committed unit's ops. */
+    std::vector<std::uint64_t> prevDone;
+};
+
+/**
+ * Schedule the ops of a wrongly fetched block.  Ops up to and
+ * including @p mustRunIdx always issue (the resolving fault needs its
+ * operands); later ops issue only if they can start before the squash.
+ * Register state is read from the committed scoreboard but written
+ * only to a local map.  Returns the completion time of op
+ * @p mustRunIdx (the resolve time for fault-style mispredicts).
+ */
+std::uint64_t
+scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
+                  unsigned mustRunIdx, std::uint64_t fetchCycle,
+                  std::uint64_t squashCutoff, std::uint64_t &wrongOps)
+{
+    std::unordered_map<RegNum, std::uint64_t> local;
+    const std::uint64_t earliest = fetchCycle + st.cfg.frontendDepth;
+    std::uint64_t resolve = earliest;
+
+    auto ready_of = [&](RegNum r) -> std::uint64_t {
+        if (r == regZero)
+            return 0;
+        const auto it = local.find(r);
+        if (it != local.end())
+            return it->second;
+        return st.regReady[r];
+    };
+
+    for (unsigned i = 0; i < ops.size(); ++i) {
+        const Operation &op = ops[i];
+        std::uint64_t ready = earliest;
+        const unsigned nsrc = numSources(op.op);
+        if (nsrc >= 1)
+            ready = std::max(ready, ready_of(op.src1));
+        if (nsrc >= 2)
+            ready = std::max(ready, ready_of(op.src2));
+
+        if (i > mustRunIdx && ready > squashCutoff)
+            continue;  // squashed before it could issue
+
+        const std::uint64_t start = st.slots.allocate(ready);
+        if (i > mustRunIdx && start > squashCutoff)
+            continue;
+        ++wrongOps;
+        // Wrong-path loads are modelled as L1 hits: their addresses
+        // are speculative garbage we do not track.
+        const std::uint64_t done = start + op.latency();
+        if (const RegNum d = hasDest(op.op) ? op.dst : invalidId;
+            d != invalidId) {
+            local[d] = done;
+        }
+        if (i == mustRunIdx)
+            resolve = done;
+    }
+    return resolve;
+}
+
+} // namespace
+
+SimResult
+simulatePipeline(FetchSource &source, const MachineConfig &config)
+{
+    SchedState st(config);
+    SimResult result;
+
+    TimingUnit unit;
+    while (source.next(unit)) {
+        BSISA_ASSERT(unit.ops && !unit.ops->empty());
+
+        // ----------------------------------------------------- fetch
+        std::uint64_t fetch = st.lastFetch + 1;
+        const std::uint64_t fetch_base = fetch;
+
+        if (unit.redirect.mispredicted) {
+            std::uint64_t resolve;
+            if (unit.redirect.resolveInWrongBlock) {
+                // A fault in the wrong block resolves the mispredict;
+                // its ops must be issued to find out.
+                BSISA_ASSERT(unit.redirect.wrongOps);
+                // The wrong block was fetched in place of this one.
+                st.icache.accessRange(unit.redirect.wrongPc,
+                                      unit.redirect.wrongBytes);
+                resolve = scheduleWrongPath(
+                    st, *unit.redirect.wrongOps,
+                    unit.redirect.resolveOpIdx, fetch,
+                    ~0ull, result.wrongPathOps);
+            } else {
+                // The previous unit's terminator resolves it.
+                resolve = st.prevDone.empty()
+                              ? fetch
+                              : st.prevDone[unit.redirect.resolveOpIdx];
+                if (unit.redirect.wrongOps) {
+                    st.icache.accessRange(unit.redirect.wrongPc,
+                                          unit.redirect.wrongBytes);
+                    scheduleWrongPath(st, *unit.redirect.wrongOps,
+                                      0, fetch, resolve,
+                                      result.wrongPathOps);
+                }
+            }
+            std::uint64_t redirected =
+                resolve + 1 + config.redirectPenalty;
+            redirected += std::uint64_t(unit.redirect.extraHops) *
+                          (config.redirectPenalty + 1);
+            fetch = std::max(fetch, redirected);
+        }
+        result.stallRedirect += fetch - fetch_base;
+        const std::uint64_t fetch_after_redirect = fetch;
+
+        // Window occupancy: wait for room.
+        while (!st.inflight.empty() &&
+               st.inflight.front().first <= fetch) {
+            st.inflightOps -= st.inflight.front().second;
+            st.inflight.pop_front();
+        }
+        const unsigned unit_ops =
+            static_cast<unsigned>(unit.ops->size());
+        while (st.inflight.size() >= config.windowUnits ||
+               st.inflightOps + unit_ops > config.windowOps) {
+            BSISA_ASSERT(!st.inflight.empty(),
+                         "unit larger than the whole window");
+            fetch = std::max(fetch, st.inflight.front().first);
+            st.inflightOps -= st.inflight.front().second;
+            st.inflight.pop_front();
+        }
+
+        result.stallWindow += fetch - fetch_after_redirect;
+
+        // Instruction cache: any missing line stalls the fetch for one
+        // L2 round trip (lines fill in parallel from the perfect L2).
+        if (!unit.skipIcache &&
+            st.icache.accessRange(unit.pc, unit.bytes) > 0) {
+            fetch += config.l2Latency;
+            result.stallIcache += config.l2Latency;
+        }
+
+        st.lastFetch = fetch;
+        st.slots.advanceTo(fetch);
+
+        // -------------------------------------------------- schedule
+        const std::uint64_t earliest = fetch + config.frontendDepth;
+        std::uint64_t unit_done = earliest;
+        st.prevDone.assign(unit.ops->size(), 0);
+        std::size_t mem_idx = 0;
+
+        for (std::size_t i = 0; i < unit.ops->size(); ++i) {
+            const Operation &op = (*unit.ops)[i];
+            std::uint64_t ready = earliest;
+            const unsigned nsrc = numSources(op.op);
+            if (nsrc >= 1 && op.src1 != regZero)
+                ready = std::max(ready, st.regReady[op.src1]);
+            if (nsrc >= 2 && op.src2 != regZero)
+                ready = std::max(ready, st.regReady[op.src2]);
+
+            const std::uint64_t start = st.slots.allocate(ready);
+            unsigned latency = op.latency();
+            if (op.op == Opcode::Ld || op.op == Opcode::St) {
+                std::uint64_t addr = 0;
+                if (unit.memAddrs && mem_idx < unit.memAddrs->size())
+                    addr = (*unit.memAddrs)[mem_idx];
+                ++mem_idx;
+                const bool hit = st.dcache.access(addr);
+                if (!hit && op.op == Opcode::Ld)
+                    latency += config.l2Latency;
+            }
+            const std::uint64_t done = start + latency;
+            st.prevDone[i] = done;
+            if (hasDest(op.op))
+                st.regReady[op.dst] = done;
+            unit_done = std::max(unit_done, done);
+        }
+
+        // ---------------------------------------------------- retire
+        const std::uint64_t retire =
+            std::max(unit_done + 1, st.lastRetire + 1);
+        st.lastRetire = retire;
+        st.inflight.emplace_back(retire, unit_ops);
+        st.inflightOps += unit_ops;
+
+        result.retiredOps += unit_ops;
+        result.retiredUnits += 1;
+        result.cycles = std::max(result.cycles, retire);
+    }
+
+    result.predictions = source.predictions();
+    result.mispredicts = source.mispredicts();
+    result.trapMispredicts = source.trapMispredicts();
+    result.faultMispredicts = source.faultMispredicts();
+    result.cascadeHops = source.cascadeHops();
+    result.icache = st.icache.stats();
+    result.dcache = st.dcache.stats();
+    return result;
+}
+
+} // namespace bsisa

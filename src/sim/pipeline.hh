@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The shared cycle-level pipeline core.
+ *
+ * Models the paper's HPS-style machine at the fidelity its evaluation
+ * needs: one fetch unit per cycle through the L1 icache, a finite
+ * instruction window with in-order unit retirement, data-dependence-
+ * driven dynamic scheduling onto issueWidth uniform pipelined
+ * functional units with Table-1 latencies, dcache-extended load
+ * latencies, and misprediction redirects that resolve when the
+ * mispredicted trap/fault's operands are ready — including the cost of
+ * issuing the wrongly fetched block's operations.
+ */
+
+#ifndef BSISA_SIM_PIPELINE_HH
+#define BSISA_SIM_PIPELINE_HH
+
+#include <deque>
+
+#include "cache/cache.hh"
+#include "sim/fetch_source.hh"
+#include "sim/machine.hh"
+
+namespace bsisa
+{
+
+/** Run @p source through a machine configured by @p config. */
+SimResult simulatePipeline(FetchSource &source,
+                           const MachineConfig &config);
+
+/**
+ * Per-cycle issue-slot bookkeeping over a sliding window of future
+ * cycles (exposed for unit testing).
+ */
+class IssueSlots
+{
+  public:
+    explicit IssueSlots(unsigned width) : width(width) {}
+
+    /** First cycle >= @p earliest with a free slot; consumes it.
+     *  @p earliest must be >= the last advanceTo() cycle. */
+    std::uint64_t
+    allocate(std::uint64_t earliest)
+    {
+        if (earliest < base)
+            earliest = base;
+        std::uint64_t cycle = earliest;
+        for (;;) {
+            const std::size_t idx = cycle - base;
+            if (idx >= used.size())
+                used.resize(idx + 1, 0);
+            if (used[idx] < width) {
+                ++used[idx];
+                return cycle;
+            }
+            ++cycle;
+        }
+    }
+
+    /** Drop bookkeeping for cycles before @p cycle. */
+    void
+    advanceTo(std::uint64_t cycle)
+    {
+        while (base < cycle && !used.empty()) {
+            used.pop_front();
+            ++base;
+        }
+        if (used.empty())
+            base = cycle;
+    }
+
+  private:
+    unsigned width;
+    std::uint64_t base = 0;
+    std::deque<std::uint8_t> used;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_PIPELINE_HH

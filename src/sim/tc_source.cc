@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Trace-cache fetch source implementation.
+ */
+
+#include "sim/tc_source.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+TraceCacheFetchSource::TraceCacheFetchSource(
+    const Module &mod, const ConvLayout &lay,
+    const MachineConfig &config, const TraceCacheConfig &tcConfig,
+    Interp::Limits limits)
+    : module(mod), layout(lay), perfect(config.perfectPrediction),
+      predictor(config.predictor), cache(tcConfig), interp(mod, limits)
+{
+    refill();
+}
+
+void
+TraceCacheFetchSource::refill()
+{
+    while (!interpDone && events.size() < 16) {
+        BlockEvent ev;
+        if (interp.step(ev))
+            events.push_back(std::move(ev));
+        else
+            interpDone = true;
+    }
+}
+
+std::uint64_t
+TraceCacheFetchSource::token(FuncId func, BlockId block)
+{
+    return (std::uint64_t(func) << 32) | block;
+}
+
+bool
+TraceCacheFetchSource::predictTrap(const BlockEvent &ev)
+{
+    const std::uint64_t pc = layout.addrOf(ev.func, ev.block);
+    if (perfect)
+        return ev.taken;
+    ++nPredictions;
+    const bool predicted = predictor.predictTaken(pc);
+    predictor.update(pc, ev.taken);
+    return predicted;
+}
+
+void
+TraceCacheFetchSource::handleExit(const BlockEvent &ev)
+{
+    const Function &fn = module.functions[ev.func];
+    const Operation &term = fn.blocks[ev.block].terminator();
+    const std::uint64_t pc = layout.addrOf(ev.func, ev.block);
+    switch (ev.exit) {
+      case ExitKind::Call:
+        predictor.pushReturn(token(ev.func, term.target0));
+        break;
+      case ExitKind::Ret: {
+        if (perfect)
+            break;
+        ++nPredictions;
+        const std::uint64_t actual = token(ev.nextFunc, ev.nextBlock);
+        if (predictor.popReturn() != actual) {
+            ++nMispredicts;
+            pendingRedirect.mispredicted = true;
+        }
+        break;
+      }
+      case ExitKind::IJump: {
+        if (perfect)
+            break;
+        ++nPredictions;
+        const std::uint64_t actual = token(ev.nextFunc, ev.nextBlock);
+        const std::uint64_t predicted = predictor.predictTarget(pc);
+        predictor.updateTarget(pc, actual);
+        if (predicted != actual) {
+            ++nMispredicts;
+            pendingRedirect.mispredicted = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+TraceCacheFetchSource::fillWith(const BlockEvent &ev)
+{
+    const Function &fn = module.functions[ev.func];
+    const unsigned block_ops =
+        static_cast<unsigned>(fn.blocks[ev.block].ops.size());
+
+    if (fill.valid &&
+        (fill.blocks.size() >= cache.config().maxBlocks ||
+         fill.ops + block_ops > cache.config().maxOps)) {
+        flushFill();
+    }
+    if (!fill.valid) {
+        fill.valid = true;
+        fill.start = token(ev.func, ev.block);
+        fill.blocks.clear();
+        fill.dirs.clear();
+        fill.ops = 0;
+    }
+    fill.blocks.push_back(token(ev.func, ev.block));
+    fill.ops += block_ops;
+
+    switch (ev.exit) {
+      case ExitKind::Trap:
+        // Every trap direction (including the exit's) is part of the
+        // trace identity, as in the original trace cache: a trace is
+        // only fetched when the predictor agrees with its whole path.
+        fill.dirs.push_back(ev.taken);
+        break;
+      case ExitKind::Jump:
+        break;  // unconditional: no identity bit
+      default:
+        // Calls, returns, indirect jumps, and halt end the trace.
+        flushFill();
+        return;
+    }
+}
+
+void
+TraceCacheFetchSource::flushFill()
+{
+    if (fill.valid && fill.blocks.size() >= 2)
+        cache.install(fill);
+    fill = Trace{};
+}
+
+bool
+TraceCacheFetchSource::next(TimingUnit &unit)
+{
+    refill();
+    if (events.empty())
+        return false;
+
+    const BlockEvent &head = events.front();
+    const std::uint64_t start = token(head.func, head.block);
+
+    // Gather direction predictions along the upcoming path (the trace
+    // cache needs multiple predictions per cycle; this is one of its
+    // acknowledged hardware costs).
+    std::vector<bool> predicted_dirs;
+    std::uint64_t spec_hist =
+        predictor.speculativeHistory(layout.addrOf(head.func,
+                                                   head.block));
+    for (std::size_t i = 0;
+         i < events.size() &&
+         predicted_dirs.size() + 1 < cache.config().maxBlocks * 2;
+         ++i) {
+        const BlockEvent &ev = events[i];
+        if (ev.exit == ExitKind::Trap) {
+            const std::uint64_t pc = layout.addrOf(ev.func, ev.block);
+            bool dir;
+            if (perfect) {
+                dir = ev.taken;
+            } else if (predictor.usesGlobalHistory()) {
+                // Speculative history chaining keeps deep predictions
+                // aligned with the indices update() will train.
+                dir = predictor.predictTakenSpec(pc, spec_hist);
+            } else {
+                dir = predictor.predictTaken(pc);
+            }
+            predicted_dirs.push_back(dir);
+        } else if (ev.exit != ExitKind::Jump) {
+            break;
+        }
+    }
+
+    const Trace *trace = cache.lookup(start, predicted_dirs);
+    const std::size_t planned =
+        trace ? trace->blocks.size() : std::size_t(1);
+
+    unit.redirect = pendingRedirect;
+    pendingRedirect = RedirectInfo{};
+
+    // Commit planned blocks while they match the actual stream; a
+    // wrong direction prediction truncates the unit at the offending
+    // trap (earlier blocks commit; the rest of the trace is squashed).
+    emitOps.clear();
+    emitMemAddrs.clear();
+    std::size_t committed = 0;
+    std::size_t trap_idx = 0;  // index into predicted_dirs
+    bool stop = false;
+    while (committed < planned && !stop) {
+        BSISA_ASSERT(!events.empty());
+        const BlockEvent ev = events.front();
+        events.pop_front();
+        const Function &fn = module.functions[ev.func];
+        const Block &blk = fn.blocks[ev.block];
+        if (trace && trace->blocks[committed] != token(ev.func,
+                                                       ev.block)) {
+            // Should not happen: divergence is caught at the trap
+            // below.  Defensive: re-queue and stop.
+            events.push_front(ev);
+            break;
+        }
+        emitOps.insert(emitOps.end(), blk.ops.begin(), blk.ops.end());
+        emitMemAddrs.insert(emitMemAddrs.end(), ev.memAddrs.begin(),
+                            ev.memAddrs.end());
+        ++committed;
+        fillWith(ev);
+
+        switch (ev.exit) {
+          case ExitKind::Trap: {
+            // Use the SAME prediction the trace lookup consumed so the
+            // fetch decision and its validation cannot disagree.
+            bool predicted;
+            if (trap_idx < predicted_dirs.size()) {
+                predicted = predicted_dirs[trap_idx];
+                if (!perfect) {
+                    ++nPredictions;
+                    predictor.update(
+                        layout.addrOf(ev.func, ev.block), ev.taken);
+                }
+            } else {
+                predicted = predictTrap(ev);
+            }
+            ++trap_idx;
+            if (predicted != ev.taken) {
+                ++nMispredicts;
+                pendingRedirect.mispredicted = true;
+                pendingRedirect.resolveOpIdx =
+                    static_cast<unsigned>(emitOps.size() - 1);
+                const Operation &term = blk.terminator();
+                const BlockId wrong =
+                    predicted ? term.target0 : term.target1;
+                pendingRedirect.wrongOps = &fn.blocks[wrong].ops;
+                pendingRedirect.wrongPc = layout.addrOf(ev.func, wrong);
+                pendingRedirect.wrongBytes =
+                    layout.bytesOf(ev.func, wrong);
+                stop = true;  // the rest of the trace is wrong-path
+            }
+            break;
+          }
+          case ExitKind::Jump:
+            break;
+          default:
+            handleExit(ev);
+            if (ev.exit == ExitKind::Ret || ev.exit == ExitKind::IJump)
+                pendingRedirect.resolveOpIdx =
+                    static_cast<unsigned>(emitOps.size() - 1);
+            stop = true;
+            break;
+        }
+        refill();
+        if (events.empty())
+            break;
+    }
+
+    BSISA_ASSERT(!emitOps.empty());
+    unit.pc = layout.addrOf(head.func, head.block);
+    unit.bytes = static_cast<std::uint32_t>(emitOps.size() * opBytes);
+    unit.skipIcache = trace != nullptr;
+    unit.ops = &emitOps;
+    unit.memAddrs = &emitMemAddrs;
+    return true;
+}
+
+} // namespace bsisa

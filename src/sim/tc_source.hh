@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fetch source for a conventional machine augmented with a TRACE
+ * CACHE — the paper's closest competitor (section 3) and suggested
+ * complement (section 6).
+ *
+ * The core fetch unit supplies one basic block per cycle from the
+ * icache; the trace cache supplies a whole multi-block trace in one
+ * cycle when the predicted path matches a recorded trace.  Traces are
+ * built at RETIREMENT from the committed stream (run-time combining,
+ * in contrast to the block-structured ISA's compile-time combining:
+ * no ISA change, no code expansion, but bounded by the trace cache's
+ * own capacity).
+ */
+
+#ifndef BSISA_SIM_TC_SOURCE_HH
+#define BSISA_SIM_TC_SOURCE_HH
+
+#include <deque>
+
+#include "cache/trace_cache.hh"
+#include "codegen/layout.hh"
+#include "predict/twolevel.hh"
+#include "sim/fetch_source.hh"
+#include "sim/interp.hh"
+#include "sim/machine.hh"
+
+namespace bsisa
+{
+
+class TraceCacheFetchSource : public FetchSource
+{
+  public:
+    TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
+                          const MachineConfig &config,
+                          const TraceCacheConfig &tcConfig,
+                          Interp::Limits limits);
+
+    bool next(TimingUnit &unit) override;
+
+    std::uint64_t predictions() const override { return nPredictions; }
+    std::uint64_t mispredicts() const override { return nMispredicts; }
+    std::uint64_t trapMispredicts() const override
+    {
+        return nMispredicts;
+    }
+    std::uint64_t faultMispredicts() const override { return 0; }
+    std::uint64_t cascadeHops() const override { return 0; }
+
+    /** Trace-cache hit/miss statistics. */
+    std::uint64_t traceHits() const { return cache.hits(); }
+    std::uint64_t traceMisses() const { return cache.misses(); }
+
+  private:
+    const Module &module;
+    const ConvLayout &layout;
+    bool perfect;
+    TwoLevelPredictor predictor;
+    TraceCache cache;
+    Interp interp;
+
+    std::deque<BlockEvent> events;
+    bool interpDone = false;
+
+    /** Redirect computed while emitting the previous unit. */
+    RedirectInfo pendingRedirect;
+
+    /** Fill unit: committed blocks accumulating into a new trace. */
+    Trace fill;
+
+    /** Stable emit buffers. */
+    std::vector<Operation> emitOps;
+    std::vector<std::uint64_t> emitMemAddrs;
+
+    std::uint64_t nPredictions = 0;
+    std::uint64_t nMispredicts = 0;
+
+    void refill();
+    static std::uint64_t token(FuncId func, BlockId block);
+
+    /** Predict the direction of the trap ending @p ev's block; counts
+     *  and trains.  Returns predicted direction. */
+    bool predictTrap(const BlockEvent &ev);
+
+    /** Handle the non-trap exits (call/ret/ijmp bookkeeping). */
+    void handleExit(const BlockEvent &ev);
+
+    /** Append a committed block to the fill unit, flushing when the
+     *  trace is complete. */
+    void fillWith(const BlockEvent &ev);
+    void flushFill();
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_TC_SOURCE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and predictors.
+ */
+
+#ifndef BSISA_SUPPORT_BITUTIL_HH
+#define BSISA_SUPPORT_BITUTIL_HH
+
+#include <cstdint>
+
+namespace bsisa
+{
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)); x must be nonzero.  ceilLog2(1) == 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return floorLog2(x) + (isPowerOfTwo(x) ? 0 : 1);
+}
+
+/** Mask with the low n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_BITUTIL_HH

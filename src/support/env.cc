@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Environment-variable override implementation.
+ */
+
+#include "support/env.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return def;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(raw, &end, 0);
+    if (end == raw || *end != '\0')
+        fatal("environment variable ", name, "='", raw,
+              "' is not an unsigned integer");
+    return v;
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *raw = std::getenv(name);
+    return (raw && *raw) ? std::string(raw) : def;
+}
+
+} // namespace bsisa

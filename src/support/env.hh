@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Environment-variable overrides for experiment scaling.
+ */
+
+#ifndef BSISA_SUPPORT_ENV_HH
+#define BSISA_SUPPORT_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bsisa
+{
+
+/** Read an unsigned integer env var, returning @p def when unset. */
+std::uint64_t envU64(const char *name, std::uint64_t def);
+
+/** Read a string env var, returning @p def when unset. */
+std::string envString(const char *name, const std::string &def);
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_ENV_HH

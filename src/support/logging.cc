@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Implementation of the logging sink.
+ */
+
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace bsisa
+{
+
+void
+logMessage(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace bsisa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it
+ * aborts.  fatal() is for user errors (bad configuration, malformed
+ * input programs); it exits with status 1.  warn()/inform() report
+ * conditions without stopping the run.
+ */
+
+#ifndef BSISA_SUPPORT_LOGGING_HH
+#define BSISA_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bsisa
+{
+
+/** Internal sink; prints "<tag>: <msg>" to stderr. */
+void logMessage(const char *tag, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logMessage("panic", detail::formatAll(args...));
+    std::abort();
+}
+
+/** Report an unrecoverable user-level error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logMessage("fatal", detail::formatAll(args...));
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage("warn", detail::formatAll(args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage("info", detail::formatAll(args...));
+}
+
+/** Panic unless a condition holds; used for simulator invariants. */
+#define BSISA_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::bsisa::panic("assertion failed: ", #cond, " at ", __FILE__, \
+                           ":", __LINE__, " ", ##__VA_ARGS__);            \
+        }                                                                 \
+    } while (0)
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_LOGGING_HH

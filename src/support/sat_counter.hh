@@ -1,0 +1,78 @@
+/**
+ * @file
+ * N-bit saturating counter, the basic building block of the two-level
+ * adaptive predictors (Yeh and Patt, MICRO-24 1991).
+ */
+
+#ifndef BSISA_SUPPORT_SAT_COUNTER_HH
+#define BSISA_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+/**
+ * Saturating up/down counter with a configurable bit width.
+ *
+ * The counter predicts "taken" when its value is in the upper half of
+ * its range (the MSB is set), which for the canonical 2-bit counter
+ * gives the usual strongly/weakly taken and not-taken states.
+ */
+class SatCounter
+{
+  public:
+    /** @param bits Counter width; must be in [1, 8].
+     *  @param initial Initial counter value. */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), val(initial)
+    {
+        BSISA_ASSERT(bits >= 1 && bits <= 8);
+        BSISA_ASSERT(initial <= maxVal);
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    train(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Predicted direction: MSB of the counter. */
+    bool predictTaken() const { return val > maxVal / 2; }
+
+    /** Raw counter value. */
+    unsigned value() const { return val; }
+
+    /** Counter saturation bound. */
+    unsigned maxValue() const { return maxVal; }
+
+  private:
+    std::uint8_t maxVal;
+    std::uint8_t val;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Statistics registry implementation.
+ */
+
+#include "support/stats.hh"
+
+#include <iomanip>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+Stat *
+StatSet::find(const std::string &name)
+{
+    for (auto &s : stats)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+const Stat *
+StatSet::find(const std::string &name) const
+{
+    for (const auto &s : stats)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+StatSet::set(const std::string &name, double value, const std::string &desc)
+{
+    if (Stat *s = find(name)) {
+        s->value = value;
+        if (!desc.empty())
+            s->desc = desc;
+    } else {
+        stats.push_back({name, desc, value});
+    }
+}
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    if (Stat *s = find(name))
+        s->value += delta;
+    else
+        stats.push_back({name, "", delta});
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    const Stat *s = find(name);
+    if (!s)
+        fatal("unknown statistic '", name, "'");
+    return s->value;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &s : stats) {
+        os << std::left << std::setw(40) << s.name << " "
+           << std::setw(16) << s.value;
+        if (!s.desc.empty())
+            os << " # " << s.desc;
+        os << "\n";
+    }
+}
+
+} // namespace bsisa

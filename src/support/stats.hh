@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight named-statistics registry in the spirit of gem5's stats
+ * package: simulation components register scalar statistics with names
+ * and descriptions, and the registry renders them as a table.
+ */
+
+#ifndef BSISA_SUPPORT_STATS_HH
+#define BSISA_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsisa
+{
+
+/** A single named scalar statistic. */
+struct Stat
+{
+    std::string name;
+    std::string desc;
+    double value = 0.0;
+};
+
+/**
+ * A flat collection of named statistics.
+ *
+ * Components add counters during simulation; the registry supports
+ * lookups for tests and a formatted dump for reports.
+ */
+class StatSet
+{
+  public:
+    /** Add (or overwrite) a statistic. */
+    void set(const std::string &name, double value,
+             const std::string &desc = "");
+
+    /** Add to a statistic, creating it at zero if missing. */
+    void add(const std::string &name, double delta);
+
+    /** Value lookup; fatal if the statistic does not exist. */
+    double get(const std::string &name) const;
+
+    /** True iff the statistic exists. */
+    bool has(const std::string &name) const;
+
+    /** Render all statistics as "name value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** All statistics in insertion order. */
+    const std::vector<Stat> &all() const { return stats; }
+
+  private:
+    std::vector<Stat> stats;
+
+    Stat *find(const std::string &name);
+    const Stat *find(const std::string &name) const;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_STATS_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Table and bar-chart rendering implementation.
+ */
+
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    BSISA_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    BSISA_ASSERT(cells.size() == headers_.size(),
+                 "row width mismatches header");
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(int(widths[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+std::string
+Table::fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::fmt(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+Table::fmtSep(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+BarChart::BarChart(std::string title, std::vector<std::string> seriesNames)
+    : title_(std::move(title)), series(std::move(seriesNames))
+{
+    BSISA_ASSERT(!series.empty());
+}
+
+void
+BarChart::addGroup(const std::string &label, std::vector<double> values)
+{
+    BSISA_ASSERT(values.size() == series.size(),
+                 "group value count mismatches series count");
+    groups.emplace_back(label, std::move(values));
+}
+
+void
+BarChart::print(std::ostream &os, unsigned width) const
+{
+    double max_val = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &[label, values] : groups) {
+        label_w = std::max(label_w, label.size());
+        for (double v : values)
+            max_val = std::max(max_val, v);
+    }
+    if (max_val <= 0.0)
+        max_val = 1.0;
+
+    os << title_ << "\n";
+    static const char markers[] = {'#', '=', '*', '+', '~', '%'};
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        os << "  " << markers[s % sizeof(markers)] << " = " << series[s]
+           << "\n";
+    }
+    for (const auto &[label, values] : groups) {
+        for (std::size_t s = 0; s < values.size(); ++s) {
+            const unsigned len = static_cast<unsigned>(
+                values[s] / max_val * width + 0.5);
+            os << "  " << std::left << std::setw(int(label_w))
+               << (s == 0 ? label : "") << " |"
+               << std::string(len, markers[s % sizeof(markers)])
+               << " " << Table::fmt(values[s]) << "\n";
+        }
+    }
+}
+
+} // namespace bsisa

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Plain-text table and bar-chart rendering for experiment reports.
+ *
+ * The bench binaries regenerate the paper's tables and figures as
+ * aligned ASCII tables plus horizontal bar charts, which is the closest
+ * terminal-friendly analogue of the paper's bar figures.
+ */
+
+#ifndef BSISA_SUPPORT_TABLE_HH
+#define BSISA_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsisa
+{
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with single-space-padded columns and a rule under the
+     *  header. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(std::uint64_t v);
+    static std::string fmt(double v, int decimals = 2);
+    /** Thousands-separated integer (e.g. 103,015,025). */
+    static std::string fmtSep(std::uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Horizontal grouped bar chart; one row per label, one bar per series.
+ */
+class BarChart
+{
+  public:
+    /** @param title Chart caption.
+     *  @param seriesNames Legend entries, one per bar within a group. */
+    BarChart(std::string title, std::vector<std::string> seriesNames);
+
+    /** Add a labelled group with one value per series. */
+    void addGroup(const std::string &label, std::vector<double> values);
+
+    /** Render; bars are scaled to @p width characters at the maximum
+     *  value across all groups and series. */
+    void print(std::ostream &os, unsigned width = 50) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> series;
+    std::vector<std::pair<std::string, std::vector<double>>> groups;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_TABLE_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * SPECint95-like benchmark parameter sets.
+ *
+ * Table-2 dynamic instruction counts are the paper's, verbatim; the
+ * shape parameters encode each benchmark's published character:
+ *   - compress: tiny loopy kernel over a big data buffer;
+ *   - gcc: very large code, many small blocks, many unbiased branches;
+ *   - go: large code, the least predictable branches in the suite
+ *     (the paper's figure 3 shows it LOSING with enlargement);
+ *   - ijpeg: small code, big predictable loop bodies;
+ *   - li (xlisp): small recursive interpreter, call-dominated;
+ *   - m88ksim: mid-size simulator loop, predictable dispatch;
+ *   - perl: mid-size interpreter, moderate predictability;
+ *   - vortex: large OO database, call-heavy, biased branches.
+ */
+
+#include "workloads/specmix.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+WorkloadParams
+base()
+{
+    WorkloadParams p;
+    p.numLibFuncs = 4;
+    p.maxLoopTrip = 8;
+    p.fpFraction = 0.04;
+    p.mulDivFraction = 0.07;
+    p.memOpsPerBurst = 1.2;
+    p.hotFraction = 0.6;
+    return p;
+}
+
+} // namespace
+
+std::vector<SpecBenchmark>
+specint95Suite()
+{
+    std::vector<SpecBenchmark> suite;
+
+    {
+        WorkloadParams p = base();
+        p.name = "compress";
+        p.seed = 101;
+        p.numFuncs = 8;
+        p.numLibFuncs = 2;
+        p.itemsPerFunc = 9;
+        p.meanBurstOps = 3.2;
+        p.branchDensity = 0.30;
+        p.loopDensity = 0.30;
+        p.callDensity = 0.14;
+        p.fracPattern = 0.40;
+        p.fracRandom = 0.10;
+        p.biasedP = 0.84;
+        p.dataWords = 262144;
+        p.memOpsPerBurst = 1.8;
+        p.mulDivFraction = 0.18;
+        suite.push_back({p, "test.in*", 103015025});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "gcc";
+        p.seed = 102;
+        p.numFuncs = 400;
+        p.numLibFuncs = 8;
+        p.itemsPerFunc = 12;
+        p.meanBurstOps = 1.4;
+        p.branchDensity = 0.52;
+        p.loopDensity = 0.05;
+        p.callDensity = 0.2;
+        p.switchDensity = 0.05;
+        p.fracPattern = 0.34;
+        p.fracRandom = 0.13;
+        p.biasedP = 0.86;
+        p.dataWords = 32768;
+        p.hotFraction = 0.85;
+        p.memOpsPerBurst = 0.9;
+        suite.push_back({p, "jump.i", 154450036});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "go";
+        p.seed = 103;
+        p.numFuncs = 380;
+        p.numLibFuncs = 4;
+        p.itemsPerFunc = 15;
+        p.meanBurstOps = 1.9;
+        p.branchDensity = 0.55;
+        p.loopDensity = 0.05;
+        p.callDensity = 0.16;
+        p.fracPattern = 0.26;
+        p.fracRandom = 0.20;
+        p.biasedP = 0.82;
+        p.dataWords = 16384;
+        p.hotFraction = 0.9;
+        p.memOpsPerBurst = 0.9;
+        suite.push_back({p, "2stone9.in*", 125637006});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "ijpeg";
+        p.seed = 104;
+        p.numFuncs = 18;
+        p.itemsPerFunc = 13;
+        p.meanBurstOps = 2.6;
+        p.branchDensity = 0.30;
+        p.loopDensity = 0.30;
+        p.callDensity = 0.12;
+        p.fracPattern = 0.66;
+        p.fracRandom = 0.03;
+        p.biasedP = 0.93;
+        p.dataWords = 131072;
+        p.fpFraction = 0.08;
+        p.mulDivFraction = 0.12;
+        p.memOpsPerBurst = 1.2;
+        suite.push_back({p, "specmun.ppm*", 206802135});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "li";
+        p.seed = 105;
+        p.numFuncs = 14;
+        p.numLibFuncs = 3;
+        p.itemsPerFunc = 8;
+        p.meanBurstOps = 1.5;
+        p.branchDensity = 0.42;
+        p.loopDensity = 0.08;
+        p.callDensity = 0.30;
+        p.fracPattern = 0.55;
+        p.fracRandom = 0.04;
+        p.biasedP = 0.90;
+        p.dataWords = 32768;
+        p.memOpsPerBurst = 0.9;
+        suite.push_back({p, "train.lsp", 187727922});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "m88ksim";
+        p.seed = 106;
+        p.numFuncs = 40;
+        p.itemsPerFunc = 11;
+        p.meanBurstOps = 1.65;
+        p.branchDensity = 0.40;
+        p.loopDensity = 0.14;
+        p.callDensity = 0.18;
+        p.switchDensity = 0.05;
+        p.fracPattern = 0.66;
+        p.fracRandom = 0.04;
+        p.biasedP = 0.94;
+        p.dataWords = 16384;
+        p.memOpsPerBurst = 0.9;
+        suite.push_back({p, "dcrand.train", 120738195});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "perl";
+        p.seed = 107;
+        p.numFuncs = 48;
+        p.numLibFuncs = 6;
+        p.itemsPerFunc = 11;
+        p.meanBurstOps = 1.5;
+        p.branchDensity = 0.45;
+        p.loopDensity = 0.10;
+        p.callDensity = 0.24;
+        p.switchDensity = 0.06;
+        p.fracPattern = 0.42;
+        p.fracRandom = 0.10;
+        p.biasedP = 0.88;
+        p.dataWords = 32768;
+        p.memOpsPerBurst = 0.9;
+        suite.push_back({p, "scrabbl.pl*", 78148849});
+    }
+    {
+        WorkloadParams p = base();
+        p.name = "vortex";
+        p.seed = 108;
+        p.numFuncs = 120;
+        p.numLibFuncs = 6;
+        p.itemsPerFunc = 11;
+        p.meanBurstOps = 1.8;
+        p.branchDensity = 0.40;
+        p.loopDensity = 0.10;
+        p.callDensity = 0.28;
+        p.fracPattern = 0.55;
+        p.fracRandom = 0.06;
+        p.biasedP = 0.90;
+        p.dataWords = 65536;
+        p.hotFraction = 0.7;
+        p.memOpsPerBurst = 1.0;
+        suite.push_back({p, "vortex.big*", 232003378});
+    }
+
+    return suite;
+}
+
+} // namespace bsisa

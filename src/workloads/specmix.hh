@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The eight SPECint95-like benchmark configurations (Table 2).
+ *
+ * Parameters are tuned so each synthetic stand-in matches its
+ * benchmark's architecturally relevant shape: hot code footprint
+ * (gcc/go/vortex large, compress/li/ijpeg small — the paper's figures
+ * 6 and 7), branch predictability (gcc/go unbiased, m88ksim/ijpeg
+ * predictable), basic-block size (~4-7 ops, mean 5.2 conventional),
+ * and call density.  Dynamic instruction budgets are the Table-2
+ * counts divided by specScaleDivisor (a cycle simulator on one
+ * laptop core stands in for the authors' testbed).
+ */
+
+#ifndef BSISA_WORKLOADS_SPECMIX_HH
+#define BSISA_WORKLOADS_SPECMIX_HH
+
+#include <vector>
+
+#include "workloads/synth.hh"
+
+namespace bsisa
+{
+
+/** One benchmark of the suite. */
+struct SpecBenchmark
+{
+    WorkloadParams params;
+    /** Input-set label reported in Table 2. */
+    const char *input;
+    /** Table-2 dynamic conventional-ISA instruction count. */
+    std::uint64_t paperInstructions;
+
+    /** Scaled dynamic-op budget for simulation. */
+    std::uint64_t
+    scaledBudget(std::uint64_t divisor) const
+    {
+        return paperInstructions / divisor;
+    }
+};
+
+/** Default scale-down factor for dynamic instruction counts. */
+constexpr std::uint64_t specScaleDivisor = 100;
+
+/** The eight benchmarks in the paper's order. */
+std::vector<SpecBenchmark> specint95Suite();
+
+} // namespace bsisa
+
+#endif // BSISA_WORKLOADS_SPECMIX_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the ISA definition: Table-1 latencies, opcode
+ * properties, and operation factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/operation.hh"
+
+using namespace bsisa;
+
+TEST(InstrClass, Table1Latencies)
+{
+    // These are the paper's Table 1, verbatim.
+    EXPECT_EQ(execLatency(InstrClass::IntAlu), 1u);
+    EXPECT_EQ(execLatency(InstrClass::FpAdd), 3u);
+    EXPECT_EQ(execLatency(InstrClass::FpIntMul), 3u);
+    EXPECT_EQ(execLatency(InstrClass::FpIntDiv), 8u);
+    EXPECT_EQ(execLatency(InstrClass::Load), 2u);
+    EXPECT_EQ(execLatency(InstrClass::Store), 1u);
+    EXPECT_EQ(execLatency(InstrClass::BitField), 1u);
+    EXPECT_EQ(execLatency(InstrClass::Branch), 1u);
+}
+
+TEST(Opcode, ClassMapping)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Add), InstrClass::IntAlu);
+    EXPECT_EQ(opcodeClass(Opcode::Mul), InstrClass::FpIntMul);
+    EXPECT_EQ(opcodeClass(Opcode::Div), InstrClass::FpIntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::FAdd), InstrClass::FpAdd);
+    EXPECT_EQ(opcodeClass(Opcode::FDiv), InstrClass::FpIntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Ld), InstrClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::St), InstrClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::Shl), InstrClass::BitField);
+    EXPECT_EQ(opcodeClass(Opcode::BitTest), InstrClass::BitField);
+    EXPECT_EQ(opcodeClass(Opcode::Trap), InstrClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Fault), InstrClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Call), InstrClass::Branch);
+}
+
+TEST(Opcode, Terminators)
+{
+    EXPECT_TRUE(isTerminator(Opcode::Jmp));
+    EXPECT_TRUE(isTerminator(Opcode::Trap));
+    EXPECT_TRUE(isTerminator(Opcode::Call));
+    EXPECT_TRUE(isTerminator(Opcode::IJmp));
+    EXPECT_TRUE(isTerminator(Opcode::Ret));
+    EXPECT_TRUE(isTerminator(Opcode::Halt));
+    // Faults live in block interiors, so they are NOT terminators.
+    EXPECT_FALSE(isTerminator(Opcode::Fault));
+    EXPECT_FALSE(isTerminator(Opcode::Add));
+    EXPECT_FALSE(isTerminator(Opcode::Ld));
+}
+
+TEST(Opcode, DestAndSources)
+{
+    EXPECT_TRUE(hasDest(Opcode::Add));
+    EXPECT_TRUE(hasDest(Opcode::Ld));
+    EXPECT_FALSE(hasDest(Opcode::St));
+    EXPECT_FALSE(hasDest(Opcode::Trap));
+    EXPECT_FALSE(hasDest(Opcode::Fault));
+
+    EXPECT_EQ(numSources(Opcode::MovI), 0u);
+    EXPECT_EQ(numSources(Opcode::Mov), 1u);
+    EXPECT_EQ(numSources(Opcode::Add), 2u);
+    EXPECT_EQ(numSources(Opcode::AddI), 1u);
+    EXPECT_EQ(numSources(Opcode::St), 2u);
+    EXPECT_EQ(numSources(Opcode::Trap), 1u);
+    EXPECT_EQ(numSources(Opcode::Fault), 1u);
+}
+
+TEST(Operation, Factories)
+{
+    const Operation movi = makeMovI(5, -7);
+    EXPECT_EQ(movi.op, Opcode::MovI);
+    EXPECT_EQ(movi.dst, 5u);
+    EXPECT_EQ(movi.imm, -7);
+
+    const Operation trap = makeTrap(3, 10, 11);
+    EXPECT_EQ(trap.op, Opcode::Trap);
+    EXPECT_EQ(trap.src1, 3u);
+    EXPECT_EQ(trap.target0, 10u);
+    EXPECT_EQ(trap.target1, 11u);
+    EXPECT_TRUE(trap.terminates());
+
+    const Operation fault = makeFault(4, 99);
+    EXPECT_EQ(fault.op, Opcode::Fault);
+    EXPECT_EQ(fault.target0, 99u);
+    EXPECT_FALSE(fault.terminates());
+
+    const Operation call = makeCall(2, 7);
+    EXPECT_EQ(call.callee, 2u);
+    EXPECT_EQ(call.target0, 7u);
+
+    const Operation ld = makeLd(1, 2, 16);
+    EXPECT_EQ(ld.cls(), InstrClass::Load);
+    EXPECT_EQ(ld.latency(), 2u);
+}
+
+TEST(Operation, ToStringSmoke)
+{
+    EXPECT_EQ(makeMovI(5, 9).toString(), "movi r5, 9");
+    EXPECT_EQ(makeBin(Opcode::Add, 1, 2, 3).toString(), "add r1, r2, r3");
+    EXPECT_EQ(makeLd(1, 2, 8).toString(), "ld r1, [r2 + 8]");
+    EXPECT_NE(makeTrap(1, 2, 3).toString().find("trap"),
+              std::string::npos);
+}
+
+TEST(Operation, OpBytes)
+{
+    // Layout assumes fixed-width 4-byte operations.
+    EXPECT_EQ(opBytes, 4u);
+}

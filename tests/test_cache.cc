@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace bsisa;
+
+TEST(Cache, ConfigGeometry)
+{
+    CacheConfig cfg{64 * 1024, 4, 64, false};
+    EXPECT_EQ(cfg.numSets(), 256u);
+    CacheConfig small{16 * 1024, 4, 64, false};
+    EXPECT_EQ(small.numSets(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({1024, 2, 64, false});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1038));  // same line
+    EXPECT_FALSE(cache.access(0x1040));  // next line
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 8 sets of 64 B lines: three lines mapping to one set.
+    Cache cache({1024, 2, 64, false});
+    const std::uint64_t a = 0x0000, b = 0x0400, c = 0x0800;  // set 0
+    EXPECT_FALSE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));
+    EXPECT_TRUE(cache.access(a));   // refresh a; b is now LRU
+    EXPECT_FALSE(cache.access(c));  // evicts b
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));  // b was evicted
+}
+
+TEST(Cache, PerfectAlwaysHits)
+{
+    Cache cache({1024, 2, 64, true});
+    for (std::uint64_t addr = 0; addr < 1 << 20; addr += 4096)
+        EXPECT_TRUE(cache.access(addr));
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(Cache, RangeAccessCountsLines)
+{
+    Cache cache({4096, 4, 64, false});
+    // 64 bytes starting at line boundary: one line.
+    EXPECT_EQ(cache.accessRange(0x2000, 64), 1u);
+    // Same range again: hits.
+    EXPECT_EQ(cache.accessRange(0x2000, 64), 0u);
+    // 64 bytes straddling two lines.
+    EXPECT_EQ(cache.accessRange(0x3020, 64), 2u);
+    // Zero-length range still touches its line.
+    EXPECT_EQ(cache.accessRange(0x5000, 0), 1u);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache cache({1024, 2, 64, false});
+    cache.access(0x100);
+    EXPECT_TRUE(cache.access(0x100));
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x100));
+}
+
+TEST(Cache, CapacityBehaviour)
+{
+    // A 1 KB cache cannot hold a 4 KB working set cycled repeatedly.
+    Cache small({1024, 4, 64, false});
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t addr = 0; addr < 4096; addr += 64)
+            small.access(addr);
+    EXPECT_GT(small.stats().missRate(), 0.5);
+
+    // The same working set fits a 16 KB cache after the first pass.
+    Cache big({16 * 1024, 4, 64, false});
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t addr = 0; addr < 4096; addr += 64)
+            big.access(addr);
+    EXPECT_LT(big.stats().missRate(), 0.3);
+}

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the block enlargement pass: the figure-1 BC/BD shape,
+ * each termination condition, fault polarity/targets, successor
+ * counts, and code-expansion accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/enlarge.hh"
+#include "frontend/compile.hh"
+#include "ir/verifier.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+/** Count fault operations in a block. */
+unsigned
+faultCount(const AtomicBlock &blk)
+{
+    unsigned n = 0;
+    for (const auto &op : blk.ops)
+        n += op.op == Opcode::Fault;
+    return n;
+}
+
+/** The paper's figure-1 CFG: A -> (B | E); B -> (C | D); C,D -> E. */
+Module
+figure1Module()
+{
+    Module m;
+    Function &f = m.addFunction("main");
+    m.mainFunc = f.id;
+    for (int i = 0; i < 5; ++i)
+        f.newBlock();
+    // Registers: all architectural (post-RA form).
+    const RegNum c1 = 20, c2 = 21, t = 22;
+    // A: fifteen ops ending in a trap to B / E.  A is deliberately too
+    // large to merge with anything (15 + 2 > 16), so B and E become
+    // enlargement heads of their own, exactly like figure 1 where the
+    // interesting merging happens at B.
+    f.blocks[0].ops = {makeMovI(c1, 1), makeMovI(c2, 0)};
+    for (int i = 0; i < 12; ++i)
+        f.blocks[0].ops.push_back(makeMovI(t, i));
+    f.blocks[0].ops.push_back(makeTrap(c1, 1, 4));
+    // B: computes its own trap condition (the paper's key case).
+    f.blocks[1].ops = {makeBinI(Opcode::AddI, t, c2, 1),
+                       makeTrap(t, 2, 3)};
+    // C and D: a couple of ops then jump to E.
+    f.blocks[2].ops = {makeMovI(t, 7), makeJmp(4)};
+    f.blocks[3].ops = {makeMovI(t, 8), makeJmp(4)};
+    // E: halt.
+    f.blocks[4].ops = {makeHalt()};
+    return m;
+}
+
+} // namespace
+
+TEST(Enlarge, Figure1ProducesBCAndBD)
+{
+    const Module m = figure1Module();
+    EnlargeConfig config;
+    const BsaModule bsa = enlargeModule(m, config);
+
+    // Head B (block 1) must have variants covering B+C and B+D.
+    const HeadTrie *trie = bsa.findTrie(0, 1);
+    ASSERT_NE(trie, nullptr);
+    bool saw_bc = false, saw_bd = false;
+    for (int n : trie->emitted) {
+        const AtomicBlock &blk = bsa.blocks[trie->nodes[n].block];
+        if (blk.bbs.size() >= 2 && blk.bbs[0] == 1 && blk.bbs[1] == 2)
+            saw_bc = true;
+        if (blk.bbs.size() >= 2 && blk.bbs[0] == 1 && blk.bbs[1] == 3)
+            saw_bd = true;
+    }
+    EXPECT_TRUE(saw_bc);
+    EXPECT_TRUE(saw_bd);
+}
+
+TEST(Enlarge, FaultPolarityMatchesPaper)
+{
+    const Module m = figure1Module();
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    const HeadTrie &trie = bsa.trie(0, 1);
+    for (int n : trie.emitted) {
+        const AtomicBlock &blk = bsa.blocks[trie.nodes[n].block];
+        if (blk.bbs.size() < 2 || blk.bbs[0] != 1)
+            continue;
+        ASSERT_EQ(faultCount(blk), 1u);
+        const Operation *fault = nullptr;
+        for (const auto &op : blk.ops)
+            if (op.op == Opcode::Fault)
+                fault = &op;
+        ASSERT_NE(fault, nullptr);
+        if (blk.bbs[1] == 2) {
+            // Merged with the TAKEN target: complemented condition.
+            EXPECT_EQ(fault->imm, 1);
+        } else {
+            // Merged with the fall-through: same condition.
+            EXPECT_EQ(fault->imm, 0);
+        }
+        // The fault must point at the sibling variant (the enlarged
+        // block that begins with B and continues the other way).
+        const AtomicBlock &target = bsa.blocks[fault->target0];
+        EXPECT_EQ(target.bbs.front(), 1u);
+        EXPECT_NE(target.bbs[1], blk.bbs[1]);
+    }
+}
+
+TEST(Enlarge, Condition1SizeLimit)
+{
+    Module m = figure1Module();
+    splitOversizedBlocks(m, 3);  // satisfy the pass precondition
+    EnlargeConfig tiny;
+    tiny.maxOps = 3;  // B(2) + C(2) = 4 > 3: no BC/BD merging
+    const BsaModule bsa = enlargeModule(m, tiny);
+    for (const auto &blk : bsa.blocks)
+        EXPECT_LE(blk.ops.size(), 3u);
+    const HeadTrie &trie = bsa.trie(0, 1);
+    EXPECT_EQ(trie.emitted.size(), 1u);  // B alone
+}
+
+TEST(Enlarge, Condition2FaultLimit)
+{
+    // A chain of conditional diamonds would accumulate faults; with
+    // maxFaults = 0 no trap merging may happen at all.
+    const std::string src = R"(
+        var d[16];
+        fn main() {
+            var x = 0;
+            if (d[0]) { x = 1; } else { x = 2; }
+            if (d[1]) { x = x + 1; } else { x = x + 2; }
+            if (d[2]) { x = x + 3; } else { x = x + 4; }
+            return x;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    EnlargeConfig config;
+    config.maxFaults = 0;
+    const BsaModule bsa = enlargeModule(m, config);
+    for (const auto &blk : bsa.blocks)
+        EXPECT_EQ(faultCount(blk), 0u);
+
+    config.maxFaults = 2;
+    const BsaModule bsa2 = enlargeModule(m, config);
+    unsigned max_faults = 0;
+    for (const auto &blk : bsa2.blocks)
+        max_faults = std::max(max_faults, faultCount(blk));
+    EXPECT_LE(max_faults, 2u);
+    EXPECT_GT(max_faults, 0u);
+}
+
+TEST(Enlarge, Condition3NoMergeAcrossCalls)
+{
+    const std::string src = R"(
+        fn leaf(x) { return x + 1; }
+        fn main() {
+            var a = leaf(1);
+            var b = leaf(a);
+            return a + b;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    // No atomic block may span a call: a Call can only be the last op.
+    for (const auto &blk : bsa.blocks)
+        for (std::size_t i = 0; i + 1 < blk.ops.size(); ++i)
+            EXPECT_NE(blk.ops[i].op, Opcode::Call);
+}
+
+TEST(Enlarge, Condition4NoLoopIterationMerging)
+{
+    const std::string src = R"(
+        fn main() {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) { s = s + i; }
+            return s;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    // No atomic block may contain the same basic block twice (that
+    // would be two iterations merged).
+    for (const auto &blk : bsa.blocks) {
+        std::set<BlockId> unique(blk.bbs.begin(), blk.bbs.end());
+        EXPECT_EQ(unique.size(), blk.bbs.size());
+    }
+}
+
+TEST(Enlarge, Condition5LibraryNotEnlarged)
+{
+    const std::string src = R"(
+        library fn lib(x) {
+            var r = 0;
+            if (x) { r = 1; } else { r = 2; }
+            return r + x;
+        }
+        fn app(x) {
+            var r = 0;
+            if (x) { r = 1; } else { r = 2; }
+            return r + x;
+        }
+        fn main() { return lib(1) + app(0); }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    const FuncId lib_id = m.findFunction("lib")->id;
+    const FuncId app_id = m.findFunction("app")->id;
+    unsigned lib_faults = 0, app_faults = 0;
+    for (const auto &blk : bsa.blocks) {
+        if (blk.func == lib_id)
+            lib_faults += faultCount(blk);
+        if (blk.func == app_id)
+            app_faults += faultCount(blk);
+    }
+    EXPECT_EQ(lib_faults, 0u);
+    EXPECT_GT(app_faults, 0u);
+}
+
+TEST(Enlarge, DisabledProducesOneBlockPerBasicBlock)
+{
+    const Module m = figure1Module();
+    EnlargeConfig off;
+    off.enabled = false;
+    const BsaModule bsa = enlargeModule(m, off);
+    for (const auto &blk : bsa.blocks) {
+        EXPECT_EQ(blk.bbs.size(), 1u);
+        EXPECT_EQ(faultCount(blk), 0u);
+    }
+}
+
+TEST(Enlarge, SuccessorCountsWithinEight)
+{
+    const std::string src = R"(
+        var d[64];
+        fn main() {
+            var x = 0;
+            for (var i = 0; i < 8; i = i + 1) {
+                if (d[i]) { x = x + 1; } else { x = x + 2; }
+                if (d[i + 8]) { x = x * 2; } else { x = x - 1; }
+            }
+            return x;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    for (const auto &blk : bsa.blocks) {
+        EXPECT_LE(blk.succBits, 3u);
+        EXPECT_EQ(blk.succBits, blk.terminator().succBits);
+    }
+    // Variant tries respect the per-head cap.
+    for (const auto &bf : bsa.funcs)
+        for (const auto &[head, trie] : bf.tries)
+            EXPECT_LE(trie.emitted.size(), 4u);
+}
+
+TEST(Enlarge, ThruMergesDeleteJumps)
+{
+    // if/else join: the join block is reached by jmp from both arms;
+    // enlargement should swallow unconditional jumps where size
+    // permits, so some emitted block must contain ops from 2+ bbs with
+    // no interior jmp.
+    const std::string src = R"(
+        var d[4];
+        fn main() {
+            var x = d[0];
+            var y = x + 1;
+            if (x) { y = y * 3; } else { y = y * 5; }
+            var z = y + 7;
+            return z;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    EnlargeStats stats;
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr,
+                                        &stats);
+    EXPECT_GT(stats.thruMerges, 0u);
+    for (const auto &blk : bsa.blocks)
+        for (std::size_t i = 0; i + 1 < blk.ops.size(); ++i)
+            EXPECT_NE(blk.ops[i].op, Opcode::Jmp);
+}
+
+TEST(Enlarge, CodeExpansionReported)
+{
+    const std::string src = R"(
+        var d[16];
+        fn main() {
+            var x = 0;
+            for (var i = 0; i < 4; i = i + 1) {
+                if (d[i]) { x = x + i; } else { x = x - i; }
+            }
+            return x;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    EnlargeStats stats;
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr,
+                                        &stats);
+    EXPECT_EQ(stats.atomicBlocks, bsa.blocks.size());
+    EXPECT_EQ(stats.bsaOps, bsa.numOps());
+    EXPECT_GE(stats.expansion(), 1.0);
+    EXPECT_EQ(bsa.codeBytes(), bsa.numOps() * opBytes);
+}
+
+TEST(Enlarge, ProfileGuidedFilterReducesDuplication)
+{
+    const std::string src = R"(
+        var d[64];
+        fn main() {
+            var x = 0;
+            for (var i = 0; i < 32; i = i + 1) {
+                if (d[i] & 1) { x = x + 1; } else { x = x + 2; }
+                if (i < 31) { x = x * 2; } else { x = x - 1; }
+            }
+            return x;
+        }
+    )";
+    Module m = compileBlockCOrDie(src);
+    // Make d[] alternate so the first branch is perfectly unbiased.
+    for (int i = 0; i < 32; ++i)
+        m.data[i] = i & 1;
+    const ProfileData profile = collectProfile(m, 1u << 20);
+    EXPECT_GT(profile.size(), 0u);
+
+    EnlargeStats plain_stats, guided_stats;
+    enlargeModule(m, EnlargeConfig{}, nullptr, &plain_stats);
+    EnlargeConfig guided;
+    guided.minMergeBias = 0.9;
+    enlargeModule(m, guided, &profile, &guided_stats);
+    EXPECT_LT(guided_stats.bsaOps, plain_stats.bsaOps);
+}
+
+TEST(Enlarge, SplitOversizedBlocks)
+{
+    // A straight-line main with ~40 ops compiles to one huge block.
+    std::string src = "fn main() { var a = 1;";
+    for (int i = 0; i < 40; ++i)
+        src += " a = a + " + std::to_string(i) + ";";
+    src += " return a; }";
+    CompileOptions options;
+    options.optimize = false;  // keep the 40-op straight line intact
+    options.maxBlockOps = 0;   // no splitting yet
+    Module m = compileBlockCOrDie(src, options);
+    const unsigned splits = splitOversizedBlocks(m, 16);
+    EXPECT_GT(splits, 0u);
+    EXPECT_TRUE(verifyModule(m).empty());
+    for (const auto &f : m.functions)
+        for (const auto &blk : f.blocks)
+            EXPECT_LE(blk.ops.size(), 16u);
+}
+
+TEST(Enlarge, BlockOriginsAreConsistent)
+{
+    const Module m = figure1Module();
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    ASSERT_EQ(bsa.origin.size(), bsa.blocks.size());
+    for (AtomicBlockId id = 0; id < bsa.blocks.size(); ++id) {
+        const BlockOrigin &org = bsa.origin[id];
+        const HeadTrie &trie = bsa.trie(org.func, org.head);
+        EXPECT_EQ(trie.nodes[org.node].block, id);
+        EXPECT_EQ(bsa.blocks[id].bbs.front(), org.head);
+    }
+}

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Unit tests for the BlockC front end: lexer, parser, semantic
+ * analysis, and IR generation (checked by executing compiled code).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hh"
+#include "frontend/lexer.hh"
+#include "frontend/parser.hh"
+#include "frontend/sema.hh"
+#include "ir/verifier.hh"
+#include "sim/interp.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+/** Compile and run, returning main's exit value. */
+std::uint64_t
+runProgram(const std::string &source)
+{
+    const Module m = compileBlockCOrDie(source);
+    Interp interp(m);
+    interp.run();
+    EXPECT_TRUE(interp.halted());
+    return interp.exitValue();
+}
+
+std::string
+compileErrors(const std::string &source)
+{
+    const CompileResult r = compileBlockC(source);
+    EXPECT_FALSE(r.ok);
+    return r.errors;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- lexer
+
+TEST(Lexer, TokenKinds)
+{
+    DiagSink diags;
+    const auto toks =
+        lex("fn main() { var x = 0x1F + 2; } // comment", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, TokKind::KwFn);
+    EXPECT_EQ(toks[1].kind, TokKind::Ident);
+    EXPECT_EQ(toks[1].text, "main");
+    EXPECT_EQ(toks.back().kind, TokKind::EndOfFile);
+}
+
+TEST(Lexer, HexAndDecimalLiterals)
+{
+    DiagSink diags;
+    const auto toks = lex("255 0xff 0", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_EQ(toks[0].intValue, 255);
+    EXPECT_EQ(toks[1].intValue, 255);
+    EXPECT_EQ(toks[2].intValue, 0);
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    DiagSink diags;
+    const auto toks = lex("== != <= >= << >> && ||", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_EQ(toks[0].kind, TokKind::Eq);
+    EXPECT_EQ(toks[1].kind, TokKind::Ne);
+    EXPECT_EQ(toks[2].kind, TokKind::Le);
+    EXPECT_EQ(toks[3].kind, TokKind::Ge);
+    EXPECT_EQ(toks[4].kind, TokKind::Shl);
+    EXPECT_EQ(toks[5].kind, TokKind::Shr);
+    EXPECT_EQ(toks[6].kind, TokKind::AmpAmp);
+    EXPECT_EQ(toks[7].kind, TokKind::PipePipe);
+}
+
+TEST(Lexer, BlockComments)
+{
+    DiagSink diags;
+    const auto toks = lex("a /* skip \n all this */ b", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, ReportsBadCharacter)
+{
+    DiagSink diags;
+    lex("fn main() { @ }", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    DiagSink diags;
+    const auto toks = lex("a\nb\n  c", diags);
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[2].loc.line, 3u);
+    EXPECT_EQ(toks[2].loc.col, 3u);
+}
+
+// ----------------------------------------------------------- parser
+
+TEST(Parser, ReportsMissingSemicolon)
+{
+    const std::string errors = compileErrors("fn main() { var x = 1 }");
+    EXPECT_NE(errors.find("expected"), std::string::npos);
+}
+
+TEST(Parser, ReportsSparseSwitchLabels)
+{
+    const std::string errors = compileErrors(
+        "fn main() { switch (1) { case 1: { } } }");
+    EXPECT_NE(errors.find("case labels"), std::string::npos);
+}
+
+// ------------------------------------------------------------- sema
+
+TEST(Sema, RequiresMain)
+{
+    const std::string errors = compileErrors("fn foo() { }");
+    EXPECT_NE(errors.find("main"), std::string::npos);
+}
+
+TEST(Sema, RejectsUndeclaredVariable)
+{
+    const std::string errors = compileErrors("fn main() { x = 1; }");
+    EXPECT_NE(errors.find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, RejectsUnknownCall)
+{
+    const std::string errors = compileErrors("fn main() { foo(); }");
+    EXPECT_NE(errors.find("unknown function"), std::string::npos);
+}
+
+TEST(Sema, RejectsArityMismatch)
+{
+    const std::string errors = compileErrors(
+        "fn f(a, b) { return a + b; } fn main() { f(1); }");
+    EXPECT_NE(errors.find("expects 2 arguments"), std::string::npos);
+}
+
+TEST(Sema, RejectsScalarIndexing)
+{
+    const std::string errors = compileErrors(
+        "var g; fn main() { g[0] = 1; }");
+    EXPECT_NE(errors.find("not an array"), std::string::npos);
+}
+
+TEST(Sema, RejectsArrayWithoutIndex)
+{
+    const std::string errors = compileErrors(
+        "var g[4]; fn main() { var x = g; }");
+    EXPECT_NE(errors.find("without an index"), std::string::npos);
+}
+
+TEST(Sema, RejectsBreakOutsideLoop)
+{
+    const std::string errors = compileErrors("fn main() { break; }");
+    EXPECT_NE(errors.find("outside a loop"), std::string::npos);
+}
+
+TEST(Sema, RejectsHaltOutsideMain)
+{
+    const std::string errors = compileErrors(
+        "fn f() { halt; } fn main() { f(); }");
+    EXPECT_NE(errors.find("halt"), std::string::npos);
+}
+
+TEST(Sema, RejectsDuplicateFunction)
+{
+    const std::string errors = compileErrors(
+        "fn f() { } fn f() { } fn main() { }");
+    EXPECT_NE(errors.find("duplicate function"), std::string::npos);
+}
+
+TEST(Sema, RejectsLibraryMain)
+{
+    const std::string errors = compileErrors("library fn main() { }");
+    EXPECT_NE(errors.find("library"), std::string::npos);
+}
+
+// --------------------------------------------- end-to-end execution
+
+TEST(Execute, ReturnLiteral)
+{
+    EXPECT_EQ(runProgram("fn main() { return 42; }"), 42u);
+}
+
+TEST(Execute, Arithmetic)
+{
+    EXPECT_EQ(runProgram("fn main() { return (2 + 3) * 4 - 6 / 2; }"),
+              17u);
+    EXPECT_EQ(runProgram("fn main() { return 17 % 5; }"), 2u);
+    EXPECT_EQ(runProgram("fn main() { return 1 << 6; }"), 64u);
+    EXPECT_EQ(runProgram("fn main() { return 64 >> 3; }"), 8u);
+    // C precedence: ^ binds tighter than |, so this is 1 | (8 ^ 1).
+    EXPECT_EQ(runProgram("fn main() { return (5 & 3) | 8 ^ 1; }"), 9u);
+}
+
+TEST(Execute, UnaryOperators)
+{
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  runProgram("fn main() { return -7; }")),
+              -7);
+    EXPECT_EQ(runProgram("fn main() { return !0; }"), 1u);
+    EXPECT_EQ(runProgram("fn main() { return !5; }"), 0u);
+    EXPECT_EQ(runProgram("fn main() { return ~0 & 0xff; }"), 0xffu);
+}
+
+TEST(Execute, Comparisons)
+{
+    EXPECT_EQ(runProgram("fn main() { return 3 < 4; }"), 1u);
+    EXPECT_EQ(runProgram("fn main() { return 4 <= 4; }"), 1u);
+    EXPECT_EQ(runProgram("fn main() { return 5 > 6; }"), 0u);
+    EXPECT_EQ(runProgram("fn main() { return 6 >= 7; }"), 0u);
+    EXPECT_EQ(runProgram("fn main() { return 0 - 1 < 1; }"), 1u);
+}
+
+TEST(Execute, ShortCircuit)
+{
+    // The right side of && must not execute when the left is false:
+    // here it would divide by zero, which yields 0, so instead we use
+    // a global side effect to detect evaluation.
+    const std::string src = R"(
+        var touched;
+        fn touch() { touched = 1; return 1; }
+        fn main() {
+            var a = 0 && touch();
+            var b = touched;
+            var c = 1 || touch();
+            return b * 10 + touched + a + c - 1;
+        }
+    )";
+    // touched stays 0 throughout: b=0, final touched=0, a=0, c=1.
+    EXPECT_EQ(runProgram(src), 0u);
+}
+
+TEST(Execute, IfElseChains)
+{
+    const std::string src = R"(
+        fn classify(x) {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else { return 3; }
+        }
+        fn main() {
+            return classify(5) * 100 + classify(50) * 10 + classify(500);
+        }
+    )";
+    EXPECT_EQ(runProgram(src), 123u);
+}
+
+TEST(Execute, WhileLoop)
+{
+    const std::string src = R"(
+        fn main() {
+            var i = 0;
+            var sum = 0;
+            while (i < 10) { sum = sum + i; i = i + 1; }
+            return sum;
+        }
+    )";
+    EXPECT_EQ(runProgram(src), 45u);
+}
+
+TEST(Execute, ForLoopWithBreakContinue)
+{
+    const std::string src = R"(
+        fn main() {
+            var sum = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i == 7) { continue; }
+                if (i == 10) { break; }
+                sum = sum + i;
+            }
+            return sum;
+        }
+    )";
+    EXPECT_EQ(runProgram(src), 45u - 7u);
+}
+
+TEST(Execute, GlobalsAndArrays)
+{
+    const std::string src = R"(
+        var total = 5;
+        var buf[8];
+        fn main() {
+            for (var i = 0; i < 8; i = i + 1) { buf[i] = i * i; }
+            var sum = total;
+            for (var j = 0; j < 8; j = j + 1) { sum = sum + buf[j]; }
+            return sum;
+        }
+    )";
+    EXPECT_EQ(runProgram(src), 5u + 140u);
+}
+
+TEST(Execute, RecursionFibonacci)
+{
+    const std::string src = R"(
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(12); }
+    )";
+    EXPECT_EQ(runProgram(src), 144u);
+}
+
+TEST(Execute, SwitchDispatch)
+{
+    const std::string src = R"(
+        fn pick(s) {
+            var r = 0;
+            switch (s) {
+                case 0: { r = 100; }
+                case 1: { r = 200; }
+                case 2: { r = 300; }
+            }
+            return r;
+        }
+        fn main() { return pick(0) + pick(1) + pick(2) + pick(4); }
+    )";
+    // pick(4) wraps modulo 3 to case 1 by the ISA's IJmp semantics.
+    EXPECT_EQ(runProgram(src), 100u + 200u + 300u + 200u);
+}
+
+TEST(Execute, LibraryFunctionsRunNormally)
+{
+    const std::string src = R"(
+        library fn lib_add(a, b) { return a + b; }
+        fn main() { return lib_add(20, 22); }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    EXPECT_TRUE(m.findFunction("lib_add")->isLibrary);
+    Interp interp(m);
+    interp.run();
+    EXPECT_EQ(interp.exitValue(), 42u);
+}
+
+TEST(Execute, DeepArgumentPassing)
+{
+    const std::string src = R"(
+        fn sum8(a, b, c, d, e, f, g, h) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7
+                 + h * 8;
+        }
+        fn main() { return sum8(1, 1, 1, 1, 1, 1, 1, 1); }
+    )";
+    EXPECT_EQ(runProgram(src), 36u);
+}
+
+TEST(Execute, UnoptimizedMatchesOptimized)
+{
+    const std::string src = R"(
+        var acc;
+        fn step(x) { acc = acc + x * 3 - 1; return acc; }
+        fn main() {
+            var r = 0;
+            for (var i = 0; i < 20; i = i + 1) { r = step(i) + r; }
+            return r & 0xffff;
+        }
+    )";
+    CompileOptions no_opt;
+    no_opt.optimize = false;
+    const Module m1 = compileBlockCOrDie(src, no_opt);
+    const Module m2 = compileBlockCOrDie(src);
+    Interp i1(m1), i2(m2);
+    i1.run();
+    i2.run();
+    EXPECT_EQ(i1.exitValue(), i2.exitValue());
+    EXPECT_EQ(i1.memChecksum(), i2.memChecksum());
+    // Optimization should not grow the program.
+    EXPECT_LE(m2.numOps(), m1.numOps());
+}

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit and property tests for the mid-end optimizer.  Each pass is
+ * checked both structurally (does it perform the rewrite) and
+ * semantically (interpreter equivalence before/after).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hh"
+#include "ir/verifier.hh"
+#include "opt/inliner.hh"
+#include "opt/passes.hh"
+#include "sim/interp.hh"
+#include "support/rng.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+/** Compile without optimization or allocation. */
+Module
+rawCompile(const std::string &source)
+{
+    CompileOptions options;
+    options.optimize = false;
+    options.allocate = false;
+    options.maxBlockOps = 0;
+    return compileBlockCOrDie(source, options);
+}
+
+struct ExecResult
+{
+    std::uint64_t exit;
+    std::uint64_t checksum;
+    std::uint64_t ops;
+};
+
+ExecResult
+exec(const Module &m)
+{
+    Interp interp(m);
+    interp.run();
+    EXPECT_TRUE(interp.halted());
+    return {interp.exitValue(), interp.memChecksum(), interp.dynOps()};
+}
+
+} // namespace
+
+TEST(ConstFold, FoldsConstantExpressions)
+{
+    Module m = rawCompile("fn main() { return 2 + 3 * 4; }");
+    const std::size_t before = m.numOps();
+    const unsigned folded = constantFold(m.functions[m.mainFunc]);
+    EXPECT_GT(folded, 0u);
+    EXPECT_TRUE(verifyModule(m).empty());
+    EXPECT_EQ(exec(m).exit, 14u);
+    EXPECT_LE(m.numOps(), before);
+}
+
+TEST(ConstFold, FoldsConstantTrapIntoJump)
+{
+    Module m = rawCompile(
+        "fn main() { if (1) { return 5; } return 6; }");
+    constantFold(m.functions[m.mainFunc]);
+    bool has_trap_with_const = false;
+    for (const auto &blk : m.functions[m.mainFunc].blocks)
+        for (const auto &op : blk.ops)
+            if (op.op == Opcode::Trap)
+                has_trap_with_const = true;
+    // The single trap had a constant condition, so it must be gone.
+    EXPECT_FALSE(has_trap_with_const);
+    EXPECT_EQ(exec(m).exit, 5u);
+}
+
+TEST(ConstFold, FormsImmediateVariants)
+{
+    Module m = rawCompile("fn main(){ var x = 40; return x + 2; }");
+    // x is a MovI; copy-prop is not needed for AddI formation because
+    // the add reads the register holding 2.
+    constantFold(m.functions[m.mainFunc]);
+    bool has_addi = false;
+    for (const auto &blk : m.functions[m.mainFunc].blocks)
+        for (const auto &op : blk.ops)
+            if (op.op == Opcode::AddI || op.op == Opcode::MovI)
+                has_addi = true;
+    EXPECT_TRUE(has_addi);
+    EXPECT_EQ(exec(m).exit, 42u);
+}
+
+TEST(CopyProp, RewritesUses)
+{
+    Module m = rawCompile("fn main(){ var a = 7; var b = a; return b; }");
+    const unsigned rewritten = copyPropagate(m.functions[m.mainFunc]);
+    EXPECT_GT(rewritten, 0u);
+    EXPECT_EQ(exec(m).exit, 7u);
+}
+
+TEST(Cse, EliminatesRepeatedExpression)
+{
+    Module m = rawCompile(R"(
+        var g[4];
+        fn main() {
+            var i = 1;
+            var a = g[i] + g[i];
+            return a;
+        }
+    )");
+    Function &f = m.functions[m.mainFunc];
+    const unsigned replaced = localCSE(f);
+    EXPECT_GT(replaced, 0u);
+    EXPECT_EQ(exec(m).exit, 0u);
+}
+
+TEST(Cse, StoreInvalidatesLoads)
+{
+    // g[0] is loaded, stored to, then loaded again: the second load
+    // must NOT be CSE'd to the first.
+    Module m = rawCompile(R"(
+        var g[1];
+        fn main() {
+            var a = g[0];
+            g[0] = 9;
+            var b = g[0];
+            return a * 100 + b;
+        }
+    )");
+    localCSE(m.functions[m.mainFunc]);
+    copyPropagate(m.functions[m.mainFunc]);
+    EXPECT_EQ(exec(m).exit, 9u);
+}
+
+TEST(Dce, RemovesDeadCode)
+{
+    Module m = rawCompile(R"(
+        fn main() {
+            var dead = 3 * 14;
+            var alive = 2;
+            return alive;
+        }
+    )");
+    Function &f = m.functions[m.mainFunc];
+    const std::size_t before = f.numOps();
+    const unsigned removed = deadCodeElim(f);
+    EXPECT_GT(removed, 0u);
+    EXPECT_LT(f.numOps(), before);
+    EXPECT_EQ(exec(m).exit, 2u);
+}
+
+TEST(Dce, KeepsStoresAndCalls)
+{
+    Module m = rawCompile(R"(
+        var g;
+        fn set() { g = 5; return 0; }
+        fn main() { set(); return g; }
+    )");
+    for (auto &f : m.functions)
+        deadCodeElim(f);
+    EXPECT_EQ(exec(m).exit, 5u);
+}
+
+TEST(SimplifyCfg, RemovesUnreachableBlocks)
+{
+    Module m = rawCompile(R"(
+        fn main() {
+            return 1;
+            return 2;
+        }
+    )");
+    Function &f = m.functions[m.mainFunc];
+    const OptStats stats = simplifyCFG(f);
+    EXPECT_GT(stats.blocksRemoved, 0u);
+    EXPECT_EQ(exec(m).exit, 1u);
+}
+
+TEST(SimplifyCfg, MergesStraightLineChains)
+{
+    Module m = rawCompile("fn main() { if (1) { } return 3; }");
+    Function &f = m.functions[m.mainFunc];
+    constantFold(f);  // turn the trap into a jmp first
+    const std::size_t blocks_before = f.blocks.size();
+    simplifyCFG(f);
+    EXPECT_LT(f.blocks.size(), blocks_before);
+    EXPECT_EQ(exec(m).exit, 3u);
+}
+
+TEST(Pipeline, ShrinksTypicalCode)
+{
+    const std::string src = R"(
+        var out[16];
+        fn work(n) {
+            var t = n * 2;
+            var u = n * 2;      // CSE target
+            var dead = t * 99;  // DCE target
+            var copy = t;       // copy-prop target
+            return copy + u + 0 * dead;
+        }
+        fn main() {
+            var acc = 0;
+            for (var i = 0; i < 16; i = i + 1) {
+                out[i] = work(i);
+                acc = acc + out[i];
+            }
+            return acc;
+        }
+    )";
+    Module raw = rawCompile(src);
+    const ExecResult before = exec(raw);
+    Module opt = raw;
+    const OptStats stats = optimizeModule(opt);
+    EXPECT_TRUE(verifyModule(opt).empty());
+    const ExecResult after = exec(opt);
+    EXPECT_EQ(before.exit, after.exit);
+    EXPECT_EQ(before.checksum, after.checksum);
+    EXPECT_LT(after.ops, before.ops);
+    EXPECT_GT(stats.deadRemoved + stats.cseReplaced + stats.folded, 0u);
+}
+
+// --------------------------------------------------------------------
+// Inliner (the paper's section-6 extension).
+// --------------------------------------------------------------------
+
+namespace
+{
+
+unsigned
+countCalls(const Module &m)
+{
+    unsigned calls = 0;
+    for (const auto &f : m.functions)
+        for (const auto &blk : f.blocks)
+            for (const auto &op : blk.ops)
+                calls += op.op == Opcode::Call;
+    return calls;
+}
+
+} // namespace
+
+TEST(Inliner, InlinesLeafCallsAndPreservesSemantics)
+{
+    const std::string src = R"(
+        var g[8];
+        fn tiny(a) { return a * 3 + 1; }
+        fn also_tiny(a, b) { g[a & 7] = b; return a ^ b; }
+        fn main() {
+            var acc = 0;
+            for (var i = 0; i < 25; i = i + 1) {
+                acc = acc + tiny(i) + also_tiny(i, acc & 15);
+            }
+            return acc;
+        }
+    )";
+    Module plain = rawCompile(src);
+    const ExecResult want = exec(plain);
+
+    Module inlined = rawCompile(src);
+    const InlineStats stats = inlineCalls(inlined, InlineOptions{});
+    EXPECT_GE(stats.callsInlined, 2u);
+    EXPECT_LT(countCalls(inlined), countCalls(plain));
+    EXPECT_TRUE(verifyModule(inlined).empty());
+
+    const ExecResult got = exec(inlined);
+    EXPECT_EQ(got.exit, want.exit);
+    EXPECT_EQ(got.checksum, want.checksum);
+    // Calls/returns become jumps (op-count neutral); the win appears
+    // once the optimizer cleans the ABI copies and threads the jumps.
+    Module plain_opt = plain, inlined_opt = inlined;
+    optimizeModule(plain_opt);
+    optimizeModule(inlined_opt);
+    EXPECT_LT(exec(inlined_opt).ops, exec(plain_opt).ops);
+}
+
+TEST(Inliner, FlattensChainsAcrossRounds)
+{
+    const std::string src = R"(
+        fn l0(a) { return a + 1; }
+        fn l1(a) { return l0(a) * 2; }
+        fn l2(a) { return l1(a) + 3; }
+        fn main() { return l2(5); }
+    )";
+    Module m = rawCompile(src);
+    const InlineStats stats = inlineCalls(m, InlineOptions{});
+    EXPECT_GE(stats.rounds, 2u);
+    EXPECT_EQ(countCalls(m), 0u);  // the whole chain flattens
+    EXPECT_EQ(exec(m).exit, ((5u + 1) * 2) + 3);
+}
+
+TEST(Inliner, RespectsLibraryAndSizeLimits)
+{
+    const std::string src = R"(
+        library fn lib(a) { return a + 1; }
+        fn big(a) {
+            var t = a;
+            t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+            t = t + 6; t = t + 7; t = t + 8; t = t + 9; t = t + 10;
+            t = t + 11; t = t + 12; t = t + 13; t = t + 14;
+            return t;
+        }
+        fn main() { return lib(1) + big(2); }
+    )";
+    Module m = rawCompile(src);
+    InlineOptions options;
+    options.maxCalleeOps = 10;  // big() exceeds this; lib() is library
+    const InlineStats stats = inlineCalls(m, options);
+    EXPECT_EQ(stats.callsInlined, 0u);
+    EXPECT_EQ(countCalls(m), 2u);
+    EXPECT_EQ(exec(m).exit, 2u + (2 + 105));
+}
+
+TEST(Inliner, RecursionIsNeverInlined)
+{
+    const std::string src = R"(
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(10); }
+    )";
+    Module m = rawCompile(src);
+    inlineCalls(m, InlineOptions{});
+    // fib contains calls, so it is not a leaf and never inlined.
+    EXPECT_GT(countCalls(m), 0u);
+    EXPECT_EQ(exec(m).exit, 55u);
+}
+
+TEST(Inliner, InlinedCodeSurvivesFullPipeline)
+{
+    const std::string src = R"(
+        var out[4];
+        fn mix(a, b) { return (a ^ b) + (a & b); }
+        fn main() {
+            var acc = 0;
+            for (var i = 0; i < 12; i = i + 1) {
+                acc = acc + mix(i, acc);
+                out[i & 3] = acc;
+            }
+            return acc & 0xffff;
+        }
+    )";
+    CompileOptions with_inline;
+    with_inline.inlineSmall = true;
+    const Module a = compileBlockCOrDie(src);
+    const Module b = compileBlockCOrDie(src, with_inline);
+    Interp ia(a), ib(b);
+    ia.run();
+    ib.run();
+    EXPECT_EQ(ia.exitValue(), ib.exitValue());
+    EXPECT_EQ(ia.dataChecksum(), ib.dataChecksum());
+    EXPECT_LT(ib.dynOps(), ia.dynOps());
+}
+
+// ---------------------------------------------------------------------
+// Property test: optimization preserves semantics on generated
+// programs.  Programs are random expression/loop/branch soups over a
+// small global array, so every pass gets exercised.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+randomProgram(Rng &rng)
+{
+    std::ostringstream os;
+    os << "var g[16];\n";
+    const int nfuncs = 1 + int(rng.nextBelow(3));
+    for (int f = 0; f < nfuncs; ++f) {
+        os << "fn helper" << f << "(a, b) {\n";
+        os << "  var x = a " << (rng.chance(0.5) ? "+" : "*")
+           << " b;\n";
+        os << "  var y = (a << 2) ^ (b >> 1);\n";
+        if (rng.chance(0.5))
+            os << "  if (x < y) { x = x + g[a & 15]; }"
+                  " else { x = x - y; }\n";
+        if (rng.chance(0.5)) {
+            os << "  for (var i = 0; i < " << (2 + rng.nextBelow(5))
+               << "; i = i + 1) { x = x + i * y; }\n";
+        }
+        os << "  g[b & 15] = x;\n";
+        os << "  return x " << (rng.chance(0.5) ? "&" : "|")
+           << " 0xffff;\n";
+        os << "}\n";
+    }
+    os << "fn main() {\n  var acc = 0;\n";
+    for (int i = 0; i < 6; ++i) {
+        os << "  acc = acc + helper" << rng.nextBelow(nfuncs) << "("
+           << rng.nextBelow(100) << ", " << rng.nextBelow(100)
+           << ");\n";
+    }
+    os << "  for (var i = 0; i < 16; i = i + 1) { acc = acc + g[i]; }\n";
+    os << "  return acc;\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+class OptPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OptPropertyTest, OptimizationPreservesSemantics)
+{
+    Rng rng(1000 + GetParam());
+    const std::string src = randomProgram(rng);
+    Module raw = rawCompile(src);
+    const ExecResult before = exec(raw);
+    optimizeModule(raw);
+    ASSERT_TRUE(verifyModule(raw).empty()) << src;
+    const ExecResult after = exec(raw);
+    EXPECT_EQ(before.exit, after.exit) << src;
+    EXPECT_EQ(before.checksum, after.checksum) << src;
+    EXPECT_LE(after.ops, before.ops) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptPropertyTest,
+                         ::testing::Range(0, 25));

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit tests for the two-level adaptive predictor and the block
+ * successor predictor (BTB fill, 3-bit predictions, variable history
+ * shift).
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/blockpred.hh"
+#include "predict/twolevel.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+PredictorConfig
+smallConfig()
+{
+    PredictorConfig cfg;
+    cfg.historyBits = 8;
+    cfg.phtBits = 10;
+    cfg.btbEntries = 64;
+    cfg.btbAssoc = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TwoLevel, LearnsBias)
+{
+    TwoLevelPredictor p(smallConfig());
+    const std::uint64_t pc = 0x4000;
+    for (int i = 0; i < 50; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predictTaken(pc));
+    for (int i = 0; i < 50; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.predictTaken(pc));
+}
+
+TEST(TwoLevel, LearnsAlternatingPattern)
+{
+    // With global history, a strict T/N alternation becomes perfectly
+    // predictable after warmup.
+    TwoLevelPredictor p(smallConfig());
+    const std::uint64_t pc = 0x4000;
+    bool dir = false;
+    for (int i = 0; i < 200; ++i) {
+        p.update(pc, dir);
+        dir = !dir;
+    }
+    unsigned correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        correct += p.predictTaken(pc) == dir;
+        p.update(pc, dir);
+        dir = !dir;
+    }
+    EXPECT_GT(correct, 95u);
+}
+
+TEST(TwoLevel, LearnsPeriodicPattern)
+{
+    // Pattern T T N repeating: needs >= 3 history bits.
+    TwoLevelPredictor p(smallConfig());
+    const std::uint64_t pc = 0x8000;
+    const bool pattern[3] = {true, true, false};
+    for (int i = 0; i < 300; ++i)
+        p.update(pc, pattern[i % 3]);
+    unsigned correct = 0;
+    for (int i = 0; i < 99; ++i) {
+        const bool actual = pattern[i % 3];
+        correct += p.predictTaken(pc) == actual;
+        p.update(pc, actual);
+    }
+    EXPECT_GT(correct, 92u);
+}
+
+TEST(TwoLevel, BtbStoresTargets)
+{
+    TwoLevelPredictor p(smallConfig());
+    EXPECT_EQ(p.predictTarget(0x100), ~0ull);
+    p.updateTarget(0x100, 0xaaaa);
+    EXPECT_EQ(p.predictTarget(0x100), 0xaaaau);
+    p.updateTarget(0x100, 0xbbbb);
+    EXPECT_EQ(p.predictTarget(0x100), 0xbbbbu);
+}
+
+TEST(TwoLevel, BtbEvictsLru)
+{
+    PredictorConfig cfg = smallConfig();
+    cfg.btbEntries = 8;
+    cfg.btbAssoc = 2;  // 4 sets
+    TwoLevelPredictor p(cfg);
+    // Three PCs in the same set (pc>>2 % 4 equal).
+    const std::uint64_t a = 0x00, b = 0x10, c = 0x20;
+    p.updateTarget(a, 1);
+    p.updateTarget(b, 2);
+    p.predictTarget(a);
+    p.updateTarget(c, 3);  // evicts the LRU entry
+    const int present = (p.predictTarget(a) != ~0ull) +
+                        (p.predictTarget(b) != ~0ull) +
+                        (p.predictTarget(c) != ~0ull);
+    EXPECT_EQ(present, 2);
+    EXPECT_NE(p.predictTarget(c), ~0ull);
+}
+
+TEST(TwoLevel, ReturnAddressStack)
+{
+    TwoLevelPredictor p(smallConfig());
+    p.pushReturn(11);
+    p.pushReturn(22);
+    EXPECT_EQ(p.popReturn(), 22u);
+    EXPECT_EQ(p.popReturn(), 11u);
+    EXPECT_EQ(p.popReturn(), ~0ull);
+}
+
+TEST(BlockPred, LearnsThreeBitSelection)
+{
+    BlockPredictor p(smallConfig());
+    const std::uint64_t pc = 0x4000;
+    BlockPredictor::Prediction actual;
+    actual.trapTaken = true;
+    actual.variantBits = 2;
+    for (int i = 0; i < 50; ++i)
+        p.update(pc, actual, 3, 6);
+    const auto pred = p.predict(pc);
+    EXPECT_TRUE(pred.trapTaken);
+    EXPECT_EQ(pred.variantBits, 2u);
+}
+
+TEST(BlockPred, BtbSlotsFillIncrementally)
+{
+    BlockPredictor p(smallConfig());
+    const std::uint64_t pc = 0x4000;
+    EXPECT_FALSE(p.hasEntry(pc));
+    EXPECT_EQ(p.successor(pc, 0), ~0ull);
+    p.install(pc, 0, 100);
+    EXPECT_TRUE(p.hasEntry(pc));
+    EXPECT_EQ(p.successor(pc, 0), 100u);
+    EXPECT_EQ(p.successor(pc, 3), ~0ull);  // not yet encountered
+    p.install(pc, 3, 103);
+    EXPECT_EQ(p.successor(pc, 3), 103u);
+    EXPECT_EQ(p.lastSuccessor(pc), 103u);
+}
+
+TEST(BlockPred, VariableHistoryShiftChangesIndexing)
+{
+    // Two predictors fed the same outcomes but with different shift
+    // amounts must diverge in PHT state; we detect that via a pattern
+    // only learnable when the shift keeps history compact.
+    PredictorConfig cfg = smallConfig();
+    cfg.historyBits = 4;
+    BlockPredictor narrow(cfg);
+    const std::uint64_t pc = 0x1000;
+
+    // Period-2 variant pattern: variants 0, 1, 0, 1 ...
+    // With a 1-bit shift the 4-bit history distinguishes phases.
+    for (int i = 0; i < 400; ++i) {
+        BlockPredictor::Prediction actual;
+        actual.trapTaken = false;
+        actual.variantBits = i & 1;
+        narrow.update(pc, actual, 1, i & 1);
+    }
+    unsigned correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        const unsigned expect_bits = i & 1;
+        correct += narrow.predict(pc).variantBits == expect_bits;
+        BlockPredictor::Prediction actual;
+        actual.trapTaken = false;
+        actual.variantBits = expect_bits;
+        narrow.update(pc, actual, 1, expect_bits);
+    }
+    EXPECT_GT(correct, 90u);
+}
+
+TEST(BlockPred, ZeroShiftPreservesHistory)
+{
+    // succBits == 0 must leave the history register untouched: train a
+    // history-dependent pattern at pc A, interleave zero-shift updates
+    // at pc B, and verify A's pattern stays learnable.
+    PredictorConfig cfg = smallConfig();
+    BlockPredictor p(cfg);
+    // Low PHT-index bits must differ or the two PCs alias.
+    const std::uint64_t a = 0x104, b = 0x208;
+    for (int i = 0; i < 400; ++i) {
+        BlockPredictor::Prediction actual;
+        actual.trapTaken = (i & 1) != 0;
+        actual.variantBits = 0;
+        p.update(a, actual, 1, i & 1);
+        // Zero-bit shifts (single-successor blocks) in between.
+        BlockPredictor::Prediction noop;
+        noop.trapTaken = false;
+        noop.variantBits = 0;
+        p.update(b, noop, 0, 0);
+    }
+    unsigned correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        const bool expect_taken = (i & 1) != 0;
+        correct += p.predict(a).trapTaken == expect_taken;
+        BlockPredictor::Prediction actual;
+        actual.trapTaken = expect_taken;
+        actual.variantBits = 0;
+        p.update(a, actual, 1, i & 1);
+        BlockPredictor::Prediction noop;
+        p.update(b, noop, 0, 0);
+    }
+    EXPECT_GT(correct, 90u);
+}
+
+TEST(Schemes, NamesAndConstruction)
+{
+    EXPECT_STREQ(predictorSchemeName(PredictorScheme::GAg), "GAg");
+    EXPECT_STREQ(predictorSchemeName(PredictorScheme::PAs), "PAs");
+    for (PredictorScheme scheme :
+         {PredictorScheme::GAg, PredictorScheme::GAs,
+          PredictorScheme::PAg, PredictorScheme::PAs}) {
+        PredictorConfig cfg = smallConfig();
+        cfg.scheme = scheme;
+        TwoLevelPredictor p(cfg);
+        p.update(0x40, true);
+        (void)p.predictTaken(0x40);
+        BlockPredictor b(cfg);
+        b.update(0x40, BlockPredictor::Prediction{}, 1, 0);
+        (void)b.predict(0x40);
+    }
+}
+
+TEST(Schemes, PerAddressHistoryIsolatesBranches)
+{
+    // Branch A alternates; branch B is always taken.  With GLOBAL
+    // history B's updates pollute A's phase information when they
+    // interleave 1:1 at the same rate... but with PER-ADDRESS history
+    // A's pattern is tracked in its own register, so A must reach
+    // near-perfect accuracy.
+    PredictorConfig cfg = smallConfig();
+    cfg.scheme = PredictorScheme::PAs;
+    TwoLevelPredictor p(cfg);
+    const std::uint64_t a = 0x104, b = 0x208;
+    for (int i = 0; i < 400; ++i) {
+        p.update(a, (i & 1) != 0);
+        p.update(b, true);
+        p.update(b, true);
+        p.update(b, (i % 7) == 0);  // noise in B's history only
+    }
+    unsigned correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        const bool actual = (i & 1) != 0;
+        correct += p.predictTaken(a) == actual;
+        p.update(a, actual);
+        p.update(b, true);
+        p.update(b, true);
+        p.update(b, (i % 7) == 0);
+    }
+    EXPECT_GT(correct, 90u);
+}
+
+TEST(Schemes, GAgSharesOnePhtRow)
+{
+    // GAg ignores the branch address entirely: two branches with the
+    // same history land in the same PHT entry.
+    PredictorConfig cfg = smallConfig();
+    cfg.scheme = PredictorScheme::GAg;
+    TwoLevelPredictor p(cfg);
+    // Saturate taken with zero history at pc A.
+    for (int i = 0; i < 8; ++i) {
+        p.update(0x104, true);
+        // Reset history to zero by shifting in zeros via not-taken.
+        for (int k = 0; k < 12; ++k)
+            p.update(0x104, false);
+    }
+    for (int k = 0; k < 12; ++k)
+        p.update(0x104, false);
+    // A completely different pc with the same (zero) history sees the
+    // same counter state.
+    EXPECT_EQ(p.predictTaken(0x104), p.predictTaken(0x999104));
+}
+
+TEST(BlockPred, ReturnStack)
+{
+    BlockPredictor p(smallConfig());
+    p.pushReturn(7);
+    EXPECT_EQ(p.popReturn(), 7u);
+    EXPECT_EQ(p.popReturn(), ~0ull);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the support layer: RNG determinism and distributions,
+ * saturating counters, bit utilities, tables, and the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/bitutil.hh"
+#include "support/env.hh"
+#include "support/rng.hh"
+#include "support/sat_counter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace bsisa;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[rng.nextBelow(8)];
+    for (int h : hits)
+        EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SizeDrawMeanAndCap)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const unsigned v = rng.sizeDraw(5.0, 16);
+        ASSERT_GE(v, 1u);
+        ASSERT_LE(v, 16u);
+        sum += v;
+    }
+    // Mean is pulled below 5 by the cap; accept a loose band.
+    EXPECT_GT(sum / n, 3.5);
+    EXPECT_LT(sum / n, 5.5);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    // Streams should not be identical.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(SatCounter, TwoBitStateMachine)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.predictTaken());
+    c.train(true);   // 1
+    EXPECT_FALSE(c.predictTaken());
+    c.train(true);   // 2
+    EXPECT_TRUE(c.predictTaken());
+    c.train(true);   // 3
+    c.train(true);   // saturates at 3
+    EXPECT_EQ(c.value(), 3u);
+    c.train(false);  // 2
+    EXPECT_TRUE(c.predictTaken());
+    c.train(false);  // 1
+    EXPECT_FALSE(c.predictTaken());
+    c.train(false);
+    c.train(false);  // saturates at 0
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, OneBit)
+{
+    SatCounter c(1, 0);
+    EXPECT_FALSE(c.predictTaken());
+    c.train(true);
+    EXPECT_TRUE(c.predictTaken());
+    c.train(false);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(8), 3u);
+    EXPECT_EQ(ceilLog2(9), 4u);
+}
+
+TEST(BitUtil, PowerOfTwoAndMask)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(3), 7u);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(Table, AlignsAndFormats)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", Table::fmt(std::uint64_t(42))});
+    t.addRow({"b", Table::fmt(3.14159, 2)});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, ThousandsSeparator)
+{
+    EXPECT_EQ(Table::fmtSep(0), "0");
+    EXPECT_EQ(Table::fmtSep(999), "999");
+    EXPECT_EQ(Table::fmtSep(1000), "1,000");
+    EXPECT_EQ(Table::fmtSep(103015025), "103,015,025");
+}
+
+TEST(BarChart, RendersAllSeries)
+{
+    BarChart chart("demo", {"conv", "bsa"});
+    chart.addGroup("gcc", {10.0, 8.0});
+    chart.addGroup("go", {5.0, 6.0});
+    std::ostringstream os;
+    chart.print(os, 20);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("gcc"), std::string::npos);
+    EXPECT_NE(s.find("go"), std::string::npos);
+    EXPECT_NE(s.find("conv"), std::string::npos);
+    EXPECT_NE(s.find("bsa"), std::string::npos);
+}
+
+TEST(Stats, SetAddGet)
+{
+    StatSet stats;
+    stats.set("cycles", 100, "total cycles");
+    stats.add("cycles", 5);
+    stats.add("misses", 2);
+    EXPECT_DOUBLE_EQ(stats.get("cycles"), 105);
+    EXPECT_DOUBLE_EQ(stats.get("misses"), 2);
+    EXPECT_TRUE(stats.has("cycles"));
+    EXPECT_FALSE(stats.has("nothing"));
+}
+
+TEST(Env, DefaultsAndParses)
+{
+    ::unsetenv("BSISA_TEST_ENV");
+    EXPECT_EQ(envU64("BSISA_TEST_ENV", 7), 7u);
+    ::setenv("BSISA_TEST_ENV", "123", 1);
+    EXPECT_EQ(envU64("BSISA_TEST_ENV", 7), 123u);
+    ::setenv("BSISA_TEST_ENV", "0x10", 1);
+    EXPECT_EQ(envU64("BSISA_TEST_ENV", 7), 16u);
+    ::unsetenv("BSISA_TEST_ENV");
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the textual IR serializer/assembler: operation syntax,
+ * structural round trips, behavioural equivalence, and error
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hh"
+#include "ir/textform.hh"
+#include "ir/verifier.hh"
+#include "sim/interp.hh"
+#include "support/rng.hh"
+#include "workloads/synth.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+Operation
+roundTripOp(const Operation &op)
+{
+    Operation parsed;
+    std::string error;
+    EXPECT_TRUE(parseOperationText(op.toString(), parsed, error))
+        << op.toString() << ": " << error;
+    return parsed;
+}
+
+void
+expectSameOp(const Operation &a, const Operation &b)
+{
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.src1, b.src1);
+    EXPECT_EQ(a.src2, b.src2);
+    EXPECT_EQ(a.imm, b.imm);
+    EXPECT_EQ(a.target0, b.target0);
+    EXPECT_EQ(a.target1, b.target1);
+    EXPECT_EQ(a.callee, b.callee);
+    EXPECT_EQ(a.succBits, b.succBits);
+}
+
+} // namespace
+
+TEST(OpText, RoundTripsEveryForm)
+{
+    std::vector<Operation> ops = {
+        makeNop(),
+        makeMovI(5, -123456789),
+        makeMov(3, 4),
+        makeBin(Opcode::Add, 1, 2, 3),
+        makeBin(Opcode::FDiv, 7, 8, 9),
+        makeBinI(Opcode::AddI, 1, 2, -7),
+        makeBinI(Opcode::ShrI, 1, 2, 63),
+        makeLd(4, 5, 1048576),
+        makeSt(5, 8, 6),
+        makeJmp(12),
+        makeTrap(3, 10, 11),
+        makeCall(2, 7),
+        makeIJmp(9, 1),
+        makeRet(),
+        makeHalt(),
+    };
+    // A trap with nonzero succBits.
+    Operation trap = makeTrap(1, 2, 3);
+    trap.succBits = 3;
+    ops.push_back(trap);
+    // Both fault polarities.
+    ops.push_back(makeFault(4, 99));
+    Operation inv_fault = makeFault(4, 99);
+    inv_fault.imm = 1;
+    ops.push_back(inv_fault);
+    // FCvt.
+    Operation cvt;
+    cvt.op = Opcode::FCvt;
+    cvt.dst = 2;
+    cvt.src1 = 3;
+    ops.push_back(cvt);
+
+    for (const Operation &op : ops) {
+        SCOPED_TRACE(op.toString());
+        expectSameOp(roundTripOp(op), op);
+    }
+}
+
+TEST(OpText, RejectsGarbage)
+{
+    Operation op;
+    std::string error;
+    EXPECT_FALSE(parseOperationText("frobnicate r1, r2", op, error));
+    EXPECT_NE(error.find("unknown mnemonic"), std::string::npos);
+    EXPECT_FALSE(parseOperationText("add r1, r2", op, error));
+    EXPECT_FALSE(parseOperationText("movi r1", op, error));
+    EXPECT_FALSE(parseOperationText("ld r1, [x + 0]", op, error));
+    EXPECT_FALSE(parseOperationText("", op, error));
+}
+
+TEST(ModuleText, RoundTripsCompiledProgram)
+{
+    const char *src = R"(
+        var g[8];
+        var seed = 3;
+        fn work(a, b) {
+            if (a < b) { return a * b; }
+            return a - b;
+        }
+        fn main() {
+            var acc = seed;
+            for (var i = 0; i < 20; i = i + 1) {
+                acc = acc + work(i, acc & 7);
+                g[i & 7] = acc;
+                switch (i & 1) { case 0: { acc = acc + 1; }
+                                 case 1: { acc = acc ^ 3; } }
+            }
+            return acc;
+        }
+    )";
+    const Module original = compileBlockCOrDie(src);
+    const std::string text = moduleToText(original);
+    const ParseModuleResult parsed = parseModuleText(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_TRUE(verifyModule(parsed.module).empty());
+
+    // Structural identity.
+    ASSERT_EQ(parsed.module.functions.size(), original.functions.size());
+    EXPECT_EQ(parsed.module.mainFunc, original.mainFunc);
+    EXPECT_EQ(parsed.module.data, original.data);
+    EXPECT_EQ(parsed.module.numOps(), original.numOps());
+    // Text fixpoint: serializing again yields identical text.
+    EXPECT_EQ(moduleToText(parsed.module), text);
+
+    // Behavioural identity.
+    Interp a(original), b(parsed.module);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.exitValue(), b.exitValue());
+    EXPECT_EQ(a.dynOps(), b.dynOps());
+    EXPECT_EQ(a.dataChecksum(), b.dataChecksum());
+}
+
+TEST(ModuleText, RoundTripsGeneratedWorkload)
+{
+    WorkloadParams params;
+    params.name = "txt";
+    params.seed = 23;
+    params.numFuncs = 6;
+    params.numLibFuncs = 2;
+    params.itemsPerFunc = 6;
+    const Module original = generateWorkload(params);
+    const ParseModuleResult parsed =
+        parseModuleText(moduleToText(original));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.module.numOps(), original.numOps());
+    EXPECT_EQ(parsed.module.functions[1].isLibrary,
+              original.functions[1].isLibrary);
+
+    Interp::Limits limits;
+    limits.maxOps = 50000;
+    Interp a(original, limits), b(parsed.module, limits);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.dynOps(), b.dynOps());
+    EXPECT_EQ(a.dataChecksum(), b.dataChecksum());
+}
+
+TEST(ModuleText, ReportsErrorsWithLineNumbers)
+{
+    EXPECT_FALSE(parseModuleText("").ok);
+    EXPECT_NE(parseModuleText("nonsense").error.find("line 1"),
+              std::string::npos);
+
+    const ParseModuleResult bad_op = parseModuleText(
+        "module main=f0\ndata 0\nend\n"
+        "func main id=0 library=0 vregs=32 frame=0\n"
+        "block\n  bogus r1\nendblock\nendfunc\n");
+    EXPECT_FALSE(bad_op.ok);
+    EXPECT_NE(bad_op.error.find("line 6"), std::string::npos);
+
+    const ParseModuleResult bad_data = parseModuleText(
+        "module main=f0\ndata 2\n5 1\nend\n");
+    EXPECT_FALSE(bad_data.ok);
+    EXPECT_NE(bad_data.error.find("data entry"), std::string::npos);
+}
+
+TEST(ModuleText, CommentsAndBlankLinesIgnored)
+{
+    const ParseModuleResult parsed = parseModuleText(
+        "# a comment\n\nmodule main=f0\ndata 1\n0 42\nend\n\n"
+        "# another\n"
+        "func main id=0 library=0 vregs=32 frame=0\n"
+        "block\n  movi r4, 7\n  halt\nendblock\nendfunc\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.module.data[0], 42u);
+    Interp interp(parsed.module);
+    interp.run();
+    EXPECT_EQ(interp.exitValue(), 7u);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the trace cache model and its fetch source (the extension
+ * comparing the paper's approach with run-time block combining).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/trace_cache.hh"
+#include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "sim/tc_source.hh"
+#include "support/rng.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+Trace
+makeTrace(std::uint64_t start, std::vector<std::uint64_t> blocks,
+          std::vector<bool> dirs, unsigned ops)
+{
+    Trace t;
+    t.valid = true;
+    t.start = start;
+    t.blocks = std::move(blocks);
+    t.dirs = std::move(dirs);
+    t.ops = ops;
+    return t;
+}
+
+const char *kLoopy = R"(
+    var d[16];
+    fn main() {
+        var acc = 0;
+        for (var i = 0; i < 500; i = i + 1) {
+            if (d[i & 15] & 1) { acc = acc + i; }
+            else { acc = acc ^ (i << 1); }
+            acc = acc & 0xffff;
+        }
+        return acc;
+    }
+)";
+
+Module
+loopyModule()
+{
+    Module m = compileBlockCOrDie(kLoopy);
+    Rng rng(3);
+    for (auto &word : m.data)
+        word = rng.next() & 3;
+    return m;
+}
+
+} // namespace
+
+TEST(TraceCacheModel, MissThenHit)
+{
+    TraceCache tc(TraceCacheConfig{});
+    EXPECT_EQ(tc.lookup(100, {true}), nullptr);
+    tc.install(makeTrace(100, {100, 200}, {true}, 8));
+    const Trace *hit = tc.lookup(100, {true});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->blocks.size(), 2u);
+    EXPECT_EQ(tc.hits(), 1u);
+    EXPECT_EQ(tc.misses(), 1u);
+}
+
+TEST(TraceCacheModel, DirectionsArePartOfIdentity)
+{
+    TraceCache tc(TraceCacheConfig{});
+    tc.install(makeTrace(100, {100, 200}, {true}, 8));
+    // Wrong predicted direction: miss.
+    EXPECT_EQ(tc.lookup(100, {false}), nullptr);
+    // Prefix rule: the trace's dirs must be covered by predictions.
+    EXPECT_EQ(tc.lookup(100, {}), nullptr);
+    EXPECT_NE(tc.lookup(100, {true, false}), nullptr);
+}
+
+TEST(TraceCacheModel, PathAssociativity)
+{
+    // Both paths out of a branch can be cached simultaneously.
+    TraceCache tc(TraceCacheConfig{});
+    tc.install(makeTrace(100, {100, 200}, {true}, 8));
+    tc.install(makeTrace(100, {100, 300}, {false}, 9));
+    const Trace *taken = tc.lookup(100, {true});
+    const Trace *fall = tc.lookup(100, {false});
+    ASSERT_NE(taken, nullptr);
+    ASSERT_NE(fall, nullptr);
+    EXPECT_EQ(taken->blocks[1], 200u);
+    EXPECT_EQ(fall->blocks[1], 300u);
+}
+
+TEST(TraceCacheModel, ReinstallReplacesInPlace)
+{
+    TraceCache tc(TraceCacheConfig{});
+    tc.install(makeTrace(100, {100, 200}, {true}, 8));
+    tc.install(makeTrace(100, {100, 200, 250}, {true}, 12));
+    // Same start+dirs slot updated, not duplicated: evicting would be
+    // visible through capacity behaviour; directly check contents.
+    const Trace *hit = tc.lookup(100, {true});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->blocks.size(), 3u);
+}
+
+TEST(TraceCacheModel, LruEvictionWithinSet)
+{
+    TraceCacheConfig cfg;
+    cfg.entries = 2;
+    cfg.assoc = 2;  // one set
+    TraceCache tc(cfg);
+    tc.install(makeTrace(1, {1, 2}, {true}, 4));
+    tc.install(makeTrace(2, {2, 3}, {true}, 4));
+    tc.lookup(1, {true});                          // refresh 1
+    tc.install(makeTrace(3, {3, 4}, {true}, 4));   // evicts 2
+    EXPECT_NE(tc.lookup(1, {true}), nullptr);
+    EXPECT_EQ(tc.lookup(2, {true}), nullptr);
+    EXPECT_NE(tc.lookup(3, {true}), nullptr);
+}
+
+TEST(TcSource, RetiresExactlyTheDynamicOps)
+{
+    const Module m = loopyModule();
+    Interp::Limits limits;
+    Interp interp(m, limits);
+    interp.run();
+    const std::uint64_t want = interp.dynOps();
+
+    MachineConfig machine;
+    const TraceCacheResult r =
+        runTraceCache(m, machine, TraceCacheConfig{}, limits);
+    EXPECT_EQ(r.sim.retiredOps, want);
+}
+
+TEST(TcSource, HitsGrowFetchRate)
+{
+    const Module m = loopyModule();
+    Interp::Limits limits;
+    MachineConfig machine;
+
+    const SimResult conv = runConventional(m, machine, limits);
+    const TraceCacheResult tc =
+        runTraceCache(m, machine, TraceCacheConfig{}, limits);
+
+    // A hot loop is exactly what a trace cache eats: many hits, larger
+    // average fetch unit, fewer cycles.
+    EXPECT_GT(tc.hitRate(), 0.3);
+    EXPECT_GT(tc.sim.avgBlockSize(), conv.avgBlockSize() * 1.2);
+    EXPECT_LT(tc.sim.cycles, conv.cycles);
+}
+
+TEST(TcSource, PerfectPredictionHasNoMispredicts)
+{
+    const Module m = loopyModule();
+    Interp::Limits limits;
+    MachineConfig machine;
+    machine.perfectPrediction = true;
+    const TraceCacheResult r =
+        runTraceCache(m, machine, TraceCacheConfig{}, limits);
+    EXPECT_EQ(r.sim.mispredicts, 0u);
+}
+
+TEST(TcSource, ZeroCapacityDegradesToConventional)
+{
+    // A trace needs at least 2 blocks; with maxBlocks = 1 nothing is
+    // ever installed and behaviour must match the plain machine's
+    // block sizes.
+    const Module m = loopyModule();
+    Interp::Limits limits;
+    MachineConfig machine;
+    TraceCacheConfig tiny;
+    tiny.maxBlocks = 1;
+    const TraceCacheResult r =
+        runTraceCache(m, machine, tiny, limits);
+    const SimResult conv = runConventional(m, machine, limits);
+    EXPECT_EQ(r.traceHits, 0u);
+    EXPECT_NEAR(r.sim.avgBlockSize(), conv.avgBlockSize(), 1e-9);
+}
+
+TEST(TcSource, DeterministicAcrossRuns)
+{
+    const Module m = loopyModule();
+    Interp::Limits limits;
+    MachineConfig machine;
+    const TraceCacheResult a =
+        runTraceCache(m, machine, TraceCacheConfig{}, limits);
+    const TraceCacheResult b =
+        runTraceCache(m, machine, TraceCacheConfig{}, limits);
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.traceHits, b.traceHits);
+}

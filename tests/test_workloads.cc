@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the synthetic SPECint95-like workload generator: validity,
+ * determinism, parameter effects, and the suite's characteristic
+ * shapes (code footprints, block sizes, library share).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/enlarge.hh"
+#include "ir/verifier.hh"
+#include "sim/interp.hh"
+#include "workloads/specmix.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+WorkloadParams
+tinyParams(std::uint64_t seed = 7)
+{
+    WorkloadParams p;
+    p.name = "tiny";
+    p.seed = seed;
+    p.numFuncs = 8;
+    p.numLibFuncs = 2;
+    p.itemsPerFunc = 6;
+    return p;
+}
+
+} // namespace
+
+TEST(Workloads, GeneratedModuleIsValid)
+{
+    const Module m = generateWorkload(tinyParams());
+    EXPECT_TRUE(verifyModule(m).empty());
+    // Register-allocated and split.
+    for (const auto &f : m.functions) {
+        EXPECT_EQ(f.numVirtualRegs, numArchRegs);
+        for (const auto &blk : f.blocks)
+            EXPECT_LE(blk.ops.size(), 16u);
+    }
+}
+
+TEST(Workloads, DeterministicAcrossGenerations)
+{
+    const Module a = generateWorkload(tinyParams());
+    const Module b = generateWorkload(tinyParams());
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    ASSERT_EQ(a.numOps(), b.numOps());
+    ASSERT_EQ(a.data, b.data);
+    // Functional behaviour identical.
+    Interp::Limits limits;
+    limits.maxOps = 100000;
+    Interp ia(a, limits), ib(b, limits);
+    ia.run();
+    ib.run();
+    EXPECT_EQ(ia.dynOps(), ib.dynOps());
+    EXPECT_EQ(ia.dataChecksum(), ib.dataChecksum());
+}
+
+TEST(Workloads, SeedsChangeTheProgram)
+{
+    const Module a = generateWorkload(tinyParams(1));
+    const Module b = generateWorkload(tinyParams(2));
+    EXPECT_NE(a.numOps(), b.numOps());
+}
+
+TEST(Workloads, RunsForeverUntilBudget)
+{
+    const Module m = generateWorkload(tinyParams());
+    Interp::Limits limits;
+    limits.maxOps = 250000;
+    Interp interp(m, limits);
+    interp.run();
+    EXPECT_FALSE(interp.halted());  // main loop is effectively endless
+    EXPECT_GE(interp.dynOps(), 250000u);
+}
+
+TEST(Workloads, LibraryFunctionsMarked)
+{
+    const Module m = generateWorkload(tinyParams());
+    unsigned libs = 0;
+    for (const auto &f : m.functions)
+        libs += f.isLibrary;
+    EXPECT_EQ(libs, 2u);
+}
+
+TEST(Workloads, LibraryShareIsBounded)
+{
+    // Library code must execute but not dominate (the condition-5
+    // lesson: if it dominates, enlargement cannot help at all).
+    WorkloadParams params = tinyParams();
+    params.callDensity = 0.3;
+    params.libCallFraction = 0.3;
+    const Module m = generateWorkload(params);
+    std::vector<bool> is_lib;
+    for (const auto &f : m.functions)
+        is_lib.push_back(f.isLibrary);
+    Interp::Limits limits;
+    limits.maxOps = 300000;
+    Interp interp(m, limits);
+    BlockEvent ev;
+    std::uint64_t lib_blocks = 0, total = 0;
+    while (interp.step(ev)) {
+        ++total;
+        lib_blocks += is_lib[ev.func];
+    }
+    EXPECT_GT(lib_blocks, 0u);
+    EXPECT_LT(double(lib_blocks) / double(total), 0.35);
+}
+
+TEST(Workloads, MoreFunctionsMeanMoreCode)
+{
+    WorkloadParams small = tinyParams();
+    WorkloadParams big = tinyParams();
+    big.numFuncs = 32;
+    EXPECT_GT(generateWorkload(big).numOps(),
+              generateWorkload(small).numOps() * 2);
+}
+
+TEST(Workloads, EnlargementAppliesToGenerated)
+{
+    const Module m = generateWorkload(tinyParams());
+    EnlargeStats stats;
+    const BsaModule bsa =
+        enlargeModule(m, EnlargeConfig{}, nullptr, &stats);
+    EXPECT_GT(stats.mergedEdges, 0u);
+    EXPECT_GT(stats.expansion(), 1.0);
+    for (const auto &blk : bsa.blocks)
+        EXPECT_LE(blk.ops.size(), 16u);
+}
+
+TEST(SpecSuite, HasEightBenchmarksInPaperOrder)
+{
+    const auto suite = specint95Suite();
+    ASSERT_EQ(suite.size(), 8u);
+    const char *names[] = {"compress", "gcc",     "go",   "ijpeg",
+                           "li",       "m88ksim", "perl", "vortex"};
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(suite[i].params.name, names[i]);
+}
+
+TEST(SpecSuite, Table2InstructionCountsVerbatim)
+{
+    const auto suite = specint95Suite();
+    EXPECT_EQ(suite[0].paperInstructions, 103015025u);  // compress
+    EXPECT_EQ(suite[1].paperInstructions, 154450036u);  // gcc
+    EXPECT_EQ(suite[2].paperInstructions, 125637006u);  // go
+    EXPECT_EQ(suite[3].paperInstructions, 206802135u);  // ijpeg
+    EXPECT_EQ(suite[4].paperInstructions, 187727922u);  // li
+    EXPECT_EQ(suite[5].paperInstructions, 120738195u);  // m88ksim
+    EXPECT_EQ(suite[6].paperInstructions, 78148849u);   // perl
+    EXPECT_EQ(suite[7].paperInstructions, 232003378u);  // vortex
+    EXPECT_EQ(suite[0].scaledBudget(100), 1030150u);
+}
+
+TEST(SpecSuite, CodeFootprintOrdering)
+{
+    // gcc and go must be the code giants; compress and li tiny — this
+    // ordering drives figures 6 and 7.
+    const auto suite = specint95Suite();
+    std::map<std::string, std::uint64_t> bytes;
+    for (const auto &bench : suite)
+        bytes[bench.params.name] =
+            workloadCodeBytes(generateWorkload(bench.params));
+    EXPECT_GT(bytes["gcc"], 4 * bytes["compress"]);
+    EXPECT_GT(bytes["go"], 4 * bytes["li"]);
+    EXPECT_GT(bytes["gcc"], bytes["m88ksim"]);
+    EXPECT_LT(bytes["compress"], 32 * 1024u);
+    EXPECT_LT(bytes["li"], 32 * 1024u);
+    EXPECT_GT(bytes["gcc"], 128 * 1024u);
+}
+
+TEST(SpecSuite, GeneratedSuiteIsValid)
+{
+    for (const auto &bench : specint95Suite()) {
+        const Module m = generateWorkload(bench.params);
+        EXPECT_TRUE(verifyModule(m).empty()) << bench.params.name;
+    }
+}

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * bsisac — the block-structured ISA toolchain driver.
+ *
+ * A small command-line compiler/simulator front door over the library,
+ * in the spirit of a cc(1)-style driver:
+ *
+ *   bsisac compile prog.bc [-o out.ir] [--no-opt] [--no-ra]
+ *       Compile BlockC to the textual IR form.
+ *   bsisac run prog.bc|prog.ir [--max-ops N]
+ *       Compile (or load IR) and execute functionally.
+ *   bsisac sim prog.bc|prog.ir [--max-ops N] [--icache KB]
+ *              [--perfect-bp] [--stats]
+ *       Cycle-simulate on BOTH machines and print the comparison.
+ *   bsisac enlarge prog.bc|prog.ir [--max-ops-per-block N]
+ *              [--max-faults N]
+ *       Run block enlargement and dump every atomic block.
+ *
+ * Inputs ending in .ir are parsed as the textual IR (see
+ * src/ir/textform.hh); anything else is treated as BlockC source.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/layout.hh"
+#include "core/enlarge.hh"
+#include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "ir/printer.hh"
+#include "ir/textform.hh"
+#include "ir/verifier.hh"
+#include "sim/interp.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: bsisac <command> <input> [options]\n"
+        "  compile <in.bc> [-o out.ir] [--no-opt] [--no-ra]\n"
+        "  run     <in.bc|in.ir> [--max-ops N]\n"
+        "  sim     <in.bc|in.ir> [--max-ops N] [--icache KB]"
+        " [--perfect-bp] [--stats]\n"
+        "  enlarge <in.bc|in.ir> [--max-ops-per-block N]"
+        " [--max-faults N]\n";
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+/** Load a module from BlockC source or textual IR. */
+bool
+loadModule(const std::string &path, const CompileOptions &options,
+           Module &out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::cerr << "bsisac: cannot read '" << path << "'\n";
+        return false;
+    }
+    if (endsWith(path, ".ir")) {
+        ParseModuleResult parsed = parseModuleText(text);
+        if (!parsed.ok) {
+            std::cerr << "bsisac: " << path << ": " << parsed.error
+                      << "\n";
+            return false;
+        }
+        out = std::move(parsed.module);
+        const auto problems = verifyModule(out);
+        if (!problems.empty()) {
+            std::cerr << "bsisac: " << path << ": " << problems.front()
+                      << "\n";
+            return false;
+        }
+        return true;
+    }
+    CompileResult result = compileBlockC(text, options);
+    if (!result.ok) {
+        std::cerr << "bsisac: compilation of '" << path
+                  << "' failed:\n"
+                  << result.errors;
+        return false;
+    }
+    out = std::move(result.module);
+    return true;
+}
+
+/** Pull "--flag value" / "--flag" style options out of argv. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &[key, value] : options)
+            if (key == name)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &def) const
+    {
+        for (const auto &[key, value] : options)
+            if (key == name)
+                return value;
+        return def;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv, int first,
+          const std::vector<std::string> &valueOptions)
+{
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0 || arg == "-o") {
+            const bool takes_value =
+                std::find(valueOptions.begin(), valueOptions.end(),
+                          arg) != valueOptions.end();
+            std::string value;
+            if (takes_value && i + 1 < argc)
+                value = argv[++i];
+            args.options.emplace_back(arg, value);
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+int
+cmdCompile(const Args &args)
+{
+    CompileOptions options;
+    options.optimize = !args.has("--no-opt");
+    options.allocate = !args.has("--no-ra");
+    Module module;
+    if (!loadModule(args.positional[0], options, module))
+        return 1;
+    const std::string out_path = args.get("-o", "");
+    if (out_path.empty()) {
+        serializeModule(std::cout, module);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "bsisac: cannot write '" << out_path << "'\n";
+            return 1;
+        }
+        serializeModule(out, module);
+        std::cout << "wrote " << out_path << " ("
+                  << module.numOps() << " ops, "
+                  << module.functions.size() << " functions)\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    Module module;
+    if (!loadModule(args.positional[0], CompileOptions{}, module))
+        return 1;
+    Interp::Limits limits;
+    limits.maxOps = std::stoull(args.get("--max-ops", "1000000000"));
+    Interp interp(module, limits);
+    interp.run();
+    std::cout << "exit value: " << interp.exitValue() << "\n"
+              << "dynamic ops: " << interp.dynOps() << "\n"
+              << "dynamic blocks: " << interp.dynBlocks() << "\n"
+              << (interp.halted() ? "halted normally\n"
+                                  : "stopped at the op budget\n");
+    return 0;
+}
+
+int
+cmdSim(const Args &args)
+{
+    Module module;
+    if (!loadModule(args.positional[0], CompileOptions{}, module))
+        return 1;
+
+    RunConfig config;
+    config.limits.maxOps =
+        std::stoull(args.get("--max-ops", "1000000000"));
+    config.machine.icache.sizeBytes =
+        std::stoul(args.get("--icache", "64")) * 1024;
+    config.machine.perfectPrediction = args.has("--perfect-bp");
+
+    const PairResult r = runPair(module, config);
+
+    Table t({"metric", "conventional", "block-structured"});
+    t.addRow({"cycles", Table::fmtSep(r.conv.cycles),
+              Table::fmtSep(r.bsa.cycles)});
+    t.addRow({"IPC", Table::fmt(r.conv.ipc(), 2),
+              Table::fmt(r.bsa.ipc(), 2)});
+    t.addRow({"avg block size", Table::fmt(r.conv.avgBlockSize(), 2),
+              Table::fmt(r.bsa.avgBlockSize(), 2)});
+    t.addRow({"branch accuracy",
+              Table::fmt(100.0 * r.conv.branchAccuracy(), 1) + "%",
+              Table::fmt(100.0 * r.bsa.branchAccuracy(), 1) + "%"});
+    t.addRow({"icache miss rate",
+              Table::fmt(100.0 * r.conv.icache.missRate(), 2) + "%",
+              Table::fmt(100.0 * r.bsa.icache.missRate(), 2) + "%"});
+    t.addRow({"code bytes", Table::fmtSep(r.convCodeBytes),
+              Table::fmtSep(r.bsaCodeBytes)});
+    t.print(std::cout);
+    std::cout << "reduction: " << Table::fmt(100.0 * r.reduction(), 1)
+              << "%\n";
+
+    if (args.has("--stats")) {
+        StatSet stats;
+        stats.set("conv.cycles", double(r.conv.cycles));
+        stats.set("conv.retired_ops", double(r.conv.retiredOps));
+        stats.set("conv.mispredicts", double(r.conv.mispredicts));
+        stats.set("conv.wrong_path_ops", double(r.conv.wrongPathOps));
+        stats.set("conv.icache_misses", double(r.conv.icache.misses));
+        stats.set("conv.dcache_misses", double(r.conv.dcache.misses));
+        stats.set("bsa.cycles", double(r.bsa.cycles));
+        stats.set("bsa.retired_ops", double(r.bsa.retiredOps));
+        stats.set("bsa.trap_mispredicts",
+                  double(r.bsa.trapMispredicts));
+        stats.set("bsa.fault_mispredicts",
+                  double(r.bsa.faultMispredicts));
+        stats.set("bsa.cascade_hops", double(r.bsa.cascadeHops));
+        stats.set("bsa.wrong_path_ops", double(r.bsa.wrongPathOps));
+        stats.set("bsa.icache_misses", double(r.bsa.icache.misses));
+        stats.set("bsa.dcache_misses", double(r.bsa.dcache.misses));
+        stats.set("conv.stall_redirect", double(r.conv.stallRedirect));
+        stats.set("conv.stall_window", double(r.conv.stallWindow));
+        stats.set("conv.stall_icache", double(r.conv.stallIcache));
+        stats.set("bsa.stall_redirect", double(r.bsa.stallRedirect));
+        stats.set("bsa.stall_window", double(r.bsa.stallWindow));
+        stats.set("bsa.stall_icache", double(r.bsa.stallIcache));
+        stats.set("enlarge.atomic_blocks",
+                  double(r.enlarge.atomicBlocks));
+        stats.set("enlarge.expansion", r.enlarge.expansion());
+        std::cout << "\n";
+        stats.dump(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdEnlarge(const Args &args)
+{
+    Module module;
+    if (!loadModule(args.positional[0], CompileOptions{}, module))
+        return 1;
+    EnlargeConfig config;
+    config.maxOps = std::stoul(args.get("--max-ops-per-block", "16"));
+    config.maxFaults = std::stoul(args.get("--max-faults", "2"));
+    splitOversizedBlocks(module, config.maxOps);
+    EnlargeStats stats;
+    BsaModule bsa = enlargeModule(module, config, nullptr, &stats);
+    layoutBsaModule(bsa);
+    std::cout << "atomic blocks: " << stats.atomicBlocks
+              << ", heads: " << stats.heads
+              << ", trap->fault: " << stats.mergedEdges
+              << ", jumps deleted: " << stats.thruMerges
+              << ", expansion: " << stats.expansion() << "x\n\n";
+    for (const AtomicBlock &blk : bsa.blocks) {
+        std::cout << "AB" << blk.id << " f" << blk.func << " @0x"
+                  << std::hex << blk.addr << std::dec << " bbs:";
+        for (BlockId b : blk.bbs)
+            std::cout << " B" << b;
+        std::cout << " (succBits " << unsigned(blk.succBits) << ")\n";
+        for (const Operation &op : blk.ops)
+            std::cout << "    " << op.toString() << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string command = argv[1];
+    const Args args = parseArgs(
+        argc, argv, 2,
+        {"-o", "--max-ops", "--icache", "--max-ops-per-block",
+         "--max-faults"});
+    if (args.positional.empty())
+        return usage();
+
+    if (command == "compile")
+        return cmdCompile(args);
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "sim")
+        return cmdSim(args);
+    if (command == "enlarge")
+        return cmdEnlarge(args);
+    return usage();
+}
