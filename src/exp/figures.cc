@@ -1,6 +1,14 @@
 /**
  * @file
  * Figure-driver implementation.
+ *
+ * Every driver is a grid of independent simulation points (benchmark x
+ * machine config).  The points are computed into pre-sized result
+ * slots by parallelFor() (BSISA_JOBS workers) and printed serially in
+ * grid order, so the rendered tables are byte-identical for any worker
+ * count.  Where the grid sweeps timing configs over a fixed (module,
+ * limits), one functional trace is captured per benchmark and replayed
+ * into every point (sim/trace.hh).
  */
 
 #include "exp/figures.hh"
@@ -8,6 +16,7 @@
 #include "arch/instr_class.hh"
 #include "codegen/layout.hh"
 #include "support/env.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 
 namespace bsisa
@@ -45,6 +54,33 @@ outcomeOf(const SpecBenchmark &bench, const PairResult &r)
     o.bsaIcacheMissRate = r.bsa.icache.missRate();
     o.dynOps = r.dynOps;
     return o;
+}
+
+/** Generate the whole suite's modules into index-stable slots. */
+std::vector<Module>
+generateSuiteModules(const std::vector<SpecBenchmark> &suite)
+{
+    std::vector<Module> modules(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        modules[i] = generateWorkload(suite[i].params);
+    });
+    return modules;
+}
+
+/** Capture one functional trace per benchmark at @p budgetDiv of the
+ *  scaled budget (the ablations run at 1/4 budget). */
+std::vector<ExecTrace>
+captureSuiteTraces(const std::vector<SpecBenchmark> &suite,
+                   const std::vector<Module> &modules,
+                   std::uint64_t budgetDiv)
+{
+    std::vector<ExecTrace> traces(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        RunConfig config = baseConfig(suite[i]);
+        config.limits.maxOps /= budgetDiv;
+        traces[i] = captureTrace(modules[i], config.limits);
+    });
+    return traces;
 }
 
 } // namespace
@@ -86,20 +122,21 @@ printTable2(std::ostream &os)
        << divisor << ")\n\n";
     Table t({"Benchmark", "Input", "# of Instructions (paper)",
              "# simulated (measured)"});
-    std::vector<BenchOutcome> outcomes;
-    for (const auto &bench : specint95Suite()) {
-        const Module m = generateWorkload(bench.params);
+    const auto suite = specint95Suite();
+    std::vector<BenchOutcome> outcomes(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        const Module m = generateWorkload(suite[i].params);
         Interp::Limits limits;
-        limits.maxOps = bench.scaledBudget(divisor);
+        limits.maxOps = suite[i].scaledBudget(divisor);
         Interp interp(m, limits);
         interp.run();
-        BenchOutcome o;
-        o.name = bench.params.name;
-        o.dynOps = interp.dynOps();
-        outcomes.push_back(o);
-        t.addRow({bench.params.name, bench.input,
-                  Table::fmtSep(bench.paperInstructions),
-                  Table::fmtSep(interp.dynOps())});
+        outcomes[i].name = suite[i].params.name;
+        outcomes[i].dynOps = interp.dynOps();
+    });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        t.addRow({suite[i].params.name, suite[i].input,
+                  Table::fmtSep(suite[i].paperInstructions),
+                  Table::fmtSep(outcomes[i].dynOps)});
     }
     t.print(os);
     return outcomes;
@@ -116,19 +153,21 @@ runCycleComparison(std::ostream &os, bool perfectPrediction)
                  "(64KB 4-way L1 icache).\n")
        << "\n";
 
-    std::vector<BenchOutcome> outcomes;
+    const auto suite = specint95Suite();
+    std::vector<BenchOutcome> outcomes(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        const Module m = generateWorkload(suite[i].params);
+        RunConfig config = baseConfig(suite[i]);
+        config.machine.perfectPrediction = perfectPrediction;
+        outcomes[i] = outcomeOf(suite[i], runPair(m, config));
+    });
+
     Table t({"Benchmark", "Conventional (cycles)",
              "Block-Structured (cycles)", "Reduction"});
     BarChart chart("Total cycles (lower is better)",
                    {"Conventional ISA", "Block-Structured ISA"});
     double geo = 0.0;
-    for (const auto &bench : specint95Suite()) {
-        const Module m = generateWorkload(bench.params);
-        RunConfig config = baseConfig(bench);
-        config.machine.perfectPrediction = perfectPrediction;
-        const PairResult r = runPair(m, config);
-        const BenchOutcome o = outcomeOf(bench, r);
-        outcomes.push_back(o);
+    for (const BenchOutcome &o : outcomes) {
         t.addRow({o.name, Table::fmtSep(o.convCycles),
                   Table::fmtSep(o.bsaCycles),
                   Table::fmt(100.0 * o.reduction(), 1) + "%"});
@@ -149,16 +188,19 @@ runBlockSizeComparison(std::ostream &os)
 {
     os << "Figure 5: Average block sizes for block-structured and "
           "conventional ISA executables\n(retired blocks only).\n\n";
-    std::vector<BenchOutcome> outcomes;
+    const auto suite = specint95Suite();
+    std::vector<BenchOutcome> outcomes(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        const Module m = generateWorkload(suite[i].params);
+        outcomes[i] =
+            outcomeOf(suite[i], runPair(m, baseConfig(suite[i])));
+    });
+
     Table t({"Benchmark", "Conventional", "Block-Structured"});
     BarChart chart("Average retired block size (operations)",
                    {"Conventional ISA", "Block-Structured ISA"});
     double conv_sum = 0.0, bsa_sum = 0.0;
-    for (const auto &bench : specint95Suite()) {
-        const Module m = generateWorkload(bench.params);
-        const PairResult r = runPair(m, baseConfig(bench));
-        const BenchOutcome o = outcomeOf(bench, r);
-        outcomes.push_back(o);
+    for (const BenchOutcome &o : outcomes) {
         t.addRow({o.name, Table::fmt(o.convBlockSize, 2),
                   Table::fmt(o.bsaBlockSize, 2)});
         chart.addGroup(o.name, {o.convBlockSize, o.bsaBlockSize});
@@ -185,6 +227,53 @@ runIcacheSweep(std::ostream &os, bool blockStructured)
                  "time with a perfect icache.\n")
        << "\n";
 
+    const auto suite = specint95Suite();
+
+    // One functional trace per benchmark serves the perfect-icache
+    // baseline and every swept size.
+    struct SweepPrep
+    {
+        Module m;
+        ExecTrace trace;
+        BsaModule bsa;
+        std::uint64_t baseCycles = 0;
+    };
+    std::vector<SweepPrep> prep(suite.size());
+    parallelFor(suite.size(), [&](std::size_t i) {
+        SweepPrep &p = prep[i];
+        p.m = generateWorkload(suite[i].params);
+        RunConfig ideal = baseConfig(suite[i]);
+        ideal.machine.icache.perfect = true;
+        p.trace = captureTrace(p.m, ideal.limits);
+        if (blockStructured) {
+            p.bsa = enlargeModule(p.m, ideal.enlarge);
+            layoutBsaModule(p.bsa);
+            p.baseCycles =
+                runBlockStructured(p.bsa, ideal.machine, p.trace)
+                    .cycles;
+        } else {
+            p.baseCycles =
+                runConventional(p.m, ideal.machine, p.trace).cycles;
+        }
+    });
+
+    const std::size_t nsizes = icacheSizesKB.size();
+    std::vector<std::uint64_t> cycles(suite.size() * nsizes);
+    parallelFor(cycles.size(), [&](std::size_t idx) {
+        const std::size_t bi = idx / nsizes;
+        const unsigned kb = icacheSizesKB[idx % nsizes];
+        RunConfig config = baseConfig(suite[bi]);
+        config.machine.icache.sizeBytes = kb * 1024;
+        cycles[idx] =
+            blockStructured
+                ? runBlockStructured(prep[bi].bsa, config.machine,
+                                     prep[bi].trace)
+                      .cycles
+                : runConventional(prep[bi].m, config.machine,
+                                  prep[bi].trace)
+                      .cycles;
+    });
+
     std::vector<IcacheSweepRow> rows;
     std::vector<std::string> headers{"Benchmark"};
     for (unsigned kb : icacheSizesKB)
@@ -193,41 +282,16 @@ runIcacheSweep(std::ostream &os, bool blockStructured)
     BarChart chart("Relative execution-time increase vs perfect icache",
                    {"16KB", "32KB", "64KB"});
 
-    for (const auto &bench : specint95Suite()) {
-        const Module m = generateWorkload(bench.params);
+    for (std::size_t bi = 0; bi < suite.size(); ++bi) {
         IcacheSweepRow row;
-        row.name = bench.params.name;
-
-        // Baseline with a perfect icache.
-        RunConfig ideal = baseConfig(bench);
-        ideal.machine.icache.perfect = true;
-        std::uint64_t base_cycles;
-        BsaModule bsa;
-        if (blockStructured) {
-            bsa = enlargeModule(m, ideal.enlarge);
-            layoutBsaModule(bsa);
-            base_cycles =
-                runBlockStructured(bsa, ideal.machine, ideal.limits)
-                    .cycles;
-        } else {
-            base_cycles =
-                runConventional(m, ideal.machine, ideal.limits).cycles;
-        }
-
+        row.name = suite[bi].params.name;
         std::vector<std::string> cells{row.name};
         std::vector<double> values;
-        for (unsigned kb : icacheSizesKB) {
-            RunConfig config = baseConfig(bench);
-            config.machine.icache.sizeBytes = kb * 1024;
-            const std::uint64_t cycles =
-                blockStructured
-                    ? runBlockStructured(bsa, config.machine,
-                                         config.limits)
-                          .cycles
-                    : runConventional(m, config.machine, config.limits)
-                          .cycles;
+        for (std::size_t si = 0; si < nsizes; ++si) {
             const double increase =
-                double(cycles) / double(base_cycles) - 1.0;
+                double(cycles[bi * nsizes + si]) /
+                    double(prep[bi].baseCycles) -
+                1.0;
             row.relativeIncrease.push_back(increase);
             cells.push_back(Table::fmt(increase, 3));
             values.push_back(increase);
@@ -253,31 +317,45 @@ runLimitsAblation(std::ostream &os)
     const std::pair<unsigned, unsigned> configs[] = {
         {16, 0}, {16, 1}, {16, 2}, {16, 3},
         {8, 2},  {24, 2}, {32, 2}};
+    const std::size_t nconfigs = std::size(configs);
     const auto suite = specint95Suite();
-    std::vector<Module> modules;
-    for (const auto &bench : suite)
-        modules.push_back(generateWorkload(bench.params));
-    for (const auto &[max_ops, max_faults] : configs) {
-        double total_red = 0.0, total_blk = 0.0, total_exp = 0.0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const SpecBenchmark &bench = suite[i];
+    const std::vector<Module> modules = generateSuiteModules(suite);
+    // The unsplit-module configs all share one trace per benchmark.
+    const std::vector<ExecTrace> traces =
+        captureSuiteTraces(suite, modules, 4);
+
+    std::vector<PairResult> results(nconfigs * suite.size());
+    parallelFor(results.size(), [&](std::size_t idx) {
+        const std::size_t ci = idx / suite.size();
+        const std::size_t bi = idx % suite.size();
+        const auto [max_ops, max_faults] = configs[ci];
+        RunConfig config = baseConfig(suite[bi]);
+        config.limits.maxOps /= 4;  // ablations use 1/4 budget
+        config.enlarge.maxOps = max_ops;
+        config.enlarge.maxFaults = max_faults;
+        if (max_ops < 16) {
             // The compiler splits blocks at the atomic-block size
-            // limit, so narrower widths need a re-split copy.
-            Module m = modules[i];
-            if (max_ops < 16)
-                splitOversizedBlocks(m, max_ops);
-            RunConfig config = baseConfig(bench);
-            config.limits.maxOps /= 4;  // ablations use 1/4 budget
-            config.enlarge.maxOps = max_ops;
-            config.enlarge.maxFaults = max_faults;
-            const PairResult r = runPair(m, config);
+            // limit, so narrower widths need a re-split copy (whose
+            // committed stream differs — fresh capture).
+            Module m = modules[bi];
+            splitOversizedBlocks(m, max_ops);
+            results[idx] = runPair(m, config);
+        } else {
+            results[idx] = runPair(modules[bi], config, traces[bi]);
+        }
+    });
+
+    for (std::size_t ci = 0; ci < nconfigs; ++ci) {
+        double total_red = 0.0, total_blk = 0.0, total_exp = 0.0;
+        for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+            const PairResult &r = results[ci * suite.size() + bi];
             total_red += r.reduction();
             total_blk += r.bsa.avgBlockSize();
             total_exp += r.enlarge.expansion();
         }
         const double n = double(suite.size());
-        t.addRow({Table::fmt(std::uint64_t(max_ops)),
-                  Table::fmt(std::uint64_t(max_faults)),
+        t.addRow({Table::fmt(std::uint64_t(configs[ci].first)),
+                  Table::fmt(std::uint64_t(configs[ci].second)),
                   Table::fmt(100.0 * total_red / n, 1) + "%",
                   Table::fmt(total_blk / n, 2),
                   Table::fmt(total_exp / n, 2)});
@@ -297,25 +375,34 @@ runProfileAblation(std::ostream &os)
     Table t({"min merge bias", "avg reduction", "avg code expansion",
              "avg BSA icache miss%"});
     const double thresholds[] = {0.0, 0.6, 0.75, 0.9, 0.99};
+    const std::size_t nthresh = std::size(thresholds);
     const auto suite = specint95Suite();
-    std::vector<Module> modules;
-    for (const auto &bench : suite)
-        modules.push_back(generateWorkload(bench.params));
-    for (double threshold : thresholds) {
+    const std::vector<Module> modules = generateSuiteModules(suite);
+    const std::vector<ExecTrace> traces =
+        captureSuiteTraces(suite, modules, 4);
+
+    std::vector<PairResult> results(nthresh * suite.size());
+    parallelFor(results.size(), [&](std::size_t idx) {
+        const std::size_t ti = idx / suite.size();
+        const std::size_t bi = idx % suite.size();
+        RunConfig config = baseConfig(suite[bi]);
+        config.limits.maxOps /= 4;  // ablations use 1/4 budget
+        config.minMergeBias = thresholds[ti];
+        results[idx] = runPair(modules[bi], config, traces[bi]);
+    });
+
+    for (std::size_t ti = 0; ti < nthresh; ++ti) {
         double total_red = 0.0, total_exp = 0.0, total_miss = 0.0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const SpecBenchmark &bench = suite[i];
-            const Module &m = modules[i];
-            RunConfig config = baseConfig(bench);
-            config.limits.maxOps /= 4;  // ablations use 1/4 budget
-            config.minMergeBias = threshold;
-            const PairResult r = runPair(m, config);
+        for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+            const PairResult &r = results[ti * suite.size() + bi];
             total_red += r.reduction();
             total_exp += r.enlarge.expansion();
             total_miss += r.bsa.icache.missRate();
         }
         const double n = double(suite.size());
-        t.addRow({threshold == 0.0 ? "off" : Table::fmt(threshold, 2),
+        t.addRow({thresholds[ti] == 0.0
+                      ? "off"
+                      : Table::fmt(thresholds[ti], 2),
                   Table::fmt(100.0 * total_red / n, 1) + "%",
                   Table::fmt(total_exp / n, 2),
                   Table::fmt(100.0 * total_miss / n, 2) + "%"});
@@ -332,27 +419,34 @@ runPredictorAblation(std::ostream &os)
              "bsa accuracy", "avg reduction"});
     const std::pair<unsigned, unsigned> configs[] = {
         {4, 10}, {8, 12}, {12, 14}, {16, 16}};
+    const std::size_t ngeom = std::size(configs);
     const auto suite = specint95Suite();
-    std::vector<Module> modules;
-    for (const auto &bench : suite)
-        modules.push_back(generateWorkload(bench.params));
-    for (const auto &[hist, pht] : configs) {
+    const std::vector<Module> modules = generateSuiteModules(suite);
+    const std::vector<ExecTrace> traces =
+        captureSuiteTraces(suite, modules, 4);
+
+    std::vector<PairResult> geomResults(ngeom * suite.size());
+    parallelFor(geomResults.size(), [&](std::size_t idx) {
+        const std::size_t ci = idx / suite.size();
+        const std::size_t bi = idx % suite.size();
+        RunConfig config = baseConfig(suite[bi]);
+        config.limits.maxOps /= 4;  // ablations use 1/4 budget
+        config.machine.predictor.historyBits = configs[ci].first;
+        config.machine.predictor.phtBits = configs[ci].second;
+        geomResults[idx] = runPair(modules[bi], config, traces[bi]);
+    });
+
+    for (std::size_t ci = 0; ci < ngeom; ++ci) {
         double conv_acc = 0.0, bsa_acc = 0.0, total_red = 0.0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            const SpecBenchmark &bench = suite[i];
-            const Module &m = modules[i];
-            RunConfig config = baseConfig(bench);
-            config.limits.maxOps /= 4;  // ablations use 1/4 budget
-            config.machine.predictor.historyBits = hist;
-            config.machine.predictor.phtBits = pht;
-            const PairResult r = runPair(m, config);
+        for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+            const PairResult &r = geomResults[ci * suite.size() + bi];
             conv_acc += r.conv.branchAccuracy();
             bsa_acc += r.bsa.branchAccuracy();
             total_red += r.reduction();
         }
         const double n = double(suite.size());
-        t.addRow({Table::fmt(std::uint64_t(hist)),
-                  Table::fmt(std::uint64_t(pht)),
+        t.addRow({Table::fmt(std::uint64_t(configs[ci].first)),
+                  Table::fmt(std::uint64_t(configs[ci].second)),
                   Table::fmt(100.0 * conv_acc / n, 1) + "%",
                   Table::fmt(100.0 * bsa_acc / n, 1) + "%",
                   Table::fmt(100.0 * total_red / n, 1) + "%"});
@@ -366,19 +460,28 @@ runPredictorAblation(std::ostream &os)
     const PredictorScheme schemes[] = {
         PredictorScheme::GAg, PredictorScheme::GAs,
         PredictorScheme::PAg, PredictorScheme::PAs};
-    for (PredictorScheme scheme : schemes) {
+    const std::size_t nschemes = std::size(schemes);
+
+    std::vector<PairResult> schemeResults(nschemes * suite.size());
+    parallelFor(schemeResults.size(), [&](std::size_t idx) {
+        const std::size_t ci = idx / suite.size();
+        const std::size_t bi = idx % suite.size();
+        RunConfig config = baseConfig(suite[bi]);
+        config.limits.maxOps /= 4;
+        config.machine.predictor.scheme = schemes[ci];
+        schemeResults[idx] = runPair(modules[bi], config, traces[bi]);
+    });
+
+    for (std::size_t ci = 0; ci < nschemes; ++ci) {
         double conv_acc = 0.0, bsa_acc = 0.0, total_red = 0.0;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-            RunConfig config = baseConfig(suite[i]);
-            config.limits.maxOps /= 4;
-            config.machine.predictor.scheme = scheme;
-            const PairResult r = runPair(modules[i], config);
+        for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+            const PairResult &r = schemeResults[ci * suite.size() + bi];
             conv_acc += r.conv.branchAccuracy();
             bsa_acc += r.bsa.branchAccuracy();
             total_red += r.reduction();
         }
         const double n = double(suite.size());
-        ts.addRow({predictorSchemeName(scheme),
+        ts.addRow({predictorSchemeName(schemes[ci]),
                    Table::fmt(100.0 * conv_acc / n, 1) + "%",
                    Table::fmt(100.0 * bsa_acc / n, 1) + "%",
                    Table::fmt(100.0 * total_red / n, 1) + "%"});

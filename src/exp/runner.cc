@@ -24,10 +24,27 @@ runConventional(const Module &module, const MachineConfig &machine,
 }
 
 SimResult
+runConventional(const Module &module, const MachineConfig &machine,
+                const ExecTrace &trace)
+{
+    const ConvLayout layout(module);
+    ConvFetchSource source(module, layout, machine, trace);
+    return simulatePipeline(source, machine);
+}
+
+SimResult
 runBlockStructured(const BsaModule &bsa, const MachineConfig &machine,
                    Interp::Limits limits)
 {
     BsaFetchSource source(bsa, machine, limits);
+    return simulatePipeline(source, machine);
+}
+
+SimResult
+runBlockStructured(const BsaModule &bsa, const MachineConfig &machine,
+                   const ExecTrace &trace)
+{
+    BsaFetchSource source(bsa, machine, trace);
     return simulatePipeline(source, machine);
 }
 
@@ -45,33 +62,52 @@ runTraceCache(const Module &module, const MachineConfig &machine,
     return result;
 }
 
+TraceCacheResult
+runTraceCache(const Module &module, const MachineConfig &machine,
+              const TraceCacheConfig &tcConfig, const ExecTrace &trace)
+{
+    const ConvLayout layout(module);
+    TraceCacheFetchSource source(module, layout, machine, tcConfig,
+                                 trace);
+    TraceCacheResult result;
+    result.sim = simulatePipeline(source, machine);
+    result.traceHits = source.traceHits();
+    result.traceMisses = source.traceMisses();
+    return result;
+}
+
 PairResult
 runPair(const Module &module, const RunConfig &config)
+{
+    const ExecTrace trace = captureTrace(module, config.limits);
+    return runPair(module, config, trace);
+}
+
+PairResult
+runPair(const Module &module, const RunConfig &config,
+        const ExecTrace &trace)
 {
     PairResult result;
 
     const ConvLayout conv_layout(module);
     result.convCodeBytes = conv_layout.totalBytes();
-    result.conv = runConventional(module, config.machine, config.limits);
+    result.conv = runConventional(module, config.machine, trace);
 
     EnlargeConfig enlarge_cfg = config.enlarge;
     ProfileData profile;
     const ProfileData *profile_ptr = nullptr;
     if (config.minMergeBias > 0.0) {
-        profile = collectProfile(module, config.limits.maxOps);
+        profile = profileFromTrace(trace);
         profile_ptr = &profile;
         enlarge_cfg.minMergeBias = config.minMergeBias;
     }
     BsaModule bsa =
         enlargeModule(module, enlarge_cfg, profile_ptr, &result.enlarge);
     result.bsaCodeBytes = layoutBsaModule(bsa);
-    result.bsa =
-        runBlockStructured(bsa, config.machine, config.limits);
+    result.bsa = runBlockStructured(bsa, config.machine, trace);
 
     // Conventional dynamic op count (Table 2's metric).
-    Interp interp(module, config.limits);
-    interp.run();
-    result.dynOps = interp.dynOps();
+    result.dynOps = trace.dynOps;
     return result;
 }
 

@@ -13,6 +13,7 @@
 #include "ir/module.hh"
 #include "sim/interp.hh"
 #include "sim/machine.hh"
+#include "sim/trace.hh"
 
 namespace bsisa
 {
@@ -53,13 +54,34 @@ SimResult runConventional(const Module &module,
                           const MachineConfig &machine,
                           Interp::Limits limits);
 
+/** Conventional machine, replaying a captured trace. */
+SimResult runConventional(const Module &module,
+                          const MachineConfig &machine,
+                          const ExecTrace &trace);
+
 /** Enlarge (per @p config) then simulate the BSA machine only. */
 SimResult runBlockStructured(const BsaModule &bsa,
                              const MachineConfig &machine,
                              Interp::Limits limits);
 
-/** Full pair: conventional and block-structured on one module. */
+/** BSA machine, replaying a captured trace of the source module. */
+SimResult runBlockStructured(const BsaModule &bsa,
+                             const MachineConfig &machine,
+                             const ExecTrace &trace);
+
+/**
+ * Full pair: conventional and block-structured on one module.  One
+ * functional execution is captured and replayed into both timing
+ * models (and the profile and Table-2 op count), instead of each
+ * consumer re-running the interpreter.
+ */
 PairResult runPair(const Module &module, const RunConfig &config);
+
+/** Full pair reusing an already-captured trace of (module,
+ *  config.limits) — the sweep drivers capture once per benchmark and
+ *  fan config points out from the same trace. */
+PairResult runPair(const Module &module, const RunConfig &config,
+                   const ExecTrace &trace);
 
 /**
  * Extension: conventional machine augmented with a trace cache (the
@@ -84,6 +106,12 @@ TraceCacheResult runTraceCache(const Module &module,
                                const MachineConfig &machine,
                                const TraceCacheConfig &tcConfig,
                                Interp::Limits limits);
+
+/** Trace-cache machine, replaying a captured trace. */
+TraceCacheResult runTraceCache(const Module &module,
+                               const MachineConfig &machine,
+                               const TraceCacheConfig &tcConfig,
+                               const ExecTrace &trace);
 
 } // namespace bsisa
 

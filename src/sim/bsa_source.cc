@@ -24,9 +24,26 @@ headToken(FuncId func, BlockId block)
 BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
                                const MachineConfig &config,
                                Interp::Limits limits)
+    : BsaFetchSource(bsa_mod, config,
+                     std::make_unique<InterpEventSource>(*bsa_mod.src,
+                                                         limits))
+{
+}
+
+BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
+                               const MachineConfig &config,
+                               const ExecTrace &trace)
+    : BsaFetchSource(bsa_mod, config,
+                     std::make_unique<TraceReplaySource>(trace))
+{
+}
+
+BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
+                               const MachineConfig &config,
+                               std::unique_ptr<EventSource> source)
     : bsa(bsa_mod), module(*bsa_mod.src),
       perfect(config.perfectPrediction), predictor(config.predictor),
-      interp(module, limits)
+      stream(std::move(source))
 {
     refill();
 }
@@ -34,12 +51,12 @@ BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
 void
 BsaFetchSource::refill()
 {
-    while (!interpDone && events.size() < 64) {
+    while (!streamDone && events.size() < 64) {
         BlockEvent ev;
-        if (interp.step(ev))
+        if (stream->next(ev))
             events.push_back(std::move(ev));
         else
-            interpDone = true;
+            streamDone = true;
     }
 }
 

@@ -19,13 +19,14 @@
 #define BSISA_SIM_BSA_SOURCE_HH
 
 #include <deque>
+#include <memory>
 
 #include "codegen/layout.hh"
 #include "core/bsa.hh"
 #include "predict/blockpred.hh"
 #include "sim/fetch_source.hh"
-#include "sim/interp.hh"
 #include "sim/machine.hh"
+#include "sim/trace.hh"
 
 namespace bsisa
 {
@@ -33,8 +34,13 @@ namespace bsisa
 class BsaFetchSource : public FetchSource
 {
   public:
+    /** Drive a private functional interpreter. */
     BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
                    Interp::Limits limits);
+
+    /** Replay a captured trace (shared across timing configs). */
+    BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
+                   const ExecTrace &trace);
 
     bool next(TimingUnit &unit) override;
 
@@ -51,15 +57,19 @@ class BsaFetchSource : public FetchSource
     std::uint64_t cascadeHops() const override { return nCascadeHops; }
 
   private:
+    /** Common tail of both public constructors. */
+    BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
+                   std::unique_ptr<EventSource> source);
+
     const BsaModule &bsa;
     const Module &module;
     bool perfect;
     BlockPredictor predictor;
-    Interp interp;
+    std::unique_ptr<EventSource> stream;
 
     /** Lookahead of committed basic-block events. */
     std::deque<BlockEvent> events;
-    bool interpDone = false;
+    bool streamDone = false;
 
     /** Successor block the predictor chose for the upcoming head
      *  (invalidId on the first unit / after Halt). */

@@ -26,11 +26,29 @@ ConvFetchSource::ConvFetchSource(const Module &mod,
                                  const ConvLayout &lay,
                                  const MachineConfig &config,
                                  Interp::Limits limits)
-    : module(mod), layout(lay), perfect(config.perfectPrediction),
-      predictor(config.predictor), interp(mod, limits)
+    : ConvFetchSource(mod, lay, config,
+                      std::make_unique<InterpEventSource>(mod, limits))
 {
-    curValid = interp.step(cur);
-    nextValid = curValid && interp.step(nextEv);
+}
+
+ConvFetchSource::ConvFetchSource(const Module &mod,
+                                 const ConvLayout &lay,
+                                 const MachineConfig &config,
+                                 const ExecTrace &trace)
+    : ConvFetchSource(mod, lay, config,
+                      std::make_unique<TraceReplaySource>(trace))
+{
+}
+
+ConvFetchSource::ConvFetchSource(const Module &mod,
+                                 const ConvLayout &lay,
+                                 const MachineConfig &config,
+                                 std::unique_ptr<EventSource> source)
+    : module(mod), layout(lay), perfect(config.perfectPrediction),
+      predictor(config.predictor), events(std::move(source))
+{
+    curValid = events->next(cur);
+    nextValid = curValid && events->next(nextEv);
 }
 
 void
@@ -38,7 +56,7 @@ ConvFetchSource::advance()
 {
     std::swap(cur, nextEv);
     curValid = nextValid;
-    nextValid = curValid && interp.step(nextEv);
+    nextValid = curValid && events->next(nextEv);
 }
 
 void

@@ -8,11 +8,13 @@
 #ifndef BSISA_SIM_CONV_SOURCE_HH
 #define BSISA_SIM_CONV_SOURCE_HH
 
+#include <memory>
+
 #include "codegen/layout.hh"
 #include "predict/twolevel.hh"
 #include "sim/fetch_source.hh"
-#include "sim/interp.hh"
 #include "sim/machine.hh"
+#include "sim/trace.hh"
 
 namespace bsisa
 {
@@ -20,8 +22,13 @@ namespace bsisa
 class ConvFetchSource : public FetchSource
 {
   public:
+    /** Drive a private functional interpreter. */
     ConvFetchSource(const Module &module, const ConvLayout &layout,
                     const MachineConfig &config, Interp::Limits limits);
+
+    /** Replay a captured trace (shared across timing configs). */
+    ConvFetchSource(const Module &module, const ConvLayout &layout,
+                    const MachineConfig &config, const ExecTrace &trace);
 
     bool next(TimingUnit &unit) override;
 
@@ -35,11 +42,16 @@ class ConvFetchSource : public FetchSource
     std::uint64_t cascadeHops() const override { return 0; }
 
   private:
+    /** Common tail of both public constructors. */
+    ConvFetchSource(const Module &module, const ConvLayout &layout,
+                    const MachineConfig &config,
+                    std::unique_ptr<EventSource> source);
+
     const Module &module;
     const ConvLayout &layout;
     bool perfect;
     TwoLevelPredictor predictor;
-    Interp interp;
+    std::unique_ptr<EventSource> events;
 
     /** Double-buffered events: current and lookahead. */
     BlockEvent cur, nextEv;

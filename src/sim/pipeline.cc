@@ -5,7 +5,7 @@
 
 #include "sim/pipeline.hh"
 
-#include <unordered_map>
+#include <array>
 
 #include "support/logging.hh"
 
@@ -15,14 +15,66 @@ namespace bsisa
 namespace
 {
 
+/**
+ * Fixed-capacity FIFO of in-flight units (retireCycle, opCount).
+ * The window never holds more than windowUnits entries, so the ring
+ * is allocated once up front and the per-unit push/pop never touch
+ * the allocator (unlike the std::deque it replaces).
+ */
+class InflightRing
+{
+  public:
+    explicit InflightRing(unsigned windowUnits)
+        : buf(windowUnits + 1)
+    {
+    }
+
+    bool empty() const { return head == tail; }
+
+    std::size_t
+    size() const
+    {
+        return tail >= head ? tail - head : tail + buf.size() - head;
+    }
+
+    const std::pair<std::uint64_t, unsigned> &
+    front() const
+    {
+        return buf[head];
+    }
+
+    void
+    pop_front()
+    {
+        if (++head == buf.size())
+            head = 0;
+    }
+
+    void
+    push_back(std::uint64_t retire, unsigned ops)
+    {
+        buf[tail] = {retire, ops};
+        if (++tail == buf.size())
+            tail = 0;
+        BSISA_ASSERT(tail != head, "inflight ring overflow");
+    }
+
+  private:
+    std::vector<std::pair<std::uint64_t, unsigned>> buf;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+};
+
 /** Scheduler state shared across units. */
 struct SchedState
 {
     explicit SchedState(const MachineConfig &config)
         : cfg(config), slots(config.issueWidth),
-          icache(config.icache), dcache(config.dcache)
+          icache(config.icache), dcache(config.dcache),
+          inflight(config.windowUnits)
     {
         regReady.assign(numArchRegs, 0);
+        wrongStamp.fill(0);
     }
 
     const MachineConfig &cfg;
@@ -32,7 +84,7 @@ struct SchedState
     std::vector<std::uint64_t> regReady;
 
     /** In-flight units: (retireCycle, opCount). */
-    std::deque<std::pair<std::uint64_t, unsigned>> inflight;
+    InflightRing inflight;
     unsigned inflightOps = 0;
 
     std::uint64_t lastFetch = 0;
@@ -40,6 +92,13 @@ struct SchedState
 
     /** Completion times of the previous committed unit's ops. */
     std::vector<std::uint64_t> prevDone;
+
+    /** Wrong-path local-rename scoreboard: a flat array stamped with a
+     *  per-mispredict generation, so scheduleWrongPath never clears or
+     *  allocates on the hot path. */
+    std::array<std::uint64_t, numArchRegs> wrongReady;
+    std::array<std::uint64_t, numArchRegs> wrongStamp;
+    std::uint64_t wrongGen = 0;
 };
 
 /**
@@ -47,24 +106,24 @@ struct SchedState
  * including @p mustRunIdx always issue (the resolving fault needs its
  * operands); later ops issue only if they can start before the squash.
  * Register state is read from the committed scoreboard but written
- * only to a local map.  Returns the completion time of op
- * @p mustRunIdx (the resolve time for fault-style mispredicts).
+ * only to the generation-stamped local scoreboard.  Returns the
+ * completion time of op @p mustRunIdx (the resolve time for
+ * fault-style mispredicts).
  */
 std::uint64_t
 scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
                   unsigned mustRunIdx, std::uint64_t fetchCycle,
                   std::uint64_t squashCutoff, std::uint64_t &wrongOps)
 {
-    std::unordered_map<RegNum, std::uint64_t> local;
+    const std::uint64_t gen = ++st.wrongGen;
     const std::uint64_t earliest = fetchCycle + st.cfg.frontendDepth;
     std::uint64_t resolve = earliest;
 
     auto ready_of = [&](RegNum r) -> std::uint64_t {
         if (r == regZero)
             return 0;
-        const auto it = local.find(r);
-        if (it != local.end())
-            return it->second;
+        if (st.wrongStamp[r] == gen)
+            return st.wrongReady[r];
         return st.regReady[r];
     };
 
@@ -89,7 +148,8 @@ scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
         const std::uint64_t done = start + op.latency();
         if (const RegNum d = hasDest(op.op) ? op.dst : invalidId;
             d != invalidId) {
-            local[d] = done;
+            st.wrongReady[d] = done;
+            st.wrongStamp[d] = gen;
         }
         if (i == mustRunIdx)
             resolve = done;
@@ -215,7 +275,7 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
         const std::uint64_t retire =
             std::max(unit_done + 1, st.lastRetire + 1);
         st.lastRetire = retire;
-        st.inflight.emplace_back(retire, unit_ops);
+        st.inflight.push_back(retire, unit_ops);
         st.inflightOps += unit_ops;
 
         result.retiredOps += unit_ops;

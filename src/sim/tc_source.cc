@@ -14,8 +14,28 @@ TraceCacheFetchSource::TraceCacheFetchSource(
     const Module &mod, const ConvLayout &lay,
     const MachineConfig &config, const TraceCacheConfig &tcConfig,
     Interp::Limits limits)
+    : TraceCacheFetchSource(
+          mod, lay, config, tcConfig,
+          std::make_unique<InterpEventSource>(mod, limits))
+{
+}
+
+TraceCacheFetchSource::TraceCacheFetchSource(
+    const Module &mod, const ConvLayout &lay,
+    const MachineConfig &config, const TraceCacheConfig &tcConfig,
+    const ExecTrace &trace)
+    : TraceCacheFetchSource(mod, lay, config, tcConfig,
+                            std::make_unique<TraceReplaySource>(trace))
+{
+}
+
+TraceCacheFetchSource::TraceCacheFetchSource(
+    const Module &mod, const ConvLayout &lay,
+    const MachineConfig &config, const TraceCacheConfig &tcConfig,
+    std::unique_ptr<EventSource> source)
     : module(mod), layout(lay), perfect(config.perfectPrediction),
-      predictor(config.predictor), cache(tcConfig), interp(mod, limits)
+      predictor(config.predictor), cache(tcConfig),
+      stream(std::move(source))
 {
     refill();
 }
@@ -23,12 +43,12 @@ TraceCacheFetchSource::TraceCacheFetchSource(
 void
 TraceCacheFetchSource::refill()
 {
-    while (!interpDone && events.size() < 16) {
+    while (!streamDone && events.size() < 16) {
         BlockEvent ev;
-        if (interp.step(ev))
+        if (stream->next(ev))
             events.push_back(std::move(ev));
         else
-            interpDone = true;
+            streamDone = true;
     }
 }
 

@@ -17,13 +17,14 @@
 #define BSISA_SIM_TC_SOURCE_HH
 
 #include <deque>
+#include <memory>
 
 #include "cache/trace_cache.hh"
 #include "codegen/layout.hh"
 #include "predict/twolevel.hh"
 #include "sim/fetch_source.hh"
-#include "sim/interp.hh"
 #include "sim/machine.hh"
+#include "sim/trace.hh"
 
 namespace bsisa
 {
@@ -31,10 +32,17 @@ namespace bsisa
 class TraceCacheFetchSource : public FetchSource
 {
   public:
+    /** Drive a private functional interpreter. */
     TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
                           const MachineConfig &config,
                           const TraceCacheConfig &tcConfig,
                           Interp::Limits limits);
+
+    /** Replay a captured trace (shared across timing configs). */
+    TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
+                          const MachineConfig &config,
+                          const TraceCacheConfig &tcConfig,
+                          const ExecTrace &trace);
 
     bool next(TimingUnit &unit) override;
 
@@ -52,15 +60,21 @@ class TraceCacheFetchSource : public FetchSource
     std::uint64_t traceMisses() const { return cache.misses(); }
 
   private:
+    /** Common tail of both public constructors. */
+    TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
+                          const MachineConfig &config,
+                          const TraceCacheConfig &tcConfig,
+                          std::unique_ptr<EventSource> source);
+
     const Module &module;
     const ConvLayout &layout;
     bool perfect;
     TwoLevelPredictor predictor;
     TraceCache cache;
-    Interp interp;
+    std::unique_ptr<EventSource> stream;
 
     std::deque<BlockEvent> events;
-    bool interpDone = false;
+    bool streamDone = false;
 
     /** Redirect computed while emitting the previous unit. */
     RedirectInfo pendingRedirect;

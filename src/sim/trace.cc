@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace capture/replay implementation.
+ */
+
+#include "sim/trace.hh"
+
+namespace bsisa
+{
+
+ExecTrace
+captureTrace(const Module &module, Interp::Limits limits)
+{
+    ExecTrace trace;
+    Interp interp(module, limits);
+    BlockEvent ev;
+    while (interp.step(ev)) {
+        TraceEvent te;
+        te.func = ev.func;
+        te.block = ev.block;
+        te.nextFunc = ev.nextFunc;
+        te.nextBlock = ev.nextBlock;
+        te.exit = ev.exit;
+        te.taken = ev.taken;
+        te.memBegin = trace.memAddrs.size();
+        te.memCount = static_cast<std::uint32_t>(ev.memAddrs.size());
+        trace.memAddrs.insert(trace.memAddrs.end(), ev.memAddrs.begin(),
+                              ev.memAddrs.end());
+        trace.events.push_back(te);
+    }
+    trace.dynOps = interp.dynOps();
+    trace.dynBlocks = interp.dynBlocks();
+    return trace;
+}
+
+ProfileData
+profileFromTrace(const ExecTrace &trace)
+{
+    ProfileData profile;
+    for (const TraceEvent &ev : trace.events)
+        if (ev.exit == ExitKind::Trap)
+            profile.record(ev.func, ev.block, ev.taken);
+    return profile;
+}
+
+bool
+TraceReplaySource::next(BlockEvent &ev)
+{
+    if (pos >= trace.events.size())
+        return false;
+    const TraceEvent &te = trace.events[pos++];
+    ev.func = te.func;
+    ev.block = te.block;
+    ev.nextFunc = te.nextFunc;
+    ev.nextBlock = te.nextBlock;
+    ev.exit = te.exit;
+    ev.taken = te.taken;
+    const auto begin = trace.memAddrs.begin() +
+                       static_cast<std::ptrdiff_t>(te.memBegin);
+    ev.memAddrs.assign(begin, begin + te.memCount);
+    return true;
+}
+
+} // namespace bsisa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional-trace capture and replay.
+ *
+ * Every timing model in this repo consumes the same committed dynamic
+ * basic-block stream (DESIGN.md section 5), so one functional
+ * execution can drive any number of timing configurations.  An
+ * ExecTrace records that stream from one Interp run into a compact
+ * in-memory buffer — per event: block identity, exit kind, trap
+ * direction, successor, and the Ld/St addresses (pooled into a single
+ * shared vector) — and a TraceReplaySource feeds it back through the
+ * common EventSource interface the fetch sources consume.  Capturing
+ * once per (module, limits) and replaying across an icache sweep or a
+ * predictor ablation removes the dominant redundant work from the
+ * paper's sweep-shaped experiments, and replay cursors are read-only
+ * over the trace, so config points can fan out across threads (see
+ * support/parallel.hh).
+ */
+
+#ifndef BSISA_SIM_TRACE_HH
+#define BSISA_SIM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.hh"
+#include "sim/interp.hh"
+
+namespace bsisa
+{
+
+/** One committed block execution in trace form (addresses pooled). */
+struct TraceEvent
+{
+    FuncId func = invalidId;
+    BlockId block = invalidId;
+    FuncId nextFunc = invalidId;
+    BlockId nextBlock = invalidId;
+    /** Slice [memBegin, memBegin + memCount) of ExecTrace::memAddrs. */
+    std::uint64_t memBegin = 0;
+    std::uint32_t memCount = 0;
+    ExitKind exit = ExitKind::Halt;
+    bool taken = false;
+};
+
+/** The committed event stream of one functional execution. */
+struct ExecTrace
+{
+    std::vector<TraceEvent> events;
+    /** Ld/St address pool, shared by all events. */
+    std::vector<std::uint64_t> memAddrs;
+    /** Dynamic operation count of the run (Table 2's metric). */
+    std::uint64_t dynOps = 0;
+    /** Dynamic block count of the run. */
+    std::uint64_t dynBlocks = 0;
+
+    /** Approximate resident size, for capacity planning in reports. */
+    std::size_t
+    sizeBytes() const
+    {
+        return events.size() * sizeof(TraceEvent) +
+               memAddrs.size() * sizeof(std::uint64_t);
+    }
+};
+
+/** Run @p module under @p limits, recording the committed stream. */
+ExecTrace captureTrace(const Module &module, Interp::Limits limits);
+
+/** Derive a branch-bias profile from a captured trace (equivalent to
+ *  collectProfile() over the same execution, without re-running it). */
+ProfileData profileFromTrace(const ExecTrace &trace);
+
+/**
+ * A pull-based producer of committed BlockEvents — the seam between
+ * functional execution and the fetch sources.  Implementations either
+ * run the interpreter directly (InterpEventSource) or replay a
+ * captured ExecTrace (TraceReplaySource); the streams are identical.
+ */
+class EventSource
+{
+  public:
+    virtual ~EventSource() = default;
+
+    /** Produce the next committed event; false at end of program. */
+    virtual bool next(BlockEvent &ev) = 0;
+};
+
+/** EventSource that owns a live functional interpreter. */
+class InterpEventSource final : public EventSource
+{
+  public:
+    InterpEventSource(const Module &module, Interp::Limits limits)
+        : interp(module, limits)
+    {
+    }
+
+    bool next(BlockEvent &ev) override { return interp.step(ev); }
+
+  private:
+    Interp interp;
+};
+
+/** EventSource that replays a captured trace.  Holds only a cursor;
+ *  many replay sources may read one trace concurrently. */
+class TraceReplaySource final : public EventSource
+{
+  public:
+    explicit TraceReplaySource(const ExecTrace &t) : trace(t) {}
+
+    bool next(BlockEvent &ev) override;
+
+  private:
+    const ExecTrace &trace;
+    std::size_t pos = 0;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_TRACE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic parallel-for implementation.
+ */
+
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/env.hh"
+
+namespace bsisa
+{
+
+unsigned
+parallelJobs()
+{
+    const std::uint64_t jobs =
+        envU64("BSISA_JOBS", std::thread::hardware_concurrency());
+    if (jobs == 0)
+        return 1;
+    return static_cast<unsigned>(jobs);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(parallelJobs(), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t)
+        pool.emplace_back(worker);
+    worker();  // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace bsisa

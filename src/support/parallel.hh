@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic fork/join parallelism for the experiment drivers.
+ *
+ * The sweep drivers produce grids of independent simulation points
+ * (benchmark x machine config); each point owns its module reference,
+ * trace cursor, caches, and predictor, so points are embarrassingly
+ * parallel.  parallelFor() fans an index range across a fixed pool of
+ * threads; callers write each result into a pre-sized slot and print
+ * in index order afterwards, so the output is byte-identical for any
+ * worker count — including BSISA_JOBS=1, which runs inline on the
+ * caller's thread with no pool at all.
+ */
+
+#ifndef BSISA_SUPPORT_PARALLEL_HH
+#define BSISA_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace bsisa
+{
+
+/** Worker count: the BSISA_JOBS env var when set (0 means "one"),
+ *  otherwise the hardware concurrency.  Read at every call so tests
+ *  can re-point it between runs. */
+unsigned parallelJobs();
+
+/**
+ * Invoke @p fn(i) for every i in [0, n), fanning across up to
+ * parallelJobs() threads.  Indices are claimed from a shared atomic
+ * counter; @p fn must not depend on claim order and must write its
+ * result to storage owned by index i.  Blocks until all calls return.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_PARALLEL_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel-runner tests: parallelFor correctness and — the property
+ * the figure drivers rely on — byte-identical driver output for any
+ * BSISA_JOBS worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "exp/figures.hh"
+#include "support/parallel.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+/** Scoped env override (restores the prior value on destruction). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name(name)
+    {
+        const char *old = ::getenv(name);
+        if (old) {
+            hadOld = true;
+            oldValue = old;
+        }
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(name, oldValue.c_str(), 1);
+        else
+            ::unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+} // namespace
+
+TEST(Parallel, JobsFromEnv)
+{
+    {
+        ScopedEnv env("BSISA_JOBS", "3");
+        EXPECT_EQ(parallelJobs(), 3u);
+    }
+    {
+        ScopedEnv env("BSISA_JOBS", "0");
+        EXPECT_EQ(parallelJobs(), 1u);  // 0 means "one worker"
+    }
+    ::unsetenv("BSISA_JOBS");
+    EXPECT_GE(parallelJobs(), 1u);
+}
+
+TEST(Parallel, EveryIndexExactlyOnce)
+{
+    ScopedEnv env("BSISA_JOBS", "8");
+    const std::size_t n = 1000;
+    std::vector<std::atomic<unsigned>> hits(n);
+    parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(Parallel, EmptyAndSingle)
+{
+    parallelFor(0, [&](std::size_t) { FAIL(); });
+    unsigned calls = 0;
+    parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(Parallel, ResultsLandInOwnSlots)
+{
+    ScopedEnv env("BSISA_JOBS", "7");
+    const std::size_t n = 513;
+    std::vector<std::size_t> out(n, ~std::size_t(0));
+    parallelFor(n, [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, FigureDriversDeterministicAcrossJobCounts)
+{
+    // The satellite requirement: figure drivers render byte-identical
+    // tables with BSISA_JOBS=1 and BSISA_JOBS=8.  Run the cheapest
+    // drivers that exercise every parallel pattern: a per-benchmark
+    // fan-out (figure 3) and a trace-reusing grid (figure 6).
+    ScopedEnv scale("BSISA_SCALE", "6000");
+
+    std::string serial_fig3, serial_fig6;
+    {
+        ScopedEnv jobs("BSISA_JOBS", "1");
+        std::ostringstream os3, os6;
+        runCycleComparison(os3, false);
+        runIcacheSweep(os6, false);
+        serial_fig3 = os3.str();
+        serial_fig6 = os6.str();
+    }
+
+    std::string parallel_fig3, parallel_fig6;
+    {
+        ScopedEnv jobs("BSISA_JOBS", "8");
+        std::ostringstream os3, os6;
+        runCycleComparison(os3, false);
+        runIcacheSweep(os6, false);
+        parallel_fig3 = os3.str();
+        parallel_fig6 = os6.str();
+    }
+
+    EXPECT_EQ(serial_fig3, parallel_fig3);
+    EXPECT_EQ(serial_fig6, parallel_fig6);
+    EXPECT_FALSE(serial_fig3.empty());
+    EXPECT_FALSE(serial_fig6.empty());
+}
