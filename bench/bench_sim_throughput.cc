@@ -9,6 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/enlarge.hh"
 #include "codegen/layout.hh"
 #include "exp/runner.hh"
@@ -210,6 +216,116 @@ BENCHMARK(BM_PairSweep_CaptureReplayParallel)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/**
+ * Console reporter that also records every run for the
+ * machine-readable summary.  The human-facing output is exactly
+ * google-benchmark's default; the JSON rides along for CI gating.
+ */
+class TeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        double realTimeSec = 0.0;
+        double cpuTimeSec = 0.0;
+        double itemsPerSecond = 0.0;
+        std::int64_t iterations = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(reports);
+        for (const Run &run : reports) {
+            Entry e;
+            e.name = run.benchmark_name();
+            e.realTimeSec = run.GetAdjustedRealTime() *
+                            timeMultiplier(run.time_unit);
+            e.cpuTimeSec = run.GetAdjustedCPUTime() *
+                           timeMultiplier(run.time_unit);
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                e.itemsPerSecond = it->second;
+            e.iterations = run.iterations;
+            entries.push_back(std::move(e));
+        }
+    }
+
+    std::vector<Entry> entries;
+
+  private:
+    static double
+    timeMultiplier(benchmark::TimeUnit unit)
+    {
+        switch (unit) {
+          case benchmark::kNanosecond: return 1e-9;
+          case benchmark::kMicrosecond: return 1e-6;
+          case benchmark::kMillisecond: return 1e-3;
+          case benchmark::kSecond: return 1.0;
+        }
+        return 1.0;
+    }
+};
+
+/** Write the recorded runs as BENCH_PR2.json (path overridable via
+ *  BSISA_BENCH_JSON; empty string disables). */
+void
+writeJson(const std::vector<TeeReporter::Entry> &entries)
+{
+    const char *env = std::getenv("BSISA_BENCH_JSON");
+    const std::string path = env ? env : "BENCH_PR2.json";
+    if (path.empty())
+        return;
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+
+    double seed_ips = 0.0, replay_ips = 0.0;
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const TeeReporter::Entry &e = entries[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"real_time_sec\": %.9g, "
+                     "\"cpu_time_sec\": %.9g, "
+                     "\"items_per_second\": %.9g, "
+                     "\"iterations\": %lld}%s\n",
+                     e.name.c_str(), e.realTimeSec, e.cpuTimeSec,
+                     e.itemsPerSecond,
+                     static_cast<long long>(e.iterations),
+                     i + 1 < entries.size() ? "," : "");
+        if (e.name.find("PairSweep_SeedPath") != std::string::npos)
+            seed_ips = e.itemsPerSecond;
+        if (e.name.find("PairSweep_CaptureReplayParallel") !=
+            std::string::npos)
+            replay_ips = e.itemsPerSecond;
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"pair_sweep_seed_ops_per_sec\": %.9g,\n",
+                 seed_ips);
+    std::fprintf(f, "  \"pair_sweep_replay_ops_per_sec\": %.9g,\n",
+                 replay_ips);
+    std::fprintf(f, "  \"pair_sweep_speedup\": %.6g\n",
+                 seed_ips > 0.0 ? replay_ips / seed_ips : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    TeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    writeJson(reporter.entries);
+    return 0;
+}

@@ -20,30 +20,28 @@ CacheConfig::numSets() const
 Cache::Cache(const CacheConfig &config)
     : cfg(config)
 {
+    BSISA_ASSERT(isPowerOfTwo(cfg.lineBytes));
+    lineShift = floorLog2(cfg.lineBytes);
     if (!cfg.perfect) {
-        BSISA_ASSERT(isPowerOfTwo(cfg.lineBytes));
         const std::uint32_t sets = cfg.numSets();
         BSISA_ASSERT(sets > 0 && isPowerOfTwo(sets),
                      "cache sets must be a nonzero power of two");
-        setShift = floorLog2(cfg.lineBytes);
         setMask = sets - 1;
         lines.resize(std::size_t(sets) * cfg.assoc);
     } else {
-        setShift = 0;
         setMask = 0;
     }
 }
 
 bool
-Cache::access(std::uint64_t addr)
+Cache::accessLine(std::uint64_t lineAddr)
 {
     ++statistics.accesses;
     if (cfg.perfect)
         return true;
 
-    const std::uint64_t line_addr = addr >> setShift;
-    const std::uint32_t set = line_addr & setMask;
-    const std::uint64_t tag = line_addr >> 0;  // full line addr as tag
+    const std::uint32_t set = lineAddr & setMask;
+    const std::uint64_t tag = lineAddr;  // full line addr as tag
     Line *base = &lines[std::size_t(set) * cfg.assoc];
 
     ++useClock;
@@ -72,11 +70,11 @@ Cache::accessRange(std::uint64_t addr, std::uint32_t bytes)
 {
     if (bytes == 0)
         bytes = 1;
-    const std::uint64_t first = addr / cfg.lineBytes;
-    const std::uint64_t last = (addr + bytes - 1) / cfg.lineBytes;
+    const std::uint64_t first = addr >> lineShift;
+    const std::uint64_t last = (addr + bytes - 1) >> lineShift;
     unsigned missing = 0;
     for (std::uint64_t line = first; line <= last; ++line)
-        missing += !access(line * cfg.lineBytes);
+        missing += !accessLine(line);
     return missing;
 }
 

@@ -50,7 +50,11 @@ class Cache
      * Access one line; allocates on miss.
      * @retval true hit.
      */
-    bool access(std::uint64_t addr);
+    bool
+    access(std::uint64_t addr)
+    {
+        return accessLine(addr >> lineShift);
+    }
 
     /**
      * Access a byte range (e.g. an atomic block spanning lines).
@@ -72,8 +76,14 @@ class Cache
         bool valid = false;
     };
 
+    /** Probe by line number (addr >> lineShift); allocates on miss.
+     *  Internal granularity shared by access() and accessRange(),
+     *  which walks whole lines without re-deriving byte addresses. */
+    bool accessLine(std::uint64_t lineAddr);
+
     CacheConfig cfg;
-    std::uint32_t setShift;
+    /** log2(lineBytes); valid in perfect mode too. */
+    std::uint32_t lineShift;
     std::uint32_t setMask;
     std::vector<Line> lines;  //!< sets * assoc, set-major
     std::uint64_t useClock = 0;

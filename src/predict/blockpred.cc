@@ -36,11 +36,14 @@ BlockPredictor::BlockPredictor(const PredictorConfig &config)
                     ? config.historyEntries
                     : 1,
                 0),
-      pht(std::size_t(1) << config.phtBits), btb(config.btbEntries)
+      pht(std::size_t(1) << config.phtBits), btb(config.btbEntries),
+      btbSetMask(config.btbEntries / config.btbAssoc - 1)
 {
     BSISA_ASSERT(isPowerOfTwo(cfg.btbEntries));
     BSISA_ASSERT(cfg.btbEntries % cfg.btbAssoc == 0);
+    BSISA_ASSERT(isPowerOfTwo(cfg.btbEntries / cfg.btbAssoc));
     BSISA_ASSERT(isPowerOfTwo(cfg.historyEntries));
+    ras.reserve(4096);
 }
 
 std::uint64_t &
@@ -98,8 +101,7 @@ BlockPredictor::update(std::uint64_t pc, const Prediction &actual,
 const BlockPredictor::BtbEntry *
 BlockPredictor::lookup(std::uint64_t pc) const
 {
-    const std::size_t sets = cfg.btbEntries / cfg.btbAssoc;
-    const std::size_t set = (pc >> 2) % sets;
+    const std::size_t set = (pc >> 2) & btbSetMask;
     const BtbEntry *base = &btb[set * cfg.btbAssoc];
     for (unsigned w = 0; w < cfg.btbAssoc; ++w)
         if (base[w].valid && base[w].tag == pc)
@@ -110,8 +112,7 @@ BlockPredictor::lookup(std::uint64_t pc) const
 BlockPredictor::BtbEntry &
 BlockPredictor::lookupOrAllocate(std::uint64_t pc)
 {
-    const std::size_t sets = cfg.btbEntries / cfg.btbAssoc;
-    const std::size_t set = (pc >> 2) % sets;
+    const std::size_t set = (pc >> 2) & btbSetMask;
     BtbEntry *base = &btb[set * cfg.btbAssoc];
     ++btbClock;
     BtbEntry *victim = base;

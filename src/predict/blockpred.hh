@@ -111,6 +111,9 @@ class BlockPredictor
         bool valid = false;
     };
     std::vector<BtbEntry> btb;
+    /** btbEntries / btbAssoc - 1 (set count asserted power of two),
+     *  so set selection is a mask instead of a division. */
+    std::uint64_t btbSetMask;
     std::uint64_t btbClock = 0;
     std::vector<std::uint64_t> ras;
 

@@ -49,11 +49,14 @@ TwoLevelPredictor::TwoLevelPredictor(const PredictorConfig &config)
                     : 1,
                 0),
       pht(std::size_t(1) << config.phtBits, SatCounter(2, 1)),
-      btb(config.btbEntries)
+      btb(config.btbEntries),
+      btbSetMask(config.btbEntries / config.btbAssoc - 1)
 {
     BSISA_ASSERT(isPowerOfTwo(cfg.btbEntries));
     BSISA_ASSERT(cfg.btbEntries % cfg.btbAssoc == 0);
+    BSISA_ASSERT(isPowerOfTwo(cfg.btbEntries / cfg.btbAssoc));
     BSISA_ASSERT(isPowerOfTwo(cfg.historyEntries));
+    ras.reserve(4096);
 }
 
 std::uint64_t &
@@ -118,8 +121,7 @@ TwoLevelPredictor::update(std::uint64_t pc, bool taken)
 const TwoLevelPredictor::BtbEntry *
 TwoLevelPredictor::btbLookup(std::uint64_t pc) const
 {
-    const std::size_t sets = cfg.btbEntries / cfg.btbAssoc;
-    const std::size_t set = (pc >> 2) % sets;
+    const std::size_t set = (pc >> 2) & btbSetMask;
     const BtbEntry *base = &btb[set * cfg.btbAssoc];
     for (unsigned w = 0; w < cfg.btbAssoc; ++w)
         if (base[w].valid && base[w].tag == pc)
@@ -137,8 +139,7 @@ TwoLevelPredictor::predictTarget(std::uint64_t pc) const
 void
 TwoLevelPredictor::updateTarget(std::uint64_t pc, std::uint64_t target)
 {
-    const std::size_t sets = cfg.btbEntries / cfg.btbAssoc;
-    const std::size_t set = (pc >> 2) % sets;
+    const std::size_t set = (pc >> 2) & btbSetMask;
     BtbEntry *base = &btb[set * cfg.btbAssoc];
     ++btbClock;
     BtbEntry *victim = base;

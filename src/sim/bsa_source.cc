@@ -5,6 +5,8 @@
 
 #include "sim/bsa_source.hh"
 
+#include <bit>
+
 #include "support/logging.hh"
 
 namespace bsisa
@@ -42,6 +44,7 @@ BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
                                const MachineConfig &config,
                                std::unique_ptr<EventSource> source)
     : bsa(bsa_mod), module(*bsa_mod.src),
+      decoded(DecodedProgram::forBsa(bsa_mod)),
       perfect(config.perfectPrediction), predictor(config.predictor),
       stream(std::move(source))
 {
@@ -51,10 +54,10 @@ BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
 void
 BsaFetchSource::refill()
 {
-    while (!streamDone && events.size() < 64) {
+    while (!streamDone && events.size() < lookahead) {
         BlockEvent ev;
         if (stream->next(ev))
-            events.push_back(std::move(ev));
+            events.push_back(ev);
         else
             streamDone = true;
     }
@@ -135,9 +138,11 @@ BsaFetchSource::variantIndex(const HeadTrie &trie, AtomicBlockId block)
 }
 
 void
-BsaFetchSource::predictSuccessor(const AtomicBlock &blk,
+BsaFetchSource::predictSuccessor(AtomicBlockId committed,
                                  const BlockEvent &lastEvent)
 {
+    const AtomicBlock &blk = bsa.blocks[committed];
+    const DecodedUnit &du = decoded.unit(committed);
     pendingRedirect = RedirectInfo{};
     predictedNext = invalidId;
 
@@ -281,13 +286,14 @@ BsaFetchSource::predictSuccessor(const AtomicBlock &blk,
         // resolved by this block's terminator.
         ++nTrapMiss;
         pendingRedirect.resolveInWrongBlock = false;
-        pendingRedirect.resolveOpIdx =
-            static_cast<unsigned>(blk.ops.size() - 1);
+        pendingRedirect.resolveOpIdx = du.opCount - 1;
         if (candidate != invalidId) {
             const AtomicBlock &wrong = bsa.blocks[candidate];
-            pendingRedirect.wrongOps = &wrong.ops;
+            const DecodedUnit &wdu = decoded.unit(candidate);
+            pendingRedirect.wrongOps = decoded.ops(wdu);
+            pendingRedirect.wrongOpCount = wdu.opCount;
             pendingRedirect.wrongPc = wrong.addr;
-            pendingRedirect.wrongBytes = wrong.sizeBytes();
+            pendingRedirect.wrongBytes = wdu.sizeBytes;
         }
         predictedNext = s_max;
         return;
@@ -302,50 +308,37 @@ BsaFetchSource::predictSuccessor(const AtomicBlock &blk,
     AtomicBlockId wrong_id = candidate;
     unsigned hops = 0;
     for (;;) {
-        const AtomicBlock &wrong = bsa.blocks[wrong_id];
-        // Find the first divergent merge edge; thru edges cannot
-        // diverge, so it is always a fault edge.
-        unsigned fault_idx = 0;  // index among the block's fault ops
-        unsigned resolve_op = static_cast<unsigned>(wrong.ops.size() -
-                                                    1);
-        AtomicBlockId fault_target = invalidId;
-        unsigned fault_seen = 0;
-        // Recover fault op positions in order.
-        std::vector<unsigned> fault_ops;
-        for (unsigned i = 0; i < wrong.ops.size(); ++i)
-            if (wrong.ops[i].op == Opcode::Fault)
-                fault_ops.push_back(i);
-        // Determine divergence by comparing the merge path with the
-        // actual stream.
+        const DecodedUnit &wdu = decoded.unit(wrong_id);
+        const DecodedFault *wfaults = decoded.faults(wdu);
+        // Find the first divergent merge edge by comparing the
+        // decoded direction mask with the actual stream; thru edges
+        // cannot diverge, so trapMask walks only the fault edges.
         bool diverged = false;
+        unsigned resolve_op = wdu.opCount - 1;
+        AtomicBlockId fault_target = invalidId;
         unsigned dir_idx = 0;
-        for (std::size_t i = 0; i + 1 < wrong.bbs.size(); ++i) {
+        for (std::uint64_t m = wdu.trapMask; m;
+             m &= m - 1, ++dir_idx) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(m));
             if (i >= events.size())
                 break;  // truncated stream at the program tail
-            const Function &fn = module.functions[wrong.func];
-            const Operation &t = fn.blocks[wrong.bbs[i]].terminator();
-            if (t.op != Opcode::Trap)
-                continue;  // thru edge
             const bool actual_dir = events[i].taken;
-            const bool merged_dir = wrong.dirs[dir_idx];
+            const bool merged_dir = (wdu.dirMask >> dir_idx) & 1;
             if (actual_dir != merged_dir) {
                 diverged = true;
-                fault_idx = dir_idx;
-                resolve_op = fault_ops[fault_idx];
-                fault_target = wrong.ops[resolve_op].target0;
+                resolve_op = wfaults[dir_idx].opIdx;
+                fault_target = wfaults[dir_idx].target;
                 break;
             }
-            ++dir_idx;
         }
-        (void)fault_seen;
         if (!diverged) {
             if (hops == 0) {
                 // No divergent fault exists (possible only when the
                 // event stream is truncated at the program tail):
                 // resolve at the previous terminator instead.
                 pendingRedirect.resolveInWrongBlock = false;
-                pendingRedirect.resolveOpIdx =
-                    static_cast<unsigned>(blk.ops.size() - 1);
+                pendingRedirect.resolveOpIdx = du.opCount - 1;
             }
             // The cascade landed on a compatible block.
             break;
@@ -353,9 +346,10 @@ BsaFetchSource::predictSuccessor(const AtomicBlock &blk,
         if (hops == 0) {
             // The first wrong block is the one the pipeline issues.
             pendingRedirect.resolveOpIdx = resolve_op;
-            pendingRedirect.wrongOps = &wrong.ops;
-            pendingRedirect.wrongPc = wrong.addr;
-            pendingRedirect.wrongBytes = wrong.sizeBytes();
+            pendingRedirect.wrongOps = decoded.ops(wdu);
+            pendingRedirect.wrongOpCount = wdu.opCount;
+            pendingRedirect.wrongPc = bsa.blocks[wrong_id].addr;
+            pendingRedirect.wrongBytes = wdu.sizeBytes;
         }
         ++hops;
         ++nCascadeHops;
@@ -392,28 +386,56 @@ BsaFetchSource::next(TimingUnit &unit)
     }
 
     const AtomicBlock &blk = bsa.blocks[committed];
+    const DecodedUnit &du = decoded.unit(committed);
     unit.pc = blk.addr;
-    unit.bytes = blk.sizeBytes();
-    unit.ops = &blk.ops;
+    unit.bytes = du.sizeBytes;
+    unit.ops = decoded.ops(du);
+    unit.opCount = du.opCount;
     unit.redirect = pendingRedirect;
 
-    // Consume the block's events, concatenating memory addresses.
-    emitMemAddrs.clear();
+    // Gather the block's memory addresses.  Replayed events slice one
+    // shared pool in stream order, so consecutive spans are adjacent
+    // and the whole block is a single zero-copy span; live-interp
+    // events rotate through separate buffers and fall back to a copy.
     const std::size_t consume =
         std::min<std::size_t>(blk.bbs.size(), events.size());
+    bool adjacent = true;
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < consume; ++i) {
+        const BlockEvent &ev = events[i];
+        if (i > 0 &&
+            events[0].memAddrs + total != ev.memAddrs) {
+            adjacent = false;
+            break;
+        }
+        total += ev.memCount;
+    }
+    if (adjacent) {
+        unit.memAddrs = events.front().memAddrs;
+        unit.memCount = total;
+    } else {
+        emitMemAddrs.clear();
+        for (std::size_t i = 0; i < consume; ++i) {
+            const BlockEvent &ev = events[i];
+            emitMemAddrs.insert(emitMemAddrs.end(), ev.memAddrs,
+                                ev.memAddrs + ev.memCount);
+        }
+        unit.memAddrs = emitMemAddrs.data();
+        unit.memCount =
+            static_cast<std::uint32_t>(emitMemAddrs.size());
+    }
+
+    // Consume the block's events (spans stay valid per the
+    // EventSource stability contract).
     BlockEvent last;
     for (std::size_t i = 0; i < consume; ++i) {
-        BlockEvent &ev = events.front();
-        emitMemAddrs.insert(emitMemAddrs.end(), ev.memAddrs.begin(),
-                            ev.memAddrs.end());
         if (i + 1 == consume)
-            last = std::move(ev);
+            last = events.front();
         events.pop_front();
     }
-    unit.memAddrs = &emitMemAddrs;
 
     refill();
-    predictSuccessor(blk, last);
+    predictSuccessor(committed, last);
     return true;
 }
 

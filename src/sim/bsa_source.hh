@@ -18,12 +18,12 @@
 #ifndef BSISA_SIM_BSA_SOURCE_HH
 #define BSISA_SIM_BSA_SOURCE_HH
 
-#include <deque>
 #include <memory>
 
 #include "codegen/layout.hh"
 #include "core/bsa.hh"
 #include "predict/blockpred.hh"
+#include "sim/event_ring.hh"
 #include "sim/fetch_source.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
@@ -61,14 +61,22 @@ class BsaFetchSource : public FetchSource
     BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
                    std::unique_ptr<EventSource> source);
 
+    /** Lookahead depth (ring capacity); must stay below the
+     *  EventSource span-stability window. */
+    static constexpr std::size_t lookahead = 64;
+    static_assert(lookahead < eventSpanStability);
+
     const BsaModule &bsa;
     const Module &module;
+    /** Per-op metadata and merge masks decoded once at construction. */
+    DecodedProgram decoded;
     bool perfect;
     BlockPredictor predictor;
     std::unique_ptr<EventSource> stream;
 
-    /** Lookahead of committed basic-block events. */
-    std::deque<BlockEvent> events;
+    /** Lookahead of committed basic-block events (fixed ring: the
+     *  refill/consume cycle never touches the allocator). */
+    EventRing<BlockEvent, lookahead> events;
     bool streamDone = false;
 
     /** Successor block the predictor chose for the upcoming head
@@ -78,7 +86,10 @@ class BsaFetchSource : public FetchSource
     /** Redirect info describing how the upcoming unit gets fetched. */
     RedirectInfo pendingRedirect;
 
-    /** Stable storage for the emitted unit's memory addresses. */
+    /** Fallback storage for the emitted unit's memory addresses, used
+     *  only when the consumed events' spans are not adjacent in their
+     *  pool (live-interp runs; replayed traces are always adjacent and
+     *  stream through zero-copy). */
     std::vector<std::uint64_t> emitMemAddrs;
 
     std::uint64_t nPredictions = 0;
@@ -108,7 +119,7 @@ class BsaFetchSource : public FetchSource
 
     /** Predict the successor of the just-emitted block and set up
      *  predictedNext/pendingRedirect for the next unit. */
-    void predictSuccessor(const AtomicBlock &blk,
+    void predictSuccessor(AtomicBlockId committed,
                           const BlockEvent &lastEvent);
 };
 

@@ -44,7 +44,9 @@ ConvFetchSource::ConvFetchSource(const Module &mod,
                                  const ConvLayout &lay,
                                  const MachineConfig &config,
                                  std::unique_ptr<EventSource> source)
-    : module(mod), layout(lay), perfect(config.perfectPrediction),
+    : module(mod), layout(lay),
+      decoded(DecodedProgram::forModule(mod)),
+      perfect(config.perfectPrediction),
       predictor(config.predictor), events(std::move(source))
 {
     curValid = events->next(cur);
@@ -69,6 +71,8 @@ ConvFetchSource::predictSuccessor()
     const Function &fn = module.functions[cur.func];
     const std::uint64_t pc = layout.addrOf(cur.func, cur.block);
     const Operation &term = fn.blocks[cur.block].terminator();
+    const unsigned last_op_idx =
+        decoded.unit(cur.func, cur.block).opCount - 1;
 
     switch (cur.exit) {
       case ExitKind::Trap: {
@@ -79,14 +83,14 @@ ConvFetchSource::predictSuccessor()
             ++nMispredicts;
             pendingRedirect.mispredicted = true;
             pendingRedirect.resolveInWrongBlock = false;
-            pendingRedirect.resolveOpIdx =
-                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
-                                      1);
+            pendingRedirect.resolveOpIdx = last_op_idx;
             // The wrongly fetched block is the predicted direction's
             // target.
             const BlockId wrong =
                 predicted ? term.target0 : term.target1;
-            pendingRedirect.wrongOps = &fn.blocks[wrong].ops;
+            const DecodedUnit &wdu = decoded.unit(cur.func, wrong);
+            pendingRedirect.wrongOps = decoded.ops(wdu);
+            pendingRedirect.wrongOpCount = wdu.opCount;
             pendingRedirect.wrongPc = layout.addrOf(cur.func, wrong);
             pendingRedirect.wrongBytes =
                 layout.bytesOf(cur.func, wrong);
@@ -102,18 +106,16 @@ ConvFetchSource::predictSuccessor()
         if (predicted != actual) {
             ++nMispredicts;
             pendingRedirect.mispredicted = true;
-            pendingRedirect.resolveOpIdx =
-                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
-                                      1);
+            pendingRedirect.resolveOpIdx = last_op_idx;
             if (predicted != ~0ull) {
                 const auto wrong_func =
                     static_cast<FuncId>(predicted >> 32);
                 const auto wrong_block =
                     static_cast<BlockId>(predicted & 0xffffffff);
-                pendingRedirect.wrongOps =
-                    &module.functions[wrong_func]
-                         .blocks[wrong_block]
-                         .ops;
+                const DecodedUnit &wdu =
+                    decoded.unit(wrong_func, wrong_block);
+                pendingRedirect.wrongOps = decoded.ops(wdu);
+                pendingRedirect.wrongOpCount = wdu.opCount;
                 pendingRedirect.wrongPc =
                     layout.addrOf(wrong_func, wrong_block);
                 pendingRedirect.wrongBytes =
@@ -134,9 +136,7 @@ ConvFetchSource::predictSuccessor()
         if (predicted != actual) {
             ++nMispredicts;
             pendingRedirect.mispredicted = true;
-            pendingRedirect.resolveOpIdx =
-                static_cast<unsigned>(fn.blocks[cur.block].ops.size() -
-                                      1);
+            pendingRedirect.resolveOpIdx = last_op_idx;
         }
         break;
       }
@@ -154,9 +154,13 @@ ConvFetchSource::next(TimingUnit &unit)
 
     unit.pc = layout.addrOf(cur.func, cur.block);
     unit.bytes = layout.bytesOf(cur.func, cur.block);
-    unit.ops = &module.functions[cur.func].blocks[cur.block].ops;
-    emitMemAddrs.swap(cur.memAddrs);
-    unit.memAddrs = &emitMemAddrs;
+    const DecodedUnit &du = decoded.unit(cur.func, cur.block);
+    unit.ops = decoded.ops(du);
+    unit.opCount = du.opCount;
+    // Zero-copy: cur's span stays valid until the source advances
+    // past the lookahead, well after the pipeline consumes the unit.
+    unit.memAddrs = cur.memAddrs;
+    unit.memCount = cur.memCount;
     unit.redirect = pendingRedirect;
 
     // Predict this unit's successor; the result describes how the

@@ -49,18 +49,18 @@ class ConvFetchSource : public FetchSource
 
     const Module &module;
     const ConvLayout &layout;
+    /** Per-op metadata decoded once at construction. */
+    DecodedProgram decoded;
     bool perfect;
     TwoLevelPredictor predictor;
     std::unique_ptr<EventSource> events;
 
-    /** Double-buffered events: current and lookahead. */
+    /** Double-buffered events: current and lookahead.  Each event's
+     *  memAddrs span outlives the lookahead (EventSource span
+     *  contract), so the emitted unit aliases cur's span directly. */
     BlockEvent cur, nextEv;
     bool curValid = false;
     bool nextValid = false;
-    /** Stable storage for the emitted unit's memory addresses (cur is
-     *  recycled by advance() while the pipeline still reads the
-     *  unit). */
-    std::vector<std::uint64_t> emitMemAddrs;
 
     /** Redirect info computed while predicting cur's successor. */
     RedirectInfo pendingRedirect;

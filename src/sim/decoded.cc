@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Decode-layer implementation.
+ */
+
+#include "sim/decoded.hh"
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+DecodedOp
+decodeOp(const Operation &op)
+{
+    DecodedOp d;
+    const unsigned nsrc = numSources(op.op);
+    d.srcCount = static_cast<std::uint8_t>(nsrc);
+    if (nsrc >= 1) {
+        BSISA_ASSERT(op.src1 < numArchRegs);
+        d.src1 = static_cast<std::uint8_t>(op.src1);
+    }
+    if (nsrc >= 2) {
+        BSISA_ASSERT(op.src2 < numArchRegs);
+        d.src2 = static_cast<std::uint8_t>(op.src2);
+    }
+    if (hasDest(op.op)) {
+        // The dump-slot convention needs dst to be a real register:
+        // regZero writes are verifier errors, and anything >= the
+        // architectural count never reaches a timing model.
+        BSISA_ASSERT(op.dst != regZero && op.dst < numArchRegs);
+        d.dst = static_cast<std::uint8_t>(op.dst);
+    }
+    const unsigned latency = op.latency();
+    BSISA_ASSERT(latency > 0 && latency < 256);
+    d.latency = static_cast<std::uint8_t>(latency);
+    if (op.op == Opcode::Ld)
+        d.flags = opIsMem | opIsLoad;
+    else if (op.op == Opcode::St)
+        d.flags = opIsMem;
+    else if (op.op == Opcode::Fault)
+        d.flags = opIsFault;
+    return d;
+}
+
+} // namespace
+
+void
+DecodedProgram::appendUnit(const std::vector<Operation> &ops)
+{
+    DecodedUnit u;
+    u.opBegin = static_cast<std::uint32_t>(opPool.size());
+    u.opCount = static_cast<std::uint32_t>(ops.size());
+    u.faultBegin = static_cast<std::uint32_t>(faultPool.size());
+    u.sizeBytes = u.opCount * opBytes;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        opPool.push_back(decodeOp(ops[i]));
+        if (ops[i].op == Opcode::Fault) {
+            faultPool.push_back(
+                {static_cast<std::uint32_t>(i), ops[i].target0});
+            ++u.faultCount;
+        }
+    }
+    units.push_back(u);
+}
+
+DecodedProgram
+DecodedProgram::forModule(const Module &module)
+{
+    DecodedProgram p;
+    p.funcBase.reserve(module.functions.size());
+    for (const Function &fn : module.functions) {
+        p.funcBase.push_back(static_cast<std::uint32_t>(p.units.size()));
+        for (const Block &blk : fn.blocks)
+            p.appendUnit(blk.ops);
+    }
+    return p;
+}
+
+DecodedProgram
+DecodedProgram::forBsa(const BsaModule &bsa)
+{
+    BSISA_ASSERT(bsa.src);
+    const Module &src = *bsa.src;
+    DecodedProgram p;
+    for (const AtomicBlock &blk : bsa.blocks) {
+        p.appendUnit(blk.ops);
+        DecodedUnit &u = p.units.back();
+
+        // Merge-edge masks: position i covers the edge between
+        // constituent blocks i and i+1.  The terminators live in the
+        // SOURCE program (the enlargement replaced them).
+        BSISA_ASSERT(blk.bbs.size() <= 64,
+                     "merge path too deep for a 64-bit mask");
+        const Function &fn = src.functions[blk.func];
+        unsigned trap_rank = 0;
+        for (std::size_t i = 0; i + 1 < blk.bbs.size(); ++i) {
+            const Operation &term = fn.blocks[blk.bbs[i]].terminator();
+            if (term.op != Opcode::Trap)
+                continue;  // thru edge
+            u.trapMask |= std::uint64_t(1) << i;
+            if (blk.dirs[trap_rank])
+                u.dirMask |= std::uint64_t(1) << trap_rank;
+            ++trap_rank;
+        }
+        // Fault ops correspond 1:1, in order, with trap merge edges.
+        BSISA_ASSERT(trap_rank == u.faultCount);
+        BSISA_ASSERT(trap_rank == blk.dirs.size());
+        BSISA_ASSERT(u.faultCount == blk.numFaults);
+        BSISA_ASSERT(u.sizeBytes == blk.sizeBytes());
+    }
+    return p;
+}
+
+} // namespace bsisa

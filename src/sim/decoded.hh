@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Pre-decoded program metadata for the timing models.
+ *
+ * The cycle-level pipeline only ever needs a few bits per operation —
+ * which registers it reads and writes, its Table-1 latency, and
+ * whether it is a memory access or a fault — yet the seed code
+ * re-derived all of them (numSources/hasDest/opcodeClass switches) for
+ * every *dynamic* instance of every operation.  A DecodedProgram
+ * computes them once per *static* operation when the fetch source is
+ * built, packing each op into a 6-byte record inside one flat pool the
+ * scheduling loops walk linearly.
+ *
+ * Register conventions remove the per-op branches from the scheduler:
+ *   - absent sources decode to regZero, whose ready time is pinned at
+ *     0 (no operation may write it), so reading it is a no-op in the
+ *     max() chain;
+ *   - absent destinations decode to regDump, one slot past the
+ *     architectural registers; scoreboards are sized numArchRegs + 1
+ *     and the dump slot is never read.
+ *
+ * Per fetch unit (basic block or atomic block) a DecodedUnit caches
+ * the op slice, the byte footprint, and — for atomic blocks — the
+ * ordered fault-operation list plus two bitmasks over merge positions
+ * (trapMask: which constituent blocks ended in a trap in the source
+ * program; dirMask: the merged direction of each such trap) so the
+ * fault-mispredict cascade in the BSA fetch source never rescans
+ * operations or re-resolves source-program terminators.
+ */
+
+#ifndef BSISA_SIM_DECODED_HH
+#define BSISA_SIM_DECODED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bsa.hh"
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Scoreboard slot for operations without a destination register. */
+constexpr RegNum regDump = numArchRegs;
+
+/** DecodedOp::flags bits. */
+enum : std::uint8_t
+{
+    opIsMem = 1u << 0,    //!< Ld or St
+    opIsLoad = 1u << 1,   //!< Ld (dcache misses extend the latency)
+    opIsFault = 1u << 2,  //!< interior fault operation
+};
+
+/** One pre-decoded operation (see file comment for conventions). */
+struct DecodedOp
+{
+    std::uint8_t src1 = regZero;  //!< regZero when not read
+    std::uint8_t src2 = regZero;  //!< regZero when not read
+    std::uint8_t dst = regDump;   //!< regDump when not written
+    std::uint8_t srcCount = 0;    //!< register sources (0..2)
+    std::uint8_t latency = 1;     //!< Table-1 execution latency
+    std::uint8_t flags = 0;
+};
+
+/** One fault operation of an atomic block, in program order. */
+struct DecodedFault
+{
+    std::uint32_t opIdx = 0;           //!< index within the unit's ops
+    AtomicBlockId target = invalidId;  //!< redirect target when fired
+};
+
+/** Per-fetch-unit slice descriptors into the program's pools. */
+struct DecodedUnit
+{
+    std::uint32_t opBegin = 0;
+    std::uint32_t opCount = 0;
+    std::uint32_t faultBegin = 0;
+    std::uint32_t faultCount = 0;
+    /** Code bytes (opCount * opBytes, cached). */
+    std::uint32_t sizeBytes = 0;
+    /** Bit i set: constituent block i ends in a Trap in the source
+     *  program (a fault merge edge; thru edges contribute no bit). */
+    std::uint64_t trapMask = 0;
+    /** Bit k set: the k-th trap merge took the taken direction
+     *  (AtomicBlock::dirs as a mask; bits indexed by trap rank). */
+    std::uint64_t dirMask = 0;
+};
+
+/**
+ * All decoded units of one program form.  Conventional modules index
+ * units by (function, block); block-structured modules by
+ * AtomicBlockId.  Pools are immutable after construction, so pointers
+ * into them stay valid for the program's lifetime and may be handed
+ * to the pipeline without copying.
+ */
+class DecodedProgram
+{
+  public:
+    /** Decode every basic block of @p module. */
+    static DecodedProgram forModule(const Module &module);
+
+    /** Decode every atomic block of @p bsa (and its merge masks). */
+    static DecodedProgram forBsa(const BsaModule &bsa);
+
+    /** Unit of atomic block @p id (BSA form). */
+    const DecodedUnit &
+    unit(AtomicBlockId id) const
+    {
+        return units[id];
+    }
+
+    /** Unit of (func, block) (conventional form). */
+    const DecodedUnit &
+    unit(FuncId func, BlockId block) const
+    {
+        return units[funcBase[func] + block];
+    }
+
+    const DecodedOp *
+    ops(const DecodedUnit &u) const
+    {
+        return opPool.data() + u.opBegin;
+    }
+
+    const DecodedFault *
+    faults(const DecodedUnit &u) const
+    {
+        return faultPool.data() + u.faultBegin;
+    }
+
+  private:
+    void appendUnit(const std::vector<Operation> &ops);
+
+    std::vector<DecodedOp> opPool;
+    std::vector<DecodedFault> faultPool;
+    std::vector<DecodedUnit> units;
+    /** Conventional form: units index of each function's block 0. */
+    std::vector<std::uint32_t> funcBase;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_DECODED_HH

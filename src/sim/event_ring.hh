@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for the fetch sources' committed-event
+ * lookahead.  Replaces the std::deque buffers, whose chunked storage
+ * allocates and frees on the steady-state hot path.  Capacity is a
+ * compile-time power of two sized above the source's lookahead depth,
+ * so push/pop never touch the allocator; overflow is a logic error and
+ * asserts.
+ */
+
+#ifndef BSISA_SIM_EVENT_RING_HH
+#define BSISA_SIM_EVENT_RING_HH
+
+#include <array>
+#include <cstddef>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+template <typename T, std::size_t N>
+class EventRing
+{
+    static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        BSISA_ASSERT(i < count);
+        return buf[(head + i) & (N - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        BSISA_ASSERT(i < count);
+        return buf[(head + i) & (N - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+
+    void
+    push_back(const T &v)
+    {
+        BSISA_ASSERT(count < N, "event ring overflow");
+        buf[(head + count) & (N - 1)] = v;
+        ++count;
+    }
+
+    /** Re-queue at the front (defensive paths only). */
+    void
+    push_front(const T &v)
+    {
+        BSISA_ASSERT(count < N, "event ring overflow");
+        head = (head + N - 1) & (N - 1);
+        buf[head] = v;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        BSISA_ASSERT(count > 0);
+        head = (head + 1) & (N - 1);
+        --count;
+    }
+
+  private:
+    std::array<T, N> buf{};
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_EVENT_RING_HH

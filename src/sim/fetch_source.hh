@@ -7,19 +7,25 @@
  * functional interpreter) one fetch unit at a time — a basic block on
  * the conventional machine, an atomic block on the block-structured
  * machine — performing branch/successor prediction as it goes.  Each
- * emitted TimingUnit carries the unit's static code, its dynamic
- * memory addresses, and a description of how the unit came to be
- * fetched (cleanly, or after a resolved misprediction, including the
- * wrongly fetched block whose operations consumed machine resources).
+ * emitted TimingUnit carries the unit's pre-decoded static code, its
+ * dynamic memory addresses, and a description of how the unit came to
+ * be fetched (cleanly, or after a resolved misprediction, including
+ * the wrongly fetched block whose operations consumed machine
+ * resources).
+ *
+ * Span lifetime: the decoded-op pointers reference the source's
+ * DecodedProgram pools and outlive the source; the memAddrs span
+ * references either the replayed trace's shared address pool or a
+ * stable per-source emit buffer, and is valid until the next next()
+ * call — exactly the window in which the pipeline consumes the unit.
  */
 
 #ifndef BSISA_SIM_FETCH_SOURCE_HH
 #define BSISA_SIM_FETCH_SOURCE_HH
 
 #include <cstdint>
-#include <vector>
 
-#include "arch/operation.hh"
+#include "sim/decoded.hh"
 
 namespace bsisa
 {
@@ -33,8 +39,9 @@ struct RedirectInfo
     bool resolveInWrongBlock = false;
     /** Index of the resolving operation within its block. */
     unsigned resolveOpIdx = 0;
-    /** The wrongly fetched block (may be null for cold misses). */
-    const std::vector<Operation> *wrongOps = nullptr;
+    /** The wrongly fetched block (null for cold misses). */
+    const DecodedOp *wrongOps = nullptr;
+    std::uint32_t wrongOpCount = 0;
     std::uint64_t wrongPc = 0;
     std::uint32_t wrongBytes = 0;
     /** Additional fault-cascade redirects beyond the first. */
@@ -51,9 +58,11 @@ struct TimingUnit
     /** True when the unit was supplied by a side structure (trace
      *  cache) and must not touch the instruction cache. */
     bool skipIcache = false;
-    const std::vector<Operation> *ops = nullptr;
+    const DecodedOp *ops = nullptr;
+    std::uint32_t opCount = 0;
     /** Ld/St addresses in operation order (correct path only). */
-    const std::vector<std::uint64_t> *memAddrs = nullptr;
+    const std::uint64_t *memAddrs = nullptr;
+    std::uint32_t memCount = 0;
     RedirectInfo redirect;
 };
 

@@ -64,7 +64,7 @@ Interp::step(BlockEvent &ev)
     ev.func = frame.func;
     ev.block = curBlock;
     ev.taken = false;
-    ev.memAddrs.clear();
+    memBuf.clear();
 
     for (const Operation &op : blk.ops) {
         ++ops;
@@ -85,14 +85,14 @@ Interp::step(BlockEvent &ev)
           case Opcode::Ld: {
             const std::uint64_t addr =
                 s1 + static_cast<std::uint64_t>(op.imm);
-            ev.memAddrs.push_back(addr);
+            memBuf.push_back(addr);
             writeReg(frame, op.dst, mem.read(addr));
             break;
           }
           case Opcode::St: {
             const std::uint64_t addr =
                 s1 + static_cast<std::uint64_t>(op.imm);
-            ev.memAddrs.push_back(addr);
+            memBuf.push_back(addr);
             mem.write(addr, s2);
             break;
           }
@@ -164,6 +164,9 @@ Interp::step(BlockEvent &ev)
         if (op.op == Opcode::Call || op.op == Opcode::Ret)
             break;
     }
+
+    ev.memAddrs = memBuf.data();
+    ev.memCount = static_cast<std::uint32_t>(memBuf.size());
 
     ++blocks;
     if (!isHalted)

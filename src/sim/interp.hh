@@ -36,7 +36,14 @@ enum class ExitKind : unsigned char
     Halt,   //!< program finished
 };
 
-/** One committed basic-block execution. */
+/**
+ * One committed basic-block execution.
+ *
+ * A trivially copyable value: the Ld/St addresses are carried as a
+ * read-only span into storage owned by the producing EventSource (the
+ * trace pool on replay, a reuse ring on live interpretation), not as
+ * a per-event vector.  See EventSource for the span lifetime contract.
+ */
 struct BlockEvent
 {
     FuncId func = invalidId;
@@ -46,7 +53,8 @@ struct BlockEvent
     FuncId nextFunc = invalidId;  //!< block that executes next
     BlockId nextBlock = invalidId;
     /** Addresses touched by Ld/St operations, in op order. */
-    std::vector<std::uint64_t> memAddrs;
+    const std::uint64_t *memAddrs = nullptr;
+    std::uint32_t memCount = 0;
 };
 
 /**
@@ -69,7 +77,11 @@ class Interp
     /**
      * Execute the next basic block.
      *
-     * @param ev Filled with the committed event.
+     * @param ev Filled with the committed event.  The event's memAddrs
+     *           span points into a buffer owned by this interpreter
+     *           and is overwritten by the next step() call; callers
+     *           needing longer-lived addresses must copy (see
+     *           InterpEventSource for the buffered variant).
      * @retval true a block was executed.
      * @retval false the program halted or a limit was reached.
      */
@@ -119,6 +131,8 @@ class Interp
     Limits limits;
     Memory mem;
     std::vector<Frame> frames;
+    /** Backing storage for the last step()'s memAddrs span. */
+    std::vector<std::uint64_t> memBuf;
     BlockId curBlock = 0;
     bool isHalted = false;
     std::uint64_t ops = 0;

@@ -1,6 +1,13 @@
 /**
  * @file
  * Pipeline core implementation.
+ *
+ * Both scheduling loops walk flat DecodedOp arrays (sim/decoded.hh).
+ * The register conventions established at decode time — absent sources
+ * read regZero, whose ready time is pinned at 0; absent destinations
+ * write the regDump slot, which is never read — let the loops read
+ * both sources and write the destination unconditionally, with no
+ * per-op opcode dispatch.
  */
 
 #include "sim/pipeline.hh"
@@ -73,7 +80,10 @@ struct SchedState
           icache(config.icache), dcache(config.dcache),
           inflight(config.windowUnits)
     {
-        regReady.assign(numArchRegs, 0);
+        // One extra slot for regDump; regReady[regZero] stays 0
+        // because no decoded op writes regZero.
+        regReady.assign(numArchRegs + 1, 0);
+        prevDone.reserve(config.windowOps);
         wrongStamp.fill(0);
     }
 
@@ -96,8 +106,8 @@ struct SchedState
     /** Wrong-path local-rename scoreboard: a flat array stamped with a
      *  per-mispredict generation, so scheduleWrongPath never clears or
      *  allocates on the hot path. */
-    std::array<std::uint64_t, numArchRegs> wrongReady;
-    std::array<std::uint64_t, numArchRegs> wrongStamp;
+    std::array<std::uint64_t, numArchRegs + 1> wrongReady;
+    std::array<std::uint64_t, numArchRegs + 1> wrongStamp;
     std::uint64_t wrongGen = 0;
 };
 
@@ -111,7 +121,7 @@ struct SchedState
  * fault-style mispredicts).
  */
 std::uint64_t
-scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
+scheduleWrongPath(SchedState &st, const DecodedOp *ops, std::uint32_t n,
                   unsigned mustRunIdx, std::uint64_t fetchCycle,
                   std::uint64_t squashCutoff, std::uint64_t &wrongOps)
 {
@@ -119,22 +129,18 @@ scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
     const std::uint64_t earliest = fetchCycle + st.cfg.frontendDepth;
     std::uint64_t resolve = earliest;
 
+    // Absent sources decode to regZero, which is never stamped (no op
+    // writes it) and whose committed ready time is pinned at 0 — so
+    // both sources can be read unconditionally.
     auto ready_of = [&](RegNum r) -> std::uint64_t {
-        if (r == regZero)
-            return 0;
-        if (st.wrongStamp[r] == gen)
-            return st.wrongReady[r];
-        return st.regReady[r];
+        return st.wrongStamp[r] == gen ? st.wrongReady[r]
+                                       : st.regReady[r];
     };
 
-    for (unsigned i = 0; i < ops.size(); ++i) {
-        const Operation &op = ops[i];
-        std::uint64_t ready = earliest;
-        const unsigned nsrc = numSources(op.op);
-        if (nsrc >= 1)
-            ready = std::max(ready, ready_of(op.src1));
-        if (nsrc >= 2)
-            ready = std::max(ready, ready_of(op.src2));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const DecodedOp &op = ops[i];
+        const std::uint64_t ready =
+            std::max({earliest, ready_of(op.src1), ready_of(op.src2)});
 
         if (i > mustRunIdx && ready > squashCutoff)
             continue;  // squashed before it could issue
@@ -145,12 +151,9 @@ scheduleWrongPath(SchedState &st, const std::vector<Operation> &ops,
         ++wrongOps;
         // Wrong-path loads are modelled as L1 hits: their addresses
         // are speculative garbage we do not track.
-        const std::uint64_t done = start + op.latency();
-        if (const RegNum d = hasDest(op.op) ? op.dst : invalidId;
-            d != invalidId) {
-            st.wrongReady[d] = done;
-            st.wrongStamp[d] = gen;
-        }
+        const std::uint64_t done = start + op.latency;
+        st.wrongReady[op.dst] = done;
+        st.wrongStamp[op.dst] = gen;
         if (i == mustRunIdx)
             resolve = done;
     }
@@ -167,7 +170,7 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
 
     TimingUnit unit;
     while (source.next(unit)) {
-        BSISA_ASSERT(unit.ops && !unit.ops->empty());
+        BSISA_ASSERT(unit.ops && unit.opCount > 0);
 
         // ----------------------------------------------------- fetch
         std::uint64_t fetch = st.lastFetch + 1;
@@ -183,7 +186,8 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
                 st.icache.accessRange(unit.redirect.wrongPc,
                                       unit.redirect.wrongBytes);
                 resolve = scheduleWrongPath(
-                    st, *unit.redirect.wrongOps,
+                    st, unit.redirect.wrongOps,
+                    unit.redirect.wrongOpCount,
                     unit.redirect.resolveOpIdx, fetch,
                     ~0ull, result.wrongPathOps);
             } else {
@@ -194,7 +198,8 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
                 if (unit.redirect.wrongOps) {
                     st.icache.accessRange(unit.redirect.wrongPc,
                                           unit.redirect.wrongBytes);
-                    scheduleWrongPath(st, *unit.redirect.wrongOps,
+                    scheduleWrongPath(st, unit.redirect.wrongOps,
+                                      unit.redirect.wrongOpCount,
                                       0, fetch, resolve,
                                       result.wrongPathOps);
                 }
@@ -214,8 +219,7 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
             st.inflightOps -= st.inflight.front().second;
             st.inflight.pop_front();
         }
-        const unsigned unit_ops =
-            static_cast<unsigned>(unit.ops->size());
+        const unsigned unit_ops = unit.opCount;
         while (st.inflight.size() >= config.windowUnits ||
                st.inflightOps + unit_ops > config.windowOps) {
             BSISA_ASSERT(!st.inflight.empty(),
@@ -241,33 +245,29 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
         // -------------------------------------------------- schedule
         const std::uint64_t earliest = fetch + config.frontendDepth;
         std::uint64_t unit_done = earliest;
-        st.prevDone.assign(unit.ops->size(), 0);
-        std::size_t mem_idx = 0;
+        st.prevDone.assign(unit.opCount, 0);
+        std::uint32_t mem_idx = 0;
 
-        for (std::size_t i = 0; i < unit.ops->size(); ++i) {
-            const Operation &op = (*unit.ops)[i];
-            std::uint64_t ready = earliest;
-            const unsigned nsrc = numSources(op.op);
-            if (nsrc >= 1 && op.src1 != regZero)
-                ready = std::max(ready, st.regReady[op.src1]);
-            if (nsrc >= 2 && op.src2 != regZero)
-                ready = std::max(ready, st.regReady[op.src2]);
+        for (std::uint32_t i = 0; i < unit.opCount; ++i) {
+            const DecodedOp &op = unit.ops[i];
+            const std::uint64_t ready =
+                std::max({earliest, st.regReady[op.src1],
+                          st.regReady[op.src2]});
 
             const std::uint64_t start = st.slots.allocate(ready);
-            unsigned latency = op.latency();
-            if (op.op == Opcode::Ld || op.op == Opcode::St) {
-                std::uint64_t addr = 0;
-                if (unit.memAddrs && mem_idx < unit.memAddrs->size())
-                    addr = (*unit.memAddrs)[mem_idx];
+            unsigned latency = op.latency;
+            if (op.flags & opIsMem) {
+                const std::uint64_t addr =
+                    mem_idx < unit.memCount ? unit.memAddrs[mem_idx]
+                                            : 0;
                 ++mem_idx;
                 const bool hit = st.dcache.access(addr);
-                if (!hit && op.op == Opcode::Ld)
+                if (!hit && (op.flags & opIsLoad))
                     latency += config.l2Latency;
             }
             const std::uint64_t done = start + latency;
             st.prevDone[i] = done;
-            if (hasDest(op.op))
-                st.regReady[op.dst] = done;
+            st.regReady[op.dst] = done;
             unit_done = std::max(unit_done, done);
         }
 

@@ -15,7 +15,8 @@
 #ifndef BSISA_SIM_PIPELINE_HH
 #define BSISA_SIM_PIPELINE_HH
 
-#include <deque>
+#include <algorithm>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "sim/fetch_source.hh"
@@ -31,11 +32,20 @@ SimResult simulatePipeline(FetchSource &source,
 /**
  * Per-cycle issue-slot bookkeeping over a sliding window of future
  * cycles (exposed for unit testing).
+ *
+ * Stored as a power-of-two circular buffer of per-cycle counts
+ * indexed by (cycle & mask): slot i holds the count for the unique
+ * cycle in [base, base + capacity) congruent to i, and slots for
+ * cycles never allocated read zero.  advanceTo() re-zeroes the slots
+ * that leave the window, so the steady state never touches the
+ * allocator (the std::deque this replaces allocated and freed chunks
+ * as the window slid); growth happens only on a scheduling span
+ * longer than the initial 4096 cycles, which doubles the buffer.
  */
 class IssueSlots
 {
   public:
-    explicit IssueSlots(unsigned width) : width(width) {}
+    explicit IssueSlots(unsigned width) : width(width), used(4096, 0) {}
 
     /** First cycle >= @p earliest with a free slot; consumes it.
      *  @p earliest must be >= the last advanceTo() cycle. */
@@ -44,16 +54,14 @@ class IssueSlots
     {
         if (earliest < base)
             earliest = base;
-        std::uint64_t cycle = earliest;
-        for (;;) {
-            const std::size_t idx = cycle - base;
-            if (idx >= used.size())
-                used.resize(idx + 1, 0);
-            if (used[idx] < width) {
-                ++used[idx];
+        for (std::uint64_t cycle = earliest;; ++cycle) {
+            if (cycle - base >= used.size())
+                grow(cycle);
+            std::uint8_t &count = used[cycle & (used.size() - 1)];
+            if (count < width) {
+                ++count;
                 return cycle;
             }
-            ++cycle;
         }
     }
 
@@ -61,18 +69,33 @@ class IssueSlots
     void
     advanceTo(std::uint64_t cycle)
     {
-        while (base < cycle && !used.empty()) {
-            used.pop_front();
-            ++base;
-        }
-        if (used.empty())
-            base = cycle;
+        if (cycle <= base)
+            return;
+        const std::uint64_t gone =
+            std::min<std::uint64_t>(cycle - base, used.size());
+        for (std::uint64_t i = 0; i < gone; ++i)
+            used[(base + i) & (used.size() - 1)] = 0;
+        base = cycle;
     }
 
   private:
+    void
+    grow(std::uint64_t cycle)
+    {
+        std::size_t cap = used.size() * 2;
+        while (cycle - base >= cap)
+            cap *= 2;
+        std::vector<std::uint8_t> bigger(cap, 0);
+        for (std::size_t i = 0; i < used.size(); ++i) {
+            const std::uint64_t c = base + i;
+            bigger[c & (cap - 1)] = used[c & (used.size() - 1)];
+        }
+        used.swap(bigger);
+    }
+
     unsigned width;
     std::uint64_t base = 0;
-    std::deque<std::uint8_t> used;
+    std::vector<std::uint8_t> used;
 };
 
 } // namespace bsisa

@@ -33,7 +33,9 @@ TraceCacheFetchSource::TraceCacheFetchSource(
     const Module &mod, const ConvLayout &lay,
     const MachineConfig &config, const TraceCacheConfig &tcConfig,
     std::unique_ptr<EventSource> source)
-    : module(mod), layout(lay), perfect(config.perfectPrediction),
+    : module(mod), layout(lay),
+      decoded(DecodedProgram::forModule(mod)),
+      perfect(config.perfectPrediction),
       predictor(config.predictor), cache(tcConfig),
       stream(std::move(source))
 {
@@ -43,10 +45,10 @@ TraceCacheFetchSource::TraceCacheFetchSource(
 void
 TraceCacheFetchSource::refill()
 {
-    while (!streamDone && events.size() < 16) {
+    while (!streamDone && events.size() < lookahead) {
         BlockEvent ev;
         if (stream->next(ev))
-            events.push_back(std::move(ev));
+            events.push_back(ev);
         else
             streamDone = true;
     }
@@ -112,9 +114,8 @@ TraceCacheFetchSource::handleExit(const BlockEvent &ev)
 void
 TraceCacheFetchSource::fillWith(const BlockEvent &ev)
 {
-    const Function &fn = module.functions[ev.func];
     const unsigned block_ops =
-        static_cast<unsigned>(fn.blocks[ev.block].ops.size());
+        decoded.unit(ev.func, ev.block).opCount;
 
     if (fill.valid &&
         (fill.blocks.size() >= cache.config().maxBlocks ||
@@ -162,19 +163,22 @@ TraceCacheFetchSource::next(TimingUnit &unit)
     if (events.empty())
         return false;
 
-    const BlockEvent &head = events.front();
-    const std::uint64_t start = token(head.func, head.block);
+    // Copy the head's identity: events.front() is recycled by the
+    // pop/refill cycle inside the commit loop below.
+    const FuncId head_func = events.front().func;
+    const BlockId head_block = events.front().block;
+    const std::uint64_t start = token(head_func, head_block);
 
     // Gather direction predictions along the upcoming path (the trace
     // cache needs multiple predictions per cycle; this is one of its
     // acknowledged hardware costs).
-    std::vector<bool> predicted_dirs;
+    predictedDirs.clear();
     std::uint64_t spec_hist =
-        predictor.speculativeHistory(layout.addrOf(head.func,
-                                                   head.block));
+        predictor.speculativeHistory(layout.addrOf(head_func,
+                                                   head_block));
     for (std::size_t i = 0;
          i < events.size() &&
-         predicted_dirs.size() + 1 < cache.config().maxBlocks * 2;
+         predictedDirs.size() + 1 < cache.config().maxBlocks * 2;
          ++i) {
         const BlockEvent &ev = events[i];
         if (ev.exit == ExitKind::Trap) {
@@ -189,13 +193,13 @@ TraceCacheFetchSource::next(TimingUnit &unit)
             } else {
                 dir = predictor.predictTaken(pc);
             }
-            predicted_dirs.push_back(dir);
+            predictedDirs.push_back(dir);
         } else if (ev.exit != ExitKind::Jump) {
             break;
         }
     }
 
-    const Trace *trace = cache.lookup(start, predicted_dirs);
+    const Trace *trace = cache.lookup(start, predictedDirs);
     const std::size_t planned =
         trace ? trace->blocks.size() : std::size_t(1);
 
@@ -206,9 +210,9 @@ TraceCacheFetchSource::next(TimingUnit &unit)
     // wrong direction prediction truncates the unit at the offending
     // trap (earlier blocks commit; the rest of the trace is squashed).
     emitOps.clear();
-    emitMemAddrs.clear();
+    emitSpans.clear();
     std::size_t committed = 0;
-    std::size_t trap_idx = 0;  // index into predicted_dirs
+    std::size_t trap_idx = 0;  // index into predictedDirs
     bool stop = false;
     while (committed < planned && !stop) {
         BSISA_ASSERT(!events.empty());
@@ -223,9 +227,10 @@ TraceCacheFetchSource::next(TimingUnit &unit)
             events.push_front(ev);
             break;
         }
-        emitOps.insert(emitOps.end(), blk.ops.begin(), blk.ops.end());
-        emitMemAddrs.insert(emitMemAddrs.end(), ev.memAddrs.begin(),
-                            ev.memAddrs.end());
+        const DecodedUnit &bdu = decoded.unit(ev.func, ev.block);
+        const DecodedOp *bops = decoded.ops(bdu);
+        emitOps.insert(emitOps.end(), bops, bops + bdu.opCount);
+        emitSpans.emplace_back(ev.memAddrs, ev.memCount);
         ++committed;
         fillWith(ev);
 
@@ -234,8 +239,8 @@ TraceCacheFetchSource::next(TimingUnit &unit)
             // Use the SAME prediction the trace lookup consumed so the
             // fetch decision and its validation cannot disagree.
             bool predicted;
-            if (trap_idx < predicted_dirs.size()) {
-                predicted = predicted_dirs[trap_idx];
+            if (trap_idx < predictedDirs.size()) {
+                predicted = predictedDirs[trap_idx];
                 if (!perfect) {
                     ++nPredictions;
                     predictor.update(
@@ -253,7 +258,9 @@ TraceCacheFetchSource::next(TimingUnit &unit)
                 const Operation &term = blk.terminator();
                 const BlockId wrong =
                     predicted ? term.target0 : term.target1;
-                pendingRedirect.wrongOps = &fn.blocks[wrong].ops;
+                const DecodedUnit &wdu = decoded.unit(ev.func, wrong);
+                pendingRedirect.wrongOps = decoded.ops(wdu);
+                pendingRedirect.wrongOpCount = wdu.opCount;
                 pendingRedirect.wrongPc = layout.addrOf(ev.func, wrong);
                 pendingRedirect.wrongBytes =
                     layout.bytesOf(ev.func, wrong);
@@ -276,12 +283,39 @@ TraceCacheFetchSource::next(TimingUnit &unit)
             break;
     }
 
+    // Memory addresses: a single zero-copy span when the committed
+    // events' pool slices are adjacent (always true on replay, where
+    // the stream is consumed in capture order); otherwise concatenate
+    // into the reused fallback buffer.  The consumed spans stay valid
+    // per the EventSource stability contract.
+    bool adjacent = true;
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < emitSpans.size(); ++i) {
+        if (i > 0 && emitSpans[0].first + total != emitSpans[i].first) {
+            adjacent = false;
+            break;
+        }
+        total += emitSpans[i].second;
+    }
+    if (adjacent && !emitSpans.empty()) {
+        unit.memAddrs = emitSpans[0].first;
+        unit.memCount = total;
+    } else {
+        emitMemAddrs.clear();
+        for (const auto &[span, count] : emitSpans)
+            emitMemAddrs.insert(emitMemAddrs.end(), span,
+                                span + count);
+        unit.memAddrs = emitMemAddrs.data();
+        unit.memCount =
+            static_cast<std::uint32_t>(emitMemAddrs.size());
+    }
+
     BSISA_ASSERT(!emitOps.empty());
-    unit.pc = layout.addrOf(head.func, head.block);
+    unit.pc = layout.addrOf(head_func, head_block);
     unit.bytes = static_cast<std::uint32_t>(emitOps.size() * opBytes);
     unit.skipIcache = trace != nullptr;
-    unit.ops = &emitOps;
-    unit.memAddrs = &emitMemAddrs;
+    unit.ops = emitOps.data();
+    unit.opCount = static_cast<std::uint32_t>(emitOps.size());
     return true;
 }
 

@@ -16,12 +16,13 @@
 #ifndef BSISA_SIM_TC_SOURCE_HH
 #define BSISA_SIM_TC_SOURCE_HH
 
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "cache/trace_cache.hh"
 #include "codegen/layout.hh"
 #include "predict/twolevel.hh"
+#include "sim/event_ring.hh"
 #include "sim/fetch_source.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
@@ -66,14 +67,21 @@ class TraceCacheFetchSource : public FetchSource
                           const TraceCacheConfig &tcConfig,
                           std::unique_ptr<EventSource> source);
 
+    /** Lookahead depth (ring capacity); must stay below the
+     *  EventSource span-stability window. */
+    static constexpr std::size_t lookahead = 16;
+    static_assert(lookahead < eventSpanStability);
+
     const Module &module;
     const ConvLayout &layout;
+    /** Per-op metadata decoded once at construction. */
+    DecodedProgram decoded;
     bool perfect;
     TwoLevelPredictor predictor;
     TraceCache cache;
     std::unique_ptr<EventSource> stream;
 
-    std::deque<BlockEvent> events;
+    EventRing<BlockEvent, lookahead> events;
     bool streamDone = false;
 
     /** Redirect computed while emitting the previous unit. */
@@ -82,9 +90,16 @@ class TraceCacheFetchSource : public FetchSource
     /** Fill unit: committed blocks accumulating into a new trace. */
     Trace fill;
 
-    /** Stable emit buffers. */
-    std::vector<Operation> emitOps;
+    /** Stable emit buffers (reused across units; emitMemAddrs is a
+     *  fallback used only when the committed events' spans are not
+     *  adjacent in their pool — replayed traces stream zero-copy). */
+    std::vector<DecodedOp> emitOps;
     std::vector<std::uint64_t> emitMemAddrs;
+    /** (span, count) of each committed event, reused per next(). */
+    std::vector<std::pair<const std::uint64_t *, std::uint32_t>>
+        emitSpans;
+    /** Direction predictions along the upcoming path, reused. */
+    std::vector<bool> predictedDirs;
 
     std::uint64_t nPredictions = 0;
     std::uint64_t nMispredicts = 0;

@@ -23,9 +23,9 @@ captureTrace(const Module &module, Interp::Limits limits)
         te.exit = ev.exit;
         te.taken = ev.taken;
         te.memBegin = trace.memAddrs.size();
-        te.memCount = static_cast<std::uint32_t>(ev.memAddrs.size());
-        trace.memAddrs.insert(trace.memAddrs.end(), ev.memAddrs.begin(),
-                              ev.memAddrs.end());
+        te.memCount = ev.memCount;
+        trace.memAddrs.insert(trace.memAddrs.end(), ev.memAddrs,
+                              ev.memAddrs + ev.memCount);
         trace.events.push_back(te);
     }
     trace.dynOps = interp.dynOps();
@@ -55,9 +55,9 @@ TraceReplaySource::next(BlockEvent &ev)
     ev.nextBlock = te.nextBlock;
     ev.exit = te.exit;
     ev.taken = te.taken;
-    const auto begin = trace.memAddrs.begin() +
-                       static_cast<std::ptrdiff_t>(te.memBegin);
-    ev.memAddrs.assign(begin, begin + te.memCount);
+    // Zero-copy: hand out a view into the shared address pool.
+    ev.memAddrs = trace.memAddrs.data() + te.memBegin;
+    ev.memCount = te.memCount;
     return true;
 }
 

@@ -20,6 +20,7 @@
 #ifndef BSISA_SIM_TRACE_HH
 #define BSISA_SIM_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -75,6 +76,13 @@ ProfileData profileFromTrace(const ExecTrace &trace);
  * functional execution and the fetch sources.  Implementations either
  * run the interpreter directly (InterpEventSource) or replay a
  * captured ExecTrace (TraceReplaySource); the streams are identical.
+ *
+ * Span contract: each event's memAddrs span points into storage owned
+ * by the source and stays valid for at least the next
+ * eventSpanStability - 1 subsequent next() calls (replayed spans point
+ * into the trace pool and live as long as the trace itself).  Fetch
+ * sources may therefore buffer up to eventSpanStability / 2 events of
+ * lookahead without copying addresses.
  */
 class EventSource
 {
@@ -85,7 +93,14 @@ class EventSource
     virtual bool next(BlockEvent &ev) = 0;
 };
 
-/** EventSource that owns a live functional interpreter. */
+/** Minimum number of next() calls an event's memAddrs span survives
+ *  (sized above every fetch source's lookahead depth). */
+constexpr std::size_t eventSpanStability = 128;
+
+/** EventSource that owns a live functional interpreter.  The
+ *  interpreter reuses one address buffer per step, so events are
+ *  rotated through eventSpanStability retained copies to satisfy the
+ *  span contract. */
 class InterpEventSource final : public EventSource
 {
   public:
@@ -94,14 +109,28 @@ class InterpEventSource final : public EventSource
     {
     }
 
-    bool next(BlockEvent &ev) override { return interp.step(ev); }
+    bool
+    next(BlockEvent &ev) override
+    {
+        if (!interp.step(ev))
+            return false;
+        std::vector<std::uint64_t> &slot = pool[cursor];
+        cursor = (cursor + 1) & (eventSpanStability - 1);
+        slot.assign(ev.memAddrs, ev.memAddrs + ev.memCount);
+        ev.memAddrs = slot.data();
+        return true;
+    }
 
   private:
     Interp interp;
+    std::array<std::vector<std::uint64_t>, eventSpanStability> pool;
+    std::size_t cursor = 0;
 };
 
 /** EventSource that replays a captured trace.  Holds only a cursor;
- *  many replay sources may read one trace concurrently. */
+ *  many replay sources may read one trace concurrently.  Replay is
+ *  zero-copy: emitted events carry spans into the trace's shared
+ *  address pool. */
 class TraceReplaySource final : public EventSource
 {
   public:

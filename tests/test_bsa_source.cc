@@ -94,7 +94,7 @@ TEST(BsaSource, TilesTheBasicBlockStreamExactly)
             EXPECT_EQ(bbs[cursor].second, bb);
             ++cursor;
         }
-        total_ops += unit.ops->size();
+        total_ops += unit.opCount;
     }
     EXPECT_EQ(cursor, bbs.size());  // no gaps, no overlap
     EXPECT_GT(total_ops, 0u);
@@ -110,8 +110,8 @@ TEST(BsaSource, MemAddrsMatchFunctionalExecution)
         Interp interp(setup.module, limits);
         BlockEvent ev;
         while (interp.step(ev))
-            want.insert(want.end(), ev.memAddrs.begin(),
-                        ev.memAddrs.end());
+            want.insert(want.end(), ev.memAddrs,
+                        ev.memAddrs + ev.memCount);
     }
 
     MachineConfig machine;
@@ -119,8 +119,8 @@ TEST(BsaSource, MemAddrsMatchFunctionalExecution)
     TimingUnit unit;
     std::vector<std::uint64_t> got;
     while (source.next(unit))
-        got.insert(got.end(), unit.memAddrs->begin(),
-                   unit.memAddrs->end());
+        got.insert(got.end(), unit.memAddrs,
+                   unit.memAddrs + unit.memCount);
     EXPECT_EQ(got, want);
 }
 
@@ -153,11 +153,12 @@ TEST(BsaSource, RealPredictorMispredictsAndClassifies)
             ASSERT_TRUE(unit.redirect.resolveInWrongBlock);
             ASSERT_NE(unit.redirect.wrongOps, nullptr);
             ASSERT_LT(unit.redirect.resolveOpIdx,
-                      unit.redirect.wrongOps->size());
-            EXPECT_EQ(
-                (*unit.redirect.wrongOps)[unit.redirect.resolveOpIdx]
-                    .op,
-                Opcode::Fault);
+                      unit.redirect.wrongOpCount);
+            EXPECT_NE(
+                unit.redirect.wrongOps[unit.redirect.resolveOpIdx]
+                        .flags &
+                    opIsFault,
+                0);
         } else {
             ++trap_units;
         }
@@ -232,7 +233,7 @@ TEST(BsaSource, ShallowCommitsArePossibleButBounded)
         std::uint64_t units = 0, ops = 0;
         while (source.next(unit)) {
             ++units;
-            ops += unit.ops->size();
+            ops += unit.opCount;
         }
         return double(ops) / double(units);
     };

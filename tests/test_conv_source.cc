@@ -76,9 +76,9 @@ TEST(ConvSource, EmitsEveryBlockExactlyOnce)
     std::uint64_t units = 0, ops = 0;
     while (source.next(unit)) {
         ++units;
-        ops += unit.ops->size();
+        ops += unit.opCount;
         // The unit's byte size equals its op count times the op size.
-        EXPECT_EQ(unit.bytes, unit.ops->size() * opBytes);
+        EXPECT_EQ(unit.bytes, unit.opCount * opBytes);
         EXPECT_FALSE(unit.skipIcache);
     }
     EXPECT_EQ(units, want_blocks);
@@ -103,7 +103,7 @@ TEST(ConvSource, RedirectsPointAtThePreviousTerminator)
             ASSERT_GT(prev_ops, 0u);
             EXPECT_EQ(unit.redirect.resolveOpIdx, prev_ops - 1);
         }
-        prev_ops = unit.ops->size();
+        prev_ops = unit.opCount;
     }
     EXPECT_GT(mispredicted_units, 0u);
     EXPECT_EQ(mispredicted_units, source.mispredicts());

@@ -166,7 +166,7 @@ TEST(Interp, MemAddrsReported)
     BlockEvent ev;
     std::size_t mem_ops = 0;
     while (interp.step(ev))
-        mem_ops += ev.memAddrs.size();
+        mem_ops += ev.memCount;
     // At least the store and the load (spills may add more).
     EXPECT_GE(mem_ops, 2u);
     EXPECT_EQ(interp.exitValue(), 7u);

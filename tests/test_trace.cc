@@ -117,7 +117,10 @@ TEST(Trace, ReplayStreamMatchesInterp)
         ASSERT_EQ(live.nextFunc, replayed.nextFunc) << "at event " << n;
         ASSERT_EQ(live.nextBlock, replayed.nextBlock)
             << "at event " << n;
-        ASSERT_EQ(live.memAddrs, replayed.memAddrs) << "at event " << n;
+        ASSERT_EQ(live.memCount, replayed.memCount) << "at event " << n;
+        for (std::uint32_t a = 0; a < live.memCount; ++a)
+            ASSERT_EQ(live.memAddrs[a], replayed.memAddrs[a])
+                << "at event " << n << " addr " << a;
         ++n;
     }
     EXPECT_EQ(n, trace.events.size());
