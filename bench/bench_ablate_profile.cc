@@ -6,11 +6,12 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 
 int
 main()
 {
-    bsisa::runProfileAblation(std::cout);
-    return 0;
+    return bsisabench::benchMain(
+        [] { bsisa::runProfileAblation(std::cout); });
 }

@@ -11,13 +11,17 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 #include "support/table.hh"
 
 using namespace bsisa;
 
-int
-main()
+namespace
+{
+
+void
+report()
 {
     const std::uint64_t divisor = scaleDivisor() * 2;
     std::cout << "Extension: small-leaf inlining before block "
@@ -58,5 +62,12 @@ main()
                  "grow through former call sites at the cost of still "
                  "more code\nduplication — the paper's predicted "
                  "trade-off.\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bsisabench::benchMain(report);
 }

@@ -14,14 +14,19 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 #include "sim/tc_source.hh"
+#include "sim/trace_store.hh"
 #include "support/table.hh"
 
 using namespace bsisa;
 
-int
-main()
+namespace
+{
+
+void
+report()
 {
     const std::uint64_t divisor = scaleDivisor() * 2;
     std::cout << "Extension: block-structured ISA vs conventional +"
@@ -36,20 +41,23 @@ main()
         limits.maxOps = bench.paperInstructions / divisor;
         MachineConfig machine;
 
-        const SimResult conv = runConventional(m, machine, limits);
+        // One committed stream feeds all four timing runs.
+        const ExecTrace trace = captureOrLoadTrace(m, limits);
+
+        const SimResult conv = runConventional(m, machine, trace);
 
         TraceCacheConfig tc64;
         tc64.entries = 64;
         const TraceCacheResult small =
-            runTraceCache(m, machine, tc64, limits);
+            runTraceCache(m, machine, tc64, trace);
         TraceCacheConfig tc256;
         tc256.entries = 256;
         const TraceCacheResult big =
-            runTraceCache(m, machine, tc256, limits);
+            runTraceCache(m, machine, tc256, trace);
 
         RunConfig config;
         config.limits = limits;
-        const PairResult pair = runPair(m, config);
+        const PairResult pair = runPair(m, config, trace);
 
         const std::uint64_t best =
             std::min({small.sim.cycles, big.sim.cycles,
@@ -67,5 +75,12 @@ main()
                  "already seen and that fit its capacity, while block\n"
                  "enlargement bakes every combination into the "
                  "executable (paper, section 3).\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bsisabench::benchMain(report);
 }

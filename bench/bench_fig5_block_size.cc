@@ -6,11 +6,12 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 
 int
 main()
 {
-    bsisa::runBlockSizeComparison(std::cout);
-    return 0;
+    return bsisabench::benchMain(
+        [] { bsisa::runBlockSizeComparison(std::cout); });
 }

@@ -7,11 +7,12 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 
 int
 main()
 {
-    bsisa::runIcacheSweep(std::cout, true);
-    return 0;
+    return bsisabench::benchMain(
+        [] { bsisa::runIcacheSweep(std::cout, true); });
 }

@@ -12,15 +12,24 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "bench_common.hh"
 #include "core/enlarge.hh"
 #include "codegen/layout.hh"
 #include "exp/runner.hh"
 #include "frontend/compile.hh"
+#include "sim/trace_store.hh"
 #include "support/env.hh"
 #include "support/parallel.hh"
+#include "support/rng.hh"
+#include "support/varint.hh"
 #include "workloads/specmix.hh"
 
 namespace
@@ -217,6 +226,167 @@ BENCHMARK(BM_PairSweep_CaptureReplayParallel)
     ->UseRealTime();
 
 /**
+ * Trace-store cold vs warm cost, and the sweep driven from a warm
+ * store.  "Cold" is what the first process in a suite pays per
+ * benchmark (functional execution + encode + atomic write); "warm" is
+ * what every later process pays instead (mmap + checksum + event
+ * decode, zero functional execution).  Items/s is simulated ops per
+ * second in both, so warm/cold is directly the per-process saving.
+ * The benchmarks use a private temp directory, not BSISA_TRACE_DIR,
+ * so they measure the same thing no matter how the process was run.
+ */
+std::string
+benchStoreDir()
+{
+    static const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("bsisa-bench-store-" + std::to_string(::getpid())))
+            .string();
+    return dir;
+}
+
+void
+BM_TraceStore_ColdCapture(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const TraceStore store(benchStoreDir());
+    const std::uint64_t digest = moduleDigest(m);
+    const TraceKey key{digest, limits.maxOps, limits.maxBlocks};
+    for (auto _ : state) {
+        std::remove(store.entryPath(key).c_str());  // force a miss
+        const ExecTrace trace = store.load(m, digest, limits);
+        benchmark::DoNotOptimize(trace.eventCount);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget));
+}
+BENCHMARK(BM_TraceStore_ColdCapture)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceStore_WarmLoad(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const TraceStore store(benchStoreDir());
+    const std::uint64_t digest = moduleDigest(m);
+    (void)store.load(m, digest, limits);  // warm the entry
+    for (auto _ : state) {
+        const ExecTrace trace = store.load(m, digest, limits);
+        benchmark::DoNotOptimize(trace.eventCount);
+        if (!trace.mapped())
+            state.SkipWithError("warm load fell back to capture");
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget));
+}
+BENCHMARK(BM_TraceStore_WarmLoad)->Unit(benchmark::kMillisecond);
+
+void
+BM_PairSweep_WarmStoreReplayParallel(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    layoutBsaModule(bsa);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const TraceStore store(benchStoreDir());
+    const std::uint64_t digest = moduleDigest(m);
+    (void)store.load(m, digest, limits);  // warm the entry
+    for (auto _ : state) {
+        // What a warm suite process pays: open from disk (timed),
+        // then replay every config point from the mmap-ed trace.
+        const ExecTrace trace = store.load(m, digest, limits);
+        std::vector<std::uint64_t> cycles(kSweepKB.size() * 2);
+        parallelFor(cycles.size(), [&](std::size_t idx) {
+            MachineConfig machine;
+            machine.icache.sizeBytes = kSweepKB[idx / 2] * 1024;
+            cycles[idx] =
+                (idx & 1)
+                    ? runBlockStructured(bsa, machine, trace).cycles
+                    : runConventional(m, machine, trace).cycles;
+        });
+        std::uint64_t total = 0;
+        for (std::uint64_t c : cycles)
+            total += c;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) * 2 *
+                            std::int64_t(kSweepKB.size()));
+}
+BENCHMARK(BM_PairSweep_WarmStoreReplayParallel)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
+ * The varint/delta codec on its own, over a value distribution shaped
+ * like the event stream (mostly tiny deltas, occasional large jumps),
+ * so future format tweaks have an ops/sec baseline to beat.
+ */
+std::vector<std::uint64_t>
+codecValues()
+{
+    std::vector<std::uint64_t> values;
+    values.reserve(1 << 16);
+    Rng rng(12345);
+    for (std::size_t i = 0; i < values.capacity(); ++i) {
+        const unsigned shape = rng.nextBelow(16);
+        if (shape < 12)  // predicted-successor deltas: ~0
+            values.push_back(zigzagEncode(std::int64_t(shape) - 6));
+        else if (shape < 15)  // address counts / short jumps
+            values.push_back(rng.nextBelow(1024));
+        else  // cross-function jumps
+            values.push_back(rng.next() >> 16);
+    }
+    return values;
+}
+
+void
+BM_VarintEncode(benchmark::State &state)
+{
+    const std::vector<std::uint64_t> values = codecValues();
+    std::vector<std::uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        for (std::uint64_t v : values)
+            putVarint(out, v);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+void
+BM_VarintDecode(benchmark::State &state)
+{
+    const std::vector<std::uint64_t> values = codecValues();
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t v : values)
+        putVarint(buf, v);
+    for (auto _ : state) {
+        const std::uint8_t *p = buf.data();
+        const std::uint8_t *end = buf.data() + buf.size();
+        std::uint64_t sum = 0, v = 0;
+        while (p < end && getVarint(p, end, v))
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(values.size()));
+}
+BENCHMARK(BM_VarintDecode);
+
+/**
  * Console reporter that also records every run for the
  * machine-readable summary.  The human-facing output is exactly
  * google-benchmark's default; the JSON rides along for CI gating.
@@ -268,13 +438,13 @@ class TeeReporter : public benchmark::ConsoleReporter
     }
 };
 
-/** Write the recorded runs as BENCH_PR2.json (path overridable via
+/** Write the recorded runs as BENCH_PR3.json (path overridable via
  *  BSISA_BENCH_JSON; empty string disables). */
 void
 writeJson(const std::vector<TeeReporter::Entry> &entries)
 {
     const char *env = std::getenv("BSISA_BENCH_JSON");
-    const std::string path = env ? env : "BENCH_PR2.json";
+    const std::string path = env ? env : "BENCH_PR3.json";
     if (path.empty())
         return;
 
@@ -285,7 +455,8 @@ writeJson(const std::vector<TeeReporter::Entry> &entries)
         return;
     }
 
-    double seed_ips = 0.0, replay_ips = 0.0;
+    double seed_ips = 0.0, replay_ips = 0.0, warm_replay_ips = 0.0;
+    double cold_sec = 0.0, warm_sec = 0.0;
     std::fprintf(f, "{\n  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const TeeReporter::Entry &e = entries[i];
@@ -303,14 +474,30 @@ writeJson(const std::vector<TeeReporter::Entry> &entries)
         if (e.name.find("PairSweep_CaptureReplayParallel") !=
             std::string::npos)
             replay_ips = e.itemsPerSecond;
+        if (e.name.find("PairSweep_WarmStoreReplayParallel") !=
+            std::string::npos)
+            warm_replay_ips = e.itemsPerSecond;
+        if (e.name.find("TraceStore_ColdCapture") != std::string::npos)
+            cold_sec = e.realTimeSec;
+        if (e.name.find("TraceStore_WarmLoad") != std::string::npos)
+            warm_sec = e.realTimeSec;
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"pair_sweep_seed_ops_per_sec\": %.9g,\n",
                  seed_ips);
     std::fprintf(f, "  \"pair_sweep_replay_ops_per_sec\": %.9g,\n",
                  replay_ips);
-    std::fprintf(f, "  \"pair_sweep_speedup\": %.6g\n",
+    std::fprintf(f, "  \"pair_sweep_speedup\": %.6g,\n",
                  seed_ips > 0.0 ? replay_ips / seed_ips : 0.0);
+    std::fprintf(f,
+                 "  \"pair_sweep_warm_store_ops_per_sec\": %.9g,\n",
+                 warm_replay_ips);
+    std::fprintf(f, "  \"trace_store_cold_capture_sec\": %.9g,\n",
+                 cold_sec);
+    std::fprintf(f, "  \"trace_store_warm_load_sec\": %.9g,\n",
+                 warm_sec);
+    std::fprintf(f, "  \"trace_store_warm_cold_ratio\": %.6g\n",
+                 cold_sec > 0.0 ? warm_sec / cold_sec : 0.0);
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -327,5 +514,8 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     writeJson(reporter.entries);
+    bsisabench::reportTraceStore();
+    std::error_code ec;
+    std::filesystem::remove_all(benchStoreDir(), ec);
     return 0;
 }

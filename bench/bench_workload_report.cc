@@ -11,14 +11,19 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hh"
 #include "exp/figures.hh"
 #include "sim/interp.hh"
+#include "sim/trace_store.hh"
 #include "support/table.hh"
 
 using namespace bsisa;
 
-int
-main()
+namespace
+{
+
+void
+report()
 {
     const std::uint64_t divisor = scaleDivisor() * 4;
     std::cout << "Synthetic workload characterization (dynamic "
@@ -34,10 +39,13 @@ main()
 
         Interp::Limits limits;
         limits.maxOps = bench.paperInstructions / divisor;
-        Interp interp(m, limits);
+        // One trace (store-served when warm) answers both the
+        // characterization walk and the timing pair.
+        const ExecTrace trace = captureOrLoadTrace(m, limits);
+        TraceReplaySource replay(trace);
         BlockEvent ev;
         std::uint64_t blocks = 0, ops = 0, callret = 0, lib_blocks = 0;
-        while (interp.step(ev)) {
+        while (replay.next(ev)) {
             ++blocks;
             ops += m.functions[ev.func].blocks[ev.block].ops.size();
             callret += ev.exit == ExitKind::Call ||
@@ -47,7 +55,7 @@ main()
 
         RunConfig config;
         config.limits = limits;
-        const PairResult r = runPair(m, config);
+        const PairResult r = runPair(m, config, trace);
 
         t.addRow({bench.params.name,
                   Table::fmt(m.numOps() * opBytes / 1024.0, 1),
@@ -70,5 +78,12 @@ main()
         "loop/data-dominated\n"
         "  - ijpeg/m88ksim: predictable, larger blocks (ijpeg) / "
         "dispatch loops (m88ksim)\n";
-    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bsisabench::benchMain(report);
 }

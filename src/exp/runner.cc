@@ -10,6 +10,7 @@
 #include "sim/conv_source.hh"
 #include "sim/pipeline.hh"
 #include "sim/tc_source.hh"
+#include "sim/trace_store.hh"
 
 namespace bsisa
 {
@@ -79,7 +80,9 @@ runTraceCache(const Module &module, const MachineConfig &machine,
 PairResult
 runPair(const Module &module, const RunConfig &config)
 {
-    const ExecTrace trace = captureTrace(module, config.limits);
+    // Capture-or-open: served from the BSISA_TRACE_DIR store when one
+    // is configured, captured live (identical behavior) otherwise.
+    const ExecTrace trace = captureOrLoadTrace(module, config.limits);
     return runPair(module, config, trace);
 }
 

@@ -5,15 +5,31 @@
 
 #include "sim/interp.hh"
 
+#include <atomic>
+
 #include "sim/alu.hh"
 #include "support/logging.hh"
 
 namespace bsisa
 {
 
+namespace
+{
+
+std::atomic<std::uint64_t> interpCount{0};
+
+} // namespace
+
+std::uint64_t
+interpInvocations()
+{
+    return interpCount.load(std::memory_order_relaxed);
+}
+
 Interp::Interp(const Module &mod, Limits lim)
     : module(mod), limits(lim)
 {
+    interpCount.fetch_add(1, std::memory_order_relaxed);
     BSISA_ASSERT(mod.mainFunc < mod.functions.size());
     mem.init(Module::dataBase, mod.data);
 

@@ -58,6 +58,20 @@ struct BlockEvent
 };
 
 /**
+ * Version of the functional execution semantics.  Baked into trace
+ * store entries (sim/trace_store.hh): bump it whenever a change to the
+ * interpreter (or to anything upstream that alters the committed
+ * stream for an unchanged module) invalidates previously captured
+ * traces.
+ */
+constexpr std::uint32_t interpVersion = 1;
+
+/** Number of live Interp instances constructed process-wide.  A warm
+ *  trace store replays everything from disk, so suite drivers can
+ *  assert that no functional execution happened at all. */
+std::uint64_t interpInvocations();
+
+/**
  * Pull-based functional execution of a Module.
  */
 class Interp

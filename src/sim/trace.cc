@@ -22,14 +22,15 @@ captureTrace(const Module &module, Interp::Limits limits)
         te.nextBlock = ev.nextBlock;
         te.exit = ev.exit;
         te.taken = ev.taken;
-        te.memBegin = trace.memAddrs.size();
+        te.memBegin = trace.ownedAddrs.size();
         te.memCount = ev.memCount;
-        trace.memAddrs.insert(trace.memAddrs.end(), ev.memAddrs,
-                              ev.memAddrs + ev.memCount);
-        trace.events.push_back(te);
+        trace.ownedAddrs.insert(trace.ownedAddrs.end(), ev.memAddrs,
+                                ev.memAddrs + ev.memCount);
+        trace.ownedEvents.push_back(te);
     }
     trace.dynOps = interp.dynOps();
     trace.dynBlocks = interp.dynBlocks();
+    trace.sealOwned();
     return trace;
 }
 
@@ -37,16 +38,18 @@ ProfileData
 profileFromTrace(const ExecTrace &trace)
 {
     ProfileData profile;
-    for (const TraceEvent &ev : trace.events)
+    for (std::size_t i = 0; i < trace.eventCount; ++i) {
+        const TraceEvent &ev = trace.events[i];
         if (ev.exit == ExitKind::Trap)
             profile.record(ev.func, ev.block, ev.taken);
+    }
     return profile;
 }
 
 bool
 TraceReplaySource::next(BlockEvent &ev)
 {
-    if (pos >= trace.events.size())
+    if (pos >= trace.eventCount)
         return false;
     const TraceEvent &te = trace.events[pos++];
     ev.func = te.func;
@@ -55,8 +58,9 @@ TraceReplaySource::next(BlockEvent &ev)
     ev.nextBlock = te.nextBlock;
     ev.exit = te.exit;
     ev.taken = te.taken;
-    // Zero-copy: hand out a view into the shared address pool.
-    ev.memAddrs = trace.memAddrs.data() + te.memBegin;
+    // Zero-copy: hand out a view into the shared address pool (owned
+    // memory or mmap-ed store pages alike).
+    ev.memAddrs = trace.memAddrs + te.memBegin;
     ev.memCount = te.memCount;
     return true;
 }

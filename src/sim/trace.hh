@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/profile.hh"
@@ -37,30 +38,73 @@ struct TraceEvent
     BlockId block = invalidId;
     FuncId nextFunc = invalidId;
     BlockId nextBlock = invalidId;
-    /** Slice [memBegin, memBegin + memCount) of ExecTrace::memAddrs. */
+    /** Slice [memBegin, memBegin + memCount) of the trace's pool. */
     std::uint64_t memBegin = 0;
     std::uint32_t memCount = 0;
     ExitKind exit = ExitKind::Halt;
     bool taken = false;
 };
 
-/** The committed event stream of one functional execution. */
+/**
+ * The committed event stream of one functional execution.
+ *
+ * The consumer-facing shape is two relocatable pools — a TraceEvent
+ * array and the shared Ld/St address pool — exposed as (pointer,
+ * count) spans.  Events reference the pool by *offset* (memBegin),
+ * never by pointer, so a trace is position-independent: the pools may
+ * live in the owned vectors (capture path) or inside a mmap-ed trace
+ * store entry (sim/trace_store.hh), whose pages then back replay
+ * spans directly with zero copies.  `backing` pins whatever owns
+ * foreign pools (e.g. the file mapping) for the trace's lifetime.
+ *
+ * Traces are move-only: spans point into the owned vectors, whose
+ * heap buffers survive moves but not copies.
+ */
 struct ExecTrace
 {
-    std::vector<TraceEvent> events;
+    ExecTrace() = default;
+    ExecTrace(ExecTrace &&) = default;
+    ExecTrace &operator=(ExecTrace &&) = default;
+    ExecTrace(const ExecTrace &) = delete;
+    ExecTrace &operator=(const ExecTrace &) = delete;
+
+    /** Committed event stream. */
+    const TraceEvent *events = nullptr;
+    std::size_t eventCount = 0;
     /** Ld/St address pool, shared by all events. */
-    std::vector<std::uint64_t> memAddrs;
+    const std::uint64_t *memAddrs = nullptr;
+    std::size_t memAddrCount = 0;
+
     /** Dynamic operation count of the run (Table 2's metric). */
     std::uint64_t dynOps = 0;
     /** Dynamic block count of the run. */
     std::uint64_t dynBlocks = 0;
 
+    /** Pool storage when the trace owns its data (capture path). */
+    std::vector<TraceEvent> ownedEvents;
+    std::vector<std::uint64_t> ownedAddrs;
+    /** Keeps externally owned pools (a file mapping) alive. */
+    std::shared_ptr<const void> backing;
+
+    /** Point the spans at the owned vectors after filling them. */
+    void
+    sealOwned()
+    {
+        events = ownedEvents.data();
+        eventCount = ownedEvents.size();
+        memAddrs = ownedAddrs.data();
+        memAddrCount = ownedAddrs.size();
+    }
+
+    /** True when the pools live in a mmap-ed store entry. */
+    bool mapped() const { return backing != nullptr; }
+
     /** Approximate resident size, for capacity planning in reports. */
     std::size_t
     sizeBytes() const
     {
-        return events.size() * sizeof(TraceEvent) +
-               memAddrs.size() * sizeof(std::uint64_t);
+        return eventCount * sizeof(TraceEvent) +
+               memAddrCount * sizeof(std::uint64_t);
     }
 };
 

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Trace store implementation: entry naming, varint/delta codec,
+ * mmap-backed open, and the capture-or-open path with atomic repair.
+ */
+
+#include "sim/trace_store.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define BSISA_HAVE_MMAP 1
+#else
+#define BSISA_HAVE_MMAP 0
+#endif
+
+#include "ir/textform.hh"
+#include "support/digest.hh"
+#include "support/env.hh"
+#include "support/logging.hh"
+#include "support/varint.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+static_assert(sizeof(TraceFileHeader) == 112,
+              "on-disk header layout changed; bump "
+              "traceStoreFormatVersion");
+static_assert(std::is_trivially_copyable_v<TraceFileHeader>);
+
+/** Address-pool alignment inside the file (cache-line sized). */
+constexpr std::uint64_t poolAlign = 64;
+
+std::atomic<std::uint64_t> statWarm{0};
+std::atomic<std::uint64_t> statCold{0};
+std::atomic<std::uint64_t> statFallback{0};
+std::atomic<bool> warnedReject{false};
+std::atomic<bool> warnedWrite{false};
+std::atomic<std::uint64_t> tempSeq{0};
+
+/** A read-only file mapping; ExecTrace::backing keeps it alive. */
+class MappedFile
+{
+  public:
+    static std::shared_ptr<MappedFile>
+    map(const std::string &path, bool &missing)
+    {
+        missing = false;
+#if BSISA_HAVE_MMAP
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            missing = errno == ENOENT;
+            return nullptr;
+        }
+        struct ::stat st;
+        if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+            ::close(fd);
+            return nullptr;
+        }
+        void *base = ::mmap(nullptr, std::size_t(st.st_size), PROT_READ,
+                            MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (base == MAP_FAILED)
+            return nullptr;
+        auto file = std::make_shared<MappedFile>();
+        file->base = static_cast<const std::uint8_t *>(base);
+        file->length = std::size_t(st.st_size);
+        return file;
+#else
+        // No mmap on this platform: the store degrades to
+        // capture-always (opens report a missing entry).
+        missing = true;
+        (void)path;
+        return nullptr;
+#endif
+    }
+
+    ~MappedFile()
+    {
+#if BSISA_HAVE_MMAP
+        if (base)
+            ::munmap(const_cast<std::uint8_t *>(base), length);
+#endif
+    }
+
+    const std::uint8_t *data() const { return base; }
+    std::size_t size() const { return length; }
+
+  private:
+    const std::uint8_t *base = nullptr;
+    std::size_t length = 0;
+};
+
+/** Encode one event against its predecessor.  The stream is the
+ *  committed path, so an event's identity almost always equals the
+ *  previous event's successor — predicting from it makes the common
+ *  deltas zero (one byte each). */
+void
+encodeEvent(std::vector<std::uint8_t> &out, const TraceEvent &te,
+            const TraceEvent &prev)
+{
+    putVarint(out, zigzagEncode(std::int64_t(te.func) -
+                                std::int64_t(prev.nextFunc)));
+    putVarint(out, zigzagEncode(std::int64_t(te.block) -
+                                std::int64_t(prev.nextBlock)));
+    putVarint(out, zigzagEncode(std::int64_t(te.nextFunc) -
+                                std::int64_t(te.func)));
+    putVarint(out, zigzagEncode(std::int64_t(te.nextBlock) -
+                                std::int64_t(te.block)));
+    out.push_back(std::uint8_t(unsigned(te.exit) & 7) |
+                  std::uint8_t(te.taken ? 8 : 0));
+    putVarint(out, te.memCount);
+}
+
+/** Decode the whole event section; false on any inconsistency. */
+bool
+decodeEvents(const std::uint8_t *p, const std::uint8_t *end,
+             std::uint64_t eventCount, std::uint64_t addrCount,
+             std::vector<TraceEvent> &out)
+{
+    out.clear();
+    out.reserve(eventCount);
+    TraceEvent prev;  // prev.nextFunc/nextBlock seed the prediction
+    prev.nextFunc = 0;
+    prev.nextBlock = 0;
+    std::uint64_t pool = 0;
+    for (std::uint64_t i = 0; i < eventCount; ++i) {
+        std::uint64_t df, db, dnf, dnb, count;
+        if (!getVarint(p, end, df) || !getVarint(p, end, db))
+            return false;
+        TraceEvent te;
+        te.func = FuncId(std::int64_t(prev.nextFunc) + zigzagDecode(df));
+        te.block =
+            BlockId(std::int64_t(prev.nextBlock) + zigzagDecode(db));
+        if (!getVarint(p, end, dnf) || !getVarint(p, end, dnb))
+            return false;
+        te.nextFunc = FuncId(std::int64_t(te.func) + zigzagDecode(dnf));
+        te.nextBlock =
+            BlockId(std::int64_t(te.block) + zigzagDecode(dnb));
+        if (p >= end)
+            return false;
+        const std::uint8_t packed = *p++;
+        if ((packed & 7) > unsigned(ExitKind::Halt) || (packed >> 4))
+            return false;
+        te.exit = ExitKind(packed & 7);
+        te.taken = (packed & 8) != 0;
+        if (!getVarint(p, end, count) || count > 0xffffffffull)
+            return false;
+        te.memCount = std::uint32_t(count);
+        te.memBegin = pool;
+        pool += count;
+        if (pool > addrCount)
+            return false;
+        out.push_back(te);
+        prev = te;
+    }
+    // The section must be consumed exactly, and the implicit pool
+    // offsets must cover the whole address section.
+    return p == end && pool == addrCount;
+}
+
+/** Atomically publish @p bytes as @p path (temp file + rename). */
+bool
+writeEntryFile(const std::string &dir, const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::uint64_t seq =
+        tempSeq.fetch_add(1, std::memory_order_relaxed);
+#if BSISA_HAVE_MMAP
+    const std::uint64_t pid = std::uint64_t(::getpid());
+#else
+    const std::uint64_t pid = 0;
+#endif
+    const std::string temp = path + ".tmp-" + std::to_string(pid) +
+                             "-" + std::to_string(seq);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out ||
+            !out.write(reinterpret_cast<const char *>(bytes.data()),
+                       std::streamsize(bytes.size()))) {
+            std::remove(temp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+moduleDigest(const Module &module)
+{
+    return fnv1a64(moduleToText(module));
+}
+
+std::string
+TraceKey::fileName() const
+{
+    const std::uint64_t h = Fnv1a64()
+                                .u64(moduleDigest)
+                                .u64(maxOps)
+                                .u64(maxBlocks)
+                                .u64(interpVersion)
+                                .u64(traceStoreFormatVersion)
+                                .value();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf) + ".bstrace";
+}
+
+const char *
+traceOpenStatusName(TraceOpenStatus status)
+{
+    switch (status) {
+      case TraceOpenStatus::Ok: return "ok";
+      case TraceOpenStatus::NoEntry: return "no entry";
+      case TraceOpenStatus::BadHeader: return "bad header";
+      case TraceOpenStatus::BadVersion: return "stale version";
+      case TraceOpenStatus::BadKey: return "key mismatch";
+      case TraceOpenStatus::BadGeometry: return "bad section geometry";
+      case TraceOpenStatus::BadChecksum: return "checksum mismatch";
+      case TraceOpenStatus::BadEventStream: return "bad event stream";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encodeTrace(const ExecTrace &trace, const TraceKey &key)
+{
+    std::vector<std::uint8_t> events;
+    events.reserve(trace.eventCount * 6);
+    TraceEvent prev;
+    prev.nextFunc = 0;
+    prev.nextBlock = 0;
+    for (std::size_t i = 0; i < trace.eventCount; ++i) {
+        encodeEvent(events, trace.events[i], prev);
+        prev = trace.events[i];
+    }
+
+    TraceFileHeader h;
+    std::memset(&h, 0, sizeof(h));
+    std::memcpy(h.magic, traceStoreMagic, sizeof(h.magic));
+    h.formatVersion = traceStoreFormatVersion;
+    h.interpVersionTag = interpVersion;
+    h.moduleDigest = key.moduleDigest;
+    h.maxOps = key.maxOps;
+    h.maxBlocks = key.maxBlocks;
+    h.dynOps = trace.dynOps;
+    h.dynBlocks = trace.dynBlocks;
+    h.eventCount = trace.eventCount;
+    h.eventBytes = events.size();
+    h.addrCount = trace.memAddrCount;
+    h.addrOffset = (sizeof(TraceFileHeader) + events.size() +
+                    poolAlign - 1) &
+                   ~(poolAlign - 1);
+    h.eventChecksum = fnv1a64Words(events.data(), events.size());
+    h.addrChecksum =
+        fnv1a64Words(trace.memAddrs,
+                     trace.memAddrCount * sizeof(std::uint64_t));
+    h.headerChecksum =
+        fnv1a64(&h, offsetof(TraceFileHeader, headerChecksum));
+
+    std::vector<std::uint8_t> file(h.addrOffset + h.addrCount *
+                                                      sizeof(std::uint64_t));
+    std::memcpy(file.data(), &h, sizeof(h));
+    if (!events.empty())
+        std::memcpy(file.data() + sizeof(h), events.data(),
+                    events.size());
+    if (h.addrCount)
+        std::memcpy(file.data() + h.addrOffset, trace.memAddrs,
+                    h.addrCount * sizeof(std::uint64_t));
+    return file;
+}
+
+bool
+readTraceHeader(const std::string &path, TraceFileHeader &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    return in &&
+           bool(in.read(reinterpret_cast<char *>(&out), sizeof(out)));
+}
+
+TraceOpenStatus
+openTraceFile(const std::string &path, const TraceKey &key,
+              ExecTrace &out)
+{
+    bool missing = false;
+    const std::shared_ptr<MappedFile> file =
+        MappedFile::map(path, missing);
+    if (!file)
+        return missing ? TraceOpenStatus::NoEntry
+                       : TraceOpenStatus::BadHeader;
+    const std::uint8_t *base = file->data();
+    const std::uint64_t size = file->size();
+
+    if (size < sizeof(TraceFileHeader))
+        return TraceOpenStatus::BadHeader;
+    TraceFileHeader h;
+    std::memcpy(&h, base, sizeof(h));
+    if (std::memcmp(h.magic, traceStoreMagic, sizeof(h.magic)) != 0 ||
+        h.headerChecksum !=
+            fnv1a64(base, offsetof(TraceFileHeader, headerChecksum)))
+        return TraceOpenStatus::BadHeader;
+    if (h.formatVersion != traceStoreFormatVersion ||
+        h.interpVersionTag != interpVersion)
+        return TraceOpenStatus::BadVersion;
+    if (h.moduleDigest != key.moduleDigest || h.maxOps != key.maxOps ||
+        h.maxBlocks != key.maxBlocks)
+        return TraceOpenStatus::BadKey;
+
+    const std::uint64_t eventsEnd = sizeof(TraceFileHeader) +
+                                    h.eventBytes;
+    if (eventsEnd < sizeof(TraceFileHeader) ||  // overflow
+        eventsEnd > h.addrOffset || (h.addrOffset & (poolAlign - 1)) ||
+        h.addrOffset > size ||
+        h.addrCount > (size - h.addrOffset) / sizeof(std::uint64_t) ||
+        h.addrOffset + h.addrCount * sizeof(std::uint64_t) != size)
+        return TraceOpenStatus::BadGeometry;
+
+    const std::uint8_t *events = base + sizeof(TraceFileHeader);
+    const std::uint8_t *pool = base + h.addrOffset;
+    if (h.eventChecksum != fnv1a64Words(events, h.eventBytes) ||
+        h.addrChecksum !=
+            fnv1a64Words(pool, h.addrCount * sizeof(std::uint64_t)))
+        return TraceOpenStatus::BadChecksum;
+
+    if (!decodeEvents(events, events + h.eventBytes, h.eventCount,
+                      h.addrCount, out.ownedEvents))
+        return TraceOpenStatus::BadEventStream;
+
+    out.ownedAddrs.clear();
+    out.sealOwned();
+    // Zero-copy: the address pool is the file's pages.
+    out.memAddrs = reinterpret_cast<const std::uint64_t *>(pool);
+    out.memAddrCount = h.addrCount;
+    out.dynOps = h.dynOps;
+    out.dynBlocks = h.dynBlocks;
+    out.backing = file;
+    return TraceOpenStatus::Ok;
+}
+
+TraceStore::TraceStore(std::string directory) : dir(std::move(directory))
+{
+}
+
+TraceStore
+TraceStore::fromEnv()
+{
+    return TraceStore(envString("BSISA_TRACE_DIR", ""));
+}
+
+std::string
+TraceStore::entryPath(const TraceKey &key) const
+{
+    return dir + "/" + key.fileName();
+}
+
+ExecTrace
+TraceStore::load(const Module &module, std::uint64_t digest,
+                 Interp::Limits limits) const
+{
+    BSISA_ASSERT(enabled());
+    const TraceKey key{digest, limits.maxOps, limits.maxBlocks};
+    const std::string path = entryPath(key);
+
+    ExecTrace out;
+    const TraceOpenStatus status = openTraceFile(path, key, out);
+    if (status == TraceOpenStatus::Ok) {
+        statWarm.fetch_add(1, std::memory_order_relaxed);
+        return out;
+    }
+    if (status != TraceOpenStatus::NoEntry) {
+        statFallback.fetch_add(1, std::memory_order_relaxed);
+        if (!warnedReject.exchange(true))
+            warn("trace store: rejected ", path, " (",
+                 traceOpenStatusName(status),
+                 "); falling back to live capture and repairing the "
+                 "entry");
+    } else {
+        statCold.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ExecTrace trace = captureTrace(module, limits);
+    if (!writeEntryFile(dir, path, encodeTrace(trace, key)) &&
+        !warnedWrite.exchange(true))
+        warn("trace store: cannot write ", path,
+             " (directory missing or not writable); captures will not "
+             "persist");
+    return trace;
+}
+
+TraceStoreStats
+TraceStore::stats()
+{
+    TraceStoreStats s;
+    s.warmLoads = statWarm.load(std::memory_order_relaxed);
+    s.coldCaptures = statCold.load(std::memory_order_relaxed);
+    s.fallbacks = statFallback.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+TraceStore::resetStats()
+{
+    statWarm.store(0, std::memory_order_relaxed);
+    statCold.store(0, std::memory_order_relaxed);
+    statFallback.store(0, std::memory_order_relaxed);
+    warnedReject.store(false, std::memory_order_relaxed);
+    warnedWrite.store(false, std::memory_order_relaxed);
+}
+
+ExecTrace
+captureOrLoadTrace(const Module &module, Interp::Limits limits)
+{
+    const TraceStore store = TraceStore::fromEnv();
+    if (!store.enabled())
+        return captureTrace(module, limits);
+    return store.load(module, moduleDigest(module), limits);
+}
+
+ExecTrace
+captureOrLoadTrace(const Module &module, std::uint64_t digest,
+                   Interp::Limits limits)
+{
+    const TraceStore store = TraceStore::fromEnv();
+    if (!store.enabled())
+        return captureTrace(module, limits);
+    return store.load(module, digest, limits);
+}
+
+} // namespace bsisa

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Persistent content-addressed store of functional traces.
+ *
+ * The experiment suite is many separate bench processes, each of
+ * which needs the same eight committed-block streams (one per
+ * benchmark x op budget).  PR 1 made capture once-per-process; this
+ * store makes it once-per-*content*: a captured ExecTrace is written
+ * to `BSISA_TRACE_DIR` under a key derived from the compiled module
+ * bytes, the op budget, and the interpreter version, and every later
+ * run — same process or not — mmaps the entry back as a live
+ * ExecTrace instead of re-executing the program.
+ *
+ * On-disk format (little-endian, one file per entry):
+ *
+ *   [TraceFileHeader]  magic, format + interp versions, the full
+ *                      content key, counts, section geometry, and
+ *                      per-section FNV-1a checksums (the header
+ *                      itself is checksummed too).
+ *   [event section]    varint/delta stream, ~4-6 bytes per committed
+ *                      block (vs 32 in memory): zigzag deltas for
+ *                      func/block/successor, one packed exit|taken
+ *                      byte, a varint address count.  Pool offsets
+ *                      (TraceEvent::memBegin) are implicit — the
+ *                      running sum of counts — which is what makes
+ *                      the layout relocatable.
+ *   [address pool]     the Ld/St addresses as raw uint64s, 64-byte
+ *                      aligned.  Stored verbatim *because* replay
+ *                      hands out zero-copy spans into this section:
+ *                      the mmap-ed pages become ExecTrace::memAddrs
+ *                      directly and satisfy the span-stability
+ *                      contract for the life of the trace.
+ *
+ * Opening verifies the header, both section checksums, and the
+ * decoded event stream's bounds; any mismatch (torn write, stale
+ * version, truncation, tampering) degrades gracefully: warn once,
+ * fall back to live capture, and atomically repair the entry
+ * (write-to-temp + rename, safe under BSISA_JOBS concurrency and
+ * across processes).
+ */
+
+#ifndef BSISA_SIM_TRACE_STORE_HH
+#define BSISA_SIM_TRACE_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+#include "sim/trace.hh"
+
+namespace bsisa
+{
+
+/** Format version of the on-disk layout (content-key component). */
+constexpr std::uint32_t traceStoreFormatVersion = 1;
+
+/** Digest of a module's complete compiled form (structure + data),
+ *  via the canonical text serialization.  Compute once per module
+ *  and reuse — suite drivers hash each benchmark exactly once. */
+std::uint64_t moduleDigest(const Module &module);
+
+/** The content-address key of one trace entry. */
+struct TraceKey
+{
+    std::uint64_t moduleDigest = 0;
+    std::uint64_t maxOps = 0;
+    std::uint64_t maxBlocks = 0;
+
+    /** Entry file name: hex of the combined key hash. */
+    std::string fileName() const;
+};
+
+/** On-disk entry header.  POD, written/read by memcpy; all integer
+ *  fields little-endian (the store is a same-machine cache, not an
+ *  interchange format — tracedump verifies, it does not translate). */
+struct TraceFileHeader
+{
+    char magic[8];                   //!< traceStoreMagic
+    std::uint32_t formatVersion;     //!< traceStoreFormatVersion
+    std::uint32_t interpVersionTag;  //!< interpVersion
+    std::uint64_t moduleDigest;
+    std::uint64_t maxOps;
+    std::uint64_t maxBlocks;
+    std::uint64_t dynOps;
+    std::uint64_t dynBlocks;
+    std::uint64_t eventCount;   //!< committed blocks in the stream
+    std::uint64_t eventBytes;   //!< size of the varint event section
+    std::uint64_t addrCount;    //!< uint64 entries in the pool
+    std::uint64_t addrOffset;   //!< file offset of the pool (aligned)
+    std::uint64_t eventChecksum;
+    std::uint64_t addrChecksum;
+    std::uint64_t headerChecksum;  //!< over all preceding bytes
+};
+
+constexpr char traceStoreMagic[8] = {'B', 'S', 'A', 'T',
+                                     'R', 'C', '0', '1'};
+
+/** Why an open failed; Ok means the entry was mapped. */
+enum class TraceOpenStatus
+{
+    Ok,
+    NoEntry,        //!< file absent (cold) — not a corruption
+    BadHeader,      //!< short file, magic/checksum mismatch
+    BadVersion,     //!< format or interpreter version is stale
+    BadKey,         //!< header key fields disagree with the request
+    BadGeometry,    //!< section offsets/sizes exceed the file
+    BadChecksum,    //!< an event/address section checksum mismatch
+    BadEventStream, //!< varint stream truncated or inconsistent
+};
+
+/** Human-readable name of an open status (tracedump, warnings). */
+const char *traceOpenStatusName(TraceOpenStatus status);
+
+/** Serialize @p trace into the on-disk entry format. */
+std::vector<std::uint8_t> encodeTrace(const ExecTrace &trace,
+                                      const TraceKey &key);
+
+/**
+ * Open one entry file: mmap, verify header + checksums against
+ * @p key, decode the event stream.  On success @p out is a live
+ * trace whose address pool points into the mapping (pinned by
+ * ExecTrace::backing).
+ */
+TraceOpenStatus openTraceFile(const std::string &path,
+                              const TraceKey &key, ExecTrace &out);
+
+/** Read just the header of an entry file (tracedump). */
+bool readTraceHeader(const std::string &path, TraceFileHeader &out);
+
+/** Process-wide store traffic, for suite reporting and tests. */
+struct TraceStoreStats
+{
+    std::uint64_t warmLoads = 0;     //!< entries served from disk
+    std::uint64_t coldCaptures = 0;  //!< misses that captured + wrote
+    std::uint64_t fallbacks = 0;     //!< entries present but rejected
+};
+
+/**
+ * A directory of trace entries.  Stateless beyond the path: entries
+ * are looked up per call, so many threads and processes may share
+ * one directory (writes are atomic renames).
+ */
+class TraceStore
+{
+  public:
+    explicit TraceStore(std::string directory);
+
+    /** The store named by BSISA_TRACE_DIR, or disabled when unset. */
+    static TraceStore fromEnv();
+
+    /** False when the store is disabled (no directory configured). */
+    bool enabled() const { return !dir.empty(); }
+
+    const std::string &directory() const { return dir; }
+
+    /** Full path of the entry for @p key. */
+    std::string entryPath(const TraceKey &key) const;
+
+    /**
+     * The capture-or-open primitive: return the trace for
+     * (module, limits), serving it from disk when a valid entry
+     * exists and otherwise capturing live and (re)writing the entry.
+     * @p digest is moduleDigest(module), hoisted so callers hash each
+     * module once per suite.
+     */
+    ExecTrace load(const Module &module, std::uint64_t digest,
+                   Interp::Limits limits) const;
+
+    /** Process-wide traffic counters. */
+    static TraceStoreStats stats();
+
+    /** Reset the traffic counters (tests). */
+    static void resetStats();
+
+  private:
+    std::string dir;
+};
+
+/**
+ * Convenience used by the runners and bench drivers: capture-or-open
+ * through the BSISA_TRACE_DIR store, or plain captureTrace when the
+ * store is disabled (the default — behavior is then byte-identical
+ * to capture-always).  The @p digest overload reuses a hoisted
+ * module hash.
+ */
+ExecTrace captureOrLoadTrace(const Module &module,
+                             Interp::Limits limits);
+ExecTrace captureOrLoadTrace(const Module &module, std::uint64_t digest,
+                             Interp::Limits limits);
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_TRACE_STORE_HH

@@ -33,4 +33,11 @@ envString(const char *name, const std::string &def)
     return (raw && *raw) ? std::string(raw) : def;
 }
 
+bool
+envSet(const char *name)
+{
+    const char *raw = std::getenv(name);
+    return raw && *raw;
+}
+
 } // namespace bsisa

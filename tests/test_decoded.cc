@@ -21,7 +21,11 @@
 #include <atomic>
 #include <bit>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
+#include <string>
+
+#include <unistd.h>
 
 #include "cache/trace_cache.hh"
 #include "codegen/layout.hh"
@@ -31,6 +35,7 @@
 #include "sim/conv_source.hh"
 #include "sim/decoded.hh"
 #include "sim/pipeline.hh"
+#include "sim/trace_store.hh"
 #include "workloads/specmix.hh"
 
 namespace
@@ -212,7 +217,7 @@ TEST(Decoded, ReplaySteadyStateIsAllocationFree)
     long_lim.maxOps = short_lim.maxOps * 4;
     const ExecTrace short_trace = captureTrace(m, short_lim);
     const ExecTrace long_trace = captureTrace(m, long_lim);
-    ASSERT_GT(long_trace.events.size(), short_trace.events.size());
+    ASSERT_GT(long_trace.eventCount, short_trace.eventCount);
 
     MachineConfig machine;
     const ConvLayout layout(m);
@@ -240,4 +245,59 @@ TEST(Decoded, ReplaySteadyStateIsAllocationFree)
 
     EXPECT_EQ(conv_allocs(long_trace), conv_allocs(short_trace));
     EXPECT_EQ(bsa_allocs(long_trace), bsa_allocs(short_trace));
+}
+
+TEST(Decoded, MmapReplaySteadyStateIsAllocationFree)
+{
+    // Same guard as above, but the committed streams come from the
+    // persistent store: the event array is decoded at open and the
+    // address pool is a zero-copy span into the mapped file, so the
+    // per-block path must stay allocation-free over mmap-ed memory
+    // exactly as it does over captured vectors.
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t digest = moduleDigest(m);
+
+    Interp::Limits short_lim, long_lim;
+    short_lim.maxOps = suite[0].scaledBudget(4000);
+    long_lim.maxOps = short_lim.maxOps * 4;
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("bsisa-test-decoded-" + std::to_string(::getpid())))
+            .string();
+    const TraceStore store(dir);
+    (void)store.load(m, digest, short_lim);  // cold: write entries
+    (void)store.load(m, digest, long_lim);
+    const ExecTrace short_trace = store.load(m, digest, short_lim);
+    const ExecTrace long_trace = store.load(m, digest, long_lim);
+    ASSERT_TRUE(short_trace.mapped());
+    ASSERT_TRUE(long_trace.mapped());
+    ASSERT_GT(long_trace.eventCount, short_trace.eventCount);
+
+    MachineConfig machine;
+    const ConvLayout layout(m);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    auto conv_allocs = [&](const ExecTrace &t) {
+        ConvFetchSource source(m, layout, machine, t);
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        simulatePipeline(source, machine);
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+    auto bsa_allocs = [&](const ExecTrace &t) {
+        BsaFetchSource source(bsa, machine, t);
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        simulatePipeline(source, machine);
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+
+    EXPECT_EQ(conv_allocs(long_trace), conv_allocs(short_trace));
+    EXPECT_EQ(bsa_allocs(long_trace), bsa_allocs(short_trace));
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
 }

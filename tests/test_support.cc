@@ -9,11 +9,13 @@
 #include <sstream>
 
 #include "support/bitutil.hh"
+#include "support/digest.hh"
 #include "support/env.hh"
 #include "support/rng.hh"
 #include "support/sat_counter.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "support/varint.hh"
 
 using namespace bsisa;
 
@@ -220,4 +222,126 @@ TEST(Env, DefaultsAndParses)
     ::setenv("BSISA_TEST_ENV", "0x10", 1);
     EXPECT_EQ(envU64("BSISA_TEST_ENV", 7), 16u);
     ::unsetenv("BSISA_TEST_ENV");
+}
+
+TEST(Env, EnvSet)
+{
+    ::unsetenv("BSISA_TEST_ENV");
+    EXPECT_FALSE(envSet("BSISA_TEST_ENV"));
+    ::setenv("BSISA_TEST_ENV", "", 1);
+    EXPECT_FALSE(envSet("BSISA_TEST_ENV"));
+    ::setenv("BSISA_TEST_ENV", "x", 1);
+    EXPECT_TRUE(envSet("BSISA_TEST_ENV"));
+    ::unsetenv("BSISA_TEST_ENV");
+}
+
+TEST(Digest, Fnv1a64KnownVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Digest, IncrementalMatchesOneShot)
+{
+    const std::string s = "the committed dynamic block stream";
+    Fnv1a64 h;
+    h.bytes(s.data(), 10).bytes(s.data() + 10, s.size() - 10);
+    EXPECT_EQ(h.value(), fnv1a64(s));
+}
+
+TEST(Digest, U64IsOrderAndWidthSensitive)
+{
+    const std::uint64_t a = Fnv1a64().u64(1).u64(2).value();
+    const std::uint64_t b = Fnv1a64().u64(2).u64(1).value();
+    EXPECT_NE(a, b);
+    // u64 always absorbs 8 bytes: (1,2) differs from bytes{1,2}.
+    const std::uint8_t two[] = {1, 2};
+    EXPECT_NE(a, fnv1a64(two, sizeof(two)));
+}
+
+TEST(Digest, WordVariantDetectsChangesAndLengths)
+{
+    // Any flipped byte — in a full word or in the zero-padded tail —
+    // changes the digest, and the length absorb separates inputs
+    // that pad to the same words.
+    std::uint8_t buf[19] = {};
+    for (std::size_t i = 0; i < sizeof(buf); ++i)
+        buf[i] = std::uint8_t(i * 7 + 1);
+    const std::uint64_t base = fnv1a64Words(buf, sizeof(buf));
+    for (std::size_t i = 0; i < sizeof(buf); ++i) {
+        buf[i] ^= 0x20;
+        EXPECT_NE(fnv1a64Words(buf, sizeof(buf)), base) << i;
+        buf[i] ^= 0x20;
+    }
+    EXPECT_EQ(fnv1a64Words(buf, sizeof(buf)), base);
+
+    const std::uint8_t zeros[16] = {};
+    EXPECT_NE(fnv1a64Words(zeros, 1), fnv1a64Words(zeros, 8));
+    EXPECT_NE(fnv1a64Words(zeros, 8), fnv1a64Words(zeros, 16));
+    EXPECT_NE(fnv1a64Words(zeros, 0), fnv1a64Words(zeros, 1));
+
+    // Empty input is well-defined and never reads the pointer.
+    EXPECT_EQ(fnv1a64Words(nullptr, 0), fnv1a64Words(zeros, 0));
+}
+
+TEST(Varint, RoundTripsRepresentativeValues)
+{
+    const std::uint64_t values[] = {
+        0,    1,     127,        128,        16383, 16384,
+        1234, 99999, 1ull << 32, 1ull << 62, ~0ull};
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t v : values)
+        putVarint(buf, v);
+    const std::uint8_t *p = buf.data();
+    const std::uint8_t *end = buf.data() + buf.size();
+    for (std::uint64_t v : values) {
+        std::uint64_t got = 0;
+        ASSERT_TRUE(getVarint(p, end, got));
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(p, end);
+}
+
+TEST(Varint, EncodedSizeTracksMagnitude)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, 5);
+    EXPECT_EQ(buf.size(), 1u);
+    buf.clear();
+    putVarint(buf, 300);
+    EXPECT_EQ(buf.size(), 2u);
+    buf.clear();
+    putVarint(buf, ~0ull);
+    EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Varint, RejectsTruncatedAndOverlong)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, 1ull << 40);
+    std::uint64_t v = 0;
+    for (std::size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+        const std::uint8_t *p = buf.data();
+        EXPECT_FALSE(getVarint(p, p + cut, v));
+    }
+    // 11-byte continuation run cannot fit in 64 bits.
+    const std::uint8_t overlong[11] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                       0x80, 0x80, 0x80, 0x80, 0x01};
+    const std::uint8_t *p = overlong;
+    EXPECT_FALSE(getVarint(p, overlong + sizeof(overlong), v));
+}
+
+TEST(Varint, ZigzagRoundTrip)
+{
+    const std::int64_t values[] = {0, -1, 1, -2, 2, 63, -64,
+                                   std::int64_t(1) << 40,
+                                   -(std::int64_t(1) << 40),
+                                   INT64_MAX, INT64_MIN};
+    for (std::int64_t v : values)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    // Small magnitudes map to small codes (1-byte varints).
+    EXPECT_LT(zigzagEncode(-3), 8u);
+    EXPECT_LT(zigzagEncode(3), 8u);
 }

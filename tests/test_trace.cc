@@ -98,7 +98,7 @@ TEST(Trace, ReplayStreamMatchesInterp)
     const Interp::Limits limits = testLimits(suite[0]);
 
     const ExecTrace trace = captureTrace(m, limits);
-    ASSERT_FALSE(trace.events.empty());
+    ASSERT_NE(trace.eventCount, 0u);
 
     Interp interp(m, limits);
     TraceReplaySource replay(trace);
@@ -123,7 +123,7 @@ TEST(Trace, ReplayStreamMatchesInterp)
                 << "at event " << n << " addr " << a;
         ++n;
     }
-    EXPECT_EQ(n, trace.events.size());
+    EXPECT_EQ(n, trace.eventCount);
     EXPECT_EQ(trace.dynOps, interp.dynOps());
     EXPECT_EQ(trace.dynBlocks, interp.dynBlocks());
 }
@@ -135,7 +135,7 @@ TEST(Trace, CaptureRespectsLimits)
     Interp::Limits limits;
     limits.maxBlocks = 100;
     const ExecTrace trace = captureTrace(m, limits);
-    EXPECT_EQ(trace.events.size(), 100u);
+    EXPECT_EQ(trace.eventCount, 100u);
     EXPECT_EQ(trace.dynBlocks, 100u);
 }
 
