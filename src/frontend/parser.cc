@@ -135,8 +135,12 @@ class Parser
             }
             if (at(TokKind::IntLit)) {
                 g.init = take().intValue;
-                if (negative)
-                    g.init = -g.init;
+                if (negative) {
+                    // Negate in unsigned space: -INT64_MIN is UB, but
+                    // the wrapped two's-complement value is the intent.
+                    g.init = static_cast<std::int64_t>(
+                        -static_cast<std::uint64_t>(g.init));
+                }
             } else {
                 error("global initializer must be an integer constant");
             }

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Corpus entry I/O (see corpus.hh for the file format).
+ */
+
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/module.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+Expectation
+computeExpectation(const Module &module, Interp::Limits limits)
+{
+    Interp interp(module, limits);
+    interp.run();
+    Expectation e;
+    e.halted = interp.halted();
+    e.exit = interp.exitValue();
+    e.dataChecksum = interp.dataChecksum();
+    e.memChecksum = interp.memChecksum();
+    e.dynOps = interp.dynOps();
+    e.dynBlocks = interp.dynBlocks();
+    return e;
+}
+
+std::string
+formatExpectation(const Expectation &e)
+{
+    std::ostringstream os;
+    os << "halted " << (e.halted ? 1 : 0) << "\n"
+       << "exit " << e.exit << "\n"
+       << "data_checksum " << e.dataChecksum << "\n"
+       << "mem_checksum " << e.memChecksum << "\n"
+       << "dyn_ops " << e.dynOps << "\n"
+       << "dyn_blocks " << e.dynBlocks << "\n";
+    return os.str();
+}
+
+bool
+parseExpectation(const std::string &text, Expectation &out)
+{
+    std::istringstream is(text);
+    std::string key;
+    std::uint64_t value;
+    unsigned seen = 0;
+    while (is >> key >> value) {
+        if (key == "halted")
+            out.halted = value != 0;
+        else if (key == "exit")
+            out.exit = value;
+        else if (key == "data_checksum")
+            out.dataChecksum = value;
+        else if (key == "mem_checksum")
+            out.memChecksum = value;
+        else if (key == "dyn_ops")
+            out.dynOps = value;
+        else if (key == "dyn_blocks")
+            out.dynBlocks = value;
+        else
+            return false;
+        ++seen;
+    }
+    return seen == 6;
+}
+
+bool
+writeCorpusEntry(const std::string &dir, const std::string &name,
+                 const std::string &source, const Expectation &e)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::ofstream src(fs::path(dir) / (name + ".blockc"),
+                      std::ios::trunc);
+    src << source;
+    std::ofstream exp(fs::path(dir) / (name + ".expect"),
+                      std::ios::trunc);
+    exp << formatExpectation(e);
+    return bool(src) && bool(exp);
+}
+
+bool
+readCorpusEntry(const std::string &dir, const std::string &name,
+                std::string &source, Expectation &out)
+{
+    namespace fs = std::filesystem;
+    std::ifstream src(fs::path(dir) / (name + ".blockc"));
+    if (!src)
+        return false;
+    std::ostringstream ss;
+    ss << src.rdbuf();
+    source = ss.str();
+
+    std::ifstream exp(fs::path(dir) / (name + ".expect"));
+    if (!exp)
+        return false;
+    std::ostringstream es;
+    es << exp.rdbuf();
+    return parseExpectation(es.str(), out);
+}
+
+std::vector<std::string>
+listCorpus(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".blockc")
+            names.push_back(entry.path().stem().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace fuzz
+} // namespace bsisa

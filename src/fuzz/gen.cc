@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Random BlockC program generator implementation.
+ */
+
+#include "fuzz/gen.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+namespace
+{
+
+// ------------------------------------------------------------ render
+
+void renderExpr(std::ostringstream &os, const FuzzExpr &e);
+
+void
+renderArgs(std::ostringstream &os, const FuzzExpr &e)
+{
+    os << e.name << "(";
+    for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i)
+            os << ", ";
+        renderExpr(os, e.kids[i]);
+    }
+    os << ")";
+}
+
+void
+renderExpr(std::ostringstream &os, const FuzzExpr &e)
+{
+    switch (e.kind) {
+      case FuzzExpr::Kind::IntLit:
+        os << e.value;
+        break;
+      case FuzzExpr::Kind::VarRef:
+        os << e.name;
+        break;
+      case FuzzExpr::Kind::Index:
+        os << e.name << "[";
+        renderExpr(os, e.kids[0]);
+        os << "]";
+        break;
+      case FuzzExpr::Kind::Unary:
+        os << e.op << "(";
+        renderExpr(os, e.kids[0]);
+        os << ")";
+        break;
+      case FuzzExpr::Kind::Binary:
+        // Fully parenthesized: renders precedence-independent.
+        os << "(";
+        renderExpr(os, e.kids[0]);
+        os << " " << e.op << " ";
+        renderExpr(os, e.kids[1]);
+        os << ")";
+        break;
+      case FuzzExpr::Kind::Call:
+        renderArgs(os, e);
+        break;
+    }
+}
+
+void
+renderStmts(std::ostringstream &os, const std::vector<FuzzStmt> &stmts,
+            int indent)
+{
+    const std::string pad(indent * 2, ' ');
+    for (const FuzzStmt &s : stmts) {
+        os << pad;
+        switch (s.kind) {
+          case FuzzStmt::Kind::VarDecl:
+            os << "var " << s.name << " = ";
+            renderExpr(os, s.value);
+            os << ";\n";
+            break;
+          case FuzzStmt::Kind::Assign:
+            os << s.name << " = ";
+            renderExpr(os, s.value);
+            os << ";\n";
+            break;
+          case FuzzStmt::Kind::IndexAssign:
+            os << s.name << "[";
+            renderExpr(os, s.index);
+            os << "] = ";
+            renderExpr(os, s.value);
+            os << ";\n";
+            break;
+          case FuzzStmt::Kind::If:
+            os << "if (";
+            renderExpr(os, s.value);
+            os << ") {\n";
+            renderStmts(os, s.body, indent + 1);
+            os << pad << "}";
+            if (!s.elseBody.empty()) {
+                os << " else {\n";
+                renderStmts(os, s.elseBody, indent + 1);
+                os << pad << "}";
+            }
+            os << "\n";
+            break;
+          case FuzzStmt::Kind::For:
+            os << "for (var " << s.name << " = 0; " << s.name << " < "
+               << s.trips << "; " << s.name << " = " << s.name
+               << " + 1) {\n";
+            renderStmts(os, s.body, indent + 1);
+            os << pad << "}\n";
+            break;
+          case FuzzStmt::Kind::Switch:
+            os << "switch (";
+            renderExpr(os, s.value);
+            os << ") {\n";
+            for (std::size_t c = 0; c < s.cases.size(); ++c) {
+                os << pad << "case " << c << ": {\n";
+                renderStmts(os, s.cases[c], indent + 1);
+                os << pad << "}\n";
+            }
+            os << pad << "}\n";
+            break;
+          case FuzzStmt::Kind::Return:
+            os << "return ";
+            renderExpr(os, s.value);
+            os << ";\n";
+            break;
+          case FuzzStmt::Kind::Break:
+            os << "break;\n";
+            break;
+          case FuzzStmt::Kind::Continue:
+            os << "continue;\n";
+            break;
+        }
+    }
+}
+
+// --------------------------------------------------------- generator
+
+/** Expression/statement builder with a scope stack. */
+class Gen
+{
+  public:
+    Gen(Rng &rng, const GenConfig &cfg) : rng(rng), cfg(cfg) {}
+
+    FuzzProgram
+    program(std::uint64_t seed)
+    {
+        FuzzProgram prog;
+        prog.seed = seed;
+        prog.arrays.emplace_back("d", cfg.arrayWords);
+        prog.arrays.emplace_back("out", cfg.arrayWords);
+        arrays = {"d", "out"};
+
+        for (unsigned i = 0; i < cfg.numLibFuncs; ++i)
+            prog.funcs.push_back(libFunc(i));
+        for (unsigned i = 0; i < cfg.numFuncs; ++i)
+            prog.funcs.push_back(helper(prog, i));
+        prog.funcs.push_back(mainFunc(prog));
+        return prog;
+    }
+
+  private:
+    Rng &rng;
+    const GenConfig &cfg;
+    std::vector<std::string> arrays;
+    /** Variables in scope, innermost last.  Loop counters are tagged
+     *  so pattern conditions can find one. */
+    struct ScopeVar
+    {
+        std::string name;
+        bool isCounter;
+    };
+    std::vector<ScopeVar> scope;
+    unsigned nameCounter = 0;
+    /** Worst-case dynamic op cost of each finished function. */
+    std::unordered_map<std::string, std::uint64_t> funcCost;
+    /** Product of the enclosing loops' trip counts at the current
+     *  generation point (times main's loop for main items). */
+    std::uint64_t loopFactor = 1;
+
+    std::uint64_t
+    exprCost(const FuzzExpr &e) const
+    {
+        std::uint64_t c = 1;
+        for (const FuzzExpr &kid : e.kids)
+            c += exprCost(kid);
+        if (e.kind == FuzzExpr::Kind::Call) {
+            const auto it = funcCost.find(e.name);
+            c += it != funcCost.end() ? it->second : 1;
+        }
+        return c;
+    }
+
+    /** Worst-case dynamic op cost of a statement list (all branch
+     *  sides taken, every loop running its full trip count). */
+    std::uint64_t
+    stmtsCost(const std::vector<FuzzStmt> &stmts) const
+    {
+        std::uint64_t c = 0;
+        for (const FuzzStmt &s : stmts) {
+            switch (s.kind) {
+              case FuzzStmt::Kind::VarDecl:
+              case FuzzStmt::Kind::Assign:
+              case FuzzStmt::Kind::Return:
+                c += 1 + exprCost(s.value);
+                break;
+              case FuzzStmt::Kind::IndexAssign:
+                c += 1 + exprCost(s.value) + exprCost(s.index);
+                break;
+              case FuzzStmt::Kind::If:
+                c += 1 + exprCost(s.value) + stmtsCost(s.body) +
+                     stmtsCost(s.elseBody);
+                break;
+              case FuzzStmt::Kind::For:
+                c += 2 + std::uint64_t(s.trips) *
+                             (stmtsCost(s.body) + 3);
+                break;
+              case FuzzStmt::Kind::Switch:
+                c += 1 + exprCost(s.value);
+                for (const auto &body : s.cases)
+                    c += stmtsCost(body);
+                break;
+              case FuzzStmt::Kind::Break:
+              case FuzzStmt::Kind::Continue:
+                c += 1;
+                break;
+            }
+        }
+        return c;
+    }
+
+    std::string
+    freshName(const char *stem)
+    {
+        return std::string(stem) + std::to_string(nameCounter++);
+    }
+
+    const std::string &
+    randomArray()
+    {
+        return arrays[rng.nextBelow(arrays.size())];
+    }
+
+    /** A variable currently in scope (there is always at least one). */
+    const std::string &
+    randomVar()
+    {
+        BSISA_ASSERT(!scope.empty());
+        return scope[rng.nextBelow(scope.size())].name;
+    }
+
+    /** An assignment target: any scoped variable EXCEPT the loop
+     *  counters, which must stay monotonic for termination. */
+    const std::string &
+    randomAssignable()
+    {
+        std::vector<const std::string *> ok;
+        for (const ScopeVar &v : scope)
+            if (!v.isCounter)
+                ok.push_back(&v.name);
+        BSISA_ASSERT(!ok.empty());
+        return *ok[rng.nextBelow(ok.size())];
+    }
+
+    /** The innermost loop counter, or empty when outside any loop. */
+    std::string
+    innerCounter() const
+    {
+        for (auto it = scope.rbegin(); it != scope.rend(); ++it)
+            if (it->isCounter)
+                return it->name;
+        return {};
+    }
+
+    static FuzzExpr
+    lit(std::int64_t v)
+    {
+        FuzzExpr e;
+        e.kind = FuzzExpr::Kind::IntLit;
+        e.value = v;
+        return e;
+    }
+
+    static FuzzExpr
+    var(const std::string &name)
+    {
+        FuzzExpr e;
+        e.kind = FuzzExpr::Kind::VarRef;
+        e.name = name;
+        return e;
+    }
+
+    static FuzzExpr
+    bin(const char *op, FuzzExpr lhs, FuzzExpr rhs)
+    {
+        FuzzExpr e;
+        e.kind = FuzzExpr::Kind::Binary;
+        e.op = op;
+        e.kids.push_back(std::move(lhs));
+        e.kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    /** name[(expr) & (arrayWords - 1)] — arrayWords is a power of 2. */
+    FuzzExpr
+    indexed(const std::string &array, FuzzExpr idx)
+    {
+        FuzzExpr e;
+        e.kind = FuzzExpr::Kind::Index;
+        e.name = array;
+        e.kids.push_back(
+            bin("&", std::move(idx), lit(cfg.arrayWords - 1)));
+        return e;
+    }
+
+    /** A small operand: literal, scoped variable, or array load. */
+    FuzzExpr
+    operand(unsigned depth)
+    {
+        const double roll = rng.nextReal();
+        if (roll < 0.30 || depth >= 3)
+            return lit(rng.nextRange(-64, 255));
+        if (roll < 0.75)
+            return var(randomVar());
+        return indexed(randomArray(), operand(depth + 1));
+    }
+
+    /** A compute expression of bounded depth over the scope. */
+    FuzzExpr
+    compute(unsigned depth)
+    {
+        static const char *const kOps[] = {
+            "+", "+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%",
+        };
+        if (depth >= 2 || rng.chance(0.35))
+            return operand(depth);
+        const char *op = kOps[rng.nextBelow(std::size(kOps))];
+        FuzzExpr e = bin(op, compute(depth + 1), compute(depth + 1));
+        // Keep shift counts architecturally interesting but small so
+        // shifted values stay nonzero often enough to steer branches.
+        if (e.op == "<<" || e.op == ">>")
+            e.kids[1] = bin("&", std::move(e.kids[1]), lit(7));
+        return e;
+    }
+
+    /**
+     * A branch condition in one of the paper's three flavours:
+     * pattern (loop-counter arithmetic), biased (skewed data
+     * threshold), or random (data parity).
+     */
+    FuzzExpr
+    condition()
+    {
+        const double roll = rng.nextReal();
+        const std::string counter = innerCounter();
+        if (roll < cfg.fracPattern && !counter.empty()) {
+            // Pattern: (i & m) < k over the innermost loop counter.
+            const std::int64_t m = 1 + std::int64_t(rng.nextBelow(7));
+            const std::int64_t k = 1 + std::int64_t(
+                rng.nextBelow(std::uint64_t(m) + 1));
+            return bin("<", bin("&", var(counter), lit(m)), lit(k));
+        }
+        if (roll < cfg.fracPattern + cfg.fracRandom) {
+            // Random: parity of mixed array data.
+            return bin("&", indexed("d", compute(1)), lit(1));
+        }
+        // Biased: array bytes are uniform in [0, 255], so a threshold
+        // at 256 * p is taken with probability ~p.
+        const std::int64_t thresh =
+            std::int64_t(256.0 * cfg.biasedP);
+        return bin("<", indexed("d", compute(1)), lit(thresh));
+    }
+
+    /** Straight-line compute burst writing scoped vars and arrays. */
+    void
+    burst(std::vector<FuzzStmt> &out)
+    {
+        const unsigned n = rng.sizeDraw(cfg.burstMeanOps, 8);
+        for (unsigned i = 0; i < n; ++i) {
+            FuzzStmt s;
+            if (rng.chance(0.25)) {
+                s.kind = FuzzStmt::Kind::IndexAssign;
+                s.name = randomArray();
+                s.index = bin("&", compute(1),
+                              lit(cfg.arrayWords - 1));
+                s.value = compute(0);
+            } else {
+                s.kind = FuzzStmt::Kind::Assign;
+                s.name = randomAssignable();
+                s.value = compute(0);
+            }
+            out.push_back(std::move(s));
+        }
+    }
+
+    /** A call to an earlier function (DAG: no recursion).  Callees
+     *  are gated on cost x loop factor so the program's worst-case
+     *  dynamic op count stays bounded. */
+    bool
+    call(const FuzzProgram &prog, std::vector<FuzzStmt> &out)
+    {
+        const std::uint64_t budget =
+            cfg.callBudgetOps / std::max<std::uint64_t>(loopFactor, 1);
+        std::vector<const FuzzFunc *> eligible;
+        for (const FuzzFunc &f : prog.funcs) {
+            const auto it = funcCost.find(f.name);
+            if (it != funcCost.end() && it->second <= budget)
+                eligible.push_back(&f);
+        }
+        if (eligible.empty())
+            return false;
+        const FuzzFunc &callee =
+            *eligible[rng.nextBelow(eligible.size())];
+        FuzzExpr e;
+        e.kind = FuzzExpr::Kind::Call;
+        e.name = callee.name;
+        for (std::size_t i = 0; i < callee.params.size(); ++i)
+            e.kids.push_back(operand(1));
+        FuzzStmt s;
+        s.kind = FuzzStmt::Kind::Assign;
+        s.name = randomAssignable();
+        s.value = std::move(e);
+        out.push_back(std::move(s));
+        return true;
+    }
+
+    /** One statement group (burst / if / loop / switch / call). */
+    void
+    item(const FuzzProgram &prog, std::vector<FuzzStmt> &out,
+         unsigned depth)
+    {
+        const double roll = rng.nextReal();
+        double acc = cfg.branchDensity;
+        if (roll < acc && depth < cfg.maxDepth) {
+            FuzzStmt s;
+            s.kind = FuzzStmt::Kind::If;
+            s.value = condition();
+            block(prog, s.body, depth + 1, 2);
+            if (rng.chance(0.7))
+                block(prog, s.elseBody, depth + 1, 2);
+            out.push_back(std::move(s));
+            return;
+        }
+        acc += cfg.loopDensity;
+        if (roll < acc && depth < cfg.maxDepth) {
+            FuzzStmt s;
+            s.kind = FuzzStmt::Kind::For;
+            s.name = freshName("k");
+            s.trips = 1 + std::int64_t(rng.nextBelow(cfg.maxLoopTrip));
+            scope.push_back({s.name, true});
+            loopFactor *= std::uint64_t(s.trips);
+            block(prog, s.body, depth + 1, 2);
+            loopFactor /= std::uint64_t(s.trips);
+            if (rng.chance(0.15)) {
+                FuzzStmt brk;
+                brk.kind = FuzzStmt::Kind::If;
+                brk.value = condition();
+                FuzzStmt leave;
+                leave.kind = rng.chance(0.5)
+                                 ? FuzzStmt::Kind::Break
+                                 : FuzzStmt::Kind::Continue;
+                brk.body.push_back(std::move(leave));
+                s.body.push_back(std::move(brk));
+            }
+            scope.pop_back();
+            out.push_back(std::move(s));
+            return;
+        }
+        acc += cfg.switchDensity;
+        if (roll < acc && depth < cfg.maxDepth) {
+            FuzzStmt s;
+            s.kind = FuzzStmt::Kind::Switch;
+            s.value = compute(1);
+            const unsigned ncases = 2 + unsigned(rng.nextBelow(3));
+            s.cases.resize(ncases);
+            for (auto &body : s.cases)
+                block(prog, body, depth + 1, 1);
+            out.push_back(std::move(s));
+            return;
+        }
+        acc += cfg.callDensity;
+        if (roll < acc && call(prog, out))
+            return;
+        burst(out);
+    }
+
+    /** A block of up to @p maxItems statement groups. */
+    void
+    block(const FuzzProgram &prog, std::vector<FuzzStmt> &out,
+          unsigned depth, unsigned maxItems)
+    {
+        const unsigned n = 1 + unsigned(rng.nextBelow(maxItems));
+        for (unsigned i = 0; i < n; ++i)
+            item(prog, out, depth);
+        if (out.empty())
+            burst(out);
+    }
+
+    /** Library helper: small, branchy, parameter-only (condition 5
+     *  forbids enlarging these, exercising that path). */
+    FuzzFunc
+    libFunc(unsigned idx)
+    {
+        FuzzFunc f;
+        f.isLibrary = true;
+        f.name = "lib" + std::to_string(idx);
+        f.params = {"a", "b"};
+        scope = {{"a", false}, {"b", false}};
+
+        FuzzStmt cond;
+        cond.kind = FuzzStmt::Kind::If;
+        cond.value = bin("&", var("a"), lit(1));
+        FuzzStmt r0;
+        r0.kind = FuzzStmt::Kind::Return;
+        r0.value = compute(1);
+        cond.body.push_back(std::move(r0));
+        f.body.push_back(std::move(cond));
+
+        FuzzStmt r1;
+        r1.kind = FuzzStmt::Kind::Return;
+        r1.value = compute(1);
+        f.body.push_back(std::move(r1));
+        scope.clear();
+        funcCost[f.name] = stmtsCost(f.body) + 2;
+        return f;
+    }
+
+    FuzzFunc
+    helper(const FuzzProgram &prog, unsigned idx)
+    {
+        FuzzFunc f;
+        f.name = "fn" + std::to_string(idx);
+        f.params = {"x", "i"};
+        scope = {{"x", false}, {"i", false}};
+
+        FuzzStmt t;
+        t.kind = FuzzStmt::Kind::VarDecl;
+        t.name = freshName("t");
+        t.value = compute(1);
+        scope.push_back({t.name, false});
+        f.body.push_back(std::move(t));
+
+        for (unsigned i = 0; i < cfg.itemsPerFunc; ++i)
+            item(prog, f.body, 0);
+
+        FuzzStmt ret;
+        ret.kind = FuzzStmt::Kind::Return;
+        ret.value = compute(0);
+        f.body.push_back(std::move(ret));
+        scope.clear();
+        funcCost[f.name] = stmtsCost(f.body) + 2;
+        return f;
+    }
+
+    FuzzFunc
+    mainFunc(const FuzzProgram &prog)
+    {
+        FuzzFunc f;
+        f.name = "main";
+        scope.clear();
+
+        // Deterministic data seeding: d[i] = mix(i) & 255, out[i] = 0.
+        // Knuth's multiplicative constant spreads low bits into the
+        // byte we keep, giving roughly uniform branch data.
+        {
+            FuzzStmt seedLoop;
+            seedLoop.kind = FuzzStmt::Kind::For;
+            seedLoop.name = "si";
+            seedLoop.trips = cfg.arrayWords;
+            FuzzStmt fill;
+            fill.kind = FuzzStmt::Kind::IndexAssign;
+            fill.name = "d";
+            fill.index = var("si");
+            fill.value =
+                bin("&",
+                    bin(">>",
+                        bin("*", var("si"),
+                            lit(std::int64_t(2654435761))),
+                        lit(11)),
+                    lit(255));
+            seedLoop.body.push_back(std::move(fill));
+            f.body.push_back(std::move(seedLoop));
+        }
+
+        FuzzStmt acc;
+        acc.kind = FuzzStmt::Kind::VarDecl;
+        acc.name = "acc";
+        acc.value = lit(0);
+        f.body.push_back(std::move(acc));
+        scope.push_back({"acc", false});
+
+        FuzzStmt loop;
+        loop.kind = FuzzStmt::Kind::For;
+        loop.name = "i";
+        loop.trips = cfg.mainTrips;
+        scope.push_back({"i", true});
+        loopFactor = cfg.mainTrips;
+        for (unsigned i = 0; i < cfg.itemsPerFunc; ++i)
+            item(prog, loop.body, 0);
+        loopFactor = 1;
+        // Keep acc bounded and data-dependent.
+        FuzzStmt fold;
+        fold.kind = FuzzStmt::Kind::Assign;
+        fold.name = "acc";
+        fold.value = bin("&", bin("+", var("acc"), compute(1)),
+                         lit(0xffffff));
+        loop.body.push_back(std::move(fold));
+        scope.pop_back();
+        f.body.push_back(std::move(loop));
+
+        FuzzStmt ret;
+        ret.kind = FuzzStmt::Kind::Return;
+        ret.value = var("acc");
+        f.body.push_back(std::move(ret));
+        scope.clear();
+        return f;
+    }
+};
+
+} // namespace
+
+std::string
+FuzzProgram::render() const
+{
+    std::ostringstream os;
+    os << "// bsisa-fuzz seed=" << seed << "\n";
+    for (const auto &[name, words] : arrays)
+        os << "var " << name << "[" << words << "];\n";
+    for (const FuzzFunc &f : funcs) {
+        if (f.isLibrary)
+            os << "library ";
+        os << "fn " << f.name << "(";
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << f.params[i];
+        }
+        os << ") {\n";
+        renderStmts(os, f.body, 1);
+        os << "}\n";
+    }
+    return os.str();
+}
+
+unsigned
+FuzzProgram::renderedLines() const
+{
+    const std::string src = render();
+    unsigned lines = 0;
+    for (char c : src)
+        if (c == '\n')
+            ++lines;
+    return lines;
+}
+
+GenConfig
+genProfile(const std::string &name)
+{
+    GenConfig cfg;
+    if (name.empty() || name == "default")
+        return cfg;
+    if (name == "call-dense") {
+        cfg.numFuncs = 5;
+        cfg.numLibFuncs = 2;
+        cfg.callDensity = 0.45;
+        cfg.branchDensity = 0.20;
+        return cfg;
+    }
+    if (name == "fault-heavy") {
+        // Unpredictable branches everywhere: merged traps fault
+        // constantly under a random variant policy.
+        cfg.branchDensity = 0.55;
+        cfg.fracPattern = 0.05;
+        cfg.fracRandom = 0.70;
+        cfg.itemsPerFunc = 6;
+        return cfg;
+    }
+    if (name == "deep-loops") {
+        cfg.maxDepth = 4;
+        cfg.loopDensity = 0.50;
+        cfg.branchDensity = 0.15;
+        cfg.maxLoopTrip = 4;
+        cfg.mainTrips = 6;
+        return cfg;
+    }
+    if (name == "wide-blocks") {
+        // Long straight bursts push basic blocks across the 16-op
+        // issue width, exercising splitOversizedBlocks boundaries.
+        cfg.burstMeanOps = 14.0;
+        cfg.branchDensity = 0.12;
+        cfg.loopDensity = 0.08;
+        cfg.switchDensity = 0.0;
+        cfg.itemsPerFunc = 4;
+        return cfg;
+    }
+    fatal("unknown fuzz profile '", name, "'");
+}
+
+const std::vector<std::string> &
+genProfileNames()
+{
+    static const std::vector<std::string> names = {
+        "default", "call-dense", "fault-heavy", "deep-loops",
+        "wide-blocks",
+    };
+    return names;
+}
+
+FuzzProgram
+generateProgram(std::uint64_t seed, const GenConfig &config)
+{
+    Rng rng(seed ^ 0xf022bbcd1234fee1ULL);
+    Gen gen(rng, config);
+    return gen.program(seed);
+}
+
+} // namespace fuzz
+} // namespace bsisa

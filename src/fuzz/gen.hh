@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Seeded random BlockC program generator for differential fuzzing.
+ *
+ * Programs are built as a small structural AST (FuzzProgram) rather
+ * than as text so the shrinker (fuzz/shrink.hh) can delete functions
+ * and statements and shrink constants while keeping the program
+ * well-formed; render() serializes to BlockC source accepted by the
+ * frontend.
+ *
+ * Every generated program is valid and terminating by construction:
+ *   - names are unique and declared before use (a scope stack tracks
+ *     the variables visible at each generation point);
+ *   - all loops are counted 'for' loops with constant trip counts
+ *     (break/continue only shorten them);
+ *   - the call graph is a DAG: a function may only call functions
+ *     generated before it, so there is no recursion;
+ *   - global arrays are seeded by a deterministic mixing loop at the
+ *     top of main, so a .blockc file replays with no data sidecar.
+ *
+ * Branch conditions come in the three flavours of workloads/synth.hh:
+ * pattern (loop-counter derived, predictable), biased (data compare
+ * against a skewed threshold), and random (data parity).
+ */
+
+#ifndef BSISA_FUZZ_GEN_HH
+#define BSISA_FUZZ_GEN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bsisa
+{
+
+class Rng;
+
+namespace fuzz
+{
+
+/** Expression tree; rendered to BlockC concrete syntax. */
+struct FuzzExpr
+{
+    enum class Kind : unsigned char
+    {
+        IntLit,  //!< value
+        VarRef,  //!< name
+        Index,   //!< name[kids[0]]
+        Unary,   //!< op kids[0]
+        Binary,  //!< kids[0] op kids[1]
+        Call,    //!< name(kids...)
+    };
+
+    Kind kind = Kind::IntLit;
+    std::int64_t value = 0;
+    std::string name;
+    /** Operator token ("+", "<<", "&&", "!", ...). */
+    std::string op;
+    std::vector<FuzzExpr> kids;
+};
+
+/** Statement tree; rendered to BlockC concrete syntax. */
+struct FuzzStmt
+{
+    enum class Kind : unsigned char
+    {
+        VarDecl,      //!< var name = value;
+        Assign,       //!< name = value;
+        IndexAssign,  //!< name[index] = value;
+        If,           //!< if (value) { body } else { elseBody }
+        For,          //!< for (var name = 0; name < trips; ...) body
+        Switch,       //!< switch (value) { case i: { cases[i] } }
+        Return,       //!< return value;
+        Break,
+        Continue,
+    };
+
+    Kind kind = Kind::Assign;
+    std::string name;
+    FuzzExpr value;
+    FuzzExpr index;
+    std::int64_t trips = 0;  //!< For: constant trip count
+    std::vector<FuzzStmt> body;
+    std::vector<FuzzStmt> elseBody;
+    std::vector<std::vector<FuzzStmt>> cases;
+};
+
+struct FuzzFunc
+{
+    std::string name;
+    bool isLibrary = false;
+    std::vector<std::string> params;
+    std::vector<FuzzStmt> body;
+};
+
+/** One generated program, structurally editable and renderable. */
+struct FuzzProgram
+{
+    /** Global arrays (name, word count); seeded in main's preamble. */
+    std::vector<std::pair<std::string, unsigned>> arrays;
+    /** main is always the last function; callees precede callers. */
+    std::vector<FuzzFunc> funcs;
+    /** Seed the generator used (stamped into a header comment). */
+    std::uint64_t seed = 0;
+
+    /** Serialize to BlockC source text. */
+    std::string render() const;
+
+    /** Source line count of the rendered form (reproducer metric). */
+    unsigned renderedLines() const;
+};
+
+/** Shape knobs; defaults give a broad general-purpose mix. */
+struct GenConfig
+{
+    unsigned numFuncs = 3;        //!< helpers in addition to main
+    unsigned numLibFuncs = 1;     //!< library (never-enlarged) helpers
+    unsigned itemsPerFunc = 5;    //!< statement groups per body
+    unsigned maxDepth = 2;        //!< nesting depth of if/for/switch
+    unsigned maxLoopTrip = 6;     //!< trip counts in [1, maxLoopTrip]
+    unsigned arrayWords = 32;     //!< words per global array
+    unsigned mainTrips = 12;      //!< main loop trip count
+    double branchDensity = 0.30;  //!< P(item is an if/else)
+    double loopDensity = 0.15;    //!< P(item is a counted loop)
+    double callDensity = 0.20;    //!< P(item is a call)
+    double switchDensity = 0.08;  //!< P(item is a switch)
+    double burstMeanOps = 3.0;    //!< compute ops per straight burst
+    /** Branch-flavour mix (rest is biased). */
+    double fracPattern = 0.35;
+    double fracRandom = 0.25;
+    /** Taken-probability of biased conditions. */
+    double biasedP = 0.85;
+    /** Call-site budget: a callee is eligible only when its
+     *  worst-case dynamic cost times the call site's enclosing loop
+     *  trip product stays under this, which bounds the whole
+     *  program's worst-case op count (the call DAG would otherwise
+     *  blow up exponentially). */
+    std::uint64_t callBudgetOps = 50000;
+};
+
+/** Named shape presets covering the oracle classes. */
+GenConfig genProfile(const std::string &name);
+
+/** The preset names accepted by genProfile (CLI help, corpus tags). */
+const std::vector<std::string> &genProfileNames();
+
+/** Generate a program; deterministic function of (seed, config). */
+FuzzProgram generateProgram(std::uint64_t seed, const GenConfig &config);
+
+} // namespace fuzz
+} // namespace bsisa
+
+#endif // BSISA_FUZZ_GEN_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fuzzing run loop implementation.
+ */
+
+#include "fuzz/harness.hh"
+
+#include <ostream>
+
+#include "frontend/compile.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/gen.hh"
+#include "fuzz/shrink.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Expectation sidecar for a reproducer (zeroed when the program no
+ *  longer compiles — the failure itself is then the compile error). */
+Expectation
+reproExpectation(const std::string &source, const OracleOptions &oracle)
+{
+    const CompileResult compiled = compileBlockC(source);
+    if (!compiled.ok)
+        return {};
+    return computeExpectation(compiled.module, oracle.limits);
+}
+
+} // namespace
+
+FuzzReport
+fuzzRun(const FuzzOptions &options, std::ostream &log)
+{
+    const std::vector<std::string> profiles =
+        options.profile.empty()
+            ? genProfileNames()
+            : std::vector<std::string>{options.profile};
+
+    FuzzReport report;
+    for (unsigned i = 0; i < options.runs; ++i) {
+        const std::uint64_t seed = options.seed + i;
+        const std::string &profileName = profiles[i % profiles.size()];
+        const FuzzProgram program =
+            generateProgram(seed, genProfile(profileName));
+
+        const OracleResult r =
+            checkProgram(program.render(), options.mask, options.oracle);
+        ++report.runsExecuted;
+        if ((i + 1) % 50 == 0) {
+            log << "fuzz: " << (i + 1) << "/" << options.runs
+                << " runs, " << report.failures.size()
+                << " failures\n";
+        }
+        if (r.ok)
+            continue;
+
+        FuzzFailure f;
+        f.seed = seed;
+        f.profile = profileName;
+        f.oracle = r.oracle;
+        f.detail = r.detail;
+        f.linesBefore = program.renderedLines();
+        f.linesAfter = f.linesBefore;
+        log << "fuzz: seed " << seed << " profile " << profileName
+            << " FAILED [" << r.oracle << "] " << r.detail << "\n";
+
+        FuzzProgram minimal = program;
+        if (options.minimize) {
+            // Shrink against the failing oracle only, with the
+            // expensive thread fan-out check disabled.  A candidate
+            // must fail the SAME oracle: collapsing a semantic
+            // divergence into a compile error or a non-halting
+            // program would not be a reproducer.
+            const unsigned failMask = parseOracleMask(r.oracle);
+            OracleOptions shrinkOracle = options.oracle;
+            shrinkOracle.checkParallel = false;
+            const FailPredicate pred =
+                [&](const FuzzProgram &candidate) {
+                    const OracleResult res = checkProgram(
+                        candidate.render(), failMask, shrinkOracle);
+                    return !res.ok && res.oracle == r.oracle;
+                };
+            ShrinkStats stats;
+            minimal = shrink(program, pred, options.shrinkEvals,
+                             &stats);
+            f.linesAfter = minimal.renderedLines();
+            log << "fuzz: shrunk seed " << seed << " from "
+                << stats.linesBefore << " to " << stats.linesAfter
+                << " lines (" << stats.candidatesTried
+                << " candidates)\n";
+        }
+
+        if (!options.reproDir.empty()) {
+            const std::string source = minimal.render();
+            const std::string name =
+                "repro-seed" + std::to_string(seed);
+            if (writeCorpusEntry(
+                    options.reproDir, name, source,
+                    reproExpectation(source, options.oracle))) {
+                f.reproName = name;
+                log << "fuzz: reproducer written to "
+                    << options.reproDir << "/" << name << ".blockc\n";
+            } else {
+                log << "fuzz: FAILED to write reproducer to "
+                    << options.reproDir << "\n";
+            }
+        }
+
+        report.failures.push_back(f);
+        if (options.maxFailures &&
+            report.failures.size() >= options.maxFailures)
+            break;
+    }
+
+    log << "fuzz: " << report.runsExecuted << " runs, "
+        << report.failures.size() << " failures\n";
+    return report;
+}
+
+} // namespace fuzz
+} // namespace bsisa

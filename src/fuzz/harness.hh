@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The fuzzing run loop: generate, check, shrink, report.
+ *
+ * One fuzzRun() executes a seed range through the selected oracles,
+ * rotating the generator shape profiles so every oracle class (call
+ * density, fault pressure, loop depth, block-size boundary) appears
+ * in every few runs.  On a failure the program is shrunk against the
+ * failing oracle and written to the reproducer directory as a corpus
+ * entry (corpus.hh), ready to be replayed or promoted into
+ * tests/data/fuzz_corpus/.
+ */
+
+#ifndef BSISA_FUZZ_HARNESS_HH
+#define BSISA_FUZZ_HARNESS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;      //!< first seed of the range
+    unsigned runs = 100;         //!< seeds checked: [seed, seed+runs)
+    unsigned mask = oracleAll;   //!< oracles to run
+    /** Shrink failing programs before writing the reproducer. */
+    bool minimize = false;
+    unsigned shrinkEvals = 600;  //!< shrink predicate budget
+    /** Restrict to one generator profile; empty rotates them all. */
+    std::string profile;
+    /** Where reproducers are written; empty disables writing. */
+    std::string reproDir;
+    /** Stop after this many failures (0: never stop early). */
+    unsigned maxFailures = 1;
+    OracleOptions oracle;
+};
+
+/** One failure found by a fuzz run. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;
+    std::string profile;
+    std::string oracle;  //!< failing oracle name
+    std::string detail;
+    unsigned linesBefore = 0;  //!< rendered size pre-shrink
+    unsigned linesAfter = 0;   //!< == linesBefore when not minimized
+    std::string reproName;     //!< corpus entry name, if written
+};
+
+struct FuzzReport
+{
+    unsigned runsExecuted = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Execute a fuzzing run; progress and failures go to @p log. */
+FuzzReport fuzzRun(const FuzzOptions &options, std::ostream &log);
+
+} // namespace fuzz
+} // namespace bsisa
+
+#endif // BSISA_FUZZ_HARNESS_HH

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Differential oracle implementation.
+ *
+ * Everything here is comparison plumbing: run the same program down
+ * two execution paths that the codebase promises are equivalent, and
+ * turn any disagreement into a precise OracleResult::detail string
+ * (the shrinker's predicate re-runs the oracle, so failure text is
+ * also the reproducer's label).
+ */
+
+#include "fuzz/oracle.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/enlarge.hh"
+#include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "cache/trace_cache.hh"
+#include "sim/bsa_interp.hh"
+#include "sim/trace.hh"
+#include "sim/trace_store.hh"
+#include "support/parallel.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+unsigned
+parseOracleMask(const std::string &spec)
+{
+    unsigned mask = 0;
+    std::stringstream ss(spec);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        if (part == "interp")
+            mask |= oracleInterp;
+        else if (part == "enlarge")
+            mask |= oracleEnlarge;
+        else if (part == "models")
+            mask |= oracleModels;
+        else if (part == "all")
+            mask |= oracleAll;
+        else
+            return 0;
+    }
+    return mask;
+}
+
+InjectedBug
+parseInjectedBug(const std::string &name)
+{
+    if (name == "skip-fault-suppression")
+        return InjectedBug::SkipFaultSuppression;
+    if (name == "flip-fault-polarity")
+        return InjectedBug::FlipFaultPolarity;
+    return InjectedBug::None;
+}
+
+namespace
+{
+
+/** Architectural reference state from one conventional execution. */
+struct Golden
+{
+    bool halted = false;
+    std::uint64_t exit = 0;
+    std::uint64_t memChecksum = 0;
+    std::uint64_t dataChecksum = 0;
+    std::uint64_t dynOps = 0;
+    std::uint64_t dynBlocks = 0;
+};
+
+Golden
+runGolden(const Module &module, Interp::Limits limits)
+{
+    Interp interp(module, limits);
+    interp.run();
+    return {interp.halted(),    interp.exitValue(),
+            interp.memChecksum(), interp.dataChecksum(),
+            interp.dynOps(),    interp.dynBlocks()};
+}
+
+OracleResult
+fail(const char *oracle, const std::string &detail)
+{
+    OracleResult r;
+    r.ok = false;
+    r.oracle = oracle;
+    r.detail = detail;
+    return r;
+}
+
+/** Mutate an enlarged module the way a buggy compiler would. */
+void
+applyInjectedBug(BsaModule &bsa, InjectedBug bug)
+{
+    if (bug == InjectedBug::None)
+        return;
+    for (AtomicBlock &blk : bsa.blocks) {
+        for (Operation &op : blk.ops) {
+            if (op.op != Opcode::Fault)
+                continue;
+            if (bug == InjectedBug::SkipFaultSuppression)
+                op = makeNop();
+            else if (bug == InjectedBug::FlipFaultPolarity)
+                op.imm = op.imm ? 0 : 1;
+        }
+        if (bug == InjectedBug::SkipFaultSuppression)
+            blk.numFaults = 0;
+    }
+}
+
+// --------------------------------------------------- interp oracle
+
+OracleResult
+checkInterp(const Module &module, const ExecTrace &trace,
+            const Golden &golden, const OracleOptions &options)
+{
+    // Live interpretation must produce the captured stream event for
+    // event, including the committed-store address stream.
+    Interp live(module, options.limits);
+    BlockEvent ev;
+    std::size_t i = 0;
+    while (live.step(ev)) {
+        if (i >= trace.eventCount) {
+            return fail("interp",
+                        "live stream longer than capture (event " +
+                            std::to_string(i) + ")");
+        }
+        const TraceEvent &te = trace.events[i];
+        const bool same =
+            te.func == ev.func && te.block == ev.block &&
+            te.exit == ev.exit && te.taken == ev.taken &&
+            te.nextFunc == ev.nextFunc && te.nextBlock == ev.nextBlock &&
+            te.memCount == ev.memCount;
+        if (!same) {
+            return fail("interp", "live/capture event mismatch at " +
+                                      std::to_string(i));
+        }
+        for (std::uint32_t a = 0; a < ev.memCount; ++a) {
+            if (trace.memAddrs[te.memBegin + a] != ev.memAddrs[a]) {
+                return fail("interp",
+                            "mem address stream mismatch at event " +
+                                std::to_string(i));
+            }
+        }
+        ++i;
+    }
+    if (i != trace.eventCount) {
+        return fail("interp", "live stream shorter than capture: " +
+                                  std::to_string(i) + " vs " +
+                                  std::to_string(trace.eventCount));
+    }
+    if (live.dynOps() != trace.dynOps ||
+        live.dynBlocks() != trace.dynBlocks) {
+        return fail("interp", "dynamic op/block count drifted between "
+                              "runs of the same program");
+    }
+    if (live.exitValue() != golden.exit ||
+        live.memChecksum() != golden.memChecksum) {
+        return fail("interp", "interpreter is nondeterministic: "
+                              "exit/checksum differ across runs");
+    }
+
+    // Trace-store round trip: encode, reopen via mmap, bit-compare.
+    TraceKey key;
+    key.moduleDigest = moduleDigest(module);
+    key.maxOps = options.limits.maxOps;
+    key.maxBlocks = options.limits.maxBlocks;
+
+    namespace fs = std::filesystem;
+    fs::path dir = options.scratchDir.empty()
+                       ? fs::temp_directory_path() /
+                             ("bsisa-fuzz-" + std::to_string(getpid()))
+                       : fs::path(options.scratchDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path path = dir / key.fileName();
+    {
+        const std::vector<std::uint8_t> bytes = encodeTrace(trace, key);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            return fail("interp", "could not write trace round-trip "
+                                  "scratch file " + path.string());
+        }
+    }
+    ExecTrace rt;
+    const TraceOpenStatus status = openTraceFile(path.string(), key, rt);
+    OracleResult result;
+    if (status != TraceOpenStatus::Ok) {
+        result = fail("interp",
+                      std::string("trace round trip rejected: ") +
+                          traceOpenStatusName(status));
+    } else if (rt.eventCount != trace.eventCount ||
+               rt.memAddrCount != trace.memAddrCount ||
+               rt.dynOps != trace.dynOps ||
+               rt.dynBlocks != trace.dynBlocks) {
+        result = fail("interp", "trace round trip changed counts");
+    } else {
+        for (std::size_t e = 0; e < trace.eventCount && result.ok; ++e) {
+            const TraceEvent &a = trace.events[e];
+            const TraceEvent &b = rt.events[e];
+            if (a.func != b.func || a.block != b.block ||
+                a.nextFunc != b.nextFunc || a.nextBlock != b.nextBlock ||
+                a.memBegin != b.memBegin || a.memCount != b.memCount ||
+                a.exit != b.exit || a.taken != b.taken) {
+                result = fail("interp",
+                              "trace round trip changed event " +
+                                  std::to_string(e));
+            }
+        }
+        for (std::size_t a = 0; a < trace.memAddrCount && result.ok; ++a)
+            if (trace.memAddrs[a] != rt.memAddrs[a])
+                result = fail("interp", "trace round trip changed the "
+                                        "address pool");
+    }
+    fs::remove(path, ec);
+    return result;
+}
+
+// -------------------------------------------------- enlarge oracle
+
+/** One point of the termination-condition matrix. */
+struct EnlargeCase
+{
+    const char *name;
+    EnlargeConfig cfg;
+    bool useProfile = false;
+    /** Re-split the module at this op count first (condition-1
+     *  precondition when cfg.maxOps is below the compile-time split). */
+    unsigned splitOps = 0;
+};
+
+std::vector<EnlargeCase>
+enlargeMatrix()
+{
+    std::vector<EnlargeCase> cases;
+    EnlargeConfig cfg;
+    cases.push_back({"default", cfg, false, 0});
+
+    cfg = {};
+    cfg.maxFaults = 1;
+    cases.push_back({"maxFaults=1", cfg, false, 0});
+
+    cfg = {};
+    cfg.maxFaults = 4;
+    cases.push_back({"maxFaults=4", cfg, false, 0});
+
+    cfg = {};
+    cfg.maxOps = 8;
+    cases.push_back({"maxOps=8", cfg, false, 8});
+
+    cfg = {};
+    cfg.mergeAcrossBackEdges = true;
+    cfg.enlargeLibraryFunctions = true;
+    cases.push_back({"backedges+lib", cfg, false, 0});
+
+    cfg = {};
+    cfg.enabled = false;
+    cases.push_back({"disabled", cfg, false, 0});
+
+    cfg = {};
+    cfg.minMergeBias = 0.8;
+    cases.push_back({"minMergeBias=0.8", cfg, true, 0});
+    return cases;
+}
+
+/** All-or-nothing: an op budget expiring inside an enlarged block
+ *  must leave exactly the state of stopping at the same block
+ *  boundary by block count. */
+OracleResult
+checkAllOrNothing(const BsaModule &bsa, std::uint64_t policySeed,
+                  bool randomPolicy)
+{
+    auto makePolicy = [&] {
+        return randomPolicy ? randomVariantPolicy(policySeed)
+                            : firstVariantPolicy();
+    };
+
+    BsaInterp full(bsa, makePolicy());
+    full.run();
+    const std::uint64_t total =
+        full.committedOps() + full.suppressedOps();
+    if (total < 4)
+        return {};
+
+    for (const std::uint64_t budget : {total / 3, (2 * total) / 3}) {
+        if (budget == 0)
+            continue;
+        BsaInterp::Limits la;
+        la.maxOps = budget;
+        BsaInterp a(bsa, makePolicy(), la);
+        a.run();
+        if (!a.halted() &&
+            a.committedOps() + a.suppressedOps() < budget) {
+            return fail("enlarge",
+                        "op budget " + std::to_string(budget) +
+                            " stopped early without halting");
+        }
+
+        BsaInterp::Limits lb;
+        lb.maxBlocks = a.committedBlocks() + a.suppressedBlocks();
+        BsaInterp b(bsa, makePolicy(), lb);
+        b.run();
+        const bool same =
+            a.committedOps() == b.committedOps() &&
+            a.suppressedOps() == b.suppressedOps() &&
+            a.committedBlocks() == b.committedBlocks() &&
+            a.suppressedBlocks() == b.suppressedBlocks() &&
+            a.halted() == b.halted() &&
+            a.exitValue() == b.exitValue() &&
+            a.memChecksum() == b.memChecksum();
+        if (!same) {
+            return fail("enlarge",
+                        "op budget " + std::to_string(budget) +
+                            " is not all-or-nothing: state differs "
+                            "from the equivalent block-count stop");
+        }
+    }
+    return {};
+}
+
+OracleResult
+checkEnlarge(const Module &module, const ExecTrace &trace,
+             const Golden &golden, const OracleOptions &options)
+{
+    const ProfileData profile = profileFromTrace(trace);
+
+    for (const EnlargeCase &c : enlargeMatrix()) {
+        // Condition 1 requires every source block to fit; re-split a
+        // copy when the case shrinks the block size below the
+        // compile-time split width.
+        Module resplit;
+        const Module *m = &module;
+        if (c.splitOps) {
+            resplit = module;
+            splitOversizedBlocks(resplit, c.splitOps);
+            m = &resplit;
+        }
+        const Golden want = c.splitOps ? runGolden(*m, options.limits)
+                                       : golden;
+        if (c.splitOps && (want.exit != golden.exit ||
+                           want.memChecksum != golden.memChecksum ||
+                           want.halted != golden.halted)) {
+            return fail("enlarge", std::string(c.name) +
+                                       ": splitOversizedBlocks changed "
+                                       "architectural state");
+        }
+
+        BsaModule bsa = enlargeModule(
+            *m, c.cfg, c.useProfile ? &profile : nullptr);
+        applyInjectedBug(bsa, options.inject);
+
+        // Suppressed wrong-variant work inflates the BSA op count, so
+        // give the budget headroom over the conventional run.
+        BsaInterp::Limits lim;
+        lim.maxOps = options.limits.maxOps * 8;
+
+        for (unsigned p = 0; p <= options.adversarialSeeds; ++p) {
+            const bool random = p > 0;
+            const std::uint64_t seed =
+                0x5eedc0de00000000ULL + 7919 * p;
+            VariantPolicy policy = random ? randomVariantPolicy(seed)
+                                          : firstVariantPolicy();
+            BsaInterp interp(bsa, std::move(policy), lim);
+            interp.run();
+
+            std::ostringstream tag;
+            tag << c.name << "/"
+                << (random ? "random" : "first")
+                << (random ? std::to_string(p) : "");
+            if (!interp.halted()) {
+                return fail("enlarge",
+                            tag.str() + ": BSA execution did not halt "
+                            "(conventional run did)");
+            }
+            if (interp.exitValue() != want.exit) {
+                return fail("enlarge",
+                            tag.str() + ": exit value diverged: " +
+                                std::to_string(interp.exitValue()) +
+                                " vs " + std::to_string(want.exit));
+            }
+            if (interp.memChecksum() != want.memChecksum) {
+                return fail("enlarge",
+                            tag.str() + ": memory checksum diverged");
+            }
+            if (interp.committedOps() > want.dynOps) {
+                return fail("enlarge",
+                            tag.str() + ": committed more ops than "
+                            "the conventional execution");
+            }
+            if (!c.cfg.enabled &&
+                (interp.committedOps() != want.dynOps ||
+                 interp.committedBlocks() != want.dynBlocks)) {
+                return fail("enlarge",
+                            tag.str() + ": degenerate enlargement "
+                            "changed the dynamic op/block counts");
+            }
+        }
+
+        if (std::string(c.name) == "default") {
+            OracleResult r = checkAllOrNothing(bsa, 0, false);
+            if (r.ok)
+                r = checkAllOrNothing(bsa, 0x0bad5eed, true);
+            if (!r.ok)
+                return r;
+        }
+    }
+    return {};
+}
+
+// --------------------------------------------------- models oracle
+
+bool
+sameSim(const SimResult &a, const SimResult &b)
+{
+    return a.cycles == b.cycles && a.retiredOps == b.retiredOps &&
+           a.retiredUnits == b.retiredUnits &&
+           a.wrongPathOps == b.wrongPathOps &&
+           a.predictions == b.predictions &&
+           a.mispredicts == b.mispredicts &&
+           a.trapMispredicts == b.trapMispredicts &&
+           a.faultMispredicts == b.faultMispredicts &&
+           a.cascadeHops == b.cascadeHops &&
+           a.stallRedirect == b.stallRedirect &&
+           a.stallWindow == b.stallWindow &&
+           a.stallIcache == b.stallIcache &&
+           a.peakWindowUnits == b.peakWindowUnits &&
+           a.peakWindowOps == b.peakWindowOps &&
+           a.icache.accesses == b.icache.accesses &&
+           a.icache.misses == b.icache.misses &&
+           a.dcache.accesses == b.dcache.accesses &&
+           a.dcache.misses == b.dcache.misses;
+}
+
+/** The invariants every SimResult must satisfy, any machine. */
+OracleResult
+checkSimInvariants(const SimResult &r, const MachineConfig &machine,
+                   const char *what)
+{
+    auto bad = [&](const std::string &msg) {
+        return fail("models", std::string(what) + ": " + msg);
+    };
+    if (r.retiredUnits == 0 || r.cycles < r.retiredUnits)
+        return bad("fewer cycles than retired units");
+    if (r.retiredOps < r.retiredUnits)
+        return bad("retired fewer ops than units");
+    if (r.mispredicts > r.predictions)
+        return bad("more mispredicts than predictions");
+    if (r.mispredicts != r.trapMispredicts + r.faultMispredicts)
+        return bad("mispredict breakdown does not sum");
+    if (r.peakWindowUnits > machine.windowUnits)
+        return bad("window held more than windowUnits blocks");
+    if (r.peakWindowOps > machine.windowOps)
+        return bad("window held more than windowOps operations");
+    if (r.stallRedirect + r.stallWindow + r.stallIcache > r.cycles)
+        return bad("stall cycles exceed total cycles");
+    if (r.icache.misses > r.icache.accesses ||
+        r.dcache.misses > r.dcache.accesses)
+        return bad("cache misses exceed accesses");
+    return {};
+}
+
+OracleResult
+checkModels(const Module &module, const ExecTrace &trace,
+            const OracleOptions &options)
+{
+    const MachineConfig machine;
+
+    // Conventional: replay == live, deterministic, exact accounting.
+    const SimResult conv = runConventional(module, machine, trace);
+    OracleResult r = checkSimInvariants(conv, machine, "conv");
+    if (!r.ok)
+        return r;
+    if (conv.retiredOps != trace.dynOps)
+        return fail("models", "conv retired " +
+                                  std::to_string(conv.retiredOps) +
+                                  " ops, functional execution ran " +
+                                  std::to_string(trace.dynOps));
+    if (conv.retiredUnits != trace.eventCount)
+        return fail("models", "conv retired-unit count diverged from "
+                              "the committed block stream");
+    if (!sameSim(conv, runConventional(module, machine, trace)))
+        return fail("models", "conv rerun on the same trace differs");
+    if (!sameSim(conv, runConventional(module, machine,
+                                       options.limits)))
+        return fail("models", "conv live interpretation differs from "
+                              "trace replay");
+
+    // Block-structured machine on the default enlargement.
+    const BsaModule bsa = enlargeModule(module, EnlargeConfig{});
+    const SimResult bs = runBlockStructured(bsa, machine, trace);
+    r = checkSimInvariants(bs, machine, "bsa");
+    if (!r.ok)
+        return r;
+    if (bs.retiredOps > trace.dynOps ||
+        bs.retiredOps + trace.eventCount < trace.dynOps)
+        return fail("models", "bsa retired-op count outside the "
+                              "merge-deletion envelope");
+    if (bs.retiredUnits > trace.eventCount)
+        return fail("models", "bsa retired more units than the "
+                              "conventional block stream");
+    if (!sameSim(bs, runBlockStructured(bsa, machine, trace)))
+        return fail("models", "bsa rerun on the same trace differs");
+
+    // Trace-cache machine.
+    const TraceCacheConfig tcConfig;
+    const TraceCacheResult tc =
+        runTraceCache(module, machine, tcConfig, trace);
+    r = checkSimInvariants(tc.sim, machine, "tcache");
+    if (!r.ok)
+        return r;
+    if (tc.sim.retiredOps != trace.dynOps)
+        return fail("models", "tcache retired-op count diverged from "
+                              "the functional execution");
+
+    if (!options.checkParallel)
+        return {};
+
+    // A config grid fanned across BSISA_JOBS workers must be
+    // byte-identical to the serial run (each point owns its state).
+    std::vector<MachineConfig> grid;
+    for (const unsigned width : {8u, 16u}) {
+        for (const bool perfect : {false, true}) {
+            MachineConfig m;
+            m.issueWidth = width;
+            m.perfectPrediction = perfect;
+            grid.push_back(m);
+            m.icache.sizeBytes = 16 * 1024;
+            grid.push_back(m);
+        }
+    }
+    auto runGrid = [&](const char *jobs) {
+        setenv("BSISA_JOBS", jobs, 1);
+        std::vector<SimResult> out(grid.size() * 2);
+        parallelFor(grid.size() * 2, [&](std::size_t i) {
+            const MachineConfig &m = grid[i / 2];
+            out[i] = (i & 1)
+                         ? runBlockStructured(bsa, m, trace)
+                         : runConventional(module, m, trace);
+        });
+        return out;
+    };
+    const char *oldJobs = getenv("BSISA_JOBS");
+    const std::string saved = oldJobs ? oldJobs : "";
+    const std::vector<SimResult> serial = runGrid("1");
+    const std::vector<SimResult> fanned = runGrid("3");
+    if (oldJobs)
+        setenv("BSISA_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("BSISA_JOBS");
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (!sameSim(serial[i], fanned[i])) {
+            return fail("models",
+                        "grid point " + std::to_string(i) +
+                            " differs between BSISA_JOBS=1 and =3");
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+OracleResult
+checkProgram(const std::string &source, unsigned mask,
+             const OracleOptions &options)
+{
+    const CompileResult compiled = compileBlockC(source);
+    if (!compiled.ok)
+        return fail("frontend", "compile error: " + compiled.errors);
+    const Module &module = compiled.module;
+
+    const Golden golden = runGolden(module, options.limits);
+    if (!golden.halted) {
+        return fail("interp",
+                    "program did not halt within " +
+                        std::to_string(options.limits.maxOps) + " ops");
+    }
+
+    const ExecTrace trace = captureTrace(module, options.limits);
+
+    OracleResult r;
+    if (mask & oracleInterp) {
+        r = checkInterp(module, trace, golden, options);
+        if (!r.ok)
+            return r;
+    }
+    if (mask & oracleEnlarge) {
+        r = checkEnlarge(module, trace, golden, options);
+        if (!r.ok)
+            return r;
+    }
+    if (mask & oracleModels) {
+        r = checkModels(module, trace, options);
+        if (!r.ok)
+            return r;
+    }
+    return r;
+}
+
+} // namespace fuzz
+} // namespace bsisa

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Greedy structural shrinker implementation.
+ *
+ * All passes operate on value copies of the FuzzProgram: a candidate
+ * mutation is built, evaluated, and either adopted (it still fails)
+ * or discarded.  Statement addressing uses a flat path enumeration so
+ * a pass survives the mutations it applies mid-walk.
+ */
+
+#include "fuzz/shrink.hh"
+
+#include <cstdlib>
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Shared evaluation-budget state for one shrink run. */
+struct Budget
+{
+    const FailPredicate &pred;
+    unsigned remaining;
+    ShrinkStats stats;
+
+    bool
+    fails(const FuzzProgram &candidate)
+    {
+        if (remaining == 0)
+            return false;
+        --remaining;
+        ++stats.candidatesTried;
+        const bool failed = pred(candidate);
+        if (failed)
+            ++stats.candidatesFailed;
+        return failed;
+    }
+};
+
+// ------------------------------------------------- pass 1: functions
+
+/** Replace calls to @p victim with their first argument (or 1). */
+void
+stripCallsExpr(FuzzExpr &e, const std::string &victim)
+{
+    for (FuzzExpr &kid : e.kids)
+        stripCallsExpr(kid, victim);
+    if (e.kind == FuzzExpr::Kind::Call && e.name == victim) {
+        if (!e.kids.empty()) {
+            FuzzExpr keep = std::move(e.kids.front());
+            e = std::move(keep);
+        } else {
+            e = FuzzExpr{};
+            e.kind = FuzzExpr::Kind::IntLit;
+            e.value = 1;
+        }
+    }
+}
+
+void
+stripCallsStmts(std::vector<FuzzStmt> &stmts, const std::string &victim)
+{
+    for (FuzzStmt &s : stmts) {
+        stripCallsExpr(s.value, victim);
+        stripCallsExpr(s.index, victim);
+        stripCallsStmts(s.body, victim);
+        stripCallsStmts(s.elseBody, victim);
+        for (auto &body : s.cases)
+            stripCallsStmts(body, victim);
+    }
+}
+
+bool
+dropFunctions(FuzzProgram &prog, Budget &budget)
+{
+    bool any = false;
+    // main is always last and never dropped.
+    for (std::size_t i = 0; i + 1 < prog.funcs.size();) {
+        FuzzProgram candidate = prog;
+        const std::string victim = candidate.funcs[i].name;
+        candidate.funcs.erase(candidate.funcs.begin() + i);
+        for (FuzzFunc &f : candidate.funcs)
+            stripCallsStmts(f.body, victim);
+        if (budget.fails(candidate)) {
+            prog = std::move(candidate);
+            any = true;
+        } else {
+            ++i;
+        }
+    }
+    return any;
+}
+
+// ------------------------------------------------ pass 2: statements
+
+/** All mutable statement lists of a program, pre-order. */
+void
+collectLists(std::vector<FuzzStmt> &stmts,
+             std::vector<std::vector<FuzzStmt> *> &out)
+{
+    out.push_back(&stmts);
+    for (FuzzStmt &s : stmts) {
+        if (!s.body.empty())
+            collectLists(s.body, out);
+        if (!s.elseBody.empty())
+            collectLists(s.elseBody, out);
+        for (auto &body : s.cases)
+            if (!body.empty())
+                collectLists(body, out);
+    }
+}
+
+/** Would removing this statement orphan the function's return path?
+ *  Returns are preserved so the program always stays well-formed. */
+bool
+isProtected(const FuzzStmt &s)
+{
+    return s.kind == FuzzStmt::Kind::Return ||
+           s.kind == FuzzStmt::Kind::VarDecl;
+}
+
+bool
+dropStatements(FuzzProgram &prog, Budget &budget)
+{
+    bool any = false;
+    for (bool progress = true; progress;) {
+        progress = false;
+        // Re-enumerate addresses after every accepted mutation: the
+        // (list index, statement index) pairs shift underneath us.
+        for (std::size_t fi = 0;
+             !progress && fi < prog.funcs.size(); ++fi) {
+            std::vector<std::vector<FuzzStmt> *> lists;
+            collectLists(prog.funcs[fi].body, lists);
+            // The !progress guards come first: once a candidate is
+            // adopted, prog has been move-assigned and every pointer
+            // in `lists` dangles — the conditions must short-circuit
+            // before touching them.
+            for (std::size_t li = 0;
+                 !progress && li < lists.size(); ++li) {
+                for (std::size_t si = 0;
+                     !progress && si < lists[li]->size(); ++si) {
+                    const FuzzStmt &victim = (*lists[li])[si];
+                    if (isProtected(victim))
+                        continue;
+
+                    // Try plain deletion first, then body hoisting
+                    // for compound statements (keeps failures that
+                    // live inside the body reachable).
+                    std::vector<std::vector<FuzzStmt>> variants;
+                    variants.emplace_back();  // delete
+                    if (victim.kind == FuzzStmt::Kind::If) {
+                        variants.push_back(victim.body);
+                        if (!victim.elseBody.empty())
+                            variants.push_back(victim.elseBody);
+                    } else if (victim.kind == FuzzStmt::Kind::For) {
+                        variants.push_back(victim.body);
+                    } else if (victim.kind == FuzzStmt::Kind::Switch &&
+                               !victim.cases.empty()) {
+                        variants.push_back(victim.cases.front());
+                    }
+
+                    for (auto &replacement : variants) {
+                        // Hoisted bodies may carry break/continue out
+                        // of their loop; skip those candidates.
+                        bool hoistable = true;
+                        for (const FuzzStmt &h : replacement)
+                            if (h.kind == FuzzStmt::Kind::Break ||
+                                h.kind == FuzzStmt::Kind::Continue)
+                                hoistable = false;
+                        if (!hoistable && victim.kind ==
+                                              FuzzStmt::Kind::For)
+                            continue;
+
+                        FuzzProgram candidate = prog;
+                        std::vector<std::vector<FuzzStmt> *> clists;
+                        collectLists(candidate.funcs[fi].body, clists);
+                        auto &list = *clists[li];
+                        list.erase(list.begin() + si);
+                        list.insert(list.begin() + si,
+                                    replacement.begin(),
+                                    replacement.end());
+                        if (budget.fails(candidate)) {
+                            prog = std::move(candidate);
+                            progress = true;
+                            any = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if (budget.remaining == 0)
+            break;
+    }
+    return any;
+}
+
+// ------------------------------------------------- pass 3: constants
+
+void
+collectLiterals(FuzzExpr &e, std::vector<FuzzExpr *> &out)
+{
+    if (e.kind == FuzzExpr::Kind::IntLit)
+        out.push_back(&e);
+    for (FuzzExpr &kid : e.kids)
+        collectLiterals(kid, out);
+}
+
+void
+collectStmtExprs(std::vector<FuzzStmt> &stmts,
+                 std::vector<FuzzExpr *> &lits,
+                 std::vector<FuzzStmt *> &loops)
+{
+    for (FuzzStmt &s : stmts) {
+        collectLiterals(s.value, lits);
+        collectLiterals(s.index, lits);
+        if (s.kind == FuzzStmt::Kind::For && s.trips > 1)
+            loops.push_back(&s);
+        collectStmtExprs(s.body, lits, loops);
+        collectStmtExprs(s.elseBody, lits, loops);
+        for (auto &body : s.cases)
+            collectStmtExprs(body, lits, loops);
+    }
+}
+
+bool
+shrinkConstants(FuzzProgram &prog, Budget &budget)
+{
+    bool any = false;
+    // Index-addressed like the statement pass: the k-th literal (or
+    // loop) of the program is stable across value-only mutations.
+    auto apply = [&](auto &&mutate) {
+        for (bool progress = true; progress;) {
+            progress = false;
+            std::vector<FuzzExpr *> lits;
+            std::vector<FuzzStmt *> loops;
+            for (FuzzFunc &f : prog.funcs)
+                collectStmtExprs(f.body, lits, loops);
+            if (mutate(prog, lits, loops)) {
+                progress = true;
+                any = true;
+            }
+            if (budget.remaining == 0)
+                break;
+        }
+    };
+
+    apply([&](FuzzProgram &p, std::vector<FuzzExpr *> &lits,
+              std::vector<FuzzStmt *> &loops) {
+        (void)loops;
+        for (std::size_t k = 0; k < lits.size(); ++k) {
+            const std::int64_t v = lits[k]->value;
+            for (std::int64_t smaller :
+                 {std::int64_t(0), std::int64_t(1), v / 2}) {
+                if (smaller == v || std::llabs(smaller) >=
+                                        std::llabs(v ? v : 1))
+                    continue;
+                FuzzProgram candidate = p;
+                std::vector<FuzzExpr *> clits;
+                std::vector<FuzzStmt *> cloops;
+                for (FuzzFunc &f : candidate.funcs)
+                    collectStmtExprs(f.body, clits, cloops);
+                clits[k]->value = smaller;
+                if (budget.fails(candidate)) {
+                    p = std::move(candidate);
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+
+    apply([&](FuzzProgram &p, std::vector<FuzzExpr *> &lits,
+              std::vector<FuzzStmt *> &loops) {
+        (void)lits;
+        for (std::size_t k = 0; k < loops.size(); ++k) {
+            for (std::int64_t trips :
+                 {std::int64_t(1), loops[k]->trips / 2}) {
+                if (trips >= loops[k]->trips || trips < 1)
+                    continue;
+                FuzzProgram candidate = p;
+                std::vector<FuzzExpr *> clits;
+                std::vector<FuzzStmt *> cloops;
+                for (FuzzFunc &f : candidate.funcs)
+                    collectStmtExprs(f.body, clits, cloops);
+                cloops[k]->trips = trips;
+                if (budget.fails(candidate)) {
+                    p = std::move(candidate);
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    return any;
+}
+
+} // namespace
+
+FuzzProgram
+shrink(const FuzzProgram &program, const FailPredicate &stillFails,
+       unsigned maxEvals, ShrinkStats *stats)
+{
+    FuzzProgram best = program;
+    Budget budget{stillFails, maxEvals, {}};
+    budget.stats.linesBefore = program.renderedLines();
+
+    for (bool progress = true; progress && budget.remaining;) {
+        progress = false;
+        progress |= dropFunctions(best, budget);
+        progress |= dropStatements(best, budget);
+        progress |= shrinkConstants(best, budget);
+    }
+
+    budget.stats.linesAfter = best.renderedLines();
+    if (stats)
+        *stats = budget.stats;
+    return best;
+}
+
+} // namespace fuzz
+} // namespace bsisa

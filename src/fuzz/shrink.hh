@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproducer shrinking for the differential fuzzing harness.
+ *
+ * Given a failing FuzzProgram and a predicate that re-runs the failed
+ * oracle, shrink() greedily minimizes the program while preserving
+ * failure, in three ordered passes:
+ *   1. drop functions — calls to a dropped function are replaced by
+ *      their first argument (or the literal 1), keeping the program
+ *      well-formed;
+ *   2. drop statements — each statement is deleted, or a compound
+ *      statement (if/for/switch) is replaced by one of its bodies;
+ *   3. shrink constants — integer literals step toward 0, and loop
+ *      trip counts toward 1.
+ * Passes repeat to a fixpoint under an evaluation budget, so shrink
+ * cost is bounded even for pathological predicates.  The result is
+ * guaranteed to still satisfy the predicate (the original is returned
+ * unchanged if nothing smaller fails).
+ */
+
+#ifndef BSISA_FUZZ_SHRINK_HH
+#define BSISA_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/gen.hh"
+
+namespace bsisa
+{
+namespace fuzz
+{
+
+/** Re-runs the failing oracle; true when @p candidate still fails. */
+using FailPredicate = std::function<bool(const FuzzProgram &)>;
+
+struct ShrinkStats
+{
+    unsigned candidatesTried = 0;
+    unsigned candidatesFailed = 0;  //!< still-failing (accepted) steps
+    unsigned linesBefore = 0;
+    unsigned linesAfter = 0;
+};
+
+/**
+ * Minimize @p program under @p stillFails.
+ *
+ * @param program     A program for which stillFails(program) is true.
+ * @param stillFails  The failure predicate (oracle re-run).
+ * @param maxEvals    Budget on predicate evaluations.
+ * @param stats       Optional out-param for shrink statistics.
+ */
+FuzzProgram shrink(const FuzzProgram &program,
+                   const FailPredicate &stillFails,
+                   unsigned maxEvals = 2000,
+                   ShrinkStats *stats = nullptr);
+
+} // namespace fuzz
+} // namespace bsisa
+
+#endif // BSISA_FUZZ_SHRINK_HH

@@ -63,6 +63,11 @@ struct SimResult
     std::uint64_t stallRedirect = 0;  //!< waiting on mispredict resolve
     std::uint64_t stallWindow = 0;    //!< waiting for window space
     std::uint64_t stallIcache = 0;    //!< waiting on icache fills
+    /** High-water marks of instruction-window occupancy; bounded by
+     *  MachineConfig::windowUnits / windowOps by construction, and
+     *  cross-checked by the differential fuzzing harness. */
+    std::uint64_t peakWindowUnits = 0;
+    std::uint64_t peakWindowOps = 0;
     CacheStats icache;
     CacheStats dcache;
 

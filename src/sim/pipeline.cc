@@ -277,6 +277,11 @@ simulatePipeline(FetchSource &source, const MachineConfig &config)
         st.lastRetire = retire;
         st.inflight.push_back(retire, unit_ops);
         st.inflightOps += unit_ops;
+        result.peakWindowUnits =
+            std::max<std::uint64_t>(result.peakWindowUnits,
+                                    st.inflight.size());
+        result.peakWindowOps =
+            std::max<std::uint64_t>(result.peakWindowOps, st.inflightOps);
 
         result.retiredOps += unit_ops;
         result.retiredUnits += 1;

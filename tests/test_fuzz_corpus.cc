@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Replays the checked-in fuzz corpus (tests/data/fuzz_corpus) through
+ * all three differential oracles and against each entry's expected-
+ * state sidecar.  The corpus is generator-produced and covers the
+ * oracle classes by construction: call-dense programs, fault-heavy
+ * unpredictable branching, deep loop nests, and straight-line bursts
+ * sitting exactly on the 16-op maximum-block-size boundary.
+ *
+ * BSISA_FUZZ_CORPUS_DIR is injected by the build so the suite runs
+ * from any working directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "frontend/compile.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/oracle.hh"
+#include "ir/module.hh"
+
+using namespace bsisa;
+using namespace bsisa::fuzz;
+
+namespace
+{
+
+std::string
+corpusDir()
+{
+    return BSISA_FUZZ_CORPUS_DIR;
+}
+
+} // namespace
+
+TEST(FuzzCorpusTest, CorpusIsPresentAndCoversTheOracleClasses)
+{
+    const std::vector<std::string> names = listCorpus(corpusDir());
+    ASSERT_GE(names.size(), 10u);
+    // Every generator profile must be represented (entry names are
+    // "<profile>-seed<N>").
+    for (const char *profile :
+         {"default", "call-dense", "fault-heavy", "deep-loops",
+          "wide-blocks"}) {
+        bool found = false;
+        for (const std::string &name : names)
+            if (name.rfind(profile, 0) == 0)
+                found = true;
+        EXPECT_TRUE(found) << "no corpus entry for " << profile;
+    }
+}
+
+TEST(FuzzCorpusTest, EntriesMatchTheirSidecars)
+{
+    const std::vector<std::string> names = listCorpus(corpusDir());
+    ASSERT_FALSE(names.empty());
+    Interp::Limits limits;
+    limits.maxOps = 1u << 20;
+    for (const std::string &name : names) {
+        std::string source;
+        Expectation want;
+        ASSERT_TRUE(readCorpusEntry(corpusDir(), name, source, want))
+            << name;
+        const CompileResult compiled = compileBlockC(source);
+        ASSERT_TRUE(compiled.ok) << name << ":\n" << compiled.errors;
+
+        const Expectation got =
+            computeExpectation(compiled.module, limits);
+        EXPECT_TRUE(got.halted) << name;
+        EXPECT_EQ(got.exit, want.exit) << name;
+        EXPECT_EQ(got.dataChecksum, want.dataChecksum) << name;
+        EXPECT_EQ(got.memChecksum, want.memChecksum) << name;
+        EXPECT_EQ(got.dynOps, want.dynOps) << name;
+        EXPECT_EQ(got.dynBlocks, want.dynBlocks) << name;
+    }
+}
+
+TEST(FuzzCorpusTest, EntriesPassAllOracles)
+{
+    const std::vector<std::string> names = listCorpus(corpusDir());
+    ASSERT_FALSE(names.empty());
+    OracleOptions options;
+    // The BSISA_JOBS fan-out cross-check runs once (below), not per
+    // entry — it dominates runtime and tests the harness, not the
+    // corpus program.
+    options.checkParallel = false;
+    for (const std::string &name : names) {
+        std::string source;
+        Expectation want;
+        ASSERT_TRUE(readCorpusEntry(corpusDir(), name, source, want))
+            << name;
+        const OracleResult r =
+            checkProgram(source, oracleAll, options);
+        EXPECT_TRUE(r.ok)
+            << name << ": [" << r.oracle << "] " << r.detail;
+    }
+}
+
+TEST(FuzzCorpusTest, ParallelFanOutCrossCheck)
+{
+    const std::vector<std::string> names = listCorpus(corpusDir());
+    ASSERT_FALSE(names.empty());
+    std::string source;
+    Expectation want;
+    ASSERT_TRUE(
+        readCorpusEntry(corpusDir(), names.front(), source, want));
+    OracleOptions options;
+    options.checkParallel = true;
+    const OracleResult r = checkProgram(source, oracleModels, options);
+    EXPECT_TRUE(r.ok) << "[" << r.oracle << "] " << r.detail;
+}
+
+TEST(FuzzCorpusTest, WideBlocksEntriesSitOnTheSixteenOpBoundary)
+{
+    const std::vector<std::string> names = listCorpus(corpusDir());
+    bool checked = false;
+    for (const std::string &name : names) {
+        if (name.rfind("wide-blocks", 0) != 0)
+            continue;
+        std::string source;
+        Expectation want;
+        ASSERT_TRUE(readCorpusEntry(corpusDir(), name, source, want));
+        const Module m = compileBlockCOrDie(source);
+        std::size_t maxOps = 0;
+        for (const Function &f : m.functions)
+            for (const Block &b : f.blocks)
+                maxOps = std::max(maxOps, b.ops.size());
+        EXPECT_EQ(maxOps, 16u) << name;
+        checked = true;
+    }
+    EXPECT_TRUE(checked);
+}

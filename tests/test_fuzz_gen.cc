@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Generator and shrinker properties: generation is a deterministic
+ * function of the seed, every generated program compiles and
+ * terminates within the op budget (across all shape profiles), and
+ * the shrinker only ever returns programs that still satisfy the
+ * failure predicate it was given.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "frontend/compile.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/gen.hh"
+#include "fuzz/shrink.hh"
+#include "sim/interp.hh"
+
+using namespace bsisa;
+using namespace bsisa::fuzz;
+
+namespace
+{
+
+constexpr std::uint64_t kOpBudget = 1u << 20;
+
+Interp::Limits
+budget()
+{
+    Interp::Limits limits;
+    limits.maxOps = kOpBudget;
+    return limits;
+}
+
+} // namespace
+
+TEST(FuzzGenTest, SameSeedIsByteIdentical)
+{
+    const GenConfig cfg;
+    for (const std::uint64_t seed : {1ull, 42ull, 977ull}) {
+        const std::string a = generateProgram(seed, cfg).render();
+        const std::string b = generateProgram(seed, cfg).render();
+        EXPECT_EQ(a, b) << "seed " << seed;
+    }
+    EXPECT_NE(generateProgram(1, cfg).render(),
+              generateProgram(2, cfg).render());
+}
+
+TEST(FuzzGenTest, ProfilesAreNamedAndDistinct)
+{
+    const auto &names = genProfileNames();
+    ASSERT_GE(names.size(), 5u);
+    // Same seed, different profiles: the shape knobs must matter.
+    const std::string base = generateProgram(7, genProfile("default"))
+                                 .render();
+    for (const std::string &name : names) {
+        if (name == "default")
+            continue;
+        EXPECT_NE(base, generateProgram(7, genProfile(name)).render())
+            << name;
+    }
+}
+
+TEST(FuzzGenTest, EveryProgramCompilesAndTerminates)
+{
+    const auto &names = genProfileNames();
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        const std::string profile = names[seed % names.size()];
+        const FuzzProgram program =
+            generateProgram(seed, genProfile(profile));
+        const CompileResult compiled = compileBlockC(program.render());
+        ASSERT_TRUE(compiled.ok)
+            << profile << " seed " << seed << ":\n" << compiled.errors;
+
+        Interp interp(compiled.module, budget());
+        interp.run();
+        EXPECT_TRUE(interp.halted())
+            << profile << " seed " << seed << " ran "
+            << interp.dynOps() << " ops without halting";
+    }
+}
+
+TEST(FuzzGenTest, WideBlocksProfileReachesTheIssueWidthBoundary)
+{
+    // The wide-blocks profile exists to exercise the 16-op block
+    // boundary: after the compile-time split, some block must sit
+    // exactly at the cap.
+    const FuzzProgram program =
+        generateProgram(105, genProfile("wide-blocks"));
+    const Module m = compileBlockCOrDie(program.render());
+    std::size_t maxOps = 0;
+    for (const Function &f : m.functions)
+        for (const Block &b : f.blocks)
+            maxOps = std::max(maxOps, b.ops.size());
+    EXPECT_EQ(maxOps, 16u);
+}
+
+TEST(FuzzShrinkTest, ResultStillFailsThePredicate)
+{
+    const FuzzProgram program =
+        generateProgram(3, genProfile("default"));
+
+    // A semantic predicate: the program compiles AND still executes
+    // a nontrivial amount of work.  Shrink candidates that stop
+    // compiling (e.g. a hoisted loop body referencing its dropped
+    // counter) must be rejected, not adopted.
+    const FailPredicate pred = [](const FuzzProgram &candidate) {
+        const CompileResult c = compileBlockC(candidate.render());
+        if (!c.ok)
+            return false;
+        Interp interp(c.module, budget());
+        interp.run();
+        return interp.halted() && interp.dynOps() > 50;
+    };
+    ASSERT_TRUE(pred(program));
+
+    ShrinkStats stats;
+    const FuzzProgram minimal = shrink(program, pred, 400, &stats);
+    EXPECT_TRUE(pred(minimal));
+    EXPECT_LE(minimal.renderedLines(), program.renderedLines());
+    EXPECT_LT(stats.linesAfter, stats.linesBefore);
+    EXPECT_GT(stats.candidatesTried, 0u);
+}
+
+TEST(FuzzShrinkTest, ReturnsOriginalWhenNothingSmallerFails)
+{
+    const FuzzProgram program =
+        generateProgram(4, genProfile("default"));
+    const std::string original = program.render();
+    // Predicate pinned to the exact original source: no strictly
+    // smaller candidate can match it.
+    const FailPredicate pred = [&](const FuzzProgram &candidate) {
+        return candidate.render() == original;
+    };
+    const FuzzProgram minimal = shrink(program, pred, 200);
+    EXPECT_EQ(minimal.render(), original);
+}
+
+TEST(FuzzCorpusIoTest, ExpectationAndEntryRoundTrip)
+{
+    Expectation e;
+    e.halted = true;
+    e.exit = 187;
+    e.dataChecksum = 0xdeadbeefcafef00dULL;
+    e.memChecksum = 12345;
+    e.dynOps = 2923;
+    e.dynBlocks = 273;
+    Expectation back;
+    ASSERT_TRUE(parseExpectation(formatExpectation(e), back));
+    EXPECT_EQ(back.halted, e.halted);
+    EXPECT_EQ(back.exit, e.exit);
+    EXPECT_EQ(back.dataChecksum, e.dataChecksum);
+    EXPECT_EQ(back.memChecksum, e.memChecksum);
+    EXPECT_EQ(back.dynOps, e.dynOps);
+    EXPECT_EQ(back.dynBlocks, e.dynBlocks);
+
+    Expectation bad;
+    EXPECT_FALSE(parseExpectation("exit 1\n", bad));
+    EXPECT_FALSE(parseExpectation("bogus 7\n", bad));
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "bsisa-corpus-io-test").string();
+    const std::string source = "fn main() { return 187; }\n";
+    ASSERT_TRUE(writeCorpusEntry(dir, "unit", source, e));
+    std::string src2;
+    Expectation e2;
+    ASSERT_TRUE(readCorpusEntry(dir, "unit", src2, e2));
+    EXPECT_EQ(src2, source);
+    EXPECT_EQ(e2.exit, e.exit);
+    const auto names = listCorpus(dir);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names.front(), "unit");
+    std::filesystem::remove_all(dir);
+}

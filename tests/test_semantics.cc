@@ -180,3 +180,85 @@ TEST_P(IssueWidthSweepTest, EnlargementRespectsWidthAndSemantics)
 INSTANTIATE_TEST_SUITE_P(Widths, IssueWidthSweepTest,
                          ::testing::Values(4u, 6u, 8u, 12u, 16u, 24u,
                                            32u));
+
+// ---------------------------------------------------------------------
+// Atomic all-or-nothing under op budgets: an Interp::Limits-style op
+// budget that expires strictly inside an enlarged block must not
+// commit (or suppress) a partial block.  Stopping on an op budget b
+// must leave exactly the state of stopping at the same block boundary
+// by block count — for every b, under both fetch policies.
+// ---------------------------------------------------------------------
+
+TEST(AtomicBudgetTest, OpBudgetExpiryNeverCommitsPartialBlocks)
+{
+    const char *src = R"(
+        var d[16];
+        fn mix(x, i) {
+            var t = x ^ i;
+            if (d[i & 15] & 1) { t = t * 3 + 1; } else { t = t - i; }
+            return t;
+        }
+        fn main() {
+            var acc = 0;
+            for (var i = 0; i < 24; i = i + 1) {
+                d[i & 15] = (i * 2654435761) & 255;
+                acc = (acc + mix(acc, i)) & 0xffffff;
+            }
+            return acc;
+        }
+    )";
+    const Module m = compileBlockCOrDie(src);
+    const BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+
+    for (const bool random : {false, true}) {
+        auto policy = [&] {
+            return random ? randomVariantPolicy(99)
+                          : firstVariantPolicy();
+        };
+        BsaInterp full(bsa, policy());
+        full.run();
+        ASSERT_TRUE(full.halted());
+        const std::uint64_t total =
+            full.committedOps() + full.suppressedOps();
+        ASSERT_GT(total, 64u);
+
+        unsigned midBlockStops = 0;
+        for (std::uint64_t b = 1; b <= total; b += 7) {
+            BsaInterp::Limits la;
+            la.maxOps = b;
+            BsaInterp a(bsa, policy(), la);
+            a.run();
+            const std::uint64_t aOps =
+                a.committedOps() + a.suppressedOps();
+            if (!a.halted()) {
+                // The limit stops cleanly at a block boundary, so the
+                // executed total reaches the budget; overshoot means
+                // the budget expired inside the final block, which
+                // still executed whole.
+                EXPECT_GE(aOps, b) << "budget " << b;
+                if (aOps > b)
+                    ++midBlockStops;
+            }
+
+            BsaInterp::Limits lb;
+            lb.maxBlocks =
+                a.committedBlocks() + a.suppressedBlocks();
+            BsaInterp c(bsa, policy(), lb);
+            c.run();
+            EXPECT_EQ(a.committedOps(), c.committedOps())
+                << "budget " << b;
+            EXPECT_EQ(a.suppressedOps(), c.suppressedOps())
+                << "budget " << b;
+            EXPECT_EQ(a.committedBlocks(), c.committedBlocks())
+                << "budget " << b;
+            EXPECT_EQ(a.suppressedBlocks(), c.suppressedBlocks())
+                << "budget " << b;
+            EXPECT_EQ(a.halted(), c.halted()) << "budget " << b;
+            EXPECT_EQ(a.exitValue(), c.exitValue()) << "budget " << b;
+            EXPECT_EQ(a.memChecksum(), c.memChecksum())
+                << "budget " << b;
+        }
+        // The sweep must actually have hit the mid-block path.
+        EXPECT_GT(midBlockStops, 0u) << (random ? "random" : "first");
+    }
+}

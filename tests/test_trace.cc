@@ -55,6 +55,8 @@ expectSameSim(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.stallRedirect, b.stallRedirect);
     EXPECT_EQ(a.stallWindow, b.stallWindow);
     EXPECT_EQ(a.stallIcache, b.stallIcache);
+    EXPECT_EQ(a.peakWindowUnits, b.peakWindowUnits);
+    EXPECT_EQ(a.peakWindowOps, b.peakWindowOps);
     expectSameCacheStats(a.icache, b.icache);
     expectSameCacheStats(a.dcache, b.dcache);
 }

@@ -95,6 +95,8 @@ expectSameSim(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.stallRedirect, b.stallRedirect);
     EXPECT_EQ(a.stallWindow, b.stallWindow);
     EXPECT_EQ(a.stallIcache, b.stallIcache);
+    EXPECT_EQ(a.peakWindowUnits, b.peakWindowUnits);
+    EXPECT_EQ(a.peakWindowOps, b.peakWindowOps);
     EXPECT_EQ(a.icache.accesses, b.icache.accesses);
     EXPECT_EQ(a.icache.misses, b.icache.misses);
     EXPECT_EQ(a.dcache.accesses, b.dcache.accesses);
