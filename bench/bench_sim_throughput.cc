@@ -226,6 +226,140 @@ BENCHMARK(BM_PairSweep_CaptureReplayParallel)
     ->UseRealTime();
 
 /**
+ * The lockstep sweep engine against the per-config replay it
+ * replaces: a sixteen-config grid (issue width x predictor geometry x
+ * prediction mode x icache size, the shape of the ablation drivers)
+ * over one captured trace.  The independent path replays the trace
+ * once per config, exactly as the figure drivers did before batching;
+ * the lockstep path walks the trace once and advances all sixteen
+ * machine lanes per event, sharing the config-independent translation
+ * plus one predictor per identical-predictor group, one dcache
+ * hit/miss stream per dcache geometry, and one icache model per
+ * geometry within a group (effectively identical configs collapse to
+ * a single lane).  Items/s is simulated operations per second summed
+ * over the grid, so lockstep/independent is directly the sweep
+ * speedup recorded in BENCH_PR6.json.
+ */
+std::vector<MachineConfig>
+benchGrid16()
+{
+    std::vector<MachineConfig> grid;
+    for (const unsigned width : {8u, 16u}) {
+        for (const unsigned hist : {8u, 12u}) {
+            for (const bool perfect : {false, true}) {
+                for (const unsigned kb : {16u, 64u}) {
+                    MachineConfig m;
+                    m.issueWidth = width;
+                    m.predictor.historyBits = hist;
+                    m.perfectPrediction = perfect;
+                    m.icache.sizeBytes = kb * 1024;
+                    grid.push_back(m);
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+void
+BM_Grid16Conv_IndependentReplay(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (const MachineConfig &machine : grid)
+            total += runConventional(m, machine, trace).cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Conv_IndependentReplay)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Grid16Conv_Lockstep(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    for (auto _ : state) {
+        const std::vector<SimResult> results =
+            runConventionalBatch(m, grid, trace);
+        std::uint64_t total = 0;
+        for (const SimResult &r : results)
+            total += r.cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Conv_Lockstep)->Unit(benchmark::kMillisecond);
+
+void
+BM_Grid16Bsa_IndependentReplay(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    layoutBsaModule(bsa);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (const MachineConfig &machine : grid)
+            total += runBlockStructured(bsa, machine, trace).cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Bsa_IndependentReplay)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Grid16Bsa_Lockstep(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    layoutBsaModule(bsa);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    for (auto _ : state) {
+        const std::vector<SimResult> results =
+            runBlockStructuredBatch(bsa, grid, trace);
+        std::uint64_t total = 0;
+        for (const SimResult &r : results)
+            total += r.cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Bsa_Lockstep)->Unit(benchmark::kMillisecond);
+
+/**
  * Trace-store cold vs warm cost, and the sweep driven from a warm
  * store.  "Cold" is what the first process in a suite pays per
  * benchmark (functional execution + encode + atomic write); "warm" is
@@ -502,6 +636,79 @@ writeJson(const std::vector<TeeReporter::Entry> &entries)
     std::fclose(f);
 }
 
+/** Write the lockstep-vs-independent-replay grid numbers as
+ *  BENCH_PR6.json (path overridable via BSISA_BENCH_JSON_PR6; empty
+ *  string disables).  The speedup keys are real-time ratios of the
+ *  same sixteen-config sweep run both ways on this machine. */
+void
+writePr6Json(const std::vector<TeeReporter::Entry> &entries)
+{
+    const char *env = std::getenv("BSISA_BENCH_JSON_PR6");
+    const std::string path = env ? env : "BENCH_PR6.json";
+    if (path.empty())
+        return;
+
+    double conv_indep = 0.0, conv_lock = 0.0;
+    double bsa_indep = 0.0, bsa_lock = 0.0;
+    bool any = false;
+    for (const TeeReporter::Entry &e : entries) {
+        if (e.name.find("Grid16") == std::string::npos)
+            continue;
+        any = true;
+        if (e.name.find("Grid16Conv_IndependentReplay") !=
+            std::string::npos)
+            conv_indep = e.itemsPerSecond;
+        else if (e.name.find("Grid16Conv_Lockstep") !=
+                 std::string::npos)
+            conv_lock = e.itemsPerSecond;
+        else if (e.name.find("Grid16Bsa_IndependentReplay") !=
+                 std::string::npos)
+            bsa_indep = e.itemsPerSecond;
+        else if (e.name.find("Grid16Bsa_Lockstep") !=
+                 std::string::npos)
+            bsa_lock = e.itemsPerSecond;
+    }
+    if (!any)
+        return;  // grid benchmarks filtered out of this run
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    bool first = true;
+    for (const TeeReporter::Entry &e : entries) {
+        if (e.name.find("Grid16") == std::string::npos)
+            continue;
+        std::fprintf(f,
+                     "%s    {\"name\": \"%s\", "
+                     "\"real_time_sec\": %.9g, "
+                     "\"cpu_time_sec\": %.9g, "
+                     "\"items_per_second\": %.9g, "
+                     "\"iterations\": %lld}",
+                     first ? "" : ",\n", e.name.c_str(),
+                     e.realTimeSec, e.cpuTimeSec, e.itemsPerSecond,
+                     static_cast<long long>(e.iterations));
+        first = false;
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"grid_configs\": 16,\n");
+    std::fprintf(f,
+                 "  \"conv_independent_ops_per_sec\": %.9g,\n"
+                 "  \"conv_lockstep_ops_per_sec\": %.9g,\n"
+                 "  \"bsa_independent_ops_per_sec\": %.9g,\n"
+                 "  \"bsa_lockstep_ops_per_sec\": %.9g,\n",
+                 conv_indep, conv_lock, bsa_indep, bsa_lock);
+    std::fprintf(f, "  \"conv_lockstep_speedup\": %.6g,\n",
+                 conv_indep > 0.0 ? conv_lock / conv_indep : 0.0);
+    std::fprintf(f, "  \"bsa_lockstep_speedup\": %.6g\n",
+                 bsa_indep > 0.0 ? bsa_lock / bsa_indep : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
 } // namespace
 
 int
@@ -514,6 +721,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     writeJson(reporter.entries);
+    writePr6Json(reporter.entries);
     bsisabench::reportTraceStore();
     std::error_code ec;
     std::filesystem::remove_all(benchStoreDir(), ec);

@@ -174,13 +174,27 @@ runCycleComparison(std::ostream &os, bool perfectPrediction)
        << "\n";
 
     const auto suite = specint95Suite();
-    std::vector<BenchOutcome> outcomes(suite.size());
-    parallelFor(suite.size(), [&](std::size_t i) {
-        const Module m = generateWorkload(suite[i].params);
+    const std::vector<Module> modules = generateSuiteModules(suite);
+    const std::vector<ExecTrace> traces =
+        captureSuiteTraces(suite, modules, 1);
+
+    PairSweep sweep;
+    std::vector<std::size_t> pointOf(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const std::size_t b = sweep.addBenchmark(modules[i],
+                                                 traces[i]);
         RunConfig config = baseConfig(suite[i]);
         config.machine.perfectPrediction = perfectPrediction;
-        outcomes[i] = outcomeOf(suite[i], runPair(m, config));
-    });
+        pointOf[i] = sweep.addPoint(b, config);
+    }
+    sweep.plan();
+    parallelFor(sweep.batchCount(),
+                [&](std::size_t b) { sweep.runBatch(b); });
+
+    std::vector<BenchOutcome> outcomes(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        outcomes[i] =
+            outcomeOf(suite[i], sweep.results()[pointOf[i]]);
 
     Table t({"Benchmark", "Conventional (cycles)",
              "Block-Structured (cycles)", "Reduction"});
@@ -209,12 +223,25 @@ runBlockSizeComparison(std::ostream &os)
     os << "Figure 5: Average block sizes for block-structured and "
           "conventional ISA executables\n(retired blocks only).\n\n";
     const auto suite = specint95Suite();
+    const std::vector<Module> modules = generateSuiteModules(suite);
+    const std::vector<ExecTrace> traces =
+        captureSuiteTraces(suite, modules, 1);
+
+    PairSweep sweep;
+    std::vector<std::size_t> pointOf(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const std::size_t b = sweep.addBenchmark(modules[i],
+                                                 traces[i]);
+        pointOf[i] = sweep.addPoint(b, baseConfig(suite[i]));
+    }
+    sweep.plan();
+    parallelFor(sweep.batchCount(),
+                [&](std::size_t b) { sweep.runBatch(b); });
+
     std::vector<BenchOutcome> outcomes(suite.size());
-    parallelFor(suite.size(), [&](std::size_t i) {
-        const Module m = generateWorkload(suite[i].params);
+    for (std::size_t i = 0; i < suite.size(); ++i)
         outcomes[i] =
-            outcomeOf(suite[i], runPair(m, baseConfig(suite[i])));
-    });
+            outcomeOf(suite[i], sweep.results()[pointOf[i]]);
 
     Table t({"Benchmark", "Conventional", "Block-Structured"});
     BarChart chart("Average retired block size (operations)",
@@ -250,48 +277,38 @@ runIcacheSweep(std::ostream &os, bool blockStructured)
     const auto suite = specint95Suite();
 
     // One functional trace per benchmark serves the perfect-icache
-    // baseline and every swept size.
-    struct SweepPrep
-    {
-        Module m;
-        ExecTrace trace;
-        BsaModule bsa;
-        std::uint64_t baseCycles = 0;
-    };
-    std::vector<SweepPrep> prep(suite.size());
-    parallelFor(suite.size(), [&](std::size_t i) {
-        SweepPrep &p = prep[i];
-        p.m = generateWorkload(suite[i].params);
-        RunConfig ideal = baseConfig(suite[i]);
-        ideal.machine.icache.perfect = true;
-        p.trace = captureOrLoadTrace(p.m, ideal.limits);
-        if (blockStructured) {
-            p.bsa = enlargeModule(p.m, ideal.enlarge);
-            layoutBsaModule(p.bsa);
-            p.baseCycles =
-                runBlockStructured(p.bsa, ideal.machine, p.trace)
-                    .cycles;
-        } else {
-            p.baseCycles =
-                runConventional(p.m, ideal.machine, p.trace).cycles;
-        }
-    });
-
+    // baseline and every swept size, and all four configs advance in
+    // a single lockstep walk of that trace; BSISA_JOBS fans across
+    // benchmarks (one batch each).
     const std::size_t nsizes = icacheSizesKB.size();
+    std::vector<std::uint64_t> baseCycles(suite.size());
     std::vector<std::uint64_t> cycles(suite.size() * nsizes);
-    parallelFor(cycles.size(), [&](std::size_t idx) {
-        const std::size_t bi = idx / nsizes;
-        const unsigned kb = icacheSizesKB[idx % nsizes];
-        RunConfig config = baseConfig(suite[bi]);
-        config.machine.icache.sizeBytes = kb * 1024;
-        cycles[idx] =
-            blockStructured
-                ? runBlockStructured(prep[bi].bsa, config.machine,
-                                     prep[bi].trace)
-                      .cycles
-                : runConventional(prep[bi].m, config.machine,
-                                  prep[bi].trace)
-                      .cycles;
+    parallelFor(suite.size(), [&](std::size_t bi) {
+        const Module m = generateWorkload(suite[bi].params);
+        RunConfig ideal = baseConfig(suite[bi]);
+        ideal.machine.icache.perfect = true;
+        const ExecTrace trace = captureOrLoadTrace(m, ideal.limits);
+
+        std::vector<MachineConfig> machines;
+        machines.reserve(1 + nsizes);
+        machines.push_back(ideal.machine);
+        for (unsigned kb : icacheSizesKB) {
+            RunConfig config = baseConfig(suite[bi]);
+            config.machine.icache.sizeBytes = kb * 1024;
+            machines.push_back(config.machine);
+        }
+
+        std::vector<SimResult> sims;
+        if (blockStructured) {
+            BsaModule bsa = enlargeModule(m, ideal.enlarge);
+            layoutBsaModule(bsa);
+            sims = runBlockStructuredBatch(bsa, machines, trace);
+        } else {
+            sims = runConventionalBatch(m, machines, trace);
+        }
+        baseCycles[bi] = sims[0].cycles;
+        for (std::size_t si = 0; si < nsizes; ++si)
+            cycles[bi * nsizes + si] = sims[1 + si].cycles;
     });
 
     std::vector<IcacheSweepRow> rows;
@@ -310,7 +327,7 @@ runIcacheSweep(std::ostream &os, bool blockStructured)
         for (std::size_t si = 0; si < nsizes; ++si) {
             const double increase =
                 double(cycles[bi * nsizes + si]) /
-                    double(prep[bi].baseCycles) -
+                    double(baseCycles[bi]) -
                 1.0;
             row.relativeIncrease.push_back(increase);
             cells.push_back(Table::fmt(increase, 3));
@@ -344,8 +361,21 @@ runLimitsAblation(std::ostream &os)
     const std::vector<ExecTrace> traces =
         captureSuiteTraces(suite, modules, 4);
 
+    // Unsplit-module configs register with the sweep planner: per
+    // benchmark the (identical) conventional runs collapse into one
+    // lockstep walk while each distinct enlargement keeps its own BSA
+    // run.  Narrow widths need a re-split copy (whose committed
+    // stream differs — fresh capture), so they stay on the
+    // standalone path as extra parallel tasks.
+    PairSweep sweep;
+    std::vector<std::size_t> benchId(suite.size());
+    for (std::size_t bi = 0; bi < suite.size(); ++bi)
+        benchId[bi] = sweep.addBenchmark(modules[bi], traces[bi]);
+
     std::vector<PairResult> results(nconfigs * suite.size());
-    parallelFor(results.size(), [&](std::size_t idx) {
+    std::vector<std::ptrdiff_t> pointOf(results.size(), -1);
+    std::vector<std::size_t> resplit;
+    for (std::size_t idx = 0; idx < results.size(); ++idx) {
         const std::size_t ci = idx / suite.size();
         const std::size_t bi = idx % suite.size();
         const auto [max_ops, max_faults] = configs[ci];
@@ -353,17 +383,35 @@ runLimitsAblation(std::ostream &os)
         config.limits.maxOps /= 4;  // ablations use 1/4 budget
         config.enlarge.maxOps = max_ops;
         config.enlarge.maxFaults = max_faults;
-        if (max_ops < 16) {
-            // The compiler splits blocks at the atomic-block size
-            // limit, so narrower widths need a re-split copy (whose
-            // committed stream differs — fresh capture).
-            Module m = modules[bi];
-            splitOversizedBlocks(m, max_ops);
-            results[idx] = runPair(m, config);
-        } else {
-            results[idx] = runPair(modules[bi], config, traces[bi]);
+        if (max_ops < 16)
+            resplit.push_back(idx);
+        else
+            pointOf[idx] = std::ptrdiff_t(
+                sweep.addPoint(benchId[bi], config));
+    }
+    sweep.plan();
+
+    parallelFor(sweep.batchCount() + resplit.size(),
+                [&](std::size_t task) {
+        if (task < sweep.batchCount()) {
+            sweep.runBatch(task);
+            return;
         }
+        const std::size_t idx = resplit[task - sweep.batchCount()];
+        const std::size_t ci = idx / suite.size();
+        const std::size_t bi = idx % suite.size();
+        const auto [max_ops, max_faults] = configs[ci];
+        RunConfig config = baseConfig(suite[bi]);
+        config.limits.maxOps /= 4;
+        config.enlarge.maxOps = max_ops;
+        config.enlarge.maxFaults = max_faults;
+        Module m = modules[bi];
+        splitOversizedBlocks(m, max_ops);
+        results[idx] = runPair(m, config);
     });
+    for (std::size_t idx = 0; idx < results.size(); ++idx)
+        if (pointOf[idx] >= 0)
+            results[idx] = sweep.results()[std::size_t(pointOf[idx])];
 
     for (std::size_t ci = 0; ci < nconfigs; ++ci) {
         double total_red = 0.0, total_blk = 0.0, total_exp = 0.0;
@@ -401,15 +449,30 @@ runProfileAblation(std::ostream &os)
     const std::vector<ExecTrace> traces =
         captureSuiteTraces(suite, modules, 4);
 
-    std::vector<PairResult> results(nthresh * suite.size());
-    parallelFor(results.size(), [&](std::size_t idx) {
+    // Each threshold enlarges differently (BSA runs stay singleton),
+    // but every benchmark's five identical conventional runs share
+    // one lockstep walk.
+    PairSweep sweep;
+    std::vector<std::size_t> benchId(suite.size());
+    for (std::size_t bi = 0; bi < suite.size(); ++bi)
+        benchId[bi] = sweep.addBenchmark(modules[bi], traces[bi]);
+
+    std::vector<std::size_t> pointOf(nthresh * suite.size());
+    for (std::size_t idx = 0; idx < pointOf.size(); ++idx) {
         const std::size_t ti = idx / suite.size();
         const std::size_t bi = idx % suite.size();
         RunConfig config = baseConfig(suite[bi]);
         config.limits.maxOps /= 4;  // ablations use 1/4 budget
         config.minMergeBias = thresholds[ti];
-        results[idx] = runPair(modules[bi], config, traces[bi]);
-    });
+        pointOf[idx] = sweep.addPoint(benchId[bi], config);
+    }
+    sweep.plan();
+    parallelFor(sweep.batchCount(),
+                [&](std::size_t b) { sweep.runBatch(b); });
+
+    std::vector<PairResult> results(nthresh * suite.size());
+    for (std::size_t idx = 0; idx < results.size(); ++idx)
+        results[idx] = sweep.results()[pointOf[idx]];
 
     for (std::size_t ti = 0; ti < nthresh; ++ti) {
         double total_red = 0.0, total_exp = 0.0, total_miss = 0.0;
@@ -445,16 +508,32 @@ runPredictorAblation(std::ostream &os)
     const std::vector<ExecTrace> traces =
         captureSuiteTraces(suite, modules, 4);
 
-    std::vector<PairResult> geomResults(ngeom * suite.size());
-    parallelFor(geomResults.size(), [&](std::size_t idx) {
+    // Only the predictor geometry varies, so per benchmark the whole
+    // grid collapses to two lockstep walks: one advancing every
+    // conventional lane, one advancing every BSA lane (the module
+    // enlarges once per benchmark).
+    PairSweep geomSweep;
+    std::vector<std::size_t> geomBench(suite.size());
+    for (std::size_t bi = 0; bi < suite.size(); ++bi)
+        geomBench[bi] = geomSweep.addBenchmark(modules[bi],
+                                               traces[bi]);
+    std::vector<std::size_t> geomPoint(ngeom * suite.size());
+    for (std::size_t idx = 0; idx < geomPoint.size(); ++idx) {
         const std::size_t ci = idx / suite.size();
         const std::size_t bi = idx % suite.size();
         RunConfig config = baseConfig(suite[bi]);
         config.limits.maxOps /= 4;  // ablations use 1/4 budget
         config.machine.predictor.historyBits = configs[ci].first;
         config.machine.predictor.phtBits = configs[ci].second;
-        geomResults[idx] = runPair(modules[bi], config, traces[bi]);
-    });
+        geomPoint[idx] = geomSweep.addPoint(geomBench[bi], config);
+    }
+    geomSweep.plan();
+    parallelFor(geomSweep.batchCount(),
+                [&](std::size_t b) { geomSweep.runBatch(b); });
+
+    std::vector<PairResult> geomResults(ngeom * suite.size());
+    for (std::size_t idx = 0; idx < geomResults.size(); ++idx)
+        geomResults[idx] = geomSweep.results()[geomPoint[idx]];
 
     for (std::size_t ci = 0; ci < ngeom; ++ci) {
         double conv_acc = 0.0, bsa_acc = 0.0, total_red = 0.0;
@@ -482,15 +561,28 @@ runPredictorAblation(std::ostream &os)
         PredictorScheme::PAg, PredictorScheme::PAs};
     const std::size_t nschemes = std::size(schemes);
 
-    std::vector<PairResult> schemeResults(nschemes * suite.size());
-    parallelFor(schemeResults.size(), [&](std::size_t idx) {
+    PairSweep schemeSweep;
+    std::vector<std::size_t> schemeBench(suite.size());
+    for (std::size_t bi = 0; bi < suite.size(); ++bi)
+        schemeBench[bi] = schemeSweep.addBenchmark(modules[bi],
+                                                   traces[bi]);
+    std::vector<std::size_t> schemePoint(nschemes * suite.size());
+    for (std::size_t idx = 0; idx < schemePoint.size(); ++idx) {
         const std::size_t ci = idx / suite.size();
         const std::size_t bi = idx % suite.size();
         RunConfig config = baseConfig(suite[bi]);
         config.limits.maxOps /= 4;
         config.machine.predictor.scheme = schemes[ci];
-        schemeResults[idx] = runPair(modules[bi], config, traces[bi]);
-    });
+        schemePoint[idx] = schemeSweep.addPoint(schemeBench[bi],
+                                                config);
+    }
+    schemeSweep.plan();
+    parallelFor(schemeSweep.batchCount(),
+                [&](std::size_t b) { schemeSweep.runBatch(b); });
+
+    std::vector<PairResult> schemeResults(nschemes * suite.size());
+    for (std::size_t idx = 0; idx < schemeResults.size(); ++idx)
+        schemeResults[idx] = schemeSweep.results()[schemePoint[idx]];
 
     for (std::size_t ci = 0; ci < nschemes; ++ci) {
         double conv_acc = 0.0, bsa_acc = 0.0, total_red = 0.0;

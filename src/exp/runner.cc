@@ -8,9 +8,11 @@
 #include "codegen/layout.hh"
 #include "sim/bsa_source.hh"
 #include "sim/conv_source.hh"
+#include "sim/lockstep.hh"
 #include "sim/pipeline.hh"
 #include "sim/tc_source.hh"
 #include "sim/trace_store.hh"
+#include "support/logging.hh"
 
 namespace bsisa
 {
@@ -75,6 +77,181 @@ runTraceCache(const Module &module, const MachineConfig &machine,
     result.traceHits = source.traceHits();
     result.traceMisses = source.traceMisses();
     return result;
+}
+
+std::vector<SimResult>
+runConventionalBatch(const Module &module,
+                     const std::vector<MachineConfig> &machines,
+                     const ExecTrace &trace)
+{
+    if (machines.empty())
+        return {};
+    if (machines.size() == 1)
+        return {runConventional(module, machines[0], trace)};
+    const ConvLayout layout(module);
+    const DecodedProgram decoded = DecodedProgram::forModule(module);
+    return lockstepConventional(module, layout, decoded, machines,
+                                trace);
+}
+
+std::vector<SimResult>
+runBlockStructuredBatch(const BsaModule &bsa,
+                        const std::vector<MachineConfig> &machines,
+                        const ExecTrace &trace)
+{
+    if (machines.empty())
+        return {};
+    if (machines.size() == 1)
+        return {runBlockStructured(bsa, machines[0], trace)};
+    const DecodedProgram decoded = DecodedProgram::forBsa(bsa);
+    return lockstepBlockStructured(bsa, decoded, machines, trace);
+}
+
+std::vector<TraceCacheResult>
+runTraceCacheBatch(const Module &module,
+                   const std::vector<MachineConfig> &machines,
+                   const std::vector<TraceCacheConfig> &tcConfigs,
+                   const ExecTrace &trace)
+{
+    BSISA_ASSERT(machines.size() == tcConfigs.size());
+    if (machines.empty())
+        return {};
+    if (machines.size() == 1)
+        return {runTraceCache(module, machines[0], tcConfigs[0],
+                              trace)};
+    const ConvLayout layout(module);
+    const DecodedProgram decoded = DecodedProgram::forModule(module);
+    return lockstepTraceCache(module, layout, decoded, machines,
+                              tcConfigs, trace);
+}
+
+namespace
+{
+
+/** Block-structured lanes may only share a walk when they would
+ *  enlarge to the same BsaModule. */
+bool
+sameEnlargement(const RunConfig &a, const RunConfig &b)
+{
+    return a.enlarge.maxOps == b.enlarge.maxOps &&
+           a.enlarge.maxFaults == b.enlarge.maxFaults &&
+           a.enlarge.mergeAcrossBackEdges ==
+               b.enlarge.mergeAcrossBackEdges &&
+           a.enlarge.enlargeLibraryFunctions ==
+               b.enlarge.enlargeLibraryFunctions &&
+           a.enlarge.enabled == b.enlarge.enabled &&
+           a.enlarge.maxVariantsPerHead ==
+               b.enlarge.maxVariantsPerHead &&
+           a.enlarge.minMergeBias == b.enlarge.minMergeBias &&
+           a.minMergeBias == b.minMergeBias;
+}
+
+} // namespace
+
+std::size_t
+PairSweep::addBenchmark(const Module &module, const ExecTrace &trace)
+{
+    BSISA_ASSERT(!planned);
+    benches.push_back(Bench{&module, &trace, {}});
+    return benches.size() - 1;
+}
+
+std::size_t
+PairSweep::addPoint(std::size_t bench, const RunConfig &config)
+{
+    BSISA_ASSERT(!planned && bench < benches.size());
+    const std::size_t idx = points.size();
+    pointBench.push_back(bench);
+    pointConfig.push_back(config);
+    points.emplace_back();
+    benches[bench].pointIds.push_back(idx);
+    return idx;
+}
+
+void
+PairSweep::plan()
+{
+    BSISA_ASSERT(!planned);
+    planned = true;
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const std::vector<std::size_t> &ids = benches[b].pointIds;
+        if (ids.empty())
+            continue;
+        // All conventional points of a benchmark share one walk: the
+        // conventional machine is independent of the enlargement
+        // parameters, so any config mix is a valid batch.
+        batches.push_back(Batch{false, b, ids});
+        // Block-structured points group by enlargement identity.
+        std::vector<std::size_t> groups;  // batch indices, this bench
+        for (std::size_t idx : ids) {
+            bool placed = false;
+            for (std::size_t g : groups) {
+                if (sameEnlargement(
+                        pointConfig[batches[g].pointIds.front()],
+                        pointConfig[idx])) {
+                    batches[g].pointIds.push_back(idx);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed) {
+                groups.push_back(batches.size());
+                batches.push_back(Batch{true, b, {idx}});
+            }
+        }
+    }
+}
+
+void
+PairSweep::runBatch(std::size_t batch)
+{
+    BSISA_ASSERT(planned && batch < batches.size());
+    const Batch &bt = batches[batch];
+    const Bench &bench = benches[bt.bench];
+
+    if (!bt.blockStructured) {
+        const ConvLayout layout(*bench.module);
+        std::vector<MachineConfig> machines;
+        machines.reserve(bt.pointIds.size());
+        for (std::size_t idx : bt.pointIds) {
+            points[idx].convCodeBytes = layout.totalBytes();
+            points[idx].dynOps = bench.trace->dynOps;
+            machines.push_back(pointConfig[idx].machine);
+        }
+        const std::vector<SimResult> sims =
+            runConventionalBatch(*bench.module, machines,
+                                 *bench.trace);
+        for (std::size_t i = 0; i < bt.pointIds.size(); ++i)
+            points[bt.pointIds[i]].conv = sims[i];
+        return;
+    }
+
+    // One enlargement serves every lane of a block-structured batch.
+    const RunConfig &head = pointConfig[bt.pointIds.front()];
+    EnlargeConfig enlarge_cfg = head.enlarge;
+    ProfileData profile;
+    const ProfileData *profile_ptr = nullptr;
+    if (head.minMergeBias > 0.0) {
+        profile = profileFromTrace(*bench.trace);
+        profile_ptr = &profile;
+        enlarge_cfg.minMergeBias = head.minMergeBias;
+    }
+    EnlargeStats stats;
+    BsaModule bsa = enlargeModule(*bench.module, enlarge_cfg,
+                                  profile_ptr, &stats);
+    const std::uint64_t code_bytes = layoutBsaModule(bsa);
+
+    std::vector<MachineConfig> machines;
+    machines.reserve(bt.pointIds.size());
+    for (std::size_t idx : bt.pointIds) {
+        points[idx].enlarge = stats;
+        points[idx].bsaCodeBytes = code_bytes;
+        machines.push_back(pointConfig[idx].machine);
+    }
+    const std::vector<SimResult> sims =
+        runBlockStructuredBatch(bsa, machines, *bench.trace);
+    for (std::size_t i = 0; i < bt.pointIds.size(); ++i)
+        points[bt.pointIds[i]].bsa = sims[i];
 }
 
 PairResult

@@ -9,6 +9,8 @@
 #ifndef BSISA_EXP_RUNNER_HH
 #define BSISA_EXP_RUNNER_HH
 
+#include <vector>
+
 #include "core/enlarge.hh"
 #include "ir/module.hh"
 #include "sim/interp.hh"
@@ -84,23 +86,90 @@ PairResult runPair(const Module &module, const RunConfig &config,
                    const ExecTrace &trace);
 
 /**
+ * Batched conventional simulation: one lockstep walk replays @p trace
+ * once and advances every config in @p machines per event
+ * (sim/lockstep.hh), sharing one ConvLayout and one DecodedProgram
+ * across all lanes.  A single-config batch falls back to the
+ * per-config replay path.  Results are bit-identical to running each
+ * config through runConventional() independently.
+ */
+std::vector<SimResult> runConventionalBatch(
+    const Module &module, const std::vector<MachineConfig> &machines,
+    const ExecTrace &trace);
+
+/** Batched BSA simulation over one already-laid-out module; same
+ *  contract as runConventionalBatch. */
+std::vector<SimResult> runBlockStructuredBatch(
+    const BsaModule &bsa, const std::vector<MachineConfig> &machines,
+    const ExecTrace &trace);
+
+/**
+ * Planner for (benchmark x config) pair grids: groups the registered
+ * points by (benchmark, fetch model), runs each same-model group as
+ * one lockstep batch over a single trace replay, and falls back to
+ * the per-config path for singleton groups.  Conventional points of a
+ * benchmark always share one walk; block-structured points only share
+ * when their enlargement parameters match (the lanes must share one
+ * BsaModule).  Each point's RunConfig::limits is ignored — the
+ * registered trace is the committed stream.
+ *
+ * Usage: addBenchmark() / addPoint() / plan(), then execute every
+ * batch in [0, batchCount()) — typically one parallelFor, so
+ * BSISA_JOBS fans across (benchmark x batch) rather than
+ * (benchmark x config) — and read results() by point index.  Distinct
+ * batches touch disjoint PairResult fields, so runBatch() is
+ * thread-safe across distinct batch indices.
+ */
+class PairSweep
+{
+  public:
+    /** Register one benchmark's shared inputs; both must outlive the
+     *  sweep.  Returns the benchmark handle for addPoint(). */
+    std::size_t addBenchmark(const Module &module,
+                             const ExecTrace &trace);
+
+    /** Add one grid point; returns its index into results(). */
+    std::size_t addPoint(std::size_t bench, const RunConfig &config);
+
+    /** Group the points into batches; call once after registration. */
+    void plan();
+
+    std::size_t batchCount() const { return batches.size(); }
+
+    /** Execute one batch (thread-safe across distinct indices). */
+    void runBatch(std::size_t batch);
+
+    const std::vector<PairResult> &results() const { return points; }
+
+  private:
+    struct Bench
+    {
+        const Module *module;
+        const ExecTrace *trace;
+        /** Point indices in registration order. */
+        std::vector<std::size_t> pointIds;
+    };
+    struct Batch
+    {
+        bool blockStructured;
+        std::size_t bench;
+        std::vector<std::size_t> pointIds;
+    };
+
+    std::vector<Bench> benches;
+    std::vector<std::size_t> pointBench;
+    std::vector<RunConfig> pointConfig;
+    std::vector<PairResult> points;
+    std::vector<Batch> batches;
+    bool planned = false;
+};
+
+/**
  * Extension: conventional machine augmented with a trace cache (the
  * paper's section-3 competitor / section-6 complement).  Returns the
- * cycle result plus the trace cache's hit statistics.
+ * cycle result plus the trace cache's hit statistics
+ * (TraceCacheResult, sim/machine.hh).
  */
-struct TraceCacheResult
-{
-    SimResult sim;
-    std::uint64_t traceHits = 0;
-    std::uint64_t traceMisses = 0;
-
-    double
-    hitRate() const
-    {
-        const std::uint64_t total = traceHits + traceMisses;
-        return total ? double(traceHits) / double(total) : 0.0;
-    }
-};
 struct TraceCacheConfig;
 TraceCacheResult runTraceCache(const Module &module,
                                const MachineConfig &machine,
@@ -112,6 +181,14 @@ TraceCacheResult runTraceCache(const Module &module,
                                const MachineConfig &machine,
                                const TraceCacheConfig &tcConfig,
                                const ExecTrace &trace);
+
+/** Batched trace-cache simulation: lane i pairs machines[i] with
+ *  tcConfigs[i] (the vectors must be the same length); same contract
+ *  as runConventionalBatch. */
+std::vector<TraceCacheResult> runTraceCacheBatch(
+    const Module &module, const std::vector<MachineConfig> &machines,
+    const std::vector<TraceCacheConfig> &tcConfigs,
+    const ExecTrace &trace);
 
 } // namespace bsisa
 

@@ -47,6 +47,8 @@ parseOracleMask(const std::string &spec)
             mask |= oracleEnlarge;
         else if (part == "models")
             mask |= oracleModels;
+        else if (part == "lockstep")
+            mask |= oracleLockstep;
         else if (part == "all")
             mask |= oracleAll;
         else
@@ -570,6 +572,126 @@ checkModels(const Module &module, const ExecTrace &trace,
     return {};
 }
 
+// ------------------------------------------------- lockstep oracle
+
+/** Mixed-knob config grid: every lane disagrees with its neighbors
+ *  on at least one of issue width, window geometry, predictor, cache
+ *  size, or perfect prediction, so lockstep lanes genuinely diverge
+ *  (redirects resolve at different cycles, windows fill at different
+ *  rates) and any cross-lane state bleed shows up as a result diff. */
+std::vector<MachineConfig>
+lockstepGrid()
+{
+    std::vector<MachineConfig> grid;
+    MachineConfig m;
+    grid.push_back(m);
+    m = MachineConfig{};
+    m.issueWidth = 4;
+    grid.push_back(m);
+    m = MachineConfig{};
+    m.perfectPrediction = true;
+    grid.push_back(m);
+    m = MachineConfig{};
+    m.icache.sizeBytes = 4 * 1024;
+    m.predictor.historyBits = 4;
+    m.predictor.phtBits = 10;
+    grid.push_back(m);
+    m = MachineConfig{};
+    m.windowUnits = 4;
+    m.windowOps = 64;
+    m.redirectPenalty = 5;
+    grid.push_back(m);
+    m = MachineConfig{};
+    m.predictor.scheme = PredictorScheme::PAs;
+    m.dcache.sizeBytes = 1024;
+    m.frontendDepth = 6;
+    grid.push_back(m);
+    return grid;
+}
+
+OracleResult
+checkLockstep(const Module &module, const ExecTrace &trace,
+              const OracleOptions &options)
+{
+    (void)options;
+    const std::vector<MachineConfig> grid = lockstepGrid();
+
+    // Conventional machine: full batch and a partial (odd-size)
+    // batch against independent replays.
+    std::vector<SimResult> seq(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        seq[i] = runConventional(module, grid[i], trace);
+    const std::vector<SimResult> batched =
+        runConventionalBatch(module, grid, trace);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!sameSim(seq[i], batched[i])) {
+            return fail("lockstep",
+                        "conv lane " + std::to_string(i) +
+                            " differs from independent replay");
+        }
+    }
+    const std::vector<MachineConfig> odd(grid.begin(),
+                                         grid.begin() + 3);
+    const std::vector<SimResult> oddBatch =
+        runConventionalBatch(module, odd, trace);
+    for (std::size_t i = 0; i < odd.size(); ++i) {
+        if (!sameSim(seq[i], oddBatch[i])) {
+            return fail("lockstep",
+                        "conv partial-batch lane " +
+                            std::to_string(i) + " differs");
+        }
+    }
+
+    // Block-structured machine on the default enlargement.
+    const BsaModule bsa = enlargeModule(module, EnlargeConfig{});
+    std::vector<SimResult> bseq(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        bseq[i] = runBlockStructured(bsa, grid[i], trace);
+    const std::vector<SimResult> bbatch =
+        runBlockStructuredBatch(bsa, grid, trace);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!sameSim(bseq[i], bbatch[i])) {
+            return fail("lockstep",
+                        "bsa lane " + std::to_string(i) +
+                            " differs from independent replay");
+        }
+    }
+    // Reversed lane order: the walk must not depend on lane layout.
+    std::vector<MachineConfig> rev(grid.rbegin(), grid.rend());
+    const std::vector<SimResult> rbatch =
+        runBlockStructuredBatch(bsa, rev, trace);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!sameSim(bseq[grid.size() - 1 - i], rbatch[i])) {
+            return fail("lockstep",
+                        "bsa reversed lane " + std::to_string(i) +
+                            " differs from independent replay");
+        }
+    }
+
+    // Trace-cache machine: two cache geometries per machine config.
+    std::vector<MachineConfig> tcMachines{grid[0], grid[0], grid[3]};
+    TraceCacheConfig small;
+    small.entries = 16;
+    std::vector<TraceCacheConfig> tcConfigs{TraceCacheConfig{}, small,
+                                            TraceCacheConfig{}};
+    std::vector<TraceCacheResult> tcSeq(tcMachines.size());
+    for (std::size_t i = 0; i < tcMachines.size(); ++i)
+        tcSeq[i] =
+            runTraceCache(module, tcMachines[i], tcConfigs[i], trace);
+    const std::vector<TraceCacheResult> tcBatch =
+        runTraceCacheBatch(module, tcMachines, tcConfigs, trace);
+    for (std::size_t i = 0; i < tcMachines.size(); ++i) {
+        if (!sameSim(tcSeq[i].sim, tcBatch[i].sim) ||
+            tcSeq[i].traceHits != tcBatch[i].traceHits ||
+            tcSeq[i].traceMisses != tcBatch[i].traceMisses) {
+            return fail("lockstep",
+                        "tcache lane " + std::to_string(i) +
+                            " differs from independent replay");
+        }
+    }
+    return {};
+}
+
 } // namespace
 
 OracleResult
@@ -603,6 +725,11 @@ checkProgram(const std::string &source, unsigned mask,
     }
     if (mask & oracleModels) {
         r = checkModels(module, trace, options);
+        if (!r.ok)
+            return r;
+    }
+    if (mask & oracleLockstep) {
+        r = checkLockstep(module, trace, options);
         if (!r.ok)
             return r;
     }

@@ -22,6 +22,10 @@
  *             results are deterministic across reruns, and a config
  *             grid fanned across BSISA_JOBS worker counts is
  *             byte-identical to the serial run.
+ *   lockstep — batched multi-config simulation (sim/lockstep.hh) is
+ *             bit-identical to independent per-config replay on all
+ *             three machines, for full batches, partial batches, and
+ *             odd lane orders.
  *
  * A bug can be injected deliberately (fault-injection testing of the
  * harness itself): the enlarged module is mutated after enlargement
@@ -47,11 +51,13 @@ enum OracleMask : unsigned
     oracleInterp = 1u << 0,
     oracleEnlarge = 1u << 1,
     oracleModels = 1u << 2,
-    oracleAll = oracleInterp | oracleEnlarge | oracleModels,
+    oracleLockstep = 1u << 3,
+    oracleAll =
+        oracleInterp | oracleEnlarge | oracleModels | oracleLockstep,
 };
 
-/** Parse "interp|enlarge|models|all" (comma-separated allowed);
- *  returns 0 on an unrecognized name. */
+/** Parse "interp|enlarge|models|lockstep|all" (comma-separated
+ *  allowed); returns 0 on an unrecognized name. */
 unsigned parseOracleMask(const std::string &spec);
 
 /** Deliberate defects for harness self-tests (--inject). */

@@ -28,7 +28,8 @@ BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
                                Interp::Limits limits)
     : BsaFetchSource(bsa_mod, config,
                      std::make_unique<InterpEventSource>(*bsa_mod.src,
-                                                         limits))
+                                                         limits),
+                     nullptr)
 {
 }
 
@@ -36,15 +37,29 @@ BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
                                const MachineConfig &config,
                                const ExecTrace &trace)
     : BsaFetchSource(bsa_mod, config,
-                     std::make_unique<TraceReplaySource>(trace))
+                     std::make_unique<TraceReplaySource>(trace),
+                     nullptr)
 {
 }
 
 BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
                                const MachineConfig &config,
-                               std::unique_ptr<EventSource> source)
+                               const ExecTrace &trace,
+                               const DecodedProgram &sharedDecoded)
+    : BsaFetchSource(bsa_mod, config,
+                     std::make_unique<TraceReplaySource>(trace),
+                     &sharedDecoded)
+{
+}
+
+BsaFetchSource::BsaFetchSource(const BsaModule &bsa_mod,
+                               const MachineConfig &config,
+                               std::unique_ptr<EventSource> source,
+                               const DecodedProgram *sharedDecoded)
     : bsa(bsa_mod), module(*bsa_mod.src),
-      decoded(DecodedProgram::forBsa(bsa_mod)),
+      ownedDecoded(sharedDecoded ? DecodedProgram()
+                                 : DecodedProgram::forBsa(bsa_mod)),
+      decoded(sharedDecoded ? sharedDecoded : &ownedDecoded),
       perfect(config.perfectPrediction), predictor(config.predictor),
       stream(std::move(source))
 {
@@ -142,7 +157,7 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
                                  const BlockEvent &lastEvent)
 {
     const AtomicBlock &blk = bsa.blocks[committed];
-    const DecodedUnit &du = decoded.unit(committed);
+    const DecodedUnit &du = decoded->unit(committed);
     pendingRedirect = RedirectInfo{};
     predictedNext = invalidId;
 
@@ -289,8 +304,8 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
         pendingRedirect.resolveOpIdx = du.opCount - 1;
         if (candidate != invalidId) {
             const AtomicBlock &wrong = bsa.blocks[candidate];
-            const DecodedUnit &wdu = decoded.unit(candidate);
-            pendingRedirect.wrongOps = decoded.ops(wdu);
+            const DecodedUnit &wdu = decoded->unit(candidate);
+            pendingRedirect.wrongOps = decoded->ops(wdu);
             pendingRedirect.wrongOpCount = wdu.opCount;
             pendingRedirect.wrongPc = wrong.addr;
             pendingRedirect.wrongBytes = wdu.sizeBytes;
@@ -308,8 +323,8 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
     AtomicBlockId wrong_id = candidate;
     unsigned hops = 0;
     for (;;) {
-        const DecodedUnit &wdu = decoded.unit(wrong_id);
-        const DecodedFault *wfaults = decoded.faults(wdu);
+        const DecodedUnit &wdu = decoded->unit(wrong_id);
+        const DecodedFault *wfaults = decoded->faults(wdu);
         // Find the first divergent merge edge by comparing the
         // decoded direction mask with the actual stream; thru edges
         // cannot diverge, so trapMask walks only the fault edges.
@@ -346,7 +361,7 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
         if (hops == 0) {
             // The first wrong block is the one the pipeline issues.
             pendingRedirect.resolveOpIdx = resolve_op;
-            pendingRedirect.wrongOps = decoded.ops(wdu);
+            pendingRedirect.wrongOps = decoded->ops(wdu);
             pendingRedirect.wrongOpCount = wdu.opCount;
             pendingRedirect.wrongPc = bsa.blocks[wrong_id].addr;
             pendingRedirect.wrongBytes = wdu.sizeBytes;
@@ -386,10 +401,10 @@ BsaFetchSource::next(TimingUnit &unit)
     }
 
     const AtomicBlock &blk = bsa.blocks[committed];
-    const DecodedUnit &du = decoded.unit(committed);
+    const DecodedUnit &du = decoded->unit(committed);
     unit.pc = blk.addr;
     unit.bytes = du.sizeBytes;
-    unit.ops = decoded.ops(du);
+    unit.ops = decoded->ops(du);
     unit.opCount = du.opCount;
     unit.redirect = pendingRedirect;
 

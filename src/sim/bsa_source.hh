@@ -42,6 +42,13 @@ class BsaFetchSource : public FetchSource
     BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
                    const ExecTrace &trace);
 
+    /** Replay sharing a pre-built decode: lockstep batches build the
+     *  DecodedProgram once and hand it to every lane's source, so a
+     *  batch holds exactly one copy of the static metadata. */
+    BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
+                   const ExecTrace &trace,
+                   const DecodedProgram &sharedDecoded);
+
     bool next(TimingUnit &unit) override;
 
     std::uint64_t predictions() const override { return nPredictions; }
@@ -57,9 +64,11 @@ class BsaFetchSource : public FetchSource
     std::uint64_t cascadeHops() const override { return nCascadeHops; }
 
   private:
-    /** Common tail of both public constructors. */
+    /** Common tail of the public constructors; @p sharedDecoded is
+     *  null when this source should build (and own) its decode. */
     BsaFetchSource(const BsaModule &bsa, const MachineConfig &config,
-                   std::unique_ptr<EventSource> source);
+                   std::unique_ptr<EventSource> source,
+                   const DecodedProgram *sharedDecoded);
 
     /** Lookahead depth (ring capacity); must stay below the
      *  EventSource span-stability window. */
@@ -68,8 +77,10 @@ class BsaFetchSource : public FetchSource
 
     const BsaModule &bsa;
     const Module &module;
-    /** Per-op metadata and merge masks decoded once at construction. */
-    DecodedProgram decoded;
+    /** Per-op metadata and merge masks: owned when standalone
+     *  (decoded points at ownedDecoded), borrowed when batched. */
+    DecodedProgram ownedDecoded;
+    const DecodedProgram *decoded;
     bool perfect;
     BlockPredictor predictor;
     std::unique_ptr<EventSource> stream;

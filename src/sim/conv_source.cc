@@ -27,7 +27,8 @@ ConvFetchSource::ConvFetchSource(const Module &mod,
                                  const MachineConfig &config,
                                  Interp::Limits limits)
     : ConvFetchSource(mod, lay, config,
-                      std::make_unique<InterpEventSource>(mod, limits))
+                      std::make_unique<InterpEventSource>(mod, limits),
+                      nullptr)
 {
 }
 
@@ -36,18 +37,32 @@ ConvFetchSource::ConvFetchSource(const Module &mod,
                                  const MachineConfig &config,
                                  const ExecTrace &trace)
     : ConvFetchSource(mod, lay, config,
-                      std::make_unique<TraceReplaySource>(trace))
+                      std::make_unique<TraceReplaySource>(trace),
+                      nullptr)
 {
 }
 
 ConvFetchSource::ConvFetchSource(const Module &mod,
                                  const ConvLayout &lay,
                                  const MachineConfig &config,
-                                 std::unique_ptr<EventSource> source)
+                                 const ExecTrace &trace,
+                                 const DecodedProgram &sharedDecoded)
+    : ConvFetchSource(mod, lay, config,
+                      std::make_unique<TraceReplaySource>(trace),
+                      &sharedDecoded)
+{
+}
+
+ConvFetchSource::ConvFetchSource(const Module &mod,
+                                 const ConvLayout &lay,
+                                 const MachineConfig &config,
+                                 std::unique_ptr<EventSource> source,
+                                 const DecodedProgram *sharedDecoded)
     : module(mod), layout(lay),
-      decoded(DecodedProgram::forModule(mod)),
-      perfect(config.perfectPrediction),
-      predictor(config.predictor), events(std::move(source))
+      ownedDecoded(sharedDecoded ? DecodedProgram()
+                                 : DecodedProgram::forModule(mod)),
+      decoded(sharedDecoded ? sharedDecoded : &ownedDecoded),
+      pred(mod, lay, *decoded, config), events(std::move(source))
 {
     curValid = events->next(cur);
     nextValid = curValid && events->next(nextEv);
@@ -62,24 +77,26 @@ ConvFetchSource::advance()
 }
 
 void
-ConvFetchSource::predictSuccessor()
+ConvPredictor::predictSuccessor(FuncId func, BlockId block,
+                                ExitKind exit, bool taken,
+                                FuncId nextFunc, BlockId nextBlock)
 {
     pendingRedirect = RedirectInfo{};
     if (perfect)
         return;
 
-    const Function &fn = module.functions[cur.func];
-    const std::uint64_t pc = layout.addrOf(cur.func, cur.block);
-    const Operation &term = fn.blocks[cur.block].terminator();
+    const Function &fn = module.functions[func];
+    const std::uint64_t pc = layout.addrOf(func, block);
+    const Operation &term = fn.blocks[block].terminator();
     const unsigned last_op_idx =
-        decoded.unit(cur.func, cur.block).opCount - 1;
+        decoded.unit(func, block).opCount - 1;
 
-    switch (cur.exit) {
+    switch (exit) {
       case ExitKind::Trap: {
         ++nPredictions;
         const bool predicted = predictor.predictTaken(pc);
-        predictor.update(pc, cur.taken);
-        if (predicted != cur.taken) {
+        predictor.update(pc, taken);
+        if (predicted != taken) {
             ++nMispredicts;
             pendingRedirect.mispredicted = true;
             pendingRedirect.resolveInWrongBlock = false;
@@ -88,19 +105,17 @@ ConvFetchSource::predictSuccessor()
             // target.
             const BlockId wrong =
                 predicted ? term.target0 : term.target1;
-            const DecodedUnit &wdu = decoded.unit(cur.func, wrong);
+            const DecodedUnit &wdu = decoded.unit(func, wrong);
             pendingRedirect.wrongOps = decoded.ops(wdu);
             pendingRedirect.wrongOpCount = wdu.opCount;
-            pendingRedirect.wrongPc = layout.addrOf(cur.func, wrong);
-            pendingRedirect.wrongBytes =
-                layout.bytesOf(cur.func, wrong);
+            pendingRedirect.wrongPc = layout.addrOf(func, wrong);
+            pendingRedirect.wrongBytes = layout.bytesOf(func, wrong);
         }
         break;
       }
       case ExitKind::IJump: {
         ++nPredictions;
-        const std::uint64_t actual =
-            blockToken(cur.nextFunc, cur.nextBlock);
+        const std::uint64_t actual = blockToken(nextFunc, nextBlock);
         const std::uint64_t predicted = predictor.predictTarget(pc);
         predictor.updateTarget(pc, actual);
         if (predicted != actual) {
@@ -126,12 +141,11 @@ ConvFetchSource::predictSuccessor()
       }
       case ExitKind::Call:
         // Push the continuation; the callee entry is decodable.
-        predictor.pushReturn(blockToken(cur.func, term.target0));
+        predictor.pushReturn(blockToken(func, term.target0));
         break;
       case ExitKind::Ret: {
         ++nPredictions;
-        const std::uint64_t actual =
-            blockToken(cur.nextFunc, cur.nextBlock);
+        const std::uint64_t actual = blockToken(nextFunc, nextBlock);
         const std::uint64_t predicted = predictor.popReturn();
         if (predicted != actual) {
             ++nMispredicts;
@@ -154,18 +168,19 @@ ConvFetchSource::next(TimingUnit &unit)
 
     unit.pc = layout.addrOf(cur.func, cur.block);
     unit.bytes = layout.bytesOf(cur.func, cur.block);
-    const DecodedUnit &du = decoded.unit(cur.func, cur.block);
-    unit.ops = decoded.ops(du);
+    const DecodedUnit &du = decoded->unit(cur.func, cur.block);
+    unit.ops = decoded->ops(du);
     unit.opCount = du.opCount;
     // Zero-copy: cur's span stays valid until the source advances
     // past the lookahead, well after the pipeline consumes the unit.
     unit.memAddrs = cur.memAddrs;
     unit.memCount = cur.memCount;
-    unit.redirect = pendingRedirect;
+    unit.redirect = pred.pending();
 
     // Predict this unit's successor; the result describes how the
     // NEXT unit gets fetched.
-    predictSuccessor();
+    pred.predictSuccessor(cur.func, cur.block, cur.exit, cur.taken,
+                          cur.nextFunc, cur.nextBlock);
     advance();
     return true;
 }

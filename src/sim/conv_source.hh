@@ -19,6 +19,51 @@
 namespace bsisa
 {
 
+/**
+ * The conventional machine's prediction state for one config: the
+ * two-level trap predictor, BTB, and return stack, plus the redirect
+ * info describing how the *next* unit gets fetched.
+ *
+ * Factored out of ConvFetchSource so the lockstep batch driver
+ * (sim/lockstep.cc) can walk the shared trace once and advance one
+ * ConvPredictor per lane — the only config-dependent piece of the
+ * conventional fetch path.
+ */
+class ConvPredictor
+{
+  public:
+    ConvPredictor(const Module &module, const ConvLayout &layout,
+                  const DecodedProgram &decoded,
+                  const MachineConfig &config)
+        : module(module), layout(layout), decoded(decoded),
+          perfect(config.perfectPrediction),
+          predictor(config.predictor)
+    {
+    }
+
+    /** Predict the successor of the event just emitted, training the
+     *  predictor and filling pending() for the NEXT unit. */
+    void predictSuccessor(FuncId func, BlockId block, ExitKind exit,
+                          bool taken, FuncId nextFunc,
+                          BlockId nextBlock);
+
+    /** Redirect info for the unit about to be fetched. */
+    const RedirectInfo &pending() const { return pendingRedirect; }
+
+    std::uint64_t predictions() const { return nPredictions; }
+    std::uint64_t mispredicts() const { return nMispredicts; }
+
+  private:
+    const Module &module;
+    const ConvLayout &layout;
+    const DecodedProgram &decoded;
+    bool perfect;
+    TwoLevelPredictor predictor;
+    RedirectInfo pendingRedirect;
+    std::uint64_t nPredictions = 0;
+    std::uint64_t nMispredicts = 0;
+};
+
 class ConvFetchSource : public FetchSource
 {
   public:
@@ -30,29 +75,45 @@ class ConvFetchSource : public FetchSource
     ConvFetchSource(const Module &module, const ConvLayout &layout,
                     const MachineConfig &config, const ExecTrace &trace);
 
+    /** Replay sharing a pre-built decode: lockstep batches build the
+     *  DecodedProgram once and hand it to every lane's source, so a
+     *  batch holds exactly one copy of the static metadata. */
+    ConvFetchSource(const Module &module, const ConvLayout &layout,
+                    const MachineConfig &config, const ExecTrace &trace,
+                    const DecodedProgram &sharedDecoded);
+
     bool next(TimingUnit &unit) override;
 
-    std::uint64_t predictions() const override { return nPredictions; }
-    std::uint64_t mispredicts() const override { return nMispredicts; }
+    std::uint64_t predictions() const override
+    {
+        return pred.predictions();
+    }
+    std::uint64_t mispredicts() const override
+    {
+        return pred.mispredicts();
+    }
     std::uint64_t trapMispredicts() const override
     {
-        return nMispredicts;
+        return pred.mispredicts();
     }
     std::uint64_t faultMispredicts() const override { return 0; }
     std::uint64_t cascadeHops() const override { return 0; }
 
   private:
-    /** Common tail of both public constructors. */
+    /** Common tail of the public constructors; @p sharedDecoded is
+     *  null when this source should build (and own) its decode. */
     ConvFetchSource(const Module &module, const ConvLayout &layout,
                     const MachineConfig &config,
-                    std::unique_ptr<EventSource> source);
+                    std::unique_ptr<EventSource> source,
+                    const DecodedProgram *sharedDecoded);
 
     const Module &module;
     const ConvLayout &layout;
-    /** Per-op metadata decoded once at construction. */
-    DecodedProgram decoded;
-    bool perfect;
-    TwoLevelPredictor predictor;
+    /** Per-op metadata: owned when standalone (decoded points at
+     *  ownedDecoded), borrowed when batched (ownedDecoded empty). */
+    DecodedProgram ownedDecoded;
+    const DecodedProgram *decoded;
+    ConvPredictor pred;
     std::unique_ptr<EventSource> events;
 
     /** Double-buffered events: current and lookahead.  Each event's
@@ -62,16 +123,7 @@ class ConvFetchSource : public FetchSource
     bool curValid = false;
     bool nextValid = false;
 
-    /** Redirect info computed while predicting cur's successor. */
-    RedirectInfo pendingRedirect;
-
-    std::uint64_t nPredictions = 0;
-    std::uint64_t nMispredicts = 0;
-
     void advance();
-    /** Predict cur's successor, filling pendingRedirect for the NEXT
-     *  unit and training the predictor. */
-    void predictSuccessor();
 };
 
 } // namespace bsisa

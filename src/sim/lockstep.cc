@@ -1,0 +1,1337 @@
+/**
+ * @file
+ * Lockstep sweep engine implementation.
+ *
+ * LanePipelines is the single source of the pipeline arithmetic: the
+ * per-lane phase helpers below are the scheduling model and the
+ * one-unit-one-lane step() (which simulatePipeline also drives) is a
+ * thin composition of them, so the sequential and batched paths share
+ * one arithmetic by construction.  The lockstep drivers differ only
+ * in how much of the fetch translation they compute once per stream
+ * position instead of once per (position, config):
+ *
+ *   - conventional: unit boundaries are config-independent (one basic
+ *     block per event), so the driver decodes each event into a unit
+ *     exactly once and advances every lane over it while it is hot;
+ *     one ConvPredictor runs per prediction group, not per lane;
+ *   - block-structured: the maximal-variant trie walk, its variant
+ *     index and stream compatibility, the consumed event count, and
+ *     the unit's pooled address span all depend only on the stream
+ *     position — one memo entry captures them for every group; a
+ *     group's predictor may commit a shallower compatible variant, in
+ *     which case that group gathers its own (rare) shallow unit and
+ *     its cursor drifts until it re-meets the batch at a head
+ *     boundary;
+ *   - trace cache: unit boundaries depend on per-config cache
+ *     contents, so lanes round-robin one unit each (sharing only the
+ *     read-only decode and trace).
+ *
+ * Two further layers of sharing apply to both replay drivers.
+ * Prediction is purely stream-driven (predictors train on committed
+ * outcomes, never on timing), so lanes with identical predictor
+ * geometry — and all oracle-prediction lanes, which never touch a
+ * predictor — form prediction groups that share one predictor state
+ * and one redirect stream.  And because wrong-path loads never touch
+ * the dcache, the committed-order dcache hit/miss stream is a pure
+ * function of (trace, dcache geometry): LanePipelines precomputes it
+ * once per distinct geometry and every lane reads outcome bits
+ * instead of running its own cache model.  Effectively identical
+ * configs (oracle rows swept across predictor geometry) collapse to
+ * one lane whose result is replicated on return.
+ */
+
+#include "sim/lockstep.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "predict/blockpred.hh"
+#include "sim/conv_source.hh"
+#include "sim/tc_source.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+// ------------------------------------------------------ LanePipelines
+
+LanePipelines::LanePipelines(const MachineConfig *cfgs,
+                             std::size_t laneCount)
+    : configs(cfgs, cfgs + laneCount), lanes(laneCount),
+      results(laneCount)
+{
+    slots.reserve(laneCount);
+    icaches.reserve(laneCount);
+    dcaches.reserve(laneCount);
+    inflightBase.reserve(laneCount + 1);
+    std::uint32_t base = 0;
+    for (std::size_t l = 0; l < laneCount; ++l) {
+        slots.emplace_back(configs[l].issueWidth);
+        icaches.emplace_back(configs[l].icache);
+        dcaches.emplace_back(configs[l].dcache);
+        inflightBase.push_back(base);
+        base += configs[l].windowUnits + 1;
+        prevStride = std::max<std::size_t>(prevStride,
+                                           configs[l].windowOps);
+    }
+    inflightBase.push_back(base);
+    inflightPool.resize(base);
+    regReady.assign(laneCount * laneRegs, 0);
+    wrongReady.assign(laneCount * laneRegs, 0);
+    wrongStamp.assign(laneCount * laneRegs, 0);
+    prevDone.assign(laneCount * prevStride, 0);
+    icacheLeaderOf.assign(laneCount, -1);
+    icacheEcho.resize(laneCount);
+    stepSeq.assign(laneCount, 0);
+}
+
+void
+LanePipelines::shareIcache(std::size_t leader, std::size_t follower)
+{
+    BSISA_ASSERT(leader != follower);
+    BSISA_ASSERT(icacheLeaderOf[leader] < 0,
+                 "icache leader must not itself be a follower");
+    const CacheConfig &a = configs[leader].icache;
+    const CacheConfig &b = configs[follower].icache;
+    BSISA_ASSERT(a.sizeBytes == b.sizeBytes && a.assoc == b.assoc &&
+                     a.lineBytes == b.lineBytes &&
+                     a.perfect == b.perfect,
+                 "icache sharing requires identical geometry");
+    icacheLeaderOf[follower] = static_cast<std::int32_t>(leader);
+}
+
+void
+LanePipelines::shareDcachePool(const std::uint64_t *addrs,
+                               std::size_t count)
+{
+    dcachePool = addrs;
+    dcachePoolCount = count;
+    dcacheStreamOf.assign(configs.size(), -1);
+    dcacheCursor.assign(configs.size(), 0);
+    dcacheStreams.clear();
+
+    // One precomputed pool walk per distinct dcache geometry.
+    std::vector<std::size_t> owner;  // lane that introduced a stream
+    for (std::size_t l = 0; l < configs.size(); ++l) {
+        const CacheConfig &cfg = configs[l].dcache;
+        std::int32_t stream = -1;
+        for (std::size_t s = 0; s < owner.size(); ++s) {
+            const CacheConfig &other = configs[owner[s]].dcache;
+            if (cfg.sizeBytes == other.sizeBytes &&
+                cfg.assoc == other.assoc &&
+                cfg.lineBytes == other.lineBytes &&
+                cfg.perfect == other.perfect) {
+                stream = static_cast<std::int32_t>(s);
+                break;
+            }
+        }
+        if (stream < 0) {
+            stream = static_cast<std::int32_t>(dcacheStreams.size());
+            owner.push_back(l);
+            DcacheStream &ds = dcacheStreams.emplace_back(
+                DcacheStream{Cache(cfg), {}});
+            ds.hit.resize(count);
+            for (std::size_t i = 0; i < count; ++i)
+                ds.hit[i] = ds.cache.access(addrs[i]) ? 1 : 0;
+        }
+        dcacheStreamOf[l] = stream;
+    }
+}
+
+void
+LanePipelines::privatizeDcache(std::size_t lane)
+{
+    const std::int32_t ds = dcacheStreamOf[lane];
+    BSISA_ASSERT(ds >= 0);
+    if (dcacheCursor[lane] == dcachePoolCount) {
+        // Pool fully consumed: adopt the stream's final state and
+        // statistics wholesale.
+        dcaches[lane] = dcacheStreams[ds].cache;
+    } else {
+        // The lane left the shared order early (possible only for
+        // unit shapes no current driver produces): replay its exact
+        // prefix so the fork point is still bit-identical.
+        dcaches[lane] = Cache(configs[lane].dcache);
+        for (std::size_t i = 0; i < dcacheCursor[lane]; ++i)
+            dcaches[lane].access(dcachePool[i]);
+    }
+    dcacheStreamOf[lane] = -1;
+}
+
+std::uint64_t
+LanePipelines::scheduleWrongPath(std::size_t lane, const DecodedOp *ops,
+                                 std::uint32_t n, unsigned mustRunIdx,
+                                 std::uint64_t fetchCycle,
+                                 std::uint64_t squashCutoff)
+{
+    LaneState &st = lanes[lane];
+    IssueSlots &sl = slots[lane];
+    const std::uint64_t *rr = regReadyOf(lane);
+    std::uint64_t *wr = wrongReady.data() + lane * laneRegs;
+    std::uint64_t *ws = wrongStamp.data() + lane * laneRegs;
+
+    const std::uint64_t gen = ++st.wrongGen;
+    const std::uint64_t earliest =
+        fetchCycle + configs[lane].frontendDepth;
+    std::uint64_t resolve = earliest;
+
+    // Absent sources decode to regZero, which is never stamped (no op
+    // writes it) and whose committed ready time is pinned at 0 — so
+    // both sources can be read unconditionally.
+    auto ready_of = [&](RegNum r) -> std::uint64_t {
+        return ws[r] == gen ? wr[r] : rr[r];
+    };
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const DecodedOp &op = ops[i];
+        const std::uint64_t ready =
+            std::max({earliest, ready_of(op.src1), ready_of(op.src2)});
+
+        if (i > mustRunIdx && ready > squashCutoff)
+            continue;  // squashed before it could issue
+
+        const std::uint64_t start = sl.allocate(ready);
+        if (i > mustRunIdx && start > squashCutoff)
+            continue;
+        ++results[lane].wrongPathOps;
+        // Wrong-path loads are modelled as L1 hits: their addresses
+        // are speculative garbage we do not track.
+        const std::uint64_t done = start + op.latency;
+        wr[op.dst] = done;
+        ws[op.dst] = gen;
+        if (i == mustRunIdx)
+            resolve = done;
+    }
+    return resolve;
+}
+
+std::uint64_t
+LanePipelines::fetchPhase(std::size_t lane, const TimingUnit &unit,
+                          const RedirectInfo &redirect)
+{
+    BSISA_ASSERT(unit.ops && unit.opCount > 0);
+    const MachineConfig &cfg = configs[lane];
+    LaneState &st = lanes[lane];
+    SimResult &res = results[lane];
+    Cache &icache = icaches[lane];
+    const std::int32_t icl = icacheLeaderOf[lane];
+    ++stepSeq[lane];
+
+    std::uint64_t fetch = st.lastFetch + 1;
+    const std::uint64_t fetch_base = fetch;
+
+    if (redirect.mispredicted) {
+        std::uint64_t resolve;
+        if (redirect.resolveInWrongBlock) {
+            // A fault in the wrong block resolves the mispredict;
+            // its ops must be issued to find out.
+            BSISA_ASSERT(redirect.wrongOps);
+            // The wrong block was fetched in place of this one.
+            if (icl < 0)
+                icache.accessRange(redirect.wrongPc,
+                                   redirect.wrongBytes);
+            resolve = scheduleWrongPath(lane, redirect.wrongOps,
+                                        redirect.wrongOpCount,
+                                        redirect.resolveOpIdx, fetch,
+                                        ~0ull);
+        } else {
+            // The previous unit's terminator resolves it.
+            resolve = st.prevCount == 0
+                          ? fetch
+                          : prevDoneOf(lane)[redirect.resolveOpIdx];
+            if (redirect.wrongOps) {
+                if (icl < 0)
+                    icache.accessRange(redirect.wrongPc,
+                                       redirect.wrongBytes);
+                scheduleWrongPath(lane, redirect.wrongOps,
+                                  redirect.wrongOpCount, 0, fetch,
+                                  resolve);
+            }
+        }
+        std::uint64_t redirected = resolve + 1 + cfg.redirectPenalty;
+        redirected += std::uint64_t(redirect.extraHops) *
+                      (cfg.redirectPenalty + 1);
+        fetch = std::max(fetch, redirected);
+    }
+    res.stallRedirect += fetch - fetch_base;
+    const std::uint64_t fetch_after_redirect = fetch;
+
+    // Window occupancy: wait for room.
+    Inflight *ring = inflightOf(lane);
+    const std::uint32_t cap = inflightBase[lane + 1] -
+                              inflightBase[lane];
+    auto ring_size = [&]() -> std::uint32_t {
+        return st.inflightTail >= st.inflightHead
+                   ? st.inflightTail - st.inflightHead
+                   : st.inflightTail + cap - st.inflightHead;
+    };
+    while (st.inflightHead != st.inflightTail &&
+           ring[st.inflightHead].retire <= fetch) {
+        st.inflightOps -= ring[st.inflightHead].ops;
+        if (++st.inflightHead == cap)
+            st.inflightHead = 0;
+    }
+    const unsigned unit_ops = unit.opCount;
+    while (ring_size() >= cfg.windowUnits ||
+           st.inflightOps + unit_ops > cfg.windowOps) {
+        BSISA_ASSERT(st.inflightHead != st.inflightTail,
+                     "unit larger than the whole window");
+        fetch = std::max(fetch, ring[st.inflightHead].retire);
+        st.inflightOps -= ring[st.inflightHead].ops;
+        if (++st.inflightHead == cap)
+            st.inflightHead = 0;
+    }
+
+    res.stallWindow += fetch - fetch_after_redirect;
+
+    // Instruction cache: any missing line stalls the fetch for one
+    // L2 round trip (lines fill in parallel from the perfect L2).
+    unsigned missing = 0;
+    if (icl >= 0) {
+        BSISA_ASSERT(icacheEcho[icl].seq == stepSeq[lane],
+                     "icache follower out of lockstep");
+        missing = icacheEcho[icl].unitMissing;
+    } else {
+        if (!unit.skipIcache)
+            missing = icache.accessRange(unit.pc, unit.bytes);
+        icacheEcho[lane].seq = stepSeq[lane];
+        icacheEcho[lane].unitMissing = missing;
+    }
+    if (missing > 0) {
+        fetch += cfg.l2Latency;
+        res.stallIcache += cfg.l2Latency;
+    }
+
+    st.lastFetch = fetch;
+    slots[lane].advanceTo(fetch);
+
+    // The schedule phase writes prevDone[0..opCount); mark the count
+    // now that the redirect above has read the previous unit's times.
+    BSISA_ASSERT(unit.opCount <= prevStride,
+                 "unit larger than the whole window");
+    st.prevCount = unit.opCount;
+    return fetch + cfg.frontendDepth;
+}
+
+void
+LanePipelines::retirePhase(std::size_t lane, std::uint32_t unitOps,
+                           std::uint64_t unitDone)
+{
+    LaneState &st = lanes[lane];
+    SimResult &res = results[lane];
+
+    const std::uint64_t retire =
+        std::max(unitDone + 1, st.lastRetire + 1);
+    st.lastRetire = retire;
+
+    Inflight *ring = inflightOf(lane);
+    const std::uint32_t cap = inflightBase[lane + 1] -
+                              inflightBase[lane];
+    ring[st.inflightTail] = {retire, unitOps};
+    if (++st.inflightTail == cap)
+        st.inflightTail = 0;
+    BSISA_ASSERT(st.inflightTail != st.inflightHead,
+                 "inflight ring overflow");
+    st.inflightOps += unitOps;
+
+    const std::uint32_t size = st.inflightTail >= st.inflightHead
+                                   ? st.inflightTail - st.inflightHead
+                                   : st.inflightTail + cap -
+                                         st.inflightHead;
+    res.peakWindowUnits =
+        std::max<std::uint64_t>(res.peakWindowUnits, size);
+    res.peakWindowOps =
+        std::max<std::uint64_t>(res.peakWindowOps, st.inflightOps);
+
+    res.retiredOps += unitOps;
+    res.retiredUnits += 1;
+    res.cycles = std::max(res.cycles, retire);
+}
+
+void
+LanePipelines::step(std::size_t lane, const TimingUnit &unit)
+{
+    const std::uint64_t earliest =
+        fetchPhase(lane, unit, unit.redirect);
+    const MachineConfig &cfg = configs[lane];
+    IssueSlots &sl = slots[lane];
+    Cache &dcache = dcaches[lane];
+    std::uint64_t *rr = regReadyOf(lane);
+    std::uint64_t *pd = prevDoneOf(lane);
+
+    std::uint64_t unit_done = earliest;
+    std::uint32_t mem_idx = 0;
+
+    for (std::uint32_t i = 0; i < unit.opCount; ++i) {
+        const DecodedOp &op = unit.ops[i];
+        const std::uint64_t ready =
+            std::max({earliest, rr[op.src1], rr[op.src2]});
+
+        const std::uint64_t start = sl.allocate(ready);
+        unsigned latency = op.latency;
+        if (op.flags & opIsMem) {
+            bool hit;
+            const std::int32_t ds = dcacheStreamOf.empty()
+                                        ? -1
+                                        : dcacheStreamOf[lane];
+            if (ds >= 0 && mem_idx < unit.memCount) {
+                hit = dcacheStreams[ds].hit[dcacheCursor[lane]++] != 0;
+            } else {
+                if (ds >= 0)
+                    privatizeDcache(lane);
+                const std::uint64_t addr =
+                    mem_idx < unit.memCount ? unit.memAddrs[mem_idx]
+                                            : 0;
+                hit = dcache.access(addr);
+            }
+            ++mem_idx;
+            if (!hit && (op.flags & opIsLoad))
+                latency += cfg.l2Latency;
+        }
+        const std::uint64_t done = start + latency;
+        pd[i] = done;
+        rr[op.dst] = done;
+        unit_done = std::max(unit_done, done);
+    }
+
+    retirePhase(lane, unit.opCount, unit_done);
+}
+
+SimResult
+LanePipelines::takeResult(std::size_t lane) const
+{
+    SimResult result = results[lane];
+    const std::int32_t icl = icacheLeaderOf[lane];
+    result.icache =
+        icaches[icl >= 0 ? std::size_t(icl) : lane].stats();
+    const std::int32_t ds =
+        dcacheStreamOf.empty() ? -1 : dcacheStreamOf[lane];
+    if (ds >= 0) {
+        // Still on the shared stream: the lane's statistics are the
+        // outcome counts of the pool prefix it consumed.
+        const DcacheStream &stream = dcacheStreams[ds];
+        CacheStats stats;
+        stats.accesses = dcacheCursor[lane];
+        for (std::size_t i = 0; i < dcacheCursor[lane]; ++i)
+            stats.misses += stream.hit[i] ? 0 : 1;
+        result.dcache = stats;
+    } else {
+        result.dcache = dcaches[lane].stats();
+    }
+    return result;
+}
+
+void
+fillSourceStats(SimResult &result, const FetchSource &source)
+{
+    result.predictions = source.predictions();
+    result.mispredicts = source.mispredicts();
+    result.trapMispredicts = source.trapMispredicts();
+    result.faultMispredicts = source.faultMispredicts();
+    result.cascadeHops = source.cascadeHops();
+}
+
+// ------------------------------------------- config structure probes
+
+namespace
+{
+
+bool
+sameCacheConfig(const CacheConfig &a, const CacheConfig &b)
+{
+    return a.sizeBytes == b.sizeBytes && a.assoc == b.assoc &&
+           a.lineBytes == b.lineBytes && a.perfect == b.perfect;
+}
+
+bool
+samePredictorConfig(const PredictorConfig &a, const PredictorConfig &b)
+{
+    return a.scheme == b.scheme && a.historyBits == b.historyBits &&
+           a.phtBits == b.phtBits &&
+           a.historyEntries == b.historyEntries &&
+           a.btbEntries == b.btbEntries && a.btbAssoc == b.btbAssoc &&
+           a.perfect == b.perfect;
+}
+
+/** Same prediction *state* evolution: identical predictor geometry,
+ *  or both oracle (perfect prediction never touches the predictor, so
+ *  its geometry is dead configuration). */
+bool
+samePredictionState(const MachineConfig &a, const MachineConfig &b)
+{
+    if (a.perfectPrediction != b.perfectPrediction)
+        return false;
+    return a.perfectPrediction ||
+           samePredictorConfig(a.predictor, b.predictor);
+}
+
+/** Effectively identical machines produce bit-identical SimResults on
+ *  the same stream, so a sweep grid that contains them (oracle rows
+ *  swept over predictor geometry do this by construction) needs only
+ *  one lane per equivalence class. */
+bool
+sameEffectiveConfig(const MachineConfig &a, const MachineConfig &b)
+{
+    return a.issueWidth == b.issueWidth &&
+           a.windowOps == b.windowOps &&
+           a.windowUnits == b.windowUnits &&
+           a.frontendDepth == b.frontendDepth &&
+           a.redirectPenalty == b.redirectPenalty &&
+           a.l2Latency == b.l2Latency &&
+           sameCacheConfig(a.icache, b.icache) &&
+           sameCacheConfig(a.dcache, b.dcache) &&
+           samePredictionState(a, b);
+}
+
+/** Collapse @p machines to its effective-config equivalence classes;
+ *  @p uniqueOf maps each input index to its class representative's
+ *  index in the returned vector. */
+std::vector<MachineConfig>
+dedupConfigs(const std::vector<MachineConfig> &machines,
+             std::vector<std::size_t> &uniqueOf)
+{
+    std::vector<MachineConfig> unique;
+    uniqueOf.resize(machines.size());
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        std::size_t found = unique.size();
+        for (std::size_t u = 0; u < unique.size(); ++u) {
+            if (sameEffectiveConfig(machines[i], unique[u])) {
+                found = u;
+                break;
+            }
+        }
+        if (found == unique.size())
+            unique.push_back(machines[i]);
+        uniqueOf[i] = found;
+    }
+    return unique;
+}
+
+/** Partition lanes into prediction groups (shared predictor state);
+ *  each group lists the lanes whose prediction evolution is
+ *  identical, leader first. */
+std::vector<std::vector<std::size_t>>
+predictionGroups(const std::vector<MachineConfig> &machines)
+{
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t l = 0; l < machines.size(); ++l) {
+        bool placed = false;
+        for (auto &group : groups) {
+            if (samePredictionState(machines[l],
+                                    machines[group.front()])) {
+                group.push_back(l);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({l});
+    }
+    return groups;
+}
+
+/** Within one prediction group every lane fetches the same units and
+ *  the same wrong paths in the same step order, so lanes sharing an
+ *  icache geometry share one cache model: the group's first such lane
+ *  leads, later ones echo its per-step outcome. */
+void
+shareGroupIcaches(LanePipelines &pipes,
+                  const std::vector<MachineConfig> &configs,
+                  const std::vector<std::size_t> &group)
+{
+    for (std::size_t i = 1; i < group.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (sameCacheConfig(configs[group[i]].icache,
+                                configs[group[j]].icache)) {
+                pipes.shareIcache(group[j], group[i]);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------------- conventional
+
+std::vector<SimResult>
+lockstepConventional(const Module &module, const ConvLayout &layout,
+                     const DecodedProgram &decoded,
+                     const std::vector<MachineConfig> &machines,
+                     const ExecTrace &trace)
+{
+    const std::size_t total = machines.size();
+    std::vector<SimResult> out(total);
+    if (total == 0)
+        return out;
+
+    std::vector<std::size_t> uniqueOf;
+    const std::vector<MachineConfig> unique =
+        dedupConfigs(machines, uniqueOf);
+    const std::size_t n = unique.size();
+
+    LanePipelines pipes(unique.data(), n);
+    pipes.shareDcachePool(trace.memAddrs, trace.memAddrCount);
+
+    // Prediction is purely stream-driven, so one ConvPredictor serves
+    // every lane of a prediction group.
+    const std::vector<std::vector<std::size_t>> groups =
+        predictionGroups(unique);
+    std::vector<ConvPredictor> preds;
+    preds.reserve(groups.size());
+    for (const auto &group : groups) {
+        preds.emplace_back(module, layout, decoded,
+                           unique[group.front()]);
+        shareGroupIcaches(pipes, unique, group);
+    }
+
+    // One basic block per event on every lane: walk the trace once,
+    // decode each event into a unit once, and advance every lane over
+    // the hot unit.  Only the redirect differs per group — it is the
+    // group predictor's verdict on the previous event.
+    TimingUnit unit;
+    for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
+        const TraceEvent &e = trace.events[pos];
+        unit.pc = layout.addrOf(e.func, e.block);
+        unit.bytes = layout.bytesOf(e.func, e.block);
+        const DecodedUnit &du = decoded.unit(e.func, e.block);
+        unit.ops = decoded.ops(du);
+        unit.opCount = du.opCount;
+        unit.memAddrs = trace.memAddrs + e.memBegin;
+        unit.memCount = e.memCount;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            unit.redirect = preds[g].pending();
+            for (const std::size_t l : groups[g])
+                pipes.step(l, unit);
+            preds[g].predictSuccessor(e.func, e.block, e.exit,
+                                      e.taken, e.nextFunc,
+                                      e.nextBlock);
+        }
+    }
+
+    std::vector<SimResult> laneOut(n);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (const std::size_t l : groups[g]) {
+            laneOut[l] = pipes.takeResult(l);
+            laneOut[l].predictions = preds[g].predictions();
+            laneOut[l].mispredicts = preds[g].mispredicts();
+            laneOut[l].trapMispredicts = preds[g].mispredicts();
+            laneOut[l].faultMispredicts = 0;
+            laneOut[l].cascadeHops = 0;
+        }
+    }
+    for (std::size_t i = 0; i < total; ++i)
+        out[i] = laneOut[uniqueOf[i]];
+    return out;
+}
+
+// ------------------------------------------------- block-structured
+
+namespace
+{
+
+std::uint64_t
+headToken(FuncId func, BlockId block)
+{
+    return (std::uint64_t(func) << 32) | block;
+}
+
+/**
+ * The shared-translation BSA lockstep walk.
+ *
+ * Transcribes BsaFetchSource over direct trace indexing: a group's
+ * "lookahead buffer" is the window [pos, pos + min(64, remaining)) of
+ * the shared event array, so the EventRing's truncated-tail semantics
+ * are reproduced exactly while the whole config-independent
+ * translation at a stream position — a pure function of that position
+ * — is computed once and memoised for every group (PosMemo), and the
+ * per-block successor-trie lookups the predictor path needs are
+ * hoisted out of the hash tables into one flat table (BlockAux) at
+ * construction.  Prediction itself is stream-driven — the predictor
+ * trains on committed outcomes, never on timing — so the whole fetch
+ * side runs once per prediction group and only the member lanes'
+ * pipelines are per config.
+ */
+class LockstepBsa
+{
+  public:
+    LockstepBsa(const BsaModule &bsaModule,
+                const DecodedProgram &decodedProgram,
+                const std::vector<MachineConfig> &machineConfigs,
+                const ExecTrace &execTrace)
+        : bsa(bsaModule), module(*bsaModule.src),
+          decoded(decodedProgram), machines(machineConfigs),
+          trace(execTrace), memo(execTrace.eventCount)
+    {
+        for (const auto &members : predictionGroups(machines))
+            groups.emplace_back(machines[members.front()], members);
+        buildBlockAux();
+    }
+
+    std::vector<SimResult> run();
+
+  private:
+    /** Matches BsaFetchSource::lookahead (EventRing capacity). */
+    static constexpr std::size_t lookahead = 64;
+
+    /** One prediction group: the shared fetch-side state of every
+     *  lane whose prediction evolution is identical. */
+    struct Group
+    {
+        Group(const MachineConfig &config,
+              std::vector<std::size_t> members)
+            : perfect(config.perfectPrediction),
+              predictor(config.predictor), lanes(std::move(members))
+        {
+        }
+
+        bool perfect;
+        BlockPredictor predictor;
+        std::vector<std::size_t> lanes;  //!< member lane indices
+        std::size_t pos = 0;  //!< next unconsumed event
+        AtomicBlockId predictedNext = invalidId;
+        RedirectInfo pendingRedirect;
+        /** Fallback emit storage (see BsaFetchSource::emitMemAddrs). */
+        std::vector<std::uint64_t> emitMemAddrs;
+
+        std::uint64_t nPredictions = 0;
+        std::uint64_t nTrapMiss = 0;
+        std::uint64_t nFaultMiss = 0;
+        std::uint64_t nCascadeHops = 0;
+
+        bool done = false;
+    };
+
+    /**
+     * The config-independent translation of one stream position,
+     * computed lazily on first touch and shared by every lane whose
+     * cursor passes the position.
+     */
+    struct PosMemo
+    {
+        const HeadTrie *trie = nullptr;  //!< head trie at the position
+        AtomicBlockId smax = invalidId;  //!< maximal-variant block
+        std::uint32_t varIdx = 0;        //!< smax's canonical variant
+        std::uint32_t memCount = 0;      //!< pooled span length (smax)
+        std::uint8_t consume = 0;        //!< events smax consumes
+        bool adjacent = false;  //!< span is one contiguous pool slice
+        bool compatMax = false; //!< smax passes the stream-compat check
+        bool computed = false;
+    };
+
+    /** Successor tries of one atomic block's terminator, hoisted out
+     *  of the per-(func, head) hash maps.  For Trap terminators
+     *  takenTrie/notTakenTrie are the two direction targets and
+     *  notTakenSlotBase is the taken side's variant count (the
+     *  canonical successor-slot layout puts taken-side variants
+     *  first); for Jmp/Call, takenTrie is the sole decodable target. */
+    struct BlockAux
+    {
+        const HeadTrie *takenTrie = nullptr;
+        const HeadTrie *notTakenTrie = nullptr;
+        unsigned notTakenSlotBase = 0;
+    };
+
+    /** Ring-equivalent window size at stream position @p pos. */
+    std::size_t
+    availAt(std::size_t pos) const
+    {
+        return std::min<std::size_t>(lookahead,
+                                     trace.eventCount - pos);
+    }
+
+    const TraceEvent &
+    ev(const Group &group, std::size_t i) const
+    {
+        return trace.events[group.pos + i];
+    }
+
+    void buildBlockAux();
+    const PosMemo &memoAt(std::size_t pos);
+    int maximalVariantUncached(std::size_t pos) const;
+    bool compatibleAt(std::size_t pos, AtomicBlockId block,
+                      FuncId func, BlockId head) const;
+    static unsigned variantIndex(const HeadTrie &trie,
+                                 AtomicBlockId block);
+    void predictSuccessor(Group &group, AtomicBlockId committed,
+                          const TraceEvent &lastEvent);
+    bool produceUnit(Group &group, TimingUnit &unit);
+
+    const BsaModule &bsa;
+    const Module &module;
+    const DecodedProgram &decoded;
+    const std::vector<MachineConfig> &machines;
+    const ExecTrace &trace;
+    std::vector<Group> groups;
+
+    /** Shared per-position translation memo (lazily filled). */
+    std::vector<PosMemo> memo;
+    /** Per-atomic-block successor tries, indexed by AtomicBlockId. */
+    std::vector<BlockAux> blockAux;
+};
+
+void
+LockstepBsa::buildBlockAux()
+{
+    blockAux.resize(bsa.blocks.size());
+    for (std::size_t b = 0; b < bsa.blocks.size(); ++b) {
+        const AtomicBlock &blk = bsa.blocks[b];
+        const Operation &term = blk.terminator();
+        BlockAux &aux = blockAux[b];
+        switch (term.op) {
+          case Opcode::Trap:
+            aux.takenTrie = bsa.findTrie(blk.func, term.target0);
+            aux.notTakenTrie = bsa.findTrie(blk.func, term.target1);
+            aux.notTakenSlotBase =
+                aux.takenTrie ? static_cast<unsigned>(
+                                    aux.takenTrie->emitted.size())
+                              : 0;
+            break;
+          case Opcode::Jmp:
+            // An intra-function jump: the successor head is
+            // term.target0 in the block's own function.
+            aux.takenTrie = bsa.findTrie(blk.func, term.target0);
+            break;
+          case Opcode::Call:
+            aux.takenTrie = bsa.findTrie(term.callee, 0);
+            break;
+          default:
+            break;  // Ret/IJmp targets are dynamic; Halt has none
+        }
+    }
+}
+
+const LockstepBsa::PosMemo &
+LockstepBsa::memoAt(std::size_t pos)
+{
+    PosMemo &pm = memo[pos];
+    if (pm.computed)
+        return pm;
+
+    const TraceEvent *evs = trace.events + pos;
+    const std::size_t size = availAt(pos);
+    pm.trie = &bsa.trie(evs[0].func, evs[0].block);
+    const int node = maximalVariantUncached(pos);
+    pm.smax = pm.trie->nodes[node].block;
+    pm.varIdx = variantIndex(*pm.trie, pm.smax);
+    pm.compatMax =
+        compatibleAt(pos, pm.smax, evs[0].func, evs[0].block);
+
+    // The maximal commit's event consumption and pooled address span.
+    // Replayed events slice one shared pool in stream order, so
+    // consecutive spans are usually adjacent and the whole unit is a
+    // single zero-copy span into the trace pool.
+    const AtomicBlock &blk = bsa.blocks[pm.smax];
+    const std::size_t consume =
+        std::min<std::size_t>(blk.bbs.size(), size);
+    pm.consume = static_cast<std::uint8_t>(consume);
+    bool adjacent = true;
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < consume; ++i) {
+        const TraceEvent &e = evs[i];
+        if (i > 0 && evs[0].memBegin + total != e.memBegin) {
+            adjacent = false;
+            break;
+        }
+        total += e.memCount;
+    }
+    pm.adjacent = adjacent;
+    pm.memCount = total;
+    pm.computed = true;
+    return pm;
+}
+
+int
+LockstepBsa::maximalVariantUncached(std::size_t pos) const
+{
+    const std::size_t size =
+        std::min<std::size_t>(lookahead, trace.eventCount - pos);
+    const TraceEvent *evs = trace.events + pos;
+    const FuncId func = evs[0].func;
+    const BlockId head = evs[0].block;
+    const HeadTrie &trie = bsa.trie(func, head);
+    const Function &fn = module.functions[func];
+    int node = 0;
+    unsigned i = 0;
+
+    for (;;) {
+        const TrieNode &tn = trie.nodes[node];
+        const Operation &term = fn.blocks[tn.bb].terminator();
+        int child = -1;
+        if (term.op == Opcode::Jmp) {
+            child = tn.childThru;
+        } else if (term.op == Opcode::Trap && i < size) {
+            child = evs[i].taken ? tn.childTaken : tn.childNotTaken;
+        }
+        if (child == -1 || i + 1 >= size) {
+            // Stop here; if the walk was cut short by a truncated
+            // event stream the node may be pass-through, so fall to
+            // its default emitted descendant.
+            int stop = node;
+            while (trie.nodes[stop].block == invalidId) {
+                const TrieNode &cur = trie.nodes[stop];
+                stop = cur.childThru != -1        ? cur.childThru
+                       : cur.childNotTaken != -1 ? cur.childNotTaken
+                                                 : cur.childTaken;
+                BSISA_ASSERT(stop != -1);
+            }
+            return stop;
+        }
+        node = child;
+        ++i;
+    }
+}
+
+bool
+LockstepBsa::compatibleAt(std::size_t pos, AtomicBlockId block,
+                          FuncId func, BlockId head) const
+{
+    if (block == invalidId)
+        return false;
+    const AtomicBlock &blk = bsa.blocks[block];
+    if (blk.func != func || blk.bbs.front() != head)
+        return false;
+    if (blk.bbs.size() > availAt(pos))
+        return false;
+    const TraceEvent *evs = trace.events + pos;
+    for (std::size_t i = 0; i < blk.bbs.size(); ++i) {
+        const TraceEvent &e = evs[i];
+        if (e.func != func || e.block != blk.bbs[i])
+            return false;
+        if (i + 1 < blk.bbs.size() &&
+            (e.nextFunc != func || e.nextBlock != blk.bbs[i + 1])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+unsigned
+LockstepBsa::variantIndex(const HeadTrie &trie, AtomicBlockId block)
+{
+    for (unsigned v = 0; v < trie.emitted.size(); ++v)
+        if (trie.nodes[trie.emitted[v]].block == block)
+            return v;
+    panic("block is not a variant of this trie");
+}
+
+void
+LockstepBsa::predictSuccessor(Group &group, AtomicBlockId committed,
+                              const TraceEvent &lastEvent)
+{
+    const AtomicBlock &blk = bsa.blocks[committed];
+    const DecodedUnit &du = decoded.unit(committed);
+    group.pendingRedirect = RedirectInfo{};
+    group.predictedNext = invalidId;
+
+    if (lastEvent.exit == ExitKind::Halt || availAt(group.pos) == 0)
+        return;
+
+    const FuncId next_func = lastEvent.nextFunc;
+    const BlockId next_head = lastEvent.nextBlock;
+    BSISA_ASSERT(ev(group, 0).func == next_func &&
+                 ev(group, 0).block == next_head);
+
+    const PosMemo &pm = memoAt(group.pos);
+    const AtomicBlockId s_max = pm.smax;
+
+    if (group.perfect) {
+        group.predictedNext = s_max;
+        return;
+    }
+
+    BlockPredictor &predictor = group.predictor;
+    const std::uint64_t pc = blk.addr;
+    const Operation &term = blk.terminator();
+    const BlockAux &aux = blockAux[committed];
+
+    // Canonical successor slot layout: taken-side variants first.
+    auto slot_of = [&](bool taken_side, unsigned variant) -> unsigned {
+        unsigned slot = variant;
+        if (term.op == Opcode::Trap && !taken_side)
+            slot += aux.notTakenSlotBase;
+        return slot & (btbSuccessorSlots - 1);
+    };
+
+    // ----------------------------------------------------- predict
+    AtomicBlockId candidate = invalidId;
+    const BlockPredictor::Prediction pred = predictor.predict(pc);
+    switch (term.op) {
+      case Opcode::Trap: {
+        const HeadTrie *trie =
+            pred.trapTaken ? aux.takenTrie : aux.notTakenTrie;
+        if (trie) {
+            const unsigned nvar =
+                static_cast<unsigned>(trie->emitted.size());
+            const unsigned variant = std::min(pred.variantBits,
+                                              nvar - 1);
+            const AtomicBlockId structural =
+                trie->nodes[trie->emitted[variant]].block;
+            const unsigned slot = slot_of(pred.trapTaken, variant);
+            if (predictor.successor(pc, slot) == structural)
+                candidate = structural;
+            else if (predictor.lastSuccessor(pc) != ~0ull)
+                candidate = static_cast<AtomicBlockId>(
+                    predictor.lastSuccessor(pc));
+        }
+        break;
+      }
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret: {
+        const HeadTrie *trie = aux.takenTrie;
+        if (term.op == Opcode::Ret) {
+            // The return address stack provides the head.
+            const std::uint64_t token = predictor.popReturn();
+            if (token == ~0ull)
+                break;
+            trie = bsa.findTrie(
+                static_cast<FuncId>(token >> 32),
+                static_cast<BlockId>(token & 0xffffffff));
+        }
+        if (trie) {
+            const unsigned nvar =
+                static_cast<unsigned>(trie->emitted.size());
+            const unsigned variant = std::min(pred.variantBits,
+                                              nvar - 1);
+            const AtomicBlockId structural =
+                trie->nodes[trie->emitted[variant]].block;
+            const unsigned slot = variant & (btbSuccessorSlots - 1);
+            if (predictor.successor(pc, slot) == structural)
+                candidate = structural;
+            else if (predictor.lastSuccessor(pc) != ~0ull)
+                candidate = static_cast<AtomicBlockId>(
+                    predictor.lastSuccessor(pc));
+        }
+        break;
+      }
+      case Opcode::IJmp: {
+        const std::uint64_t token = predictor.lastSuccessor(pc);
+        if (token != ~0ull)
+            candidate = static_cast<AtomicBlockId>(token);
+        break;
+      }
+      default:
+        break;
+    }
+    if (term.op == Opcode::Call)
+        predictor.pushReturn(headToken(blk.func, term.target0));
+
+    // ------------------------------------------------------- train
+    const unsigned actual_variant = pm.varIdx;
+    BlockPredictor::Prediction actual;
+    actual.trapTaken =
+        term.op == Opcode::Trap ? lastEvent.taken : false;
+    actual.variantBits = actual_variant;
+    unsigned succ_index = actual_variant;
+    if (term.op == Opcode::Trap)
+        succ_index = slot_of(lastEvent.taken, actual_variant);
+    predictor.update(pc, actual, blk.succBits, succ_index);
+    predictor.install(pc, succ_index & (btbSuccessorSlots - 1), s_max);
+
+    // ---------------------------------------------------- classify
+    bool counted = blk.succBits > 0 || term.op == Opcode::IJmp;
+    if (counted)
+        ++group.nPredictions;
+
+    if (candidate != invalidId) {
+        const bool compat =
+            candidate == s_max
+                ? pm.compatMax
+                : compatibleAt(group.pos, candidate, next_func,
+                               next_head);
+        if (compat) {
+            // Commits (possibly shallow).
+            group.predictedNext = candidate;
+            return;
+        }
+    }
+
+    // Misprediction.
+    if (!counted)
+        ++group.nPredictions;  // cold-BTB misses on single-succ blocks
+    group.pendingRedirect.mispredicted = true;
+    const bool same_head =
+        candidate != invalidId &&
+        bsa.blocks[candidate].func == next_func &&
+        bsa.blocks[candidate].bbs.front() == next_head;
+
+    if (!same_head) {
+        // Wrong head (trap direction / indirect target / cold BTB):
+        // resolved by this block's terminator.
+        ++group.nTrapMiss;
+        group.pendingRedirect.resolveInWrongBlock = false;
+        group.pendingRedirect.resolveOpIdx = du.opCount - 1;
+        if (candidate != invalidId) {
+            const AtomicBlock &wrong = bsa.blocks[candidate];
+            const DecodedUnit &wdu = decoded.unit(candidate);
+            group.pendingRedirect.wrongOps = decoded.ops(wdu);
+            group.pendingRedirect.wrongOpCount = wdu.opCount;
+            group.pendingRedirect.wrongPc = wrong.addr;
+            group.pendingRedirect.wrongBytes = wdu.sizeBytes;
+        }
+        group.predictedNext = s_max;
+        return;
+    }
+
+    // Same head, wrong variant: a fault inside the wrong block fires.
+    ++group.nFaultMiss;
+    group.pendingRedirect.isFault = true;
+    group.pendingRedirect.resolveInWrongBlock = true;
+
+    // Walk the fault-target cascade until a compatible block.
+    AtomicBlockId wrong_id = candidate;
+    unsigned hops = 0;
+    for (;;) {
+        const DecodedUnit &wdu = decoded.unit(wrong_id);
+        const DecodedFault *wfaults = decoded.faults(wdu);
+        // Find the first divergent merge edge by comparing the
+        // decoded direction mask with the actual stream; thru edges
+        // cannot diverge, so trapMask walks only the fault edges.
+        bool diverged = false;
+        unsigned resolve_op = wdu.opCount - 1;
+        AtomicBlockId fault_target = invalidId;
+        unsigned dir_idx = 0;
+        for (std::uint64_t m = wdu.trapMask; m;
+             m &= m - 1, ++dir_idx) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (i >= availAt(group.pos))
+                break;  // truncated stream at the program tail
+            const bool actual_dir = ev(group, i).taken;
+            const bool merged_dir = (wdu.dirMask >> dir_idx) & 1;
+            if (actual_dir != merged_dir) {
+                diverged = true;
+                resolve_op = wfaults[dir_idx].opIdx;
+                fault_target = wfaults[dir_idx].target;
+                break;
+            }
+        }
+        if (!diverged) {
+            if (hops == 0) {
+                // No divergent fault exists (possible only when the
+                // event stream is truncated at the program tail):
+                // resolve at the previous terminator instead.
+                group.pendingRedirect.resolveInWrongBlock = false;
+                group.pendingRedirect.resolveOpIdx = du.opCount - 1;
+            }
+            // The cascade landed on a compatible block.
+            break;
+        }
+        if (hops == 0) {
+            // The first wrong block is the one the pipeline issues.
+            group.pendingRedirect.resolveOpIdx = resolve_op;
+            group.pendingRedirect.wrongOps = decoded.ops(wdu);
+            group.pendingRedirect.wrongOpCount = wdu.opCount;
+            group.pendingRedirect.wrongPc = bsa.blocks[wrong_id].addr;
+            group.pendingRedirect.wrongBytes = wdu.sizeBytes;
+        }
+        ++hops;
+        ++group.nCascadeHops;
+        wrong_id = fault_target;
+        if (hops > 8) {
+            wrong_id = s_max;
+            break;
+        }
+    }
+    group.pendingRedirect.extraHops = hops > 0 ? hops - 1 : 0;
+    // The cascade-final compatible block; produceUnit falls back to
+    // the maximal variant if the stream was truncated underneath us.
+    group.predictedNext = wrong_id;
+}
+
+bool
+LockstepBsa::produceUnit(Group &group, TimingUnit &unit)
+{
+    if (group.pos >= trace.eventCount)
+        return false;
+
+    const PosMemo &pm = memoAt(group.pos);
+    const TraceEvent &e0 = ev(group, 0);
+
+    // A predicted maximal commit needs no re-check: either way the
+    // commit is s_max.  Only shallower (or wrong-head) predictions
+    // pay for a stream-compatibility walk.
+    AtomicBlockId committed;
+    if (group.predictedNext != invalidId &&
+        group.predictedNext != pm.smax &&
+        compatibleAt(group.pos, group.predictedNext, e0.func,
+                     e0.block)) {
+        committed = group.predictedNext;
+    } else {
+        committed = pm.smax;
+    }
+
+    const AtomicBlock &blk = bsa.blocks[committed];
+    const DecodedUnit &du = decoded.unit(committed);
+    unit.pc = blk.addr;
+    unit.bytes = du.sizeBytes;
+    unit.ops = decoded.ops(du);
+    unit.opCount = du.opCount;
+    unit.redirect = group.pendingRedirect;
+
+    // Gather the block's memory addresses; the copying fallback for
+    // non-adjacent spans mirrors BsaFetchSource for safety.
+    std::size_t consume;
+    bool adjacent;
+    std::uint32_t total;
+    if (committed == pm.smax) {
+        consume = pm.consume;
+        adjacent = pm.adjacent;
+        total = pm.memCount;
+    } else {
+        consume = std::min<std::size_t>(blk.bbs.size(),
+                                        availAt(group.pos));
+        adjacent = true;
+        total = 0;
+        for (std::size_t i = 0; i < consume; ++i) {
+            const TraceEvent &e = ev(group, i);
+            if (i > 0 && e0.memBegin + total != e.memBegin) {
+                adjacent = false;
+                break;
+            }
+            total += e.memCount;
+        }
+    }
+    if (adjacent) {
+        unit.memAddrs = trace.memAddrs + e0.memBegin;
+        unit.memCount = total;
+    } else {
+        group.emitMemAddrs.clear();
+        for (std::size_t i = 0; i < consume; ++i) {
+            const TraceEvent &e = ev(group, i);
+            group.emitMemAddrs.insert(
+                group.emitMemAddrs.end(), trace.memAddrs + e.memBegin,
+                trace.memAddrs + e.memBegin + e.memCount);
+        }
+        unit.memAddrs = group.emitMemAddrs.data();
+        unit.memCount =
+            static_cast<std::uint32_t>(group.emitMemAddrs.size());
+    }
+
+    const TraceEvent &last = ev(group, consume - 1);
+    group.pos += consume;
+    predictSuccessor(group, committed, last);
+    return true;
+}
+
+std::vector<SimResult>
+LockstepBsa::run()
+{
+    const std::size_t n = machines.size();
+    LanePipelines pipes(machines.data(), n);
+    pipes.shareDcachePool(trace.memAddrs, trace.memAddrCount);
+    for (const Group &group : groups)
+        shareGroupIcaches(pipes, machines, group.lanes);
+
+    // Groups advance one unit per round, so their cursors stay within
+    // a block length of each other and every per-position memo entry
+    // is computed by the leading group and reused hot by the rest.
+    // Lanes never interact inside LanePipelines, so the interleaving
+    // is free to step every member lane over the group's unit before
+    // the next group produces its own.
+    TimingUnit unit;
+    for (;;) {
+        bool any = false;
+        for (Group &group : groups) {
+            if (group.done)
+                continue;
+            if (!produceUnit(group, unit)) {
+                group.done = true;
+                continue;
+            }
+            for (const std::size_t l : group.lanes)
+                pipes.step(l, unit);
+            any = true;
+        }
+        if (!any)
+            break;
+    }
+
+    std::vector<SimResult> out(n);
+    for (const Group &group : groups) {
+        for (const std::size_t l : group.lanes) {
+            out[l] = pipes.takeResult(l);
+            out[l].predictions = group.nPredictions;
+            out[l].mispredicts = group.nTrapMiss + group.nFaultMiss;
+            out[l].trapMispredicts = group.nTrapMiss;
+            out[l].faultMispredicts = group.nFaultMiss;
+            out[l].cascadeHops = group.nCascadeHops;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SimResult>
+lockstepBlockStructured(const BsaModule &bsa,
+                        const DecodedProgram &decoded,
+                        const std::vector<MachineConfig> &machines,
+                        const ExecTrace &trace)
+{
+    if (machines.empty())
+        return {};
+    std::vector<std::size_t> uniqueOf;
+    const std::vector<MachineConfig> unique =
+        dedupConfigs(machines, uniqueOf);
+    LockstepBsa engine(bsa, decoded, unique, trace);
+    const std::vector<SimResult> laneOut = engine.run();
+    std::vector<SimResult> out(machines.size());
+    for (std::size_t i = 0; i < machines.size(); ++i)
+        out[i] = laneOut[uniqueOf[i]];
+    return out;
+}
+
+// -------------------------------------------------------- trace cache
+
+std::vector<TraceCacheResult>
+lockstepTraceCache(const Module &module, const ConvLayout &layout,
+                   const DecodedProgram &decoded,
+                   const std::vector<MachineConfig> &machines,
+                   const std::vector<TraceCacheConfig> &tcConfigs,
+                   const ExecTrace &trace)
+{
+    BSISA_ASSERT(machines.size() == tcConfigs.size());
+    const std::size_t n = machines.size();
+    std::vector<TraceCacheResult> out(n);
+    if (n == 0)
+        return out;
+
+    LanePipelines pipes(machines.data(), n);
+    std::vector<std::unique_ptr<TraceCacheFetchSource>> sources;
+    sources.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        sources.push_back(std::make_unique<TraceCacheFetchSource>(
+            module, layout, machines[l], tcConfigs[l], trace,
+            decoded));
+    }
+
+    // Trace-cache unit boundaries depend on per-config cache
+    // contents, so lanes round-robin one unit per turn over the
+    // shared read-only decode and trace.
+    std::vector<bool> alive(n, true);
+    TimingUnit unit;
+    for (std::size_t remaining = n; remaining > 0;) {
+        for (std::size_t l = 0; l < n; ++l) {
+            if (!alive[l])
+                continue;
+            if (sources[l]->next(unit)) {
+                pipes.step(l, unit);
+            } else {
+                alive[l] = false;
+                --remaining;
+            }
+        }
+    }
+
+    for (std::size_t l = 0; l < n; ++l) {
+        out[l].sim = pipes.takeResult(l);
+        fillSourceStats(out[l].sim, *sources[l]);
+        out[l].traceHits = sources[l]->traceHits();
+        out[l].traceMisses = sources[l]->traceMisses();
+    }
+    return out;
+}
+
+} // namespace bsisa

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Lockstep multi-config simulation: one decoded program and one
+ * replayed event stream drive N per-config machines at once.
+ *
+ * The paper's figures are config sweeps — dozens of (fetch model,
+ * predictor, cache, window) points over the same eight benchmarks —
+ * and each point's committed stream is identical.  Replaying the
+ * shared trace once per *config* leaves two kinds of redundant work on
+ * the table:
+ *
+ *   - config-independent translation: the conventional machine's fetch
+ *     units are exactly the committed basic blocks, and the
+ *     block-structured machine's maximal-variant trie walk depends
+ *     only on (BsaModule, stream position) — never on the predictor or
+ *     the caches; and
+ *   - cold rewalks of the shared data: each per-config pass streams
+ *     the multi-megabyte trace and the decoded-op pools through the
+ *     host caches again, even though the bytes are identical.
+ *
+ * A lockstep batch fixes both.  The drivers walk the trace once,
+ * compute each position's translation once (unit boundaries, decoded
+ * slices, address spans, and — for the BSA — the maximal-variant trie
+ * walk, memoised per position), and advance every config lane over the
+ * still-hot unit before moving to the next event; only the genuinely
+ * config-dependent work (prediction state, cache models, scheduling)
+ * runs per lane.  LanePipelines keeps the mutable machine state of the
+ * N lanes in structure-of-arrays form — one flat register-ready pool,
+ * one flat in-flight-window ring pool, one flat wrong-path scoreboard
+ * pool, contiguous per-lane cycle counters, and contiguous per-lane
+ * cache/issue-slot objects — and each lane's step is the same tight
+ * single-lane scheduling loop the sequential path runs, so a lane's
+ * scoreboard, issue ring, and cache tags stay L1-resident for the
+ * duration of its unit.  Read-only state (the DecodedProgram, the
+ * ConvLayout, the BsaModule and its tries, the mmap-ed trace address
+ * pool) is shared by reference across every lane, never duplicated
+ * per config.
+ *
+ * Bit-exactness contract: every lockstep driver produces SimResults
+ * bit-identical to running the same configs one at a time through
+ * simulatePipeline over a TraceReplaySource (the singleton path).
+ * simulatePipeline itself is implemented as a one-lane LanePipelines
+ * walk, so the sequential and batched paths share one arithmetic.
+ * The contract is enforced by tests/test_lockstep.cc and the fuzz
+ * harness's `lockstep` oracle.
+ */
+
+#ifndef BSISA_SIM_LOCKSTEP_HH
+#define BSISA_SIM_LOCKSTEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "codegen/layout.hh"
+#include "core/bsa.hh"
+#include "sim/fetch_source.hh"
+#include "sim/machine.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+
+namespace bsisa
+{
+
+struct TraceCacheConfig;
+
+/**
+ * Structure-of-arrays pipeline state for N config lanes.
+ *
+ * Each lane is one complete machine — issue slots, register
+ * scoreboard, instruction window, icache/dcache, wrong-path rename
+ * scoreboard, cycle counters — advanced one fetch unit at a time by
+ * step().  Lanes never interact: any interleaving of step() calls
+ * across lanes produces the same per-lane results, so batch drivers
+ * are free to advance lanes event-by-event (sharing each hot unit)
+ * while simulatePipeline drives a single lane to completion.
+ */
+class LanePipelines
+{
+  public:
+    LanePipelines(const MachineConfig *configs, std::size_t laneCount);
+
+    std::size_t laneCount() const { return lanes.size(); }
+
+    /**
+     * Share the committed-order dcache simulation across lanes.
+     *
+     * Wrong-path loads never touch the dcache (they are modelled as
+     * L1 hits), and every replay lane's committed mem ops consume the
+     * trace's address pool in stream order — so the hit/miss outcome
+     * of pool access #i is a pure function of the dcache geometry,
+     * not of the lane.  Replay drivers pass the pool here and lanes
+     * with identical dcache configs then share one precomputed
+     * hit/miss stream instead of running one cache model each.
+     * Accesses past the pool (ops of a final unit truncated by the op
+     * budget read address 0) and any out-of-order consumption fork
+     * the lane an exact private cache, so results stay bit-identical
+     * to the unshared path by construction.  Do not enable for
+     * sources that can revisit or reorder pool addresses.
+     */
+    void shareDcachePool(const std::uint64_t *addrs, std::size_t count);
+
+    /**
+     * Declare @p follower's icache access stream identical to
+     * @p leader's, so the follower reuses the leader's per-step
+     * icache outcome instead of running its own cache model.
+     *
+     * Valid only when both lanes see the same units and the same
+     * redirects in the same step order (same prediction group) and
+     * their icache geometries match, and the caller must step the
+     * leader before the follower in every round — both are asserted
+     * per step via lockstep sequence numbers.
+     */
+    void shareIcache(std::size_t leader, std::size_t follower);
+
+    /** Advance @p lane by its next fetch unit. */
+    void step(std::size_t lane, const TimingUnit &unit);
+
+    /** Pipeline-side result of @p lane (cycles, retired counts, stall
+     *  breakdown, window high-water marks, cache stats).  Prediction
+     *  statistics belong to the fetch side; the caller fills them. */
+    SimResult takeResult(std::size_t lane) const;
+
+  private:
+    /** Per-lane POD counters, contiguous across lanes. */
+    struct LaneState
+    {
+        std::uint64_t lastFetch = 0;
+        std::uint64_t lastRetire = 0;
+        std::uint64_t wrongGen = 0;
+        /** prevDone entry count; 0 until the first unit commits. */
+        std::uint32_t prevCount = 0;
+        /** In-flight ring cursors (ring capacity windowUnits + 1). */
+        std::uint32_t inflightHead = 0;
+        std::uint32_t inflightTail = 0;
+        std::uint32_t inflightOps = 0;
+    };
+
+    /** One in-flight unit: (retire cycle, op count). */
+    struct Inflight
+    {
+        std::uint64_t retire = 0;
+        std::uint32_t ops = 0;
+    };
+
+    // ------------------------------------------------- phase helpers
+    /** Fetch phase: redirect resolution (incl. wrong-path issue),
+     *  window-occupancy wait, icache access.  Returns the earliest
+     *  schedule cycle (fetch + frontendDepth). */
+    std::uint64_t fetchPhase(std::size_t lane, const TimingUnit &unit,
+                             const RedirectInfo &redirect);
+
+    /** Retire phase: window push, high-water marks, cycle count. */
+    void retirePhase(std::size_t lane, std::uint32_t unitOps,
+                     std::uint64_t unitDone);
+
+    /** Wrong-path scheduling (see pipeline.cc's model comment). */
+    std::uint64_t scheduleWrongPath(std::size_t lane,
+                                    const DecodedOp *ops,
+                                    std::uint32_t n,
+                                    unsigned mustRunIdx,
+                                    std::uint64_t fetchCycle,
+                                    std::uint64_t squashCutoff);
+
+    /** One distinct dcache geometry's precomputed pool walk: the
+     *  per-access hit/miss stream plus the cache's final state (the
+     *  seed for a lane's private tail fork). */
+    struct DcacheStream
+    {
+        Cache cache;
+        std::vector<std::uint8_t> hit;
+    };
+
+    /** Leave the shared dcache stream: seed the lane's private cache
+     *  with the stream state at its cursor (final state when the pool
+     *  is fully consumed, an exact prefix replay otherwise). */
+    void privatizeDcache(std::size_t lane);
+
+    std::uint64_t *regReadyOf(std::size_t lane)
+    {
+        return regReady.data() + lane * laneRegs;
+    }
+    Inflight *inflightOf(std::size_t lane)
+    {
+        return inflightPool.data() + inflightBase[lane];
+    }
+    std::uint64_t *prevDoneOf(std::size_t lane)
+    {
+        return prevDone.data() + lane * prevStride;
+    }
+
+    static constexpr std::size_t laneRegs = numArchRegs + 1;
+
+    std::vector<MachineConfig> configs;
+    std::vector<LaneState> lanes;
+    std::vector<SimResult> results;
+    std::vector<IssueSlots> slots;
+    std::vector<Cache> icaches;
+    std::vector<Cache> dcaches;
+
+    /** Flat pools, lane-major. */
+    std::vector<std::uint64_t> regReady;     //!< lanes x laneRegs
+    std::vector<std::uint64_t> wrongReady;   //!< lanes x laneRegs
+    std::vector<std::uint64_t> wrongStamp;   //!< lanes x laneRegs
+    std::vector<std::uint64_t> prevDone;     //!< lanes x prevStride
+    std::vector<Inflight> inflightPool;
+    std::vector<std::uint32_t> inflightBase;  //!< +capacity sentinel
+    std::size_t prevStride = 0;
+
+    /** Shared dcache streams (see shareDcachePool); empty when the
+     *  per-lane cache models run privately. */
+    std::vector<DcacheStream> dcacheStreams;
+    std::vector<std::int32_t> dcacheStreamOf;  //!< lane -> stream | -1
+    std::vector<std::size_t> dcacheCursor;     //!< per-lane pool index
+    const std::uint64_t *dcachePool = nullptr;
+    std::size_t dcachePoolCount = 0;
+
+    /** Icache echoing (see shareIcache).  Every lane records the
+     *  missing-line count of its latest unit fetch; followers read
+     *  their leader's record instead of accessing a cache. */
+    struct IcacheEcho
+    {
+        std::uint64_t seq = 0;       //!< step number of the record
+        unsigned unitMissing = 0;    //!< missing lines of that fetch
+    };
+    std::vector<std::int32_t> icacheLeaderOf;  //!< lane -> leader | -1
+    std::vector<IcacheEcho> icacheEcho;
+    std::vector<std::uint64_t> stepSeq;        //!< per-lane step count
+};
+
+/**
+ * Conventional machine: advance one lane per @p machines entry over
+ * one shared replayed stream.  The committed fetch units of the
+ * conventional machine are config-independent (one basic block per
+ * event), so the driver walks the trace once, builds each unit once,
+ * and advances every lane over it while it is hot.  Prediction is
+ * purely stream-driven, so lanes whose prediction state is identical
+ * (same predictor geometry, or oracle prediction — which ignores the
+ * predictor entirely) share one ConvPredictor per group; the
+ * committed-order dcache stream is shared per distinct dcache
+ * geometry; and effectively identical configs collapse to one lane
+ * whose result is replicated.  Only per-lane pipeline state remains
+ * per config.
+ */
+std::vector<SimResult>
+lockstepConventional(const Module &module, const ConvLayout &layout,
+                     const DecodedProgram &decoded,
+                     const std::vector<MachineConfig> &machines,
+                     const ExecTrace &trace);
+
+/**
+ * Block-structured machine: N lanes over one shared replayed stream
+ * and one shared BsaModule/DecodedProgram.  The entire
+ * config-independent translation at each stream position — the
+ * maximal-variant trie walk, its variant index and compatibility, the
+ * consumed event count, and the unit's pooled address span — is
+ * computed once per position and memoised across every lane.  The
+ * block predictor is purely stream-driven, so the whole fetch side
+ * (cursor, predictor, redirect construction, unit gathering) runs
+ * once per *prediction group* — lanes with identical predictor
+ * geometry, or all oracle-prediction lanes together — and every lane
+ * of a group steps its pipeline over the group's unit.  The
+ * committed-order dcache stream is shared per distinct dcache
+ * geometry, and effectively identical configs collapse to one lane.
+ */
+std::vector<SimResult>
+lockstepBlockStructured(const BsaModule &bsa,
+                        const DecodedProgram &decoded,
+                        const std::vector<MachineConfig> &machines,
+                        const ExecTrace &trace);
+
+/**
+ * Trace-cache machine: N lanes round-robin over one shared stream and
+ * decoded program.  Trace-cache unit boundaries depend on per-config
+ * cache contents, so lanes advance one unit each per round (shared
+ * read-only state, per-lane everything else).
+ */
+std::vector<TraceCacheResult>
+lockstepTraceCache(const Module &module, const ConvLayout &layout,
+                   const DecodedProgram &decoded,
+                   const std::vector<MachineConfig> &machines,
+                   const std::vector<TraceCacheConfig> &tcConfigs,
+                   const ExecTrace &trace);
+
+/** Copy the fetch-side statistics of @p source into @p result. */
+void fillSourceStats(SimResult &result, const FetchSource &source);
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_LOCKSTEP_HH

@@ -94,6 +94,22 @@ struct SimResult
     }
 };
 
+/** SimResult of the trace-cache-augmented machine, plus the trace
+ *  cache's own hit statistics. */
+struct TraceCacheResult
+{
+    SimResult sim;
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = traceHits + traceMisses;
+        return total ? double(traceHits) / double(total) : 0.0;
+    }
+};
+
 } // namespace bsisa
 
 #endif // BSISA_SIM_MACHINE_HH

@@ -2,7 +2,13 @@
  * @file
  * Pipeline core implementation.
  *
- * Both scheduling loops walk flat DecodedOp arrays (sim/decoded.hh).
+ * The scheduling arithmetic lives in LanePipelines (sim/lockstep.cc):
+ * a sequential simulation is exactly a one-lane lockstep batch, so the
+ * singleton and batched sweep paths share a single source of truth and
+ * the lockstep engine's bit-exactness contract is structural rather
+ * than maintained-by-hand.
+ *
+ * Both scheduling paths walk flat DecodedOp arrays (sim/decoded.hh).
  * The register conventions established at decode time — absent sources
  * read regZero, whose ready time is pinned at 0; absent destinations
  * write the regDump slot, which is never read — let the loops read
@@ -12,289 +18,22 @@
 
 #include "sim/pipeline.hh"
 
-#include <array>
-
-#include "support/logging.hh"
+#include "sim/lockstep.hh"
 
 namespace bsisa
 {
 
-namespace
-{
-
-/**
- * Fixed-capacity FIFO of in-flight units (retireCycle, opCount).
- * The window never holds more than windowUnits entries, so the ring
- * is allocated once up front and the per-unit push/pop never touch
- * the allocator (unlike the std::deque it replaces).
- */
-class InflightRing
-{
-  public:
-    explicit InflightRing(unsigned windowUnits)
-        : buf(windowUnits + 1)
-    {
-    }
-
-    bool empty() const { return head == tail; }
-
-    std::size_t
-    size() const
-    {
-        return tail >= head ? tail - head : tail + buf.size() - head;
-    }
-
-    const std::pair<std::uint64_t, unsigned> &
-    front() const
-    {
-        return buf[head];
-    }
-
-    void
-    pop_front()
-    {
-        if (++head == buf.size())
-            head = 0;
-    }
-
-    void
-    push_back(std::uint64_t retire, unsigned ops)
-    {
-        buf[tail] = {retire, ops};
-        if (++tail == buf.size())
-            tail = 0;
-        BSISA_ASSERT(tail != head, "inflight ring overflow");
-    }
-
-  private:
-    std::vector<std::pair<std::uint64_t, unsigned>> buf;
-    std::size_t head = 0;
-    std::size_t tail = 0;
-};
-
-/** Scheduler state shared across units. */
-struct SchedState
-{
-    explicit SchedState(const MachineConfig &config)
-        : cfg(config), slots(config.issueWidth),
-          icache(config.icache), dcache(config.dcache),
-          inflight(config.windowUnits)
-    {
-        // One extra slot for regDump; regReady[regZero] stays 0
-        // because no decoded op writes regZero.
-        regReady.assign(numArchRegs + 1, 0);
-        prevDone.reserve(config.windowOps);
-        wrongStamp.fill(0);
-    }
-
-    const MachineConfig &cfg;
-    IssueSlots slots;
-    Cache icache;
-    Cache dcache;
-    std::vector<std::uint64_t> regReady;
-
-    /** In-flight units: (retireCycle, opCount). */
-    InflightRing inflight;
-    unsigned inflightOps = 0;
-
-    std::uint64_t lastFetch = 0;
-    std::uint64_t lastRetire = 0;
-
-    /** Completion times of the previous committed unit's ops. */
-    std::vector<std::uint64_t> prevDone;
-
-    /** Wrong-path local-rename scoreboard: a flat array stamped with a
-     *  per-mispredict generation, so scheduleWrongPath never clears or
-     *  allocates on the hot path. */
-    std::array<std::uint64_t, numArchRegs + 1> wrongReady;
-    std::array<std::uint64_t, numArchRegs + 1> wrongStamp;
-    std::uint64_t wrongGen = 0;
-};
-
-/**
- * Schedule the ops of a wrongly fetched block.  Ops up to and
- * including @p mustRunIdx always issue (the resolving fault needs its
- * operands); later ops issue only if they can start before the squash.
- * Register state is read from the committed scoreboard but written
- * only to the generation-stamped local scoreboard.  Returns the
- * completion time of op @p mustRunIdx (the resolve time for
- * fault-style mispredicts).
- */
-std::uint64_t
-scheduleWrongPath(SchedState &st, const DecodedOp *ops, std::uint32_t n,
-                  unsigned mustRunIdx, std::uint64_t fetchCycle,
-                  std::uint64_t squashCutoff, std::uint64_t &wrongOps)
-{
-    const std::uint64_t gen = ++st.wrongGen;
-    const std::uint64_t earliest = fetchCycle + st.cfg.frontendDepth;
-    std::uint64_t resolve = earliest;
-
-    // Absent sources decode to regZero, which is never stamped (no op
-    // writes it) and whose committed ready time is pinned at 0 — so
-    // both sources can be read unconditionally.
-    auto ready_of = [&](RegNum r) -> std::uint64_t {
-        return st.wrongStamp[r] == gen ? st.wrongReady[r]
-                                       : st.regReady[r];
-    };
-
-    for (std::uint32_t i = 0; i < n; ++i) {
-        const DecodedOp &op = ops[i];
-        const std::uint64_t ready =
-            std::max({earliest, ready_of(op.src1), ready_of(op.src2)});
-
-        if (i > mustRunIdx && ready > squashCutoff)
-            continue;  // squashed before it could issue
-
-        const std::uint64_t start = st.slots.allocate(ready);
-        if (i > mustRunIdx && start > squashCutoff)
-            continue;
-        ++wrongOps;
-        // Wrong-path loads are modelled as L1 hits: their addresses
-        // are speculative garbage we do not track.
-        const std::uint64_t done = start + op.latency;
-        st.wrongReady[op.dst] = done;
-        st.wrongStamp[op.dst] = gen;
-        if (i == mustRunIdx)
-            resolve = done;
-    }
-    return resolve;
-}
-
-} // namespace
-
 SimResult
 simulatePipeline(FetchSource &source, const MachineConfig &config)
 {
-    SchedState st(config);
-    SimResult result;
+    LanePipelines lane(&config, 1);
 
     TimingUnit unit;
-    while (source.next(unit)) {
-        BSISA_ASSERT(unit.ops && unit.opCount > 0);
+    while (source.next(unit))
+        lane.step(0, unit);
 
-        // ----------------------------------------------------- fetch
-        std::uint64_t fetch = st.lastFetch + 1;
-        const std::uint64_t fetch_base = fetch;
-
-        if (unit.redirect.mispredicted) {
-            std::uint64_t resolve;
-            if (unit.redirect.resolveInWrongBlock) {
-                // A fault in the wrong block resolves the mispredict;
-                // its ops must be issued to find out.
-                BSISA_ASSERT(unit.redirect.wrongOps);
-                // The wrong block was fetched in place of this one.
-                st.icache.accessRange(unit.redirect.wrongPc,
-                                      unit.redirect.wrongBytes);
-                resolve = scheduleWrongPath(
-                    st, unit.redirect.wrongOps,
-                    unit.redirect.wrongOpCount,
-                    unit.redirect.resolveOpIdx, fetch,
-                    ~0ull, result.wrongPathOps);
-            } else {
-                // The previous unit's terminator resolves it.
-                resolve = st.prevDone.empty()
-                              ? fetch
-                              : st.prevDone[unit.redirect.resolveOpIdx];
-                if (unit.redirect.wrongOps) {
-                    st.icache.accessRange(unit.redirect.wrongPc,
-                                          unit.redirect.wrongBytes);
-                    scheduleWrongPath(st, unit.redirect.wrongOps,
-                                      unit.redirect.wrongOpCount,
-                                      0, fetch, resolve,
-                                      result.wrongPathOps);
-                }
-            }
-            std::uint64_t redirected =
-                resolve + 1 + config.redirectPenalty;
-            redirected += std::uint64_t(unit.redirect.extraHops) *
-                          (config.redirectPenalty + 1);
-            fetch = std::max(fetch, redirected);
-        }
-        result.stallRedirect += fetch - fetch_base;
-        const std::uint64_t fetch_after_redirect = fetch;
-
-        // Window occupancy: wait for room.
-        while (!st.inflight.empty() &&
-               st.inflight.front().first <= fetch) {
-            st.inflightOps -= st.inflight.front().second;
-            st.inflight.pop_front();
-        }
-        const unsigned unit_ops = unit.opCount;
-        while (st.inflight.size() >= config.windowUnits ||
-               st.inflightOps + unit_ops > config.windowOps) {
-            BSISA_ASSERT(!st.inflight.empty(),
-                         "unit larger than the whole window");
-            fetch = std::max(fetch, st.inflight.front().first);
-            st.inflightOps -= st.inflight.front().second;
-            st.inflight.pop_front();
-        }
-
-        result.stallWindow += fetch - fetch_after_redirect;
-
-        // Instruction cache: any missing line stalls the fetch for one
-        // L2 round trip (lines fill in parallel from the perfect L2).
-        if (!unit.skipIcache &&
-            st.icache.accessRange(unit.pc, unit.bytes) > 0) {
-            fetch += config.l2Latency;
-            result.stallIcache += config.l2Latency;
-        }
-
-        st.lastFetch = fetch;
-        st.slots.advanceTo(fetch);
-
-        // -------------------------------------------------- schedule
-        const std::uint64_t earliest = fetch + config.frontendDepth;
-        std::uint64_t unit_done = earliest;
-        st.prevDone.assign(unit.opCount, 0);
-        std::uint32_t mem_idx = 0;
-
-        for (std::uint32_t i = 0; i < unit.opCount; ++i) {
-            const DecodedOp &op = unit.ops[i];
-            const std::uint64_t ready =
-                std::max({earliest, st.regReady[op.src1],
-                          st.regReady[op.src2]});
-
-            const std::uint64_t start = st.slots.allocate(ready);
-            unsigned latency = op.latency;
-            if (op.flags & opIsMem) {
-                const std::uint64_t addr =
-                    mem_idx < unit.memCount ? unit.memAddrs[mem_idx]
-                                            : 0;
-                ++mem_idx;
-                const bool hit = st.dcache.access(addr);
-                if (!hit && (op.flags & opIsLoad))
-                    latency += config.l2Latency;
-            }
-            const std::uint64_t done = start + latency;
-            st.prevDone[i] = done;
-            st.regReady[op.dst] = done;
-            unit_done = std::max(unit_done, done);
-        }
-
-        // ---------------------------------------------------- retire
-        const std::uint64_t retire =
-            std::max(unit_done + 1, st.lastRetire + 1);
-        st.lastRetire = retire;
-        st.inflight.push_back(retire, unit_ops);
-        st.inflightOps += unit_ops;
-        result.peakWindowUnits =
-            std::max<std::uint64_t>(result.peakWindowUnits,
-                                    st.inflight.size());
-        result.peakWindowOps =
-            std::max<std::uint64_t>(result.peakWindowOps, st.inflightOps);
-
-        result.retiredOps += unit_ops;
-        result.retiredUnits += 1;
-        result.cycles = std::max(result.cycles, retire);
-    }
-
-    result.predictions = source.predictions();
-    result.mispredicts = source.mispredicts();
-    result.trapMispredicts = source.trapMispredicts();
-    result.faultMispredicts = source.faultMispredicts();
-    result.cascadeHops = source.cascadeHops();
-    result.icache = st.icache.stats();
-    result.dcache = st.dcache.stats();
+    SimResult result = lane.takeResult(0);
+    fillSourceStats(result, source);
     return result;
 }
 

@@ -16,7 +16,7 @@ TraceCacheFetchSource::TraceCacheFetchSource(
     Interp::Limits limits)
     : TraceCacheFetchSource(
           mod, lay, config, tcConfig,
-          std::make_unique<InterpEventSource>(mod, limits))
+          std::make_unique<InterpEventSource>(mod, limits), nullptr)
 {
 }
 
@@ -25,16 +25,30 @@ TraceCacheFetchSource::TraceCacheFetchSource(
     const MachineConfig &config, const TraceCacheConfig &tcConfig,
     const ExecTrace &trace)
     : TraceCacheFetchSource(mod, lay, config, tcConfig,
-                            std::make_unique<TraceReplaySource>(trace))
+                            std::make_unique<TraceReplaySource>(trace),
+                            nullptr)
 {
 }
 
 TraceCacheFetchSource::TraceCacheFetchSource(
     const Module &mod, const ConvLayout &lay,
     const MachineConfig &config, const TraceCacheConfig &tcConfig,
-    std::unique_ptr<EventSource> source)
+    const ExecTrace &trace, const DecodedProgram &sharedDecoded)
+    : TraceCacheFetchSource(mod, lay, config, tcConfig,
+                            std::make_unique<TraceReplaySource>(trace),
+                            &sharedDecoded)
+{
+}
+
+TraceCacheFetchSource::TraceCacheFetchSource(
+    const Module &mod, const ConvLayout &lay,
+    const MachineConfig &config, const TraceCacheConfig &tcConfig,
+    std::unique_ptr<EventSource> source,
+    const DecodedProgram *sharedDecoded)
     : module(mod), layout(lay),
-      decoded(DecodedProgram::forModule(mod)),
+      ownedDecoded(sharedDecoded ? DecodedProgram()
+                                 : DecodedProgram::forModule(mod)),
+      decoded(sharedDecoded ? sharedDecoded : &ownedDecoded),
       perfect(config.perfectPrediction),
       predictor(config.predictor), cache(tcConfig),
       stream(std::move(source))
@@ -115,7 +129,7 @@ void
 TraceCacheFetchSource::fillWith(const BlockEvent &ev)
 {
     const unsigned block_ops =
-        decoded.unit(ev.func, ev.block).opCount;
+        decoded->unit(ev.func, ev.block).opCount;
 
     if (fill.valid &&
         (fill.blocks.size() >= cache.config().maxBlocks ||
@@ -227,8 +241,8 @@ TraceCacheFetchSource::next(TimingUnit &unit)
             events.push_front(ev);
             break;
         }
-        const DecodedUnit &bdu = decoded.unit(ev.func, ev.block);
-        const DecodedOp *bops = decoded.ops(bdu);
+        const DecodedUnit &bdu = decoded->unit(ev.func, ev.block);
+        const DecodedOp *bops = decoded->ops(bdu);
         emitOps.insert(emitOps.end(), bops, bops + bdu.opCount);
         emitSpans.emplace_back(ev.memAddrs, ev.memCount);
         ++committed;
@@ -258,8 +272,8 @@ TraceCacheFetchSource::next(TimingUnit &unit)
                 const Operation &term = blk.terminator();
                 const BlockId wrong =
                     predicted ? term.target0 : term.target1;
-                const DecodedUnit &wdu = decoded.unit(ev.func, wrong);
-                pendingRedirect.wrongOps = decoded.ops(wdu);
+                const DecodedUnit &wdu = decoded->unit(ev.func, wrong);
+                pendingRedirect.wrongOps = decoded->ops(wdu);
                 pendingRedirect.wrongOpCount = wdu.opCount;
                 pendingRedirect.wrongPc = layout.addrOf(ev.func, wrong);
                 pendingRedirect.wrongBytes =

@@ -45,6 +45,15 @@ class TraceCacheFetchSource : public FetchSource
                           const TraceCacheConfig &tcConfig,
                           const ExecTrace &trace);
 
+    /** Replay sharing a pre-built decode: lockstep batches build the
+     *  DecodedProgram once and hand it to every lane's source, so a
+     *  batch holds exactly one copy of the static metadata. */
+    TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
+                          const MachineConfig &config,
+                          const TraceCacheConfig &tcConfig,
+                          const ExecTrace &trace,
+                          const DecodedProgram &sharedDecoded);
+
     bool next(TimingUnit &unit) override;
 
     std::uint64_t predictions() const override { return nPredictions; }
@@ -61,11 +70,13 @@ class TraceCacheFetchSource : public FetchSource
     std::uint64_t traceMisses() const { return cache.misses(); }
 
   private:
-    /** Common tail of both public constructors. */
+    /** Common tail of the public constructors; @p sharedDecoded is
+     *  null when this source should build (and own) its decode. */
     TraceCacheFetchSource(const Module &module, const ConvLayout &layout,
                           const MachineConfig &config,
                           const TraceCacheConfig &tcConfig,
-                          std::unique_ptr<EventSource> source);
+                          std::unique_ptr<EventSource> source,
+                          const DecodedProgram *sharedDecoded);
 
     /** Lookahead depth (ring capacity); must stay below the
      *  EventSource span-stability window. */
@@ -74,8 +85,10 @@ class TraceCacheFetchSource : public FetchSource
 
     const Module &module;
     const ConvLayout &layout;
-    /** Per-op metadata decoded once at construction. */
-    DecodedProgram decoded;
+    /** Per-op metadata: owned when standalone (decoded points at
+     *  ownedDecoded), borrowed when batched (ownedDecoded empty). */
+    DecodedProgram ownedDecoded;
+    const DecodedProgram *decoded;
     bool perfect;
     TwoLevelPredictor predictor;
     TraceCache cache;

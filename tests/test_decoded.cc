@@ -249,6 +249,92 @@ TEST(Decoded, ReplaySteadyStateIsAllocationFree)
     EXPECT_EQ(bsa_allocs(long_trace), bsa_allocs(short_trace));
 }
 
+TEST(Decoded, SharedDecodeConstructionCopiesNothing)
+{
+    // Lockstep batches build the DecodedProgram once and hand it to
+    // every lane's source; the shared-decode constructors must borrow
+    // it, not copy it.  A borrowed decode skips every decode-table
+    // allocation, so the shared ctor allocates strictly less than the
+    // owning ctor.
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    Interp::Limits limits;
+    limits.maxOps = suite[0].scaledBudget(4000);
+    const ExecTrace trace = captureTrace(m, limits);
+    MachineConfig machine;
+    const ConvLayout layout(m);
+    const DecodedProgram decoded = DecodedProgram::forModule(m);
+
+    auto conv_ctor_allocs = [&](bool shared) {
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        if (shared) {
+            ConvFetchSource source(m, layout, machine, trace, decoded);
+        } else {
+            ConvFetchSource source(m, layout, machine, trace);
+        }
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+    EXPECT_LT(conv_ctor_allocs(true), conv_ctor_allocs(false));
+
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+    const DecodedProgram bsaDecoded = DecodedProgram::forBsa(bsa);
+    auto bsa_ctor_allocs = [&](bool shared) {
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        if (shared) {
+            BsaFetchSource source(bsa, machine, trace, bsaDecoded);
+        } else {
+            BsaFetchSource source(bsa, machine, trace);
+        }
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+    EXPECT_LT(bsa_ctor_allocs(true), bsa_ctor_allocs(false));
+}
+
+TEST(Decoded, LockstepSteadyStateIsAllocationFree)
+{
+    // The batched walk shares one decode and one trace mapping across
+    // all lanes, and its per-event path must stay allocation-free: a
+    // 4x-longer replay of the same batch performs exactly as many
+    // heap allocations as a short one (all setup), i.e. zero
+    // allocations per event per lane.
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+
+    Interp::Limits short_lim, long_lim;
+    short_lim.maxOps = suite[0].scaledBudget(4000);
+    long_lim.maxOps = short_lim.maxOps * 4;
+    const ExecTrace short_trace = captureTrace(m, short_lim);
+    const ExecTrace long_trace = captureTrace(m, long_lim);
+    ASSERT_GT(long_trace.eventCount, short_trace.eventCount);
+
+    std::vector<MachineConfig> grid(4);
+    grid[1].issueWidth = 8;
+    grid[2].perfectPrediction = true;
+    grid[3].icache.sizeBytes = 16 * 1024;
+
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    auto conv_allocs = [&](const ExecTrace &t) {
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        runConventionalBatch(m, grid, t);
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+    auto bsa_allocs = [&](const ExecTrace &t) {
+        const std::uint64_t before =
+            allocCount.load(std::memory_order_relaxed);
+        runBlockStructuredBatch(bsa, grid, t);
+        return allocCount.load(std::memory_order_relaxed) - before;
+    };
+
+    EXPECT_EQ(conv_allocs(long_trace), conv_allocs(short_trace));
+    EXPECT_EQ(bsa_allocs(long_trace), bsa_allocs(short_trace));
+}
+
 TEST(Decoded, MmapReplaySteadyStateIsAllocationFree)
 {
     // Same guard as above, but the committed streams come from the

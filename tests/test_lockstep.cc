@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the lockstep multi-config sweep engine (sim/lockstep.hh)
+ * and its runner-level batch APIs (exp/runner.hh).
+ *
+ * The contract under test is bit-equality: a batched walk that
+ * advances N machine configs per trace event must produce exactly the
+ * SimResult of running each config through the sequential per-config
+ * replay, for every fetch model, every batch size (including odd
+ * splits and the singleton fallback), and any BSISA_JOBS fan-out of a
+ * sweep's batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/trace_cache.hh"
+#include "codegen/layout.hh"
+#include "core/enlarge.hh"
+#include "exp/runner.hh"
+#include "sim/trace.hh"
+#include "support/parallel.hh"
+#include "workloads/specmix.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+Interp::Limits
+testLimits(const SpecBenchmark &bench)
+{
+    Interp::Limits limits;
+    limits.maxOps = bench.scaledBudget(4000);
+    return limits;
+}
+
+void
+expectSameCacheStats(const CacheStats &a, const CacheStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.misses, b.misses);
+}
+
+void
+expectSameSim(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retiredOps, b.retiredOps);
+    EXPECT_EQ(a.retiredUnits, b.retiredUnits);
+    EXPECT_EQ(a.wrongPathOps, b.wrongPathOps);
+    EXPECT_EQ(a.predictions, b.predictions);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.trapMispredicts, b.trapMispredicts);
+    EXPECT_EQ(a.faultMispredicts, b.faultMispredicts);
+    EXPECT_EQ(a.cascadeHops, b.cascadeHops);
+    EXPECT_EQ(a.stallRedirect, b.stallRedirect);
+    EXPECT_EQ(a.stallWindow, b.stallWindow);
+    EXPECT_EQ(a.stallIcache, b.stallIcache);
+    EXPECT_EQ(a.peakWindowUnits, b.peakWindowUnits);
+    EXPECT_EQ(a.peakWindowOps, b.peakWindowOps);
+    expectSameCacheStats(a.icache, b.icache);
+    expectSameCacheStats(a.dcache, b.dcache);
+}
+
+/** Sixteen configs disagreeing on issue width, predictor geometry,
+ *  prediction mode, and icache size, so lockstep lanes diverge hard
+ *  (different redirects, window pressure, and fill behavior). */
+std::vector<MachineConfig>
+grid16()
+{
+    std::vector<MachineConfig> grid;
+    for (const unsigned width : {8u, 16u}) {
+        for (const unsigned hist : {8u, 12u}) {
+            for (const bool perfect : {false, true}) {
+                for (const unsigned kb : {16u, 64u}) {
+                    MachineConfig m;
+                    m.issueWidth = width;
+                    m.predictor.historyBits = hist;
+                    m.perfectPrediction = perfect;
+                    m.icache.sizeBytes = kb * 1024;
+                    grid.push_back(m);
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name(name)
+    {
+        const char *old = ::getenv(name);
+        if (old) {
+            hadOld = true;
+            oldValue = old;
+        }
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(name, oldValue.c_str(), 1);
+        else
+            ::unsetenv(name);
+    }
+
+  private:
+    const char *name;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+} // namespace
+
+TEST(Lockstep, BatchMatchesSequentialAcrossSuite)
+{
+    const std::vector<MachineConfig> grid = grid16();
+    for (const SpecBenchmark &bench : specint95Suite()) {
+        SCOPED_TRACE(bench.params.name);
+        const Module m = generateWorkload(bench.params);
+        const ExecTrace trace = captureTrace(m, testLimits(bench));
+
+        // Conventional machine.
+        const std::vector<SimResult> convBatch =
+            runConventionalBatch(m, grid, trace);
+        ASSERT_EQ(convBatch.size(), grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            SCOPED_TRACE("conv lane " + std::to_string(i));
+            expectSameSim(runConventional(m, grid[i], trace),
+                          convBatch[i]);
+        }
+
+        // Block-structured machine.
+        BsaModule bsa =
+            enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+        layoutBsaModule(bsa);
+        const std::vector<SimResult> bsaBatch =
+            runBlockStructuredBatch(bsa, grid, trace);
+        ASSERT_EQ(bsaBatch.size(), grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            SCOPED_TRACE("bsa lane " + std::to_string(i));
+            expectSameSim(runBlockStructured(bsa, grid[i], trace),
+                          bsaBatch[i]);
+        }
+
+        // Trace-cache machine: alternate two cache geometries over
+        // the same sixteen machine configs.
+        TraceCacheConfig tcSmall;
+        tcSmall.entries = 16;
+        std::vector<TraceCacheConfig> tcConfigs;
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            tcConfigs.push_back((i & 1) ? tcSmall
+                                        : TraceCacheConfig{});
+        const std::vector<TraceCacheResult> tcBatch =
+            runTraceCacheBatch(m, grid, tcConfigs, trace);
+        ASSERT_EQ(tcBatch.size(), grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            SCOPED_TRACE("tcache lane " + std::to_string(i));
+            const TraceCacheResult seq =
+                runTraceCache(m, grid[i], tcConfigs[i], trace);
+            expectSameSim(seq.sim, tcBatch[i].sim);
+            EXPECT_EQ(seq.traceHits, tcBatch[i].traceHits);
+            EXPECT_EQ(seq.traceMisses, tcBatch[i].traceMisses);
+        }
+    }
+}
+
+TEST(Lockstep, OddBatchSizesMatchFullBatch)
+{
+    const std::vector<MachineConfig> grid = grid16();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    const std::vector<SimResult> convFull =
+        runConventionalBatch(m, grid, trace);
+    const std::vector<SimResult> bsaFull =
+        runBlockStructuredBatch(bsa, grid, trace);
+
+    // Chunked sub-batches — size 1 exercises the singleton fallback,
+    // size 3 leaves a ragged tail, size N is the full batch again.
+    for (const std::size_t chunk : {std::size_t(1), std::size_t(3),
+                                    grid.size()}) {
+        SCOPED_TRACE("chunk size " + std::to_string(chunk));
+        for (std::size_t base = 0; base < grid.size(); base += chunk) {
+            const std::size_t n =
+                std::min(chunk, grid.size() - base);
+            const std::vector<MachineConfig> sub(
+                grid.begin() + std::ptrdiff_t(base),
+                grid.begin() + std::ptrdiff_t(base + n));
+            const std::vector<SimResult> convSub =
+                runConventionalBatch(m, sub, trace);
+            const std::vector<SimResult> bsaSub =
+                runBlockStructuredBatch(bsa, sub, trace);
+            for (std::size_t i = 0; i < n; ++i) {
+                SCOPED_TRACE("lane " + std::to_string(base + i));
+                expectSameSim(convFull[base + i], convSub[i]);
+                expectSameSim(bsaFull[base + i], bsaSub[i]);
+            }
+        }
+    }
+}
+
+/** Grids aimed squarely at the batch drivers' sharing machinery:
+ *  literal duplicate configs (collapsed to one lane), perfect-
+ *  prediction lanes whose dead predictor geometry differs
+ *  (canonicalised into one prediction group), same-predictor lanes
+ *  differing only in caches or width (one fetch side, echoed icache),
+ *  and several distinct dcache geometries (multiple shared
+ *  committed-order dcache streams).  Each lane must still be
+ *  bit-identical to its own sequential singleton run. */
+TEST(Lockstep, SharedStateGridsMatchSingletons)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    std::vector<MachineConfig> grid;
+    MachineConfig base;
+    grid.push_back(base);
+    grid.push_back(base);  // exact duplicate: dedup path
+    {
+        // Perfect lanes with different (dead) predictor geometry —
+        // effectively identical, and grouped with each other.
+        MachineConfig p = base;
+        p.perfectPrediction = true;
+        p.predictor.historyBits = 4;
+        grid.push_back(p);
+        p.predictor.historyBits = 14;
+        grid.push_back(p);
+        // ...unless live state differs: same dead predictor, bigger
+        // dcache — same prediction group, private dcache stream.
+        p.dcache.sizeBytes = 64 * 1024;
+        grid.push_back(p);
+    }
+    {
+        // Same predictor, different width/caches: one prediction
+        // group; the two icache geometries split into leader+echo.
+        MachineConfig w = base;
+        w.issueWidth = 8;
+        grid.push_back(w);
+        w.icache.sizeBytes = 8 * 1024;
+        grid.push_back(w);
+        w.dcache.sizeBytes = 4 * 1024;
+        grid.push_back(w);
+        // Different predictor geometry: its own group.
+        w.predictor.historyBits = 6;
+        grid.push_back(w);
+    }
+
+    const std::vector<SimResult> convBatch =
+        runConventionalBatch(m, grid, trace);
+    const std::vector<SimResult> bsaBatch =
+        runBlockStructuredBatch(bsa, grid, trace);
+    ASSERT_EQ(convBatch.size(), grid.size());
+    ASSERT_EQ(bsaBatch.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        SCOPED_TRACE("lane " + std::to_string(i));
+        expectSameSim(runConventional(m, grid[i], trace),
+                      convBatch[i]);
+        expectSameSim(runBlockStructured(bsa, grid[i], trace),
+                      bsaBatch[i]);
+    }
+}
+
+TEST(Lockstep, PairSweepGroupsByModelAndEnlargement)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+
+    PairSweep sweep;
+    const std::size_t b = sweep.addBenchmark(m, trace);
+    RunConfig shared;
+    sweep.addPoint(b, shared);
+    RunConfig wider = shared;
+    wider.machine.issueWidth = 8;
+    sweep.addPoint(b, wider);  // same enlargement: shares the walk
+    RunConfig narrow = shared;
+    narrow.enlarge.maxFaults = 1;
+    sweep.addPoint(b, narrow);  // distinct enlargement: own group
+    sweep.plan();
+
+    // One conventional batch (all three points) + two BSA groups.
+    EXPECT_EQ(sweep.batchCount(), 3u);
+    for (std::size_t i = 0; i < sweep.batchCount(); ++i)
+        sweep.runBatch(i);
+
+    const PairResult seqShared = runPair(m, shared, trace);
+    const PairResult seqWider = runPair(m, wider, trace);
+    const PairResult seqNarrow = runPair(m, narrow, trace);
+    expectSameSim(seqShared.conv, sweep.results()[0].conv);
+    expectSameSim(seqShared.bsa, sweep.results()[0].bsa);
+    expectSameSim(seqWider.conv, sweep.results()[1].conv);
+    expectSameSim(seqWider.bsa, sweep.results()[1].bsa);
+    expectSameSim(seqNarrow.conv, sweep.results()[2].conv);
+    expectSameSim(seqNarrow.bsa, sweep.results()[2].bsa);
+    EXPECT_EQ(seqNarrow.bsaCodeBytes, sweep.results()[2].bsaCodeBytes);
+    EXPECT_EQ(seqShared.convCodeBytes,
+              sweep.results()[0].convCodeBytes);
+    EXPECT_EQ(seqShared.dynOps, sweep.results()[0].dynOps);
+}
+
+TEST(Lockstep, SweepIsDeterministicAcrossJobs)
+{
+    const auto suite = specint95Suite();
+    std::vector<Module> modules;
+    std::vector<ExecTrace> traces;
+    for (std::size_t i = 0; i < 3; ++i) {
+        modules.push_back(generateWorkload(suite[i].params));
+        traces.push_back(
+            captureTrace(modules[i], testLimits(suite[i])));
+    }
+
+    auto runSweep = [&](const char *jobs) {
+        ScopedEnv env("BSISA_JOBS", jobs);
+        PairSweep sweep;
+        for (std::size_t i = 0; i < modules.size(); ++i) {
+            const std::size_t b =
+                sweep.addBenchmark(modules[i], traces[i]);
+            for (const unsigned hist : {4u, 8u, 12u, 16u}) {
+                RunConfig config;
+                config.machine.predictor.historyBits = hist;
+                sweep.addPoint(b, config);
+            }
+        }
+        sweep.plan();
+        parallelFor(sweep.batchCount(),
+                    [&](std::size_t bi) { sweep.runBatch(bi); });
+        return sweep.results();
+    };
+
+    const std::vector<PairResult> serial = runSweep("1");
+    const std::vector<PairResult> fanned = runSweep("3");
+    ASSERT_EQ(serial.size(), fanned.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameSim(serial[i].conv, fanned[i].conv);
+        expectSameSim(serial[i].bsa, fanned[i].bsa);
+    }
+}
