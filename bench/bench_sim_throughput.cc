@@ -27,6 +27,7 @@
 #include "frontend/compile.hh"
 #include "sim/trace_store.hh"
 #include "support/env.hh"
+#include "support/simd_dispatch.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
 #include "support/varint.hh"
@@ -359,6 +360,83 @@ BM_Grid16Bsa_Lockstep(benchmark::State &state)
 }
 BENCHMARK(BM_Grid16Bsa_Lockstep)->Unit(benchmark::kMillisecond);
 
+#if defined(__unix__) || defined(__APPLE__)
+
+/**
+ * The same sixteen-config lockstep sweeps with the op-major inner
+ * loop disabled (BSISA_FORCE_LANE_MAJOR pins the per-lane reference
+ * walk, which is structurally the engine as it existed before the
+ * op-major rework).  Lockstep / LockstepLaneMajor from one process
+ * run is the op-major + SIMD speedup recorded in BENCH_PR7.json —
+ * same binary, same machine state, so the ratio is immune to the
+ * run-to-run drift that plagues absolute ops/s on shared hosts.
+ */
+struct ScopedSetenv
+{
+    const char *name;
+    ScopedSetenv(const char *n, const char *v) : name(n)
+    {
+        ::setenv(n, v, 1);
+    }
+    ~ScopedSetenv() { ::unsetenv(name); }
+};
+
+void
+BM_Grid16Conv_LockstepLaneMajor(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    const ScopedSetenv laneMajor("BSISA_FORCE_LANE_MAJOR", "1");
+    for (auto _ : state) {
+        const std::vector<SimResult> results =
+            runConventionalBatch(m, grid, trace);
+        std::uint64_t total = 0;
+        for (const SimResult &r : results)
+            total += r.cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Conv_LockstepLaneMajor)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Grid16Bsa_LockstepLaneMajor(benchmark::State &state)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{});
+    layoutBsaModule(bsa);
+    const std::uint64_t budget = sweepBudget();
+    Interp::Limits limits;
+    limits.maxOps = budget;
+    const ExecTrace trace = captureTrace(m, limits);
+    const std::vector<MachineConfig> grid = benchGrid16();
+    const ScopedSetenv laneMajor("BSISA_FORCE_LANE_MAJOR", "1");
+    for (auto _ : state) {
+        const std::vector<SimResult> results =
+            runBlockStructuredBatch(bsa, grid, trace);
+        std::uint64_t total = 0;
+        for (const SimResult &r : results)
+            total += r.cycles;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(budget) *
+                            std::int64_t(grid.size()));
+}
+BENCHMARK(BM_Grid16Bsa_LockstepLaneMajor)
+    ->Unit(benchmark::kMillisecond);
+
+#endif // unix
+
 /**
  * Trace-store cold vs warm cost, and the sweep driven from a warm
  * store.  "Cold" is what the first process in a suite pays per
@@ -652,7 +730,8 @@ writePr6Json(const std::vector<TeeReporter::Entry> &entries)
     double bsa_indep = 0.0, bsa_lock = 0.0;
     bool any = false;
     for (const TeeReporter::Entry &e : entries) {
-        if (e.name.find("Grid16") == std::string::npos)
+        if (e.name.find("Grid16") == std::string::npos ||
+            e.name.find("LaneMajor") != std::string::npos)
             continue;
         any = true;
         if (e.name.find("Grid16Conv_IndependentReplay") !=
@@ -680,7 +759,8 @@ writePr6Json(const std::vector<TeeReporter::Entry> &entries)
     std::fprintf(f, "{\n  \"benchmarks\": [\n");
     bool first = true;
     for (const TeeReporter::Entry &e : entries) {
-        if (e.name.find("Grid16") == std::string::npos)
+        if (e.name.find("Grid16") == std::string::npos ||
+            e.name.find("LaneMajor") != std::string::npos)
             continue;
         std::fprintf(f,
                      "%s    {\"name\": \"%s\", "
@@ -709,6 +789,80 @@ writePr6Json(const std::vector<TeeReporter::Entry> &entries)
     std::fclose(f);
 }
 
+/** Write the op-major-vs-lane-major lockstep inner-loop numbers as
+ *  BENCH_PR7.json (path overridable via BSISA_BENCH_JSON_PR7; empty
+ *  string disables).  Both variants of each sweep ran in THIS
+ *  process, so the speedup keys isolate the inner-loop rework from
+ *  machine drift; simd_kernel records which kernel implementation the
+ *  op-major runs dispatched to. */
+void
+writePr7Json(const std::vector<TeeReporter::Entry> &entries)
+{
+    const char *env = std::getenv("BSISA_BENCH_JSON_PR7");
+    const std::string path = env ? env : "BENCH_PR7.json";
+    if (path.empty())
+        return;
+
+    double conv_op = 0.0, conv_lane = 0.0;
+    double bsa_op = 0.0, bsa_lane = 0.0;
+    bool any = false;
+    for (const TeeReporter::Entry &e : entries) {
+        if (e.name.find("Grid16") == std::string::npos ||
+            e.name.find("Lockstep") == std::string::npos)
+            continue;
+        const bool lane_major =
+            e.name.find("LaneMajor") != std::string::npos;
+        const bool conv =
+            e.name.find("Grid16Conv") != std::string::npos;
+        if (lane_major)
+            (conv ? conv_lane : bsa_lane) = e.itemsPerSecond;
+        else
+            (conv ? conv_op : bsa_op) = e.itemsPerSecond;
+        any = true;
+    }
+    if (!any || (conv_lane == 0.0 && bsa_lane == 0.0))
+        return;  // need both variants for a meaningful ratio
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    bool first = true;
+    for (const TeeReporter::Entry &e : entries) {
+        if (e.name.find("Grid16") == std::string::npos ||
+            e.name.find("Lockstep") == std::string::npos)
+            continue;
+        std::fprintf(f,
+                     "%s    {\"name\": \"%s\", "
+                     "\"real_time_sec\": %.9g, "
+                     "\"cpu_time_sec\": %.9g, "
+                     "\"items_per_second\": %.9g, "
+                     "\"iterations\": %lld}",
+                     first ? "" : ",\n", e.name.c_str(),
+                     e.realTimeSec, e.cpuTimeSec, e.itemsPerSecond,
+                     static_cast<long long>(e.iterations));
+        first = false;
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"simd_kernel\": \"%s\",\n",
+                 simdKernels().name);
+    std::fprintf(f,
+                 "  \"conv_lane_major_ops_per_sec\": %.9g,\n"
+                 "  \"conv_op_major_ops_per_sec\": %.9g,\n"
+                 "  \"bsa_lane_major_ops_per_sec\": %.9g,\n"
+                 "  \"bsa_op_major_ops_per_sec\": %.9g,\n",
+                 conv_lane, conv_op, bsa_lane, bsa_op);
+    std::fprintf(f, "  \"conv_op_major_speedup\": %.6g,\n",
+                 conv_lane > 0.0 ? conv_op / conv_lane : 0.0);
+    std::fprintf(f, "  \"bsa_op_major_speedup\": %.6g\n",
+                 bsa_lane > 0.0 ? bsa_op / bsa_lane : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
 } // namespace
 
 int
@@ -722,6 +876,7 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     writeJson(reporter.entries);
     writePr6Json(reporter.entries);
+    writePr7Json(reporter.entries);
     bsisabench::reportTraceStore();
     std::error_code ec;
     std::filesystem::remove_all(benchStoreDir(), ec);

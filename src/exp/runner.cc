@@ -12,6 +12,7 @@
 #include "sim/pipeline.hh"
 #include "sim/tc_source.hh"
 #include "sim/trace_store.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace bsisa
@@ -199,6 +200,32 @@ PairSweep::plan()
                 batches.push_back(Batch{true, b, {idx}});
             }
         }
+    }
+
+    // BSISA_BATCH_MAX caps the lockstep batch width: wider batches
+    // amortize more trace-walk work but cost more memory per walk
+    // (pools are laid out register-major across every lane of a
+    // batch) and coarsen BSISA_JOBS parallelism.  0 / unset leaves
+    // batches unbounded.  Splitting after grouping keeps the grouping
+    // rules intact — every chunk is still a valid batch, and lanes
+    // never interact, so results are identical at any cap.
+    const std::uint64_t cap = envU64("BSISA_BATCH_MAX", 0);
+    if (cap > 0) {
+        std::vector<Batch> split;
+        for (const Batch &bt : batches) {
+            for (std::size_t at = 0; at < bt.pointIds.size();
+                 at += cap) {
+                const std::size_t end = std::min<std::size_t>(
+                    at + cap, bt.pointIds.size());
+                split.push_back(
+                    Batch{bt.blockStructured, bt.bench,
+                          {bt.pointIds.begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           bt.pointIds.begin() +
+                               static_cast<std::ptrdiff_t>(end)}});
+            }
+        }
+        batches.swap(split);
     }
 }
 

@@ -113,6 +113,14 @@ std::vector<SimResult> runBlockStructuredBatch(
  * BsaModule).  Each point's RunConfig::limits is ignored — the
  * registered trace is the committed stream.
  *
+ * The BSISA_BATCH_MAX environment variable (read in plan()) caps the
+ * number of lanes per lockstep batch: oversized groups are split into
+ * consecutive chunks of at most that many points after grouping, so
+ * every chunk still satisfies the sharing rules and per-point results
+ * are identical at any cap.  Use it to bound per-walk memory (pools
+ * are sized by batch width) or to create more batches for BSISA_JOBS
+ * to fan across; 0 or unset leaves batch width unbounded.
+ *
  * Usage: addBenchmark() / addPoint() / plan(), then execute every
  * batch in [0, batchCount()) — typically one parallelFor, so
  * BSISA_JOBS fans across (benchmark x batch) rather than

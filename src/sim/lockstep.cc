@@ -3,12 +3,15 @@
  * Lockstep sweep engine implementation.
  *
  * LanePipelines is the single source of the pipeline arithmetic: the
- * per-lane phase helpers below are the scheduling model and the
- * one-unit-one-lane step() (which simulatePipeline also drives) is a
- * thin composition of them, so the sequential and batched paths share
- * one arithmetic by construction.  The lockstep drivers differ only
- * in how much of the fetch translation they compute once per stream
- * position instead of once per (position, config):
+ * per-lane phase helpers below are the scheduling model, the
+ * one-unit-one-lane stepOneLane() (which simulatePipeline also
+ * drives) is a thin composition of them, and the op-major
+ * opMajorChunk() performs the same per-lane operations in the same
+ * per-lane order — only the cross-lane interleaving differs, and
+ * lanes never interact, so the sequential, lane-major, and op-major
+ * paths are bit-identical by construction.  The lockstep drivers
+ * differ only in how much of the fetch translation they compute once
+ * per stream position instead of once per (position, config):
  *
  *   - conventional: unit boundaries are config-independent (one basic
  *     block per event), so the driver decodes each event into a unit
@@ -31,13 +34,16 @@
  * outcomes, never on timing), so lanes with identical predictor
  * geometry — and all oracle-prediction lanes, which never touch a
  * predictor — form prediction groups that share one predictor state
- * and one redirect stream.  And because wrong-path loads never touch
- * the dcache, the committed-order dcache hit/miss stream is a pure
- * function of (trace, dcache geometry): LanePipelines precomputes it
- * once per distinct geometry and every lane reads outcome bits
- * instead of running its own cache model.  Effectively identical
- * configs (oracle rows swept across predictor geometry) collapse to
- * one lane whose result is replicated on return.
+ * and one redirect stream.  Both replay drivers lay each group's
+ * member lanes out contiguously (groupLanes below), so a group
+ * advances as one op-major stepBatch over register-major lane rows.
+ * And because wrong-path loads never touch the dcache, the
+ * committed-order dcache hit/miss stream is a pure function of
+ * (trace, dcache geometry): LanePipelines precomputes it once per
+ * distinct geometry and every lane reads outcome bits instead of
+ * running its own cache model.  Effectively identical configs (oracle
+ * rows swept across predictor geometry) collapse to one lane whose
+ * result is replicated on return.
  */
 
 #include "sim/lockstep.hh"
@@ -48,7 +54,9 @@
 #include "predict/blockpred.hh"
 #include "sim/conv_source.hh"
 #include "sim/tc_source.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
+#include "support/simd_dispatch.hh"
 
 namespace bsisa
 {
@@ -58,28 +66,33 @@ namespace bsisa
 LanePipelines::LanePipelines(const MachineConfig *cfgs,
                              std::size_t laneCount)
     : configs(cfgs, cfgs + laneCount), lanes(laneCount),
-      results(laneCount)
+      results(laneCount), stride(laneStride(laneCount)),
+      forceLaneMajor(envSet("BSISA_FORCE_LANE_MAJOR"))
 {
     slots.reserve(laneCount);
     icaches.reserve(laneCount);
     dcaches.reserve(laneCount);
+    l2Lat.reserve(laneCount);
     inflightBase.reserve(laneCount + 1);
     std::uint32_t base = 0;
     for (std::size_t l = 0; l < laneCount; ++l) {
         slots.emplace_back(configs[l].issueWidth);
         icaches.emplace_back(configs[l].icache);
         dcaches.emplace_back(configs[l].dcache);
+        l2Lat.push_back(configs[l].l2Latency);
         inflightBase.push_back(base);
         base += configs[l].windowUnits + 1;
-        prevStride = std::max<std::size_t>(prevStride,
-                                           configs[l].windowOps);
+        prevRows = std::max<std::size_t>(prevRows,
+                                         configs[l].windowOps);
     }
     inflightBase.push_back(base);
     inflightPool.resize(base);
-    regReady.assign(laneCount * laneRegs, 0);
-    wrongReady.assign(laneCount * laneRegs, 0);
-    wrongStamp.assign(laneCount * laneRegs, 0);
-    prevDone.assign(laneCount * prevStride, 0);
+    regReady.assign(laneRegs * stride, 0);
+    wrongReady.assign(laneRegs * stride, 0);
+    wrongStamp.assign(laneRegs * stride, 0);
+    prevDone.assign(prevRows * stride, 0);
+    scrEarliest.assign(chunkLanes, 0);
+    scrUnitDone.assign(chunkLanes, 0);
     icacheLeaderOf.assign(laneCount, -1);
     icacheEcho.resize(laneCount);
     stepSeq.assign(laneCount, 0);
@@ -91,6 +104,9 @@ LanePipelines::shareIcache(std::size_t leader, std::size_t follower)
     BSISA_ASSERT(leader != follower);
     BSISA_ASSERT(icacheLeaderOf[leader] < 0,
                  "icache leader must not itself be a follower");
+    BSISA_ASSERT(leader < follower,
+                 "leader must step before its follower: batches step "
+                 "lanes in ascending order");
     const CacheConfig &a = configs[leader].icache;
     const CacheConfig &b = configs[follower].icache;
     BSISA_ASSERT(a.sizeBytes == b.sizeBytes && a.assoc == b.assoc &&
@@ -166,9 +182,10 @@ LanePipelines::scheduleWrongPath(std::size_t lane, const DecodedOp *ops,
 {
     LaneState &st = lanes[lane];
     IssueSlots &sl = slots[lane];
-    const std::uint64_t *rr = regReadyOf(lane);
-    std::uint64_t *wr = wrongReady.data() + lane * laneRegs;
-    std::uint64_t *ws = wrongStamp.data() + lane * laneRegs;
+    // Register-major rows: slot r of this lane is r * stride in.
+    const std::uint64_t *rr = regReady.data() + lane;
+    std::uint64_t *wr = wrongReady.data() + lane;
+    std::uint64_t *ws = wrongStamp.data() + lane;
 
     const std::uint64_t gen = ++st.wrongGen;
     const std::uint64_t earliest =
@@ -179,7 +196,7 @@ LanePipelines::scheduleWrongPath(std::size_t lane, const DecodedOp *ops,
     // writes it) and whose committed ready time is pinned at 0 — so
     // both sources can be read unconditionally.
     auto ready_of = [&](RegNum r) -> std::uint64_t {
-        return ws[r] == gen ? wr[r] : rr[r];
+        return ws[r * stride] == gen ? wr[r * stride] : rr[r * stride];
     };
 
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -197,8 +214,8 @@ LanePipelines::scheduleWrongPath(std::size_t lane, const DecodedOp *ops,
         // Wrong-path loads are modelled as L1 hits: their addresses
         // are speculative garbage we do not track.
         const std::uint64_t done = start + op.latency;
-        wr[op.dst] = done;
-        ws[op.dst] = gen;
+        wr[op.dst * stride] = done;
+        ws[op.dst * stride] = gen;
         if (i == mustRunIdx)
             resolve = done;
     }
@@ -236,9 +253,10 @@ LanePipelines::fetchPhase(std::size_t lane, const TimingUnit &unit,
                                         ~0ull);
         } else {
             // The previous unit's terminator resolves it.
-            resolve = st.prevCount == 0
-                          ? fetch
-                          : prevDoneOf(lane)[redirect.resolveOpIdx];
+            resolve =
+                st.prevCount == 0
+                    ? fetch
+                    : prevRow(redirect.resolveOpIdx)[lane];
             if (redirect.wrongOps) {
                 if (icl < 0)
                     icache.accessRange(redirect.wrongPc,
@@ -307,7 +325,7 @@ LanePipelines::fetchPhase(std::size_t lane, const TimingUnit &unit,
 
     // The schedule phase writes prevDone[0..opCount); mark the count
     // now that the redirect above has read the previous unit's times.
-    BSISA_ASSERT(unit.opCount <= prevStride,
+    BSISA_ASSERT(unit.opCount <= prevRows,
                  "unit larger than the whole window");
     st.prevCount = unit.opCount;
     return fetch + cfg.frontendDepth;
@@ -349,23 +367,25 @@ LanePipelines::retirePhase(std::size_t lane, std::uint32_t unitOps,
 }
 
 void
-LanePipelines::step(std::size_t lane, const TimingUnit &unit)
+LanePipelines::stepOneLane(std::size_t lane, const TimingUnit &unit,
+                           const RedirectInfo &redirect)
 {
-    const std::uint64_t earliest =
-        fetchPhase(lane, unit, unit.redirect);
+    const std::uint64_t earliest = fetchPhase(lane, unit, redirect);
     const MachineConfig &cfg = configs[lane];
     IssueSlots &sl = slots[lane];
     Cache &dcache = dcaches[lane];
-    std::uint64_t *rr = regReadyOf(lane);
-    std::uint64_t *pd = prevDoneOf(lane);
+    // Register-major rows: slot r of this lane is r * stride in (for
+    // the one-lane pipeline stride is 1 and this is a dense array).
+    std::uint64_t *rr = regReady.data() + lane;
+    std::uint64_t *pd = prevDone.data() + lane;
 
     std::uint64_t unit_done = earliest;
     std::uint32_t mem_idx = 0;
 
     for (std::uint32_t i = 0; i < unit.opCount; ++i) {
         const DecodedOp &op = unit.ops[i];
-        const std::uint64_t ready =
-            std::max({earliest, rr[op.src1], rr[op.src2]});
+        const std::uint64_t ready = std::max(
+            {earliest, rr[op.src1 * stride], rr[op.src2 * stride]});
 
         const std::uint64_t start = sl.allocate(ready);
         unsigned latency = op.latency;
@@ -389,12 +409,151 @@ LanePipelines::step(std::size_t lane, const TimingUnit &unit)
                 latency += cfg.l2Latency;
         }
         const std::uint64_t done = start + latency;
-        pd[i] = done;
-        rr[op.dst] = done;
+        pd[std::size_t(i) * stride] = done;
+        rr[op.dst * stride] = done;
         unit_done = std::max(unit_done, done);
     }
 
     retirePhase(lane, unit.opCount, unit_done);
+}
+
+void
+LanePipelines::step(std::size_t lane, const TimingUnit &unit)
+{
+    stepOneLane(lane, unit, unit.redirect);
+}
+
+std::uint64_t
+LanePipelines::memAccessMask(std::size_t first, std::size_t n,
+                             const TimingUnit &unit,
+                             std::uint32_t memIdx)
+{
+    // Same per-lane resolution as stepOneLane's mem-op branch, for
+    // one op across the batch: stores access the cache too, only
+    // loads take the miss penalty (the caller applies it).
+    std::uint64_t miss = 0;
+    const bool in_pool = memIdx < unit.memCount;
+    const std::uint64_t addr = in_pool ? unit.memAddrs[memIdx] : 0;
+    for (std::size_t l = 0; l < n; ++l) {
+        const std::size_t lane = first + l;
+        const std::int32_t ds =
+            dcacheStreamOf.empty() ? -1 : dcacheStreamOf[lane];
+        bool hit;
+        if (ds >= 0 && in_pool) {
+            hit = dcacheStreams[ds].hit[dcacheCursor[lane]++] != 0;
+        } else {
+            if (ds >= 0)
+                privatizeDcache(lane);
+            hit = dcaches[lane].access(addr);
+        }
+        miss |= std::uint64_t(!hit) << l;
+    }
+    return miss;
+}
+
+void
+LanePipelines::opMajorChunk(std::size_t first, std::size_t n,
+                            const TimingUnit &unit,
+                            const RedirectInfo *redirects)
+{
+    BSISA_ASSERT(n >= 1 && n <= chunkLanes);
+    std::uint64_t *earliest = scrEarliest.data();
+    std::uint64_t *unit_done = scrUnitDone.data();
+
+    // Fetch phases run in ascending lane order (icache followers echo
+    // their lower-indexed leader's outcome).
+    for (std::size_t l = 0; l < n; ++l) {
+        earliest[l] = fetchPhase(
+            first + l, unit,
+            redirects ? redirects[l] : unit.redirect);
+        unit_done[l] = earliest[l];
+    }
+
+    // Resolve every memory op's cache outcome up front into one lane
+    // bitmask per mem op.  Cache state never depends on scheduling,
+    // and per-lane access order is preserved, so hoisting the cache
+    // walk out of the scheduling loop is behavior-preserving — and it
+    // leaves the kernel branchless.
+    std::uint32_t n_mem = 0;
+    for (std::uint32_t i = 0; i < unit.opCount; ++i)
+        n_mem += (unit.ops[i].flags & opIsMem) ? 1 : 0;
+    if (scrMiss.size() < n_mem)
+        scrMiss.resize(n_mem);
+    if (n_mem > 0) {
+        // Batched lanes usually share one dcache stream at the same
+        // cursor (same geometry, same units consumed since
+        // construction), and mem op m of this unit reads stream byte
+        // cursor + m on every lane.  One byte read then serves the
+        // whole batch: broadcast miss to all lanes, advance every
+        // cursor by the unit's mem-op count.
+        bool uniform = n_mem <= unit.memCount &&
+                       !dcacheStreamOf.empty();
+        std::int32_t ds0 = -1;
+        if (uniform) {
+            ds0 = dcacheStreamOf[first];
+            uniform = ds0 >= 0;
+            for (std::size_t l = 1; uniform && l < n; ++l) {
+                uniform = dcacheStreamOf[first + l] == ds0 &&
+                          dcacheCursor[first + l] ==
+                              dcacheCursor[first];
+            }
+        }
+        if (uniform) {
+            const std::uint64_t full =
+                n >= 64 ? ~std::uint64_t(0)
+                        : (std::uint64_t(1) << n) - 1;
+            const std::uint8_t *hit =
+                dcacheStreams[ds0].hit.data() + dcacheCursor[first];
+            for (std::uint32_t m = 0; m < n_mem; ++m)
+                scrMiss[m] = hit[m] ? 0 : full;
+            for (std::size_t l = 0; l < n; ++l)
+                dcacheCursor[first + l] += n_mem;
+        } else {
+            for (std::uint32_t m = 0; m < n_mem; ++m)
+                scrMiss[m] = memAccessMask(first, n, unit, m);
+        }
+    }
+
+    // The whole op walk is one kernel call (scalar or SIMD).
+    StepOpsCtx ctx;
+    ctx.ops = unit.ops;
+    ctx.opCount = unit.opCount;
+    ctx.missMasks = scrMiss.data();
+    ctx.slots = slots.data() + first;
+    ctx.regBase = regReady.data() + first;
+    ctx.prevBase = prevDone.data() + first;
+    ctx.l2Lat = l2Lat.data() + first;
+    ctx.earliest = earliest;
+    ctx.unitDone = unit_done;
+    ctx.stride = stride;
+    ctx.n = n;
+    simdKernels().stepOps(ctx);
+
+    for (std::size_t l = 0; l < n; ++l)
+        retirePhase(first + l, unit.opCount, unit_done[l]);
+}
+
+void
+LanePipelines::stepBatch(std::size_t first, std::size_t count,
+                         const TimingUnit &unit,
+                         const RedirectInfo *redirects)
+{
+    BSISA_ASSERT(first + count <= lanes.size());
+    if (forceLaneMajor || count == 1) {
+        for (std::size_t l = 0; l < count; ++l) {
+            stepOneLane(first + l, unit,
+                        redirects ? redirects[l] : unit.redirect);
+        }
+        return;
+    }
+    // The per-op dcache miss mask is one word wide, so op-major
+    // passes advance at most chunkLanes lanes at a time.  Ascending
+    // chunk order keeps icache leaders ahead of their followers.
+    for (std::size_t base = 0; base < count; base += chunkLanes) {
+        opMajorChunk(first + base,
+                     std::min<std::size_t>(chunkLanes, count - base),
+                     unit, redirects ? redirects + base : nullptr);
+    }
 }
 
 SimResult
@@ -509,7 +668,7 @@ dedupConfigs(const std::vector<MachineConfig> &machines,
 
 /** Partition lanes into prediction groups (shared predictor state);
  *  each group lists the lanes whose prediction evolution is
- *  identical, leader first. */
+ *  identical, leader first, in input order. */
 std::vector<std::vector<std::size_t>>
 predictionGroups(const std::vector<MachineConfig> &machines)
 {
@@ -528,6 +687,42 @@ predictionGroups(const std::vector<MachineConfig> &machines)
             groups.push_back({l});
     }
     return groups;
+}
+
+/**
+ * Group-contiguous lane layout: the input configs permuted so that
+ * each prediction group occupies one contiguous ascending lane range
+ * (the shape stepBatch consumes), plus the map back.
+ *
+ * Lanes never interact inside LanePipelines, so relabelling them
+ * cannot change any per-config result; within a group the members
+ * keep their input order, so leader choices (predictor seed, icache
+ * leader) are unchanged too.
+ */
+struct GroupedLanes
+{
+    std::vector<MachineConfig> ordered;   //!< group-contiguous configs
+    std::vector<std::size_t> posOf;       //!< input lane -> ordered lane
+    std::vector<std::vector<std::size_t>> groups;  //!< ordered-lane ids
+};
+
+GroupedLanes
+groupLanes(const std::vector<MachineConfig> &machines)
+{
+    GroupedLanes g;
+    g.posOf.resize(machines.size());
+    g.ordered.reserve(machines.size());
+    for (const auto &members : predictionGroups(machines)) {
+        std::vector<std::size_t> lanes;
+        lanes.reserve(members.size());
+        for (const std::size_t l : members) {
+            g.posOf[l] = g.ordered.size();
+            lanes.push_back(g.ordered.size());
+            g.ordered.push_back(machines[l]);
+        }
+        g.groups.push_back(std::move(lanes));
+    }
+    return g;
 }
 
 /** Within one prediction group every lane fetches the same units and
@@ -568,28 +763,32 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
     std::vector<std::size_t> uniqueOf;
     const std::vector<MachineConfig> unique =
         dedupConfigs(machines, uniqueOf);
-    const std::size_t n = unique.size();
+    const GroupedLanes grouped = groupLanes(unique);
+    const std::size_t n = grouped.ordered.size();
 
-    LanePipelines pipes(unique.data(), n);
+    LanePipelines pipes(grouped.ordered.data(), n);
     pipes.shareDcachePool(trace.memAddrs, trace.memAddrCount);
 
     // Prediction is purely stream-driven, so one ConvPredictor serves
     // every lane of a prediction group.
-    const std::vector<std::vector<std::size_t>> groups =
-        predictionGroups(unique);
     std::vector<ConvPredictor> preds;
-    preds.reserve(groups.size());
-    for (const auto &group : groups) {
+    preds.reserve(grouped.groups.size());
+    for (const auto &group : grouped.groups) {
         preds.emplace_back(module, layout, decoded,
-                           unique[group.front()]);
-        shareGroupIcaches(pipes, unique, group);
+                           grouped.ordered[group.front()]);
+        shareGroupIcaches(pipes, grouped.ordered, group);
     }
 
     // One basic block per event on every lane: walk the trace once,
     // decode each event into a unit once, and advance every lane over
     // the hot unit.  Only the redirect differs per group — it is the
-    // group predictor's verdict on the previous event.
+    // group predictor's verdict on the previous event — so the whole
+    // machine population advances as ONE op-major batch per event,
+    // with each lane taking its group's redirect (prediction never
+    // reads pipeline state, so collecting every group's verdict
+    // before stepping is order-equivalent to interleaving).
     TimingUnit unit;
+    std::vector<RedirectInfo> laneRedirects(n);
     for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
         const TraceEvent &e = trace.events[pos];
         unit.pc = layout.addrOf(e.func, e.block);
@@ -599,10 +798,13 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
         unit.opCount = du.opCount;
         unit.memAddrs = trace.memAddrs + e.memBegin;
         unit.memCount = e.memCount;
-        for (std::size_t g = 0; g < groups.size(); ++g) {
-            unit.redirect = preds[g].pending();
-            for (const std::size_t l : groups[g])
-                pipes.step(l, unit);
+        for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+            const RedirectInfo rd = preds[g].pending();
+            for (const std::size_t l : grouped.groups[g])
+                laneRedirects[l] = rd;
+        }
+        pipes.stepBatch(0, n, unit, laneRedirects.data());
+        for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
             preds[g].predictSuccessor(e.func, e.block, e.exit,
                                       e.taken, e.nextFunc,
                                       e.nextBlock);
@@ -610,8 +812,8 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
     }
 
     std::vector<SimResult> laneOut(n);
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        for (const std::size_t l : groups[g]) {
+    for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+        for (const std::size_t l : grouped.groups[g]) {
             laneOut[l] = pipes.takeResult(l);
             laneOut[l].predictions = preds[g].predictions();
             laneOut[l].mispredicts = preds[g].mispredicts();
@@ -621,7 +823,7 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
         }
     }
     for (std::size_t i = 0; i < total; ++i)
-        out[i] = laneOut[uniqueOf[i]];
+        out[i] = laneOut[grouped.posOf[uniqueOf[i]]];
     return out;
 }
 
@@ -650,7 +852,8 @@ headToken(FuncId func, BlockId block)
  * construction.  Prediction itself is stream-driven — the predictor
  * trains on committed outcomes, never on timing — so the whole fetch
  * side runs once per prediction group and only the member lanes'
- * pipelines are per config.
+ * pipelines are per config; the caller lays each group's lanes out
+ * contiguously (groupLanes), so a group steps as one op-major batch.
  */
 class LockstepBsa
 {
@@ -663,8 +866,15 @@ class LockstepBsa
           decoded(decodedProgram), machines(machineConfigs),
           trace(execTrace), memo(execTrace.eventCount)
     {
-        for (const auto &members : predictionGroups(machines))
+        for (const auto &members : predictionGroups(machines)) {
+            // stepBatch consumes contiguous lane ranges; the driver
+            // below hands us group-contiguous configs (groupLanes).
+            for (std::size_t i = 1; i < members.size(); ++i) {
+                BSISA_ASSERT(members[i] == members[i - 1] + 1,
+                             "prediction groups must be contiguous");
+            }
             groups.emplace_back(machines[members.front()], members);
+        }
         buildBlockAux();
     }
 
@@ -1227,21 +1437,24 @@ LockstepBsa::run()
     // Groups advance one unit per round, so their cursors stay within
     // a block length of each other and every per-position memo entry
     // is computed by the leading group and reused hot by the rest.
-    // Lanes never interact inside LanePipelines, so the interleaving
-    // is free to step every member lane over the group's unit before
-    // the next group produces its own.
-    TimingUnit unit;
+    // Each group's lanes share one predicted unit per round, so the
+    // whole group advances as a single op-major batch.  (Merging
+    // batches ACROSS groups was tried and measured: shallow commits
+    // make group cursors random-walk apart, so same-round unit
+    // matches are <0.2% — the comparison overhead costs more than the
+    // occasional wider batch wins.)
     for (;;) {
         bool any = false;
         for (Group &group : groups) {
             if (group.done)
                 continue;
+            TimingUnit unit{};
             if (!produceUnit(group, unit)) {
                 group.done = true;
                 continue;
             }
-            for (const std::size_t l : group.lanes)
-                pipes.step(l, unit);
+            pipes.stepBatch(group.lanes.front(), group.lanes.size(),
+                            unit);
             any = true;
         }
         if (!any)
@@ -1275,11 +1488,12 @@ lockstepBlockStructured(const BsaModule &bsa,
     std::vector<std::size_t> uniqueOf;
     const std::vector<MachineConfig> unique =
         dedupConfigs(machines, uniqueOf);
-    LockstepBsa engine(bsa, decoded, unique, trace);
+    const GroupedLanes grouped = groupLanes(unique);
+    LockstepBsa engine(bsa, decoded, grouped.ordered, trace);
     const std::vector<SimResult> laneOut = engine.run();
     std::vector<SimResult> out(machines.size());
     for (std::size_t i = 0; i < machines.size(); ++i)
-        out[i] = laneOut[uniqueOf[i]];
+        out[i] = laneOut[grouped.posOf[uniqueOf[i]]];
     return out;
 }
 

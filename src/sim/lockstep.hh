@@ -24,25 +24,35 @@
  * walk, memoised per position), and advance every config lane over the
  * still-hot unit before moving to the next event; only the genuinely
  * config-dependent work (prediction state, cache models, scheduling)
- * runs per lane.  LanePipelines keeps the mutable machine state of the
- * N lanes in structure-of-arrays form — one flat register-ready pool,
- * one flat in-flight-window ring pool, one flat wrong-path scoreboard
- * pool, contiguous per-lane cycle counters, and contiguous per-lane
- * cache/issue-slot objects — and each lane's step is the same tight
- * single-lane scheduling loop the sequential path runs, so a lane's
- * scoreboard, issue ring, and cache tags stay L1-resident for the
- * duration of its unit.  Read-only state (the DecodedProgram, the
- * ConvLayout, the BsaModule and its tries, the mmap-ed trace address
- * pool) is shared by reference across every lane, never duplicated
- * per config.
+ * runs per lane.
+ *
+ * The per-lane scheduling itself runs *op-major*: a prediction
+ * group's member lanes are contiguous, and stepBatch() advances all
+ * of them one operation at a time over register-major SoA pools — one
+ * lane row per scoreboard slot (sim/machine.hh layout constants), so
+ * the operand-ready max and the completion-time writeback of each
+ * operation are contiguous elementwise passes over lane rows, issued
+ * through the support/simd_dispatch.hh kernel seam (AVX2 on x86-64,
+ * scalar elsewhere, selected at runtime).  Only the issue-slot search
+ * and the cache-outcome resolution remain per-lane scalar code, and
+ * the dcache latency adjustment is branchless over a per-op lane miss
+ * mask.  Read-only state (the DecodedProgram, the ConvLayout, the
+ * BsaModule and its tries, the mmap-ed trace address pool) is shared
+ * by reference across every lane, never duplicated per config.
  *
  * Bit-exactness contract: every lockstep driver produces SimResults
  * bit-identical to running the same configs one at a time through
  * simulatePipeline over a TraceReplaySource (the singleton path).
  * simulatePipeline itself is implemented as a one-lane LanePipelines
- * walk, so the sequential and batched paths share one arithmetic.
- * The contract is enforced by tests/test_lockstep.cc and the fuzz
- * harness's `lockstep` oracle.
+ * walk, and the op-major batched walk performs the same per-lane
+ * arithmetic in the same per-lane order (lanes never interact, so the
+ * cross-lane interleaving is free), so the sequential and batched
+ * paths share one arithmetic.  The contract is enforced by
+ * tests/test_lockstep.cc and the fuzz harness's `lockstep` oracle,
+ * across every kernel implementation (BSISA_FORCE_SCALAR selects the
+ * scalar kernels; BSISA_FORCE_LANE_MAJOR additionally forces the
+ * pre-vectorization lane-at-a-time stepping, kept as the reference
+ * and benchmark baseline).
  */
 
 #ifndef BSISA_SIM_LOCKSTEP_HH
@@ -59,6 +69,7 @@
 #include "sim/machine.hh"
 #include "sim/pipeline.hh"
 #include "sim/trace.hh"
+#include "support/aligned.hh"
 
 namespace bsisa
 {
@@ -70,11 +81,18 @@ struct TraceCacheConfig;
  *
  * Each lane is one complete machine — issue slots, register
  * scoreboard, instruction window, icache/dcache, wrong-path rename
- * scoreboard, cycle counters — advanced one fetch unit at a time by
- * step().  Lanes never interact: any interleaving of step() calls
- * across lanes produces the same per-lane results, so batch drivers
- * are free to advance lanes event-by-event (sharing each hot unit)
- * while simulatePipeline drives a single lane to completion.
+ * scoreboard, cycle counters.  Lanes never interact: any interleaving
+ * of step()/stepBatch() calls across lanes produces the same per-lane
+ * results, so batch drivers are free to advance lanes event-by-event
+ * (sharing each hot unit) while simulatePipeline drives a single lane
+ * to completion.
+ *
+ * Scoreboard pools (register-ready, wrong-path ready/stamp, previous
+ * unit completion times) are register-major: row r holds slot r of
+ * every lane, laneStride(laneCount) elements apart, 64-byte aligned
+ * (sim/machine.hh).  stepBatch() advances a contiguous lane range
+ * op-major over these rows; step() advances one lane with the same
+ * arithmetic in lane-major order.
  */
 class LanePipelines
 {
@@ -110,12 +128,31 @@ class LanePipelines
      * redirects in the same step order (same prediction group) and
      * their icache geometries match, and the caller must step the
      * leader before the follower in every round — both are asserted
-     * per step via lockstep sequence numbers.
+     * per step via lockstep sequence numbers.  stepBatch() steps
+     * lanes in ascending order, so a leader below its follower in the
+     * same batch range always satisfies the ordering.
      */
     void shareIcache(std::size_t leader, std::size_t follower);
 
-    /** Advance @p lane by its next fetch unit. */
+    /** Advance @p lane by its next fetch unit (lane-major loop). */
     void step(std::size_t lane, const TimingUnit &unit);
+
+    /**
+     * Advance the @p count lanes starting at @p first over the same
+     * fetch unit, op-major: for each operation, all lanes' operand
+     * resolution and completion writeback run as contiguous vector
+     * passes over the lane rows (see class comment).  Bit-identical
+     * to calling step() per lane.
+     *
+     * Lanes of one batch share the unit's translation but not
+     * necessarily its redirect: @p redirects, when non-null, gives
+     * lane first+l its own RedirectInfo (entry l), letting a driver
+     * batch *across* prediction groups whose fetch streams happen to
+     * coincide this step; when null every lane takes unit.redirect.
+     */
+    void stepBatch(std::size_t first, std::size_t count,
+                   const TimingUnit &unit,
+                   const RedirectInfo *redirects = nullptr);
 
     /** Pipeline-side result of @p lane (cycles, retired counts, stall
      *  breakdown, window high-water marks, cache stats).  Prediction
@@ -144,6 +181,10 @@ class LanePipelines
         std::uint32_t ops = 0;
     };
 
+    /** Lanes advanced per op-major inner pass; bounded by the width
+     *  of the per-op dcache miss mask. */
+    static constexpr std::size_t chunkLanes = 64;
+
     // ------------------------------------------------- phase helpers
     /** Fetch phase: redirect resolution (incl. wrong-path issue),
      *  window-occupancy wait, icache access.  Returns the earliest
@@ -163,6 +204,26 @@ class LanePipelines
                                     std::uint64_t fetchCycle,
                                     std::uint64_t squashCutoff);
 
+    /** One lane's full step (fetch, per-op schedule, retire) in the
+     *  pre-batching lane-major order; the batch-of-one path and the
+     *  BSISA_FORCE_LANE_MAJOR reference baseline. */
+    void stepOneLane(std::size_t lane, const TimingUnit &unit,
+                     const RedirectInfo &redirect);
+
+    /** Op-major walk of @p n <= chunkLanes lanes from @p first;
+     *  @p redirects as in stepBatch (relative to @p first). */
+    void opMajorChunk(std::size_t first, std::size_t n,
+                      const TimingUnit &unit,
+                      const RedirectInfo *redirects);
+
+    /** Resolve mem-op @p memIdx of @p unit for @p n lanes from
+     *  @p first — shared-stream outcome bits or private cache model
+     *  per lane — and return the lane miss mask (bit l set: lane
+     *  first+l missed). */
+    std::uint64_t memAccessMask(std::size_t first, std::size_t n,
+                                const TimingUnit &unit,
+                                std::uint32_t memIdx);
+
     /** One distinct dcache geometry's precomputed pool walk: the
      *  per-access hit/miss stream plus the cache's final state (the
      *  seed for a lane's private tail fork). */
@@ -177,17 +238,16 @@ class LanePipelines
      *  is fully consumed, an exact prefix replay otherwise). */
     void privatizeDcache(std::size_t lane);
 
-    std::uint64_t *regReadyOf(std::size_t lane)
+    /** Row of scoreboard slot @p r: element @p lane is that lane's
+     *  value (register-major layout, stride elements per row). */
+    std::uint64_t *regRow(RegNum r) { return regReady.data() + r * stride; }
+    std::uint64_t *prevRow(std::size_t op)
     {
-        return regReady.data() + lane * laneRegs;
+        return prevDone.data() + op * stride;
     }
     Inflight *inflightOf(std::size_t lane)
     {
         return inflightPool.data() + inflightBase[lane];
-    }
-    std::uint64_t *prevDoneOf(std::size_t lane)
-    {
-        return prevDone.data() + lane * prevStride;
     }
 
     static constexpr std::size_t laneRegs = numArchRegs + 1;
@@ -199,14 +259,33 @@ class LanePipelines
     std::vector<Cache> icaches;
     std::vector<Cache> dcaches;
 
-    /** Flat pools, lane-major. */
-    std::vector<std::uint64_t> regReady;     //!< lanes x laneRegs
-    std::vector<std::uint64_t> wrongReady;   //!< lanes x laneRegs
-    std::vector<std::uint64_t> wrongStamp;   //!< lanes x laneRegs
-    std::vector<std::uint64_t> prevDone;     //!< lanes x prevStride
+    /** Register-major scoreboard pools (see class comment): laneRegs
+     *  (or prevRows) rows of stride lanes each, 64-byte aligned. */
+    AlignedVec<std::uint64_t> regReady;     //!< laneRegs x stride
+    AlignedVec<std::uint64_t> wrongReady;   //!< laneRegs x stride
+    AlignedVec<std::uint64_t> wrongStamp;   //!< laneRegs x stride
+    AlignedVec<std::uint64_t> prevDone;     //!< prevRows x stride
     std::vector<Inflight> inflightPool;
     std::vector<std::uint32_t> inflightBase;  //!< +capacity sentinel
-    std::size_t prevStride = 0;
+    /** Lane-row stride (laneStride(laneCount), sim/machine.hh). */
+    std::size_t stride = 0;
+    /** prevDone row count (max windowOps across lanes). */
+    std::size_t prevRows = 0;
+
+    /** Per-lane dcache-miss latency penalty (branchless adjust). */
+    std::vector<std::uint64_t> l2Lat;
+
+    /** Op-major scratch: per-lane schedule floor and completion max
+     *  of the current chunk, plus one lane miss-mask per mem op of
+     *  the current unit (grown on demand). */
+    AlignedVec<std::uint64_t> scrEarliest;
+    AlignedVec<std::uint64_t> scrUnitDone;
+    std::vector<std::uint64_t> scrMiss;
+
+    /** BSISA_FORCE_LANE_MAJOR: route stepBatch through the per-lane
+     *  reference loop (PR 5's structure), for baselining and as a
+     *  differential oracle. */
+    bool forceLaneMajor = false;
 
     /** Shared dcache streams (see shareDcachePool); empty when the
      *  per-lane cache models run privately. */
@@ -237,11 +316,12 @@ class LanePipelines
  * and advances every lane over it while it is hot.  Prediction is
  * purely stream-driven, so lanes whose prediction state is identical
  * (same predictor geometry, or oracle prediction — which ignores the
- * predictor entirely) share one ConvPredictor per group; the
- * committed-order dcache stream is shared per distinct dcache
- * geometry; and effectively identical configs collapse to one lane
- * whose result is replicated.  Only per-lane pipeline state remains
- * per config.
+ * predictor entirely) share one ConvPredictor per group; each group's
+ * lanes are laid out contiguously and advanced as one op-major
+ * stepBatch; the committed-order dcache stream is shared per distinct
+ * dcache geometry; icaches echo within a group; and effectively
+ * identical configs collapse to one lane whose result is replicated.
+ * Only per-lane pipeline state remains per config.
  */
 std::vector<SimResult>
 lockstepConventional(const Module &module, const ConvLayout &layout,
@@ -260,9 +340,10 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
  * (cursor, predictor, redirect construction, unit gathering) runs
  * once per *prediction group* — lanes with identical predictor
  * geometry, or all oracle-prediction lanes together — and every lane
- * of a group steps its pipeline over the group's unit.  The
- * committed-order dcache stream is shared per distinct dcache
- * geometry, and effectively identical configs collapse to one lane.
+ * of a group steps its pipeline over the group's unit as one
+ * contiguous op-major stepBatch.  The committed-order dcache stream
+ * is shared per distinct dcache geometry, and effectively identical
+ * configs collapse to one lane.
  */
 std::vector<SimResult>
 lockstepBlockStructured(const BsaModule &bsa,

@@ -12,11 +12,38 @@
 #ifndef BSISA_SIM_MACHINE_HH
 #define BSISA_SIM_MACHINE_HH
 
+#include <cstddef>
+
 #include "cache/cache.hh"
 #include "predict/twolevel.hh"
 
 namespace bsisa
 {
+
+/**
+ * SoA lane-pool layout constants (sim/lockstep.hh).
+ *
+ * Multi-lane pools are register-major: one row per scoreboard slot,
+ * laneStride() elements long, indexed by lane.  Pool bases are
+ * lanePoolAlign-aligned and strides are padded to a laneStrideMultiple
+ * boundary, so every row is itself lanePoolAlign-aligned and a SIMD
+ * kernel processing a row never straddles into the next one.  A
+ * one-lane pipeline (the sequential simulatePipeline path) collapses
+ * to stride 1 — the exact pre-batching layout, with no padding cost.
+ */
+constexpr std::size_t lanePoolAlign = 64;
+constexpr std::size_t laneStrideMultiple =
+    lanePoolAlign / sizeof(std::uint64_t);
+
+/** Lane-row stride for @p laneCount lanes (see above). */
+constexpr std::size_t
+laneStride(std::size_t laneCount)
+{
+    return laneCount <= 1
+               ? laneCount
+               : (laneCount + laneStrideMultiple - 1) /
+                     laneStrideMultiple * laneStrideMultiple;
+}
 
 struct MachineConfig
 {

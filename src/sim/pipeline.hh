@@ -21,6 +21,7 @@
 #include "cache/cache.hh"
 #include "sim/fetch_source.hh"
 #include "sim/machine.hh"
+#include "support/compiler.hh"
 
 namespace bsisa
 {
@@ -48,20 +49,35 @@ class IssueSlots
     explicit IssueSlots(unsigned width) : width(width), used(4096, 0) {}
 
     /** First cycle >= @p earliest with a free slot; consumes it.
-     *  @p earliest must be >= the last advanceTo() cycle. */
-    std::uint64_t
+     *  @p earliest must be >= the last advanceTo() cycle.
+     *
+     *  This is the single hottest operation of a timing sweep (one
+     *  call per op per lane), so the members are hoisted into locals
+     *  for the search: the counts are uint8_t, and a store through an
+     *  unsigned-char lvalue aliases *everything*, so without the
+     *  hoist the compiler must reload data()/size()/base/width on
+     *  every probe.  Force-inlined into the batch kernels; the rare
+     *  grow path stays out of line to keep that cheap. */
+    BSISA_ALWAYS_INLINE std::uint64_t
     allocate(std::uint64_t earliest)
     {
-        if (earliest < base)
-            earliest = base;
-        for (std::uint64_t cycle = earliest;; ++cycle) {
-            if (cycle - base >= used.size())
+        const std::uint64_t b = base;
+        const unsigned w = width;
+        std::uint8_t *u = used.data();
+        std::uint64_t mask = used.size() - 1;
+        std::uint64_t cycle = earliest < b ? b : earliest;
+        for (;;) {
+            if (cycle - b > mask) {
                 grow(cycle);
-            std::uint8_t &count = used[cycle & (used.size() - 1)];
-            if (count < width) {
+                u = used.data();
+                mask = used.size() - 1;
+            }
+            std::uint8_t &count = u[cycle & mask];
+            if (count < w) {
                 ++count;
                 return cycle;
             }
+            ++cycle;
         }
     }
 
@@ -79,7 +95,7 @@ class IssueSlots
     }
 
   private:
-    void
+    BSISA_NOINLINE void
     grow(std::uint64_t cycle)
     {
         std::size_t cap = used.size() * 2;

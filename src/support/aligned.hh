@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal over-aligned allocator for SoA pools.
+ *
+ * The lockstep engine's lane pools are walked by SIMD kernels that
+ * load whole lane rows at a time; AlignedAlloc gives std::vector
+ * storage whose base address meets the kernels' alignment requirement
+ * (cache-line/vector alignment), so a row at a stride-multiple offset
+ * is itself aligned and no kernel load straddles rows.
+ */
+
+#ifndef BSISA_SUPPORT_ALIGNED_HH
+#define BSISA_SUPPORT_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace bsisa
+{
+
+template <typename T, std::size_t Align>
+struct AlignedAlloc
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align>;
+    };
+
+    friend bool
+    operator==(const AlignedAlloc &, const AlignedAlloc &)
+    {
+        return true;
+    }
+};
+
+/** std::vector with @p Align-aligned storage. */
+template <typename T, std::size_t Align = 64>
+using AlignedVec = std::vector<T, AlignedAlloc<T, Align>>;
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_ALIGNED_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Small portable wrappers for compiler-specific attributes.
+ *
+ * Only attributes with a measured payoff belong here; everything else
+ * should trust the optimizer's defaults.
+ */
+
+#ifndef BSISA_SUPPORT_COMPILER_HH
+#define BSISA_SUPPORT_COMPILER_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+/** Force a function inline even past the inliner's size budget.  Use
+ *  only for functions measured to sit on a hot path whose call
+ *  overhead shows up in profiles. */
+#define BSISA_ALWAYS_INLINE inline __attribute__((always_inline))
+/** Keep a cold slow path out of its hot caller so the caller stays
+ *  within inlining budgets. */
+#define BSISA_NOINLINE __attribute__((noinline))
+#else
+#define BSISA_ALWAYS_INLINE inline
+#define BSISA_NOINLINE
+#endif
+
+#endif // BSISA_SUPPORT_COMPILER_HH

@@ -21,8 +21,11 @@
 #include "codegen/layout.hh"
 #include "core/enlarge.hh"
 #include "exp/runner.hh"
+#include "frontend/compile.hh"
+#include "fuzz/corpus.hh"
 #include "sim/trace.hh"
 #include "support/parallel.hh"
+#include "support/simd_dispatch.hh"
 #include "workloads/specmix.hh"
 
 using namespace bsisa;
@@ -310,6 +313,237 @@ TEST(Lockstep, PairSweepGroupsByModelAndEnlargement)
     EXPECT_EQ(seqShared.convCodeBytes,
               sweep.results()[0].convCodeBytes);
     EXPECT_EQ(seqShared.dynOps, sweep.results()[0].dynOps);
+}
+
+/** Thirty-three mutually divergent configs, so prefix batches cover
+ *  every lane count a kernel can see around its width boundaries:
+ *  1 (singleton fallback), 2..7 (narrow batches the vector kernels
+ *  delegate to the scalar path), 8 and multiples (whole vector
+ *  quads), ragged tails, and 33 (> half a 64-lane chunk, odd). */
+std::vector<MachineConfig>
+grid33()
+{
+    std::vector<MachineConfig> grid;
+    for (unsigned i = 0; i < 33; ++i) {
+        MachineConfig m;
+        m.issueWidth = 4u << (i % 3);
+        m.predictor.historyBits = 4 + (i % 11);
+        m.perfectPrediction = (i % 7) == 3;
+        m.icache.sizeBytes = (8u << (i % 4)) * 1024;
+        m.dcache.sizeBytes = (4u << (i % 3)) * 1024;
+        grid.push_back(m);
+    }
+    return grid;
+}
+
+TEST(Lockstep, EveryLaneCountOneThroughThirtyThree)
+{
+    const std::vector<MachineConfig> grid = grid33();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    std::vector<SimResult> convSeq, bsaSeq;
+    for (const MachineConfig &config : grid) {
+        convSeq.push_back(runConventional(m, config, trace));
+        bsaSeq.push_back(runBlockStructured(bsa, config, trace));
+    }
+
+    for (std::size_t n = 1; n <= grid.size(); ++n) {
+        SCOPED_TRACE("lane count " + std::to_string(n));
+        const std::vector<MachineConfig> prefix(
+            grid.begin(), grid.begin() + std::ptrdiff_t(n));
+        const std::vector<SimResult> conv =
+            runConventionalBatch(m, prefix, trace);
+        const std::vector<SimResult> bsa2 =
+            runBlockStructuredBatch(bsa, prefix, trace);
+        ASSERT_EQ(conv.size(), n);
+        ASSERT_EQ(bsa2.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameSim(convSeq[i], conv[i]);
+            expectSameSim(bsaSeq[i], bsa2[i]);
+        }
+    }
+}
+
+/** Restores the environment-driven kernel selection on scope exit, so
+ *  a failing test cannot leak a forced kernel into later tests. */
+class ScopedSimdReset
+{
+  public:
+    ~ScopedSimdReset() { simdReset(); }
+};
+
+TEST(Lockstep, ScalarSimdAndLaneMajorPathsAgree)
+{
+    const std::vector<MachineConfig> grid = grid16();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    const ScopedSimdReset restore;
+
+    ASSERT_TRUE(simdSetMode(SimdMode::Scalar));
+    EXPECT_STREQ(simdKernels().name, "scalar");
+    const std::vector<SimResult> convScalar =
+        runConventionalBatch(m, grid, trace);
+    const std::vector<SimResult> bsaScalar =
+        runBlockStructuredBatch(bsa, grid, trace);
+
+    // The lane-major reference loop (the pre-op-major structure) must
+    // agree with the op-major scalar kernel.  The switch is read when
+    // the batch pipelines are constructed, so a scoped environment
+    // variable around the batch call selects it.
+    {
+        ScopedEnv laneMajor("BSISA_FORCE_LANE_MAJOR", "1");
+        const std::vector<SimResult> convRef =
+            runConventionalBatch(m, grid, trace);
+        const std::vector<SimResult> bsaRef =
+            runBlockStructuredBatch(bsa, grid, trace);
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameSim(convRef[i], convScalar[i]);
+            expectSameSim(bsaRef[i], bsaScalar[i]);
+        }
+    }
+
+    // BSISA_FORCE_SCALAR must pin the scalar kernel through the
+    // environment-driven selection path as well.
+    {
+        ScopedEnv force("BSISA_FORCE_SCALAR", "1");
+        simdReset();
+        EXPECT_STREQ(simdKernels().name, "scalar");
+    }
+    simdReset();
+
+    if (!simdSetMode(SimdMode::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this host/build";
+    EXPECT_STREQ(simdKernels().name, "avx2");
+    const std::vector<SimResult> convSimd =
+        runConventionalBatch(m, grid, trace);
+    const std::vector<SimResult> bsaSimd =
+        runBlockStructuredBatch(bsa, grid, trace);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        SCOPED_TRACE("lane " + std::to_string(i));
+        expectSameSim(convScalar[i], convSimd[i]);
+        expectSameSim(bsaScalar[i], bsaSimd[i]);
+    }
+}
+
+/** Checked-in fuzz-corpus programs (generator-produced control-flow
+ *  shapes the synthetic SPEC workloads do not hit) replayed through
+ *  the lockstep engine under both kernel paths, against sequential
+ *  singletons as the oracle. */
+TEST(Lockstep, FuzzCorpusReplayMatchesUnderBothKernels)
+{
+    const std::vector<std::string> names =
+        fuzz::listCorpus(BSISA_FUZZ_CORPUS_DIR);
+    ASSERT_FALSE(names.empty());
+
+    // Eight lanes: one vector's worth plus divergent behavior.
+    std::vector<MachineConfig> grid;
+    for (unsigned i = 0; i < 8; ++i) {
+        MachineConfig config;
+        config.issueWidth = (i & 1) ? 16 : 4;
+        config.predictor.historyBits = 4 + 2 * (i % 4);
+        config.icache.sizeBytes = (i & 2) ? 8 * 1024 : 64 * 1024;
+        grid.push_back(config);
+    }
+
+    Interp::Limits limits;
+    limits.maxOps = 1u << 18;
+
+    const ScopedSimdReset restore;
+    const bool haveAvx2 = simdAvx2Kernels() != nullptr;
+
+    // Every fifth entry keeps the walk cheap while still covering
+    // several generator profiles (names sort by profile).
+    for (std::size_t ni = 0; ni < names.size(); ni += 5) {
+        const std::string &name = names[ni];
+        SCOPED_TRACE(name);
+        std::string source;
+        fuzz::Expectation want;
+        ASSERT_TRUE(fuzz::readCorpusEntry(BSISA_FUZZ_CORPUS_DIR, name,
+                                          source, want));
+        const Module m = compileBlockCOrDie(source);
+        const ExecTrace trace = captureTrace(m, limits);
+        BsaModule bsa =
+            enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+        layoutBsaModule(bsa);
+
+        std::vector<SimResult> convSeq, bsaSeq;
+        for (const MachineConfig &config : grid) {
+            convSeq.push_back(runConventional(m, config, trace));
+            bsaSeq.push_back(runBlockStructured(bsa, config, trace));
+        }
+
+        for (const SimdMode mode : {SimdMode::Scalar, SimdMode::Avx2}) {
+            if (mode == SimdMode::Avx2 && !haveAvx2)
+                continue;
+            SCOPED_TRACE(mode == SimdMode::Avx2 ? "avx2" : "scalar");
+            ASSERT_TRUE(simdSetMode(mode));
+            const std::vector<SimResult> conv =
+                runConventionalBatch(m, grid, trace);
+            const std::vector<SimResult> bsaBatch =
+                runBlockStructuredBatch(bsa, grid, trace);
+            for (std::size_t i = 0; i < grid.size(); ++i) {
+                SCOPED_TRACE("lane " + std::to_string(i));
+                expectSameSim(convSeq[i], conv[i]);
+                expectSameSim(bsaSeq[i], bsaBatch[i]);
+            }
+        }
+    }
+}
+
+TEST(Lockstep, PairSweepHonorsBatchMaxCap)
+{
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+
+    std::vector<RunConfig> configs;
+    for (const unsigned hist : {4u, 6u, 8u, 12u, 16u}) {
+        RunConfig config;
+        config.machine.predictor.historyBits = hist;
+        configs.push_back(config);
+    }
+
+    std::vector<PairResult> uncapped;
+    {
+        PairSweep sweep;
+        const std::size_t b = sweep.addBenchmark(m, trace);
+        for (const RunConfig &config : configs)
+            sweep.addPoint(b, config);
+        sweep.plan();
+        // One conventional batch + one BSA group.
+        EXPECT_EQ(sweep.batchCount(), 2u);
+        for (std::size_t i = 0; i < sweep.batchCount(); ++i)
+            sweep.runBatch(i);
+        uncapped = sweep.results();
+    }
+
+    ScopedEnv cap("BSISA_BATCH_MAX", "2");
+    PairSweep sweep;
+    const std::size_t b = sweep.addBenchmark(m, trace);
+    for (const RunConfig &config : configs)
+        sweep.addPoint(b, config);
+    sweep.plan();
+    // Five points split into ceil(5/2) = 3 chunks per model.
+    EXPECT_EQ(sweep.batchCount(), 6u);
+    for (std::size_t i = 0; i < sweep.batchCount(); ++i)
+        sweep.runBatch(i);
+
+    ASSERT_EQ(sweep.results().size(), uncapped.size());
+    for (std::size_t i = 0; i < uncapped.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameSim(uncapped[i].conv, sweep.results()[i].conv);
+        expectSameSim(uncapped[i].bsa, sweep.results()[i].bsa);
+    }
 }
 
 TEST(Lockstep, SweepIsDeterministicAcrossJobs)
