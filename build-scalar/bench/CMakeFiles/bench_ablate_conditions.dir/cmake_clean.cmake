@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_conditions.dir/bench_ablate_conditions.cc.o"
+  "CMakeFiles/bench_ablate_conditions.dir/bench_ablate_conditions.cc.o.d"
+  "bench_ablate_conditions"
+  "bench_ablate_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_limits.dir/bench_ablate_limits.cc.o"
+  "CMakeFiles/bench_ablate_limits.dir/bench_ablate_limits.cc.o.d"
+  "bench_ablate_limits"
+  "bench_ablate_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_predictor.dir/bench_ablate_predictor.cc.o"
+  "CMakeFiles/bench_ablate_predictor.dir/bench_ablate_predictor.cc.o.d"
+  "bench_ablate_predictor"
+  "bench_ablate_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_profile.dir/bench_ablate_profile.cc.o"
+  "CMakeFiles/bench_ablate_profile.dir/bench_ablate_profile.cc.o.d"
+  "bench_ablate_profile"
+  "bench_ablate_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

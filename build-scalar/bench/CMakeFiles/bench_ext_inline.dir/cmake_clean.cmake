@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_inline.dir/bench_ext_inline.cc.o"
+  "CMakeFiles/bench_ext_inline.dir/bench_ext_inline.cc.o.d"
+  "bench_ext_inline"
+  "bench_ext_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tracecache.dir/bench_ext_tracecache.cc.o"
+  "CMakeFiles/bench_ext_tracecache.dir/bench_ext_tracecache.cc.o.d"
+  "bench_ext_tracecache"
+  "bench_ext_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_perfect_bp.dir/bench_fig4_perfect_bp.cc.o"
+  "CMakeFiles/bench_fig4_perfect_bp.dir/bench_fig4_perfect_bp.cc.o.d"
+  "bench_fig4_perfect_bp"
+  "bench_fig4_perfect_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_perfect_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

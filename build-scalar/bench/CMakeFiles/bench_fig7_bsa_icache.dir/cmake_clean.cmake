@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bsa_icache.dir/bench_fig7_bsa_icache.cc.o"
+  "CMakeFiles/bench_fig7_bsa_icache.dir/bench_fig7_bsa_icache.cc.o.d"
+  "bench_fig7_bsa_icache"
+  "bench_fig7_bsa_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bsa_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_latencies.dir/bench_table1_latencies.cc.o"
+  "CMakeFiles/bench_table1_latencies.dir/bench_table1_latencies.cc.o.d"
+  "bench_table1_latencies"
+  "bench_table1_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_report.dir/bench_workload_report.cc.o"
+  "CMakeFiles/bench_workload_report.dir/bench_workload_report.cc.o.d"
+  "bench_workload_report"
+  "bench_workload_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enlargement_explorer.dir/enlargement_explorer.cpp.o"
+  "CMakeFiles/enlargement_explorer.dir/enlargement_explorer.cpp.o.d"
+  "enlargement_explorer"
+  "enlargement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enlargement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icache_study.dir/icache_study.cpp.o"
+  "CMakeFiles/icache_study.dir/icache_study.cpp.o.d"
+  "icache_study"
+  "icache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

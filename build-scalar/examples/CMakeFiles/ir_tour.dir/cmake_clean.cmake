@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tour.dir/ir_tour.cpp.o"
+  "CMakeFiles/ir_tour.dir/ir_tour.cpp.o.d"
+  "ir_tour"
+  "ir_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_lab.dir/predictor_lab.cpp.o"
+  "CMakeFiles/predictor_lab.dir/predictor_lab.cpp.o.d"
+  "predictor_lab"
+  "predictor_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/instr_class.cc" "src/CMakeFiles/bsisa.dir/arch/instr_class.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/arch/instr_class.cc.o.d"
+  "/root/repo/src/arch/opcode.cc" "src/CMakeFiles/bsisa.dir/arch/opcode.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/arch/opcode.cc.o.d"
+  "/root/repo/src/arch/operation.cc" "src/CMakeFiles/bsisa.dir/arch/operation.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/arch/operation.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/bsisa.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/trace_cache.cc" "src/CMakeFiles/bsisa.dir/cache/trace_cache.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/cache/trace_cache.cc.o.d"
+  "/root/repo/src/codegen/layout.cc" "src/CMakeFiles/bsisa.dir/codegen/layout.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/codegen/layout.cc.o.d"
+  "/root/repo/src/core/enlarge.cc" "src/CMakeFiles/bsisa.dir/core/enlarge.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/core/enlarge.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/CMakeFiles/bsisa.dir/core/profile.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/core/profile.cc.o.d"
+  "/root/repo/src/exp/figures.cc" "src/CMakeFiles/bsisa.dir/exp/figures.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/exp/figures.cc.o.d"
+  "/root/repo/src/exp/runner.cc" "src/CMakeFiles/bsisa.dir/exp/runner.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/exp/runner.cc.o.d"
+  "/root/repo/src/frontend/compile.cc" "src/CMakeFiles/bsisa.dir/frontend/compile.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/compile.cc.o.d"
+  "/root/repo/src/frontend/diag.cc" "src/CMakeFiles/bsisa.dir/frontend/diag.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/diag.cc.o.d"
+  "/root/repo/src/frontend/irgen.cc" "src/CMakeFiles/bsisa.dir/frontend/irgen.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/irgen.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/bsisa.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/bsisa.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/sema.cc" "src/CMakeFiles/bsisa.dir/frontend/sema.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/frontend/sema.cc.o.d"
+  "/root/repo/src/fuzz/corpus.cc" "src/CMakeFiles/bsisa.dir/fuzz/corpus.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/fuzz/corpus.cc.o.d"
+  "/root/repo/src/fuzz/gen.cc" "src/CMakeFiles/bsisa.dir/fuzz/gen.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/fuzz/gen.cc.o.d"
+  "/root/repo/src/fuzz/harness.cc" "src/CMakeFiles/bsisa.dir/fuzz/harness.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/fuzz/harness.cc.o.d"
+  "/root/repo/src/fuzz/oracle.cc" "src/CMakeFiles/bsisa.dir/fuzz/oracle.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/fuzz/oracle.cc.o.d"
+  "/root/repo/src/fuzz/shrink.cc" "src/CMakeFiles/bsisa.dir/fuzz/shrink.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/fuzz/shrink.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/CMakeFiles/bsisa.dir/ir/cfg.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/cfg.cc.o.d"
+  "/root/repo/src/ir/dom.cc" "src/CMakeFiles/bsisa.dir/ir/dom.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/dom.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/CMakeFiles/bsisa.dir/ir/module.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/bsisa.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/textform.cc" "src/CMakeFiles/bsisa.dir/ir/textform.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/textform.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/bsisa.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/opt/constfold.cc" "src/CMakeFiles/bsisa.dir/opt/constfold.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/constfold.cc.o.d"
+  "/root/repo/src/opt/copyprop.cc" "src/CMakeFiles/bsisa.dir/opt/copyprop.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/copyprop.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/CMakeFiles/bsisa.dir/opt/cse.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/CMakeFiles/bsisa.dir/opt/dce.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/dce.cc.o.d"
+  "/root/repo/src/opt/inliner.cc" "src/CMakeFiles/bsisa.dir/opt/inliner.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/inliner.cc.o.d"
+  "/root/repo/src/opt/simplifycfg.cc" "src/CMakeFiles/bsisa.dir/opt/simplifycfg.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/opt/simplifycfg.cc.o.d"
+  "/root/repo/src/predict/blockpred.cc" "src/CMakeFiles/bsisa.dir/predict/blockpred.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/predict/blockpred.cc.o.d"
+  "/root/repo/src/predict/twolevel.cc" "src/CMakeFiles/bsisa.dir/predict/twolevel.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/predict/twolevel.cc.o.d"
+  "/root/repo/src/regalloc/linearscan.cc" "src/CMakeFiles/bsisa.dir/regalloc/linearscan.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/regalloc/linearscan.cc.o.d"
+  "/root/repo/src/regalloc/liveness.cc" "src/CMakeFiles/bsisa.dir/regalloc/liveness.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/regalloc/liveness.cc.o.d"
+  "/root/repo/src/sim/alu.cc" "src/CMakeFiles/bsisa.dir/sim/alu.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/alu.cc.o.d"
+  "/root/repo/src/sim/bsa_interp.cc" "src/CMakeFiles/bsisa.dir/sim/bsa_interp.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/bsa_interp.cc.o.d"
+  "/root/repo/src/sim/bsa_source.cc" "src/CMakeFiles/bsisa.dir/sim/bsa_source.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/bsa_source.cc.o.d"
+  "/root/repo/src/sim/conv_source.cc" "src/CMakeFiles/bsisa.dir/sim/conv_source.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/conv_source.cc.o.d"
+  "/root/repo/src/sim/decoded.cc" "src/CMakeFiles/bsisa.dir/sim/decoded.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/decoded.cc.o.d"
+  "/root/repo/src/sim/interp.cc" "src/CMakeFiles/bsisa.dir/sim/interp.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/interp.cc.o.d"
+  "/root/repo/src/sim/lockstep.cc" "src/CMakeFiles/bsisa.dir/sim/lockstep.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/lockstep.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/bsisa.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/CMakeFiles/bsisa.dir/sim/pipeline.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/pipeline.cc.o.d"
+  "/root/repo/src/sim/tc_source.cc" "src/CMakeFiles/bsisa.dir/sim/tc_source.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/tc_source.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/bsisa.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/trace_store.cc" "src/CMakeFiles/bsisa.dir/sim/trace_store.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/sim/trace_store.cc.o.d"
+  "/root/repo/src/support/env.cc" "src/CMakeFiles/bsisa.dir/support/env.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/env.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/bsisa.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/parallel.cc" "src/CMakeFiles/bsisa.dir/support/parallel.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/parallel.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/bsisa.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/simd_avx2.cc" "src/CMakeFiles/bsisa.dir/support/simd_avx2.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/simd_avx2.cc.o.d"
+  "/root/repo/src/support/simd_dispatch.cc" "src/CMakeFiles/bsisa.dir/support/simd_dispatch.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/simd_dispatch.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/bsisa.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/bsisa.dir/support/table.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/support/table.cc.o.d"
+  "/root/repo/src/workloads/specmix.cc" "src/CMakeFiles/bsisa.dir/workloads/specmix.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/workloads/specmix.cc.o.d"
+  "/root/repo/src/workloads/synth.cc" "src/CMakeFiles/bsisa.dir/workloads/synth.cc.o" "gcc" "src/CMakeFiles/bsisa.dir/workloads/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

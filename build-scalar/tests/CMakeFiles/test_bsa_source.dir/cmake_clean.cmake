@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsa_source.dir/test_bsa_source.cc.o"
+  "CMakeFiles/test_bsa_source.dir/test_bsa_source.cc.o.d"
+  "test_bsa_source"
+  "test_bsa_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsa_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bsa_source.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_source.dir/test_conv_source.cc.o"
+  "CMakeFiles/test_conv_source.dir/test_conv_source.cc.o.d"
+  "test_conv_source"
+  "test_conv_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoded.dir/test_decoded.cc.o"
+  "CMakeFiles/test_decoded.dir/test_decoded.cc.o.d"
+  "test_decoded"
+  "test_decoded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

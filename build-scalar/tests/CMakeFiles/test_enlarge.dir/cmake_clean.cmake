@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enlarge.dir/test_enlarge.cc.o"
+  "CMakeFiles/test_enlarge.dir/test_enlarge.cc.o.d"
+  "test_enlarge"
+  "test_enlarge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enlarge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

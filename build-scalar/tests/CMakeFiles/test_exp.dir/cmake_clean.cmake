@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/test_exp.cc.o"
+  "CMakeFiles/test_exp.dir/test_exp.cc.o.d"
+  "test_exp"
+  "test_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

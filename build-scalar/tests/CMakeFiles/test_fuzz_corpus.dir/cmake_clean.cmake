@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_corpus.dir/test_fuzz_corpus.cc.o"
+  "CMakeFiles/test_fuzz_corpus.dir/test_fuzz_corpus.cc.o.d"
+  "test_fuzz_corpus"
+  "test_fuzz_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_gen.dir/test_fuzz_gen.cc.o"
+  "CMakeFiles/test_fuzz_gen.dir/test_fuzz_gen.cc.o.d"
+  "test_fuzz_gen"
+  "test_fuzz_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

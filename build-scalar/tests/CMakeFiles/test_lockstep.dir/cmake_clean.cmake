@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockstep.dir/test_lockstep.cc.o"
+  "CMakeFiles/test_lockstep.dir/test_lockstep.cc.o.d"
+  "test_lockstep"
+  "test_lockstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

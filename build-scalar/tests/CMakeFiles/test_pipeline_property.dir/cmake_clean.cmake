@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_property.dir/test_pipeline_property.cc.o"
+  "CMakeFiles/test_pipeline_property.dir/test_pipeline_property.cc.o.d"
+  "test_pipeline_property"
+  "test_pipeline_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict.dir/test_predict.cc.o"
+  "CMakeFiles/test_predict.dir/test_predict.cc.o.d"
+  "test_predict"
+  "test_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

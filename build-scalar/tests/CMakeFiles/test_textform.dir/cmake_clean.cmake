@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textform.dir/test_textform.cc.o"
+  "CMakeFiles/test_textform.dir/test_textform.cc.o.d"
+  "test_textform"
+  "test_textform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_store.dir/test_trace_store.cc.o"
+  "CMakeFiles/test_trace_store.dir/test_trace_store.cc.o.d"
+  "test_trace_store"
+  "test_trace_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracecache.dir/test_tracecache.cc.o"
+  "CMakeFiles/test_tracecache.dir/test_tracecache.cc.o.d"
+  "test_tracecache"
+  "test_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

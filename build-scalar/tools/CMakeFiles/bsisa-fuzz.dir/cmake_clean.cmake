@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsisa-fuzz.dir/bsisa-fuzz.cc.o"
+  "CMakeFiles/bsisa-fuzz.dir/bsisa-fuzz.cc.o.d"
+  "bsisa-fuzz"
+  "bsisa-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsisa-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsisa-tracedump.dir/bsisa-tracedump.cc.o"
+  "CMakeFiles/bsisa-tracedump.dir/bsisa-tracedump.cc.o.d"
+  "bsisa-tracedump"
+  "bsisa-tracedump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsisa-tracedump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsisac.dir/bsisac.cc.o"
+  "CMakeFiles/bsisac.dir/bsisac.cc.o.d"
+  "bsisac"
+  "bsisac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsisac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

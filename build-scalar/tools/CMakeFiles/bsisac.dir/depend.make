@@ -1,0 +1,2 @@
+# Empty dependencies file for bsisac.
+# This may be replaced when dependencies are built.
