@@ -80,6 +80,14 @@ runTraceCache(const Module &module, const MachineConfig &machine,
     return result;
 }
 
+// The batch entry points hand multi-config grids to the lockstep
+// drivers, which dedup effectively identical configs, group lanes by
+// predictor identity, and (by default) run the decoupled
+// fetch-outcome pre-pass so timing lanes from every group step as
+// fused full-width batches (sim/lockstep.hh).  A single config goes
+// through the singleton replay instead: the lockstep layout and
+// stream capture only pay for themselves with multiple lanes.
+
 std::vector<SimResult>
 runConventionalBatch(const Module &module,
                      const std::vector<MachineConfig> &machines,

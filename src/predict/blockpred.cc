@@ -82,6 +82,19 @@ BlockPredictor::predict(std::uint64_t pc) const
     return p;
 }
 
+BlockPredictor::Probe
+BlockPredictor::probe(std::uint64_t pc) const
+{
+    Probe r;
+    r.pred = predict(pc);
+    if (const BtbEntry *entry = lookup(pc)) {
+        r.btb.succ = entry->succ.data();
+        r.btb.lastSucc = entry->lastSucc;
+        r.btb.knownMask = entry->knownMask;
+    }
+    return r;
+}
+
 void
 BlockPredictor::update(std::uint64_t pc, const Prediction &actual,
                        unsigned succBits, unsigned succIndex)

@@ -51,6 +51,41 @@ class BlockPredictor
     Prediction predict(std::uint64_t pc) const;
 
     /**
+     * Const view of one BTB entry's successor state, captured by
+     * probe().  The slot tokens alias predictor storage: the view is
+     * valid until the next install(), so read it before training.
+     */
+    struct BtbView
+    {
+        const std::uint64_t *succ = nullptr;  //!< slot tokens | null
+        std::uint64_t lastSucc = ~0ull;       //!< ~0 when absent
+        std::uint8_t knownMask = 0;
+
+        /** Token in @p slot, or ~0 when the entry/slot is unknown. */
+        std::uint64_t
+        successor(unsigned slot) const
+        {
+            return (knownMask >> slot) & 1u ? succ[slot] : ~0ull;
+        }
+    };
+
+    /** Everything probed by the fetch-outcome capture pre-pass. */
+    struct Probe
+    {
+        Prediction pred;
+        BtbView btb;
+    };
+
+    /**
+     * Const-safe combined lookup: the 3-bit prediction plus the BTB
+     * entry view for @p pc in one PHT index and one BTB set probe.
+     * predict() + successor() + lastSuccessor() walk the same BTB set
+     * once per query; the capture pre-pass issues them back to back
+     * per fetch step, so the fused probe halves its table traffic.
+     */
+    Probe probe(std::uint64_t pc) const;
+
+    /**
      * Train the three counters and shift the history register.
      *
      * @param pc Block address.

@@ -196,8 +196,11 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
     };
 
     // ----------------------------------------------------- predict
+    // One combined const probe (PHT + BTB view) serves the whole
+    // predict phase; it stays valid until install() below.
     AtomicBlockId candidate = invalidId;
-    const BlockPredictor::Prediction pred = predictor.predict(pc);
+    const BlockPredictor::Probe pr = predictor.probe(pc);
+    const BlockPredictor::Prediction &pred = pr.pred;
     switch (term.op) {
       case Opcode::Trap: {
         const BlockId target =
@@ -210,11 +213,11 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
             const AtomicBlockId structural =
                 trie->nodes[trie->emitted[variant]].block;
             const unsigned slot = slot_of(pred.trapTaken, variant);
-            if (predictor.successor(pc, slot) == structural)
+            if (pr.btb.successor(slot) == structural)
                 candidate = structural;
-            else if (predictor.lastSuccessor(pc) != ~0ull)
-                candidate = static_cast<AtomicBlockId>(
-                    predictor.lastSuccessor(pc));
+            else if (pr.btb.lastSucc != ~0ull)
+                candidate =
+                    static_cast<AtomicBlockId>(pr.btb.lastSucc);
         }
         break;
       }
@@ -244,18 +247,17 @@ BsaFetchSource::predictSuccessor(AtomicBlockId committed,
             const AtomicBlockId structural =
                 trie->nodes[trie->emitted[variant]].block;
             const unsigned slot = variant & (btbSuccessorSlots - 1);
-            if (predictor.successor(pc, slot) == structural)
+            if (pr.btb.successor(slot) == structural)
                 candidate = structural;
-            else if (predictor.lastSuccessor(pc) != ~0ull)
-                candidate = static_cast<AtomicBlockId>(
-                    predictor.lastSuccessor(pc));
+            else if (pr.btb.lastSucc != ~0ull)
+                candidate =
+                    static_cast<AtomicBlockId>(pr.btb.lastSucc);
         }
         break;
       }
       case Opcode::IJmp: {
-        const std::uint64_t token = predictor.lastSuccessor(pc);
-        if (token != ~0ull)
-            candidate = static_cast<AtomicBlockId>(token);
+        if (pr.btb.lastSucc != ~0ull)
+            candidate = static_cast<AtomicBlockId>(pr.btb.lastSucc);
         break;
       }
       default:

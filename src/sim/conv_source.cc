@@ -160,6 +160,33 @@ ConvPredictor::predictSuccessor(FuncId func, BlockId block,
     }
 }
 
+void
+ConvPredictor::captureOutcomes(const ExecTrace &trace,
+                               FetchOutcomeStream &out)
+{
+    // Exact upper bound (at most one redirect per event), reserved up
+    // front so the capture loop is allocation-free: the lockstep
+    // steady state performs a length-independent number of heap
+    // allocations (tests/test_decoded.cc).  Oracle predictors never
+    // redirect and skip the reservation entirely.
+    if (!perfect) {
+        out.redirects.reserve(trace.eventCount);
+        out.redirectStep.reserve(trace.eventCount);
+    }
+    for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
+        const TraceEvent &e = trace.events[pos];
+        if (pendingRedirect.mispredicted) {
+            out.redirects.push_back(pendingRedirect);
+            out.redirectStep.push_back(
+                static_cast<std::uint32_t>(pos));
+        }
+        predictSuccessor(e.func, e.block, e.exit, e.taken, e.nextFunc,
+                         e.nextBlock);
+    }
+    out.nPredictions = nPredictions;
+    out.nTrapMiss = nMispredicts;
+}
+
 bool
 ConvFetchSource::next(TimingUnit &unit)
 {

@@ -12,6 +12,7 @@
 
 #include "codegen/layout.hh"
 #include "predict/twolevel.hh"
+#include "sim/fetch_outcome.hh"
 #include "sim/fetch_source.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
@@ -46,6 +47,21 @@ class ConvPredictor
     void predictSuccessor(FuncId func, BlockId block, ExitKind exit,
                           bool taken, FuncId nextFunc,
                           BlockId nextBlock);
+
+    /**
+     * Decoupled fetch-outcome pre-pass: run this predictor over the
+     * whole committed stream of @p trace in one sweep, recording the
+     * sparse redirect outcomes into @p out (redirects[i] applies to
+     * the unit fetched at trace position redirectStep[i]).  The
+     * conventional machine's units ARE the trace events, so no
+     * per-step records are stored — a timing walk reconstructs each
+     * unit from the event and gathers its lane's redirect by cursor.
+     * Identical call sequence to the interleaved driver (pending()
+     * read before predictSuccessor() per event), so the trained
+     * predictor state and the statistics are bit-identical.
+     */
+    void captureOutcomes(const ExecTrace &trace,
+                         FetchOutcomeStream &out);
 
     /** Redirect info for the unit about to be fetched. */
     const RedirectInfo &pending() const { return pendingRedirect; }

@@ -16,15 +16,25 @@
  *   - conventional: unit boundaries are config-independent (one basic
  *     block per event), so the driver decodes each event into a unit
  *     exactly once and advances every lane over it while it is hot;
- *     one ConvPredictor runs per prediction group, not per lane;
+ *     one ConvPredictor runs per prediction group, not per lane —
+ *     and runs in a decoupled pre-pass (ConvPredictor::
+ *     captureOutcomes) that records each group's sparse redirect
+ *     stream before any timing work, so the timing walk is a pure
+ *     data-consumer loop;
  *   - block-structured: the maximal-variant trie walk, its variant
  *     index and stream compatibility, the consumed event count, and
  *     the unit's pooled address span all depend only on the stream
  *     position — one memo entry captures them for every group; a
  *     group's predictor may commit a shallower compatible variant, in
- *     which case that group gathers its own (rare) shallow unit and
- *     its cursor drifts until it re-meets the batch at a head
- *     boundary;
+ *     which case that group commits its own (rare) shallow unit and
+ *     its cursor drifts until it re-meets the others at a head
+ *     boundary.  The whole fetch side runs as a pre-pass too
+ *     (LockstepBsa::captureStep), recording one FetchOutcomeRecord
+ *     per fetch step into each group's FetchOutcomeStream; the timing
+ *     walk then advances the streams by MINIMUM POSITION, so lanes of
+ *     different prediction groups whose streams coincide at a
+ *     position fuse into one full-width op-major batch (per-lane
+ *     redirects gathered from the streams);
  *   - trace cache: unit boundaries depend on per-config cache
  *     contents, so lanes round-robin one unit each (sharing only the
  *     read-only decode and trace).
@@ -50,9 +60,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "predict/blockpred.hh"
 #include "sim/conv_source.hh"
+#include "sim/fetch_outcome.hh"
 #include "sim/tc_source.hh"
 #include "support/env.hh"
 #include "support/logging.hh"
@@ -60,6 +72,34 @@
 
 namespace bsisa
 {
+
+// ------------------------------------------------- fetch-phase stats
+
+namespace
+{
+
+thread_local LockstepFetchStats tlsFetchStats;
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+const LockstepFetchStats &
+lockstepLastFetchStats()
+{
+    return tlsFetchStats;
+}
+
+LockstepFetchStats &
+lockstepFetchStatsSlot()
+{
+    return tlsFetchStats;
+}
 
 // ------------------------------------------------------ LanePipelines
 
@@ -539,6 +579,11 @@ LanePipelines::stepBatch(std::size_t first, std::size_t count,
                          const RedirectInfo *redirects)
 {
     BSISA_ASSERT(first + count <= lanes.size());
+    LockstepFetchStats &fs = lockstepFetchStatsSlot();
+    ++fs.timingBatches;
+    fs.timingLaneSteps += count;
+    if (count > fs.maxBatchLanes)
+        fs.maxBatchLanes = count;
     if (forceLaneMajor || count == 1) {
         for (std::size_t l = 0; l < count; ++l) {
             stepOneLane(first + l, unit,
@@ -779,6 +824,13 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
         shareGroupIcaches(pipes, grouped.ordered, group);
     }
 
+    const std::size_t ngroups = grouped.groups.size();
+    LockstepFetchStats &fs = lockstepFetchStatsSlot();
+    fs = LockstepFetchStats{};
+    fs.groups = ngroups;
+    fs.lanes = n;
+    fs.fused = !envSet("BSISA_FORCE_PER_GROUP");
+
     // One basic block per event on every lane: walk the trace once,
     // decode each event into a unit once, and advance every lane over
     // the hot unit.  Only the redirect differs per group — it is the
@@ -787,10 +839,17 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
     // with each lane taking its group's redirect (prediction never
     // reads pipeline state, so collecting every group's verdict
     // before stepping is order-equivalent to interleaving).
+    //
+    // By default the predictors run in a decoupled pre-pass
+    // (captureOutcomes) recording each group's sparse redirect stream,
+    // and the timing walk consumes the recorded outcomes by cursor —
+    // no predictor work interleaves with the kernel loop.
+    // BSISA_FORCE_PER_GROUP selects the interleaved reference
+    // structure instead (the PR 7 baseline; bit-identical because the
+    // pre-pass replays the exact pending()/predictSuccessor sequence).
     TimingUnit unit;
     std::vector<RedirectInfo> laneRedirects(n);
-    for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
-        const TraceEvent &e = trace.events[pos];
+    auto buildUnit = [&](const TraceEvent &e) {
         unit.pc = layout.addrOf(e.func, e.block);
         unit.bytes = layout.bytesOf(e.func, e.block);
         const DecodedUnit &du = decoded.unit(e.func, e.block);
@@ -798,17 +857,70 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
         unit.opCount = du.opCount;
         unit.memAddrs = trace.memAddrs + e.memBegin;
         unit.memCount = e.memCount;
-        for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
-            const RedirectInfo rd = preds[g].pending();
-            for (const std::size_t l : grouped.groups[g])
-                laneRedirects[l] = rd;
+    };
+    if (!fs.fused) {
+        for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
+            const TraceEvent &e = trace.events[pos];
+            buildUnit(e);
+            for (std::size_t g = 0; g < ngroups; ++g) {
+                const RedirectInfo rd = preds[g].pending();
+                for (const std::size_t l : grouped.groups[g])
+                    laneRedirects[l] = rd;
+            }
+            pipes.stepBatch(0, n, unit, laneRedirects.data());
+            for (std::size_t g = 0; g < ngroups; ++g) {
+                preds[g].predictSuccessor(e.func, e.block, e.exit,
+                                          e.taken, e.nextFunc,
+                                          e.nextBlock);
+            }
         }
-        pipes.stepBatch(0, n, unit, laneRedirects.data());
-        for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
-            preds[g].predictSuccessor(e.func, e.block, e.exit,
-                                      e.taken, e.nextFunc,
-                                      e.nextBlock);
+    } else {
+        using Clock = std::chrono::steady_clock;
+        const auto t0 = Clock::now();
+        std::vector<FetchOutcomeStream> streams(ngroups);
+        for (std::size_t g = 0; g < ngroups; ++g)
+            preds[g].captureOutcomes(trace, streams[g]);
+        const auto t1 = Clock::now();
+        fs.fetchSteps = trace.eventCount * ngroups;
+
+        std::vector<std::size_t> rcur(ngroups, 0);
+        for (std::size_t pos = 0; pos < trace.eventCount; ++pos) {
+            const TraceEvent &e = trace.events[pos];
+            buildUnit(e);
+            // Most events redirect no group at all; those step with
+            // the unit's default (clear) redirect and skip the
+            // per-lane gather entirely — a fast path the interleaved
+            // structure cannot take, because it must re-read every
+            // group's live pending() each event.
+            bool any = false;
+            for (std::size_t g = 0; g < ngroups; ++g) {
+                const FetchOutcomeStream &st = streams[g];
+                if (rcur[g] < st.redirectStep.size() &&
+                    st.redirectStep[rcur[g]] ==
+                        static_cast<std::uint32_t>(pos)) {
+                    any = true;
+                    break;
+                }
+            }
+            if (any) {
+                for (std::size_t g = 0; g < ngroups; ++g) {
+                    RedirectInfo rd{};
+                    const FetchOutcomeStream &st = streams[g];
+                    if (rcur[g] < st.redirectStep.size() &&
+                        st.redirectStep[rcur[g]] ==
+                            static_cast<std::uint32_t>(pos))
+                        rd = st.redirects[rcur[g]++];
+                    for (const std::size_t l : grouped.groups[g])
+                        laneRedirects[l] = rd;
+                }
+                pipes.stepBatch(0, n, unit, laneRedirects.data());
+            } else {
+                pipes.stepBatch(0, n, unit);
+            }
         }
+        const auto t2 = Clock::now();
+        fs.fetchSeconds = secondsBetween(t0, t1);
+        fs.timingSeconds = secondsBetween(t1, t2);
     }
 
     std::vector<SimResult> laneOut(n);
@@ -854,6 +966,17 @@ headToken(FuncId func, BlockId block)
  * side runs once per prediction group and only the member lanes'
  * pipelines are per config; the caller lays each group's lanes out
  * contiguously (groupLanes), so a group steps as one op-major batch.
+ *
+ * The fetch and timing sides are decoupled (PR 8): captureStep runs
+ * one group's predictor/fetch walk one unit forward, appending a
+ * FetchOutcomeRecord (and sparse redirect) to the group's stream; the
+ * default driver (runFused) first runs every group's capture to
+ * completion, then walks the recorded streams by minimum position so
+ * groups whose streams coincide at a position — committing the same
+ * block — FUSE into one full-width stepBatch with per-lane redirects
+ * gathered from the streams.  BSISA_FORCE_PER_GROUP selects the
+ * interleaved one-unit-per-group-per-round reference (the PR 7
+ * structure) instead.
  */
 class LockstepBsa
 {
@@ -866,6 +989,9 @@ class LockstepBsa
           decoded(decodedProgram), machines(machineConfigs),
           trace(execTrace), memo(execTrace.eventCount)
     {
+        BSISA_ASSERT(execTrace.eventCount <= 0xffffffffull &&
+                         execTrace.memAddrCount <= 0xffffffffull,
+                     "FetchOutcomeRecord fields are 32-bit");
         for (const auto &members : predictionGroups(machines)) {
             // stepBatch consumes contiguous lane ranges; the driver
             // below hands us group-contiguous configs (groupLanes).
@@ -873,7 +999,18 @@ class LockstepBsa
                 BSISA_ASSERT(members[i] == members[i - 1] + 1,
                              "prediction groups must be contiguous");
             }
-            groups.emplace_back(machines[members.front()], members);
+            Group &group =
+                groups.emplace_back(machines[members.front()], members);
+            // Exact upper bounds (one record, at most one redirect,
+            // per event), reserved up front so the capture walk is
+            // allocation-free: the lockstep steady state performs a
+            // length-independent number of heap allocations
+            // (tests/test_decoded.cc).  Oracle groups never redirect.
+            group.stream.steps.reserve(trace.eventCount);
+            if (!group.perfect) {
+                group.stream.redirects.reserve(trace.eventCount);
+                group.stream.redirectStep.reserve(trace.eventCount);
+            }
         }
         buildBlockAux();
     }
@@ -901,8 +1038,10 @@ class LockstepBsa
         std::size_t pos = 0;  //!< next unconsumed event
         AtomicBlockId predictedNext = invalidId;
         RedirectInfo pendingRedirect;
-        /** Fallback emit storage (see BsaFetchSource::emitMemAddrs). */
-        std::vector<std::uint64_t> emitMemAddrs;
+        /** The group's recorded fetch outcomes (see captureStep).
+         *  Non-adjacent address spans gather into stream.sideMem, the
+         *  persistent replacement for the old per-step emit buffer. */
+        FetchOutcomeStream stream;
 
         std::uint64_t nPredictions = 0;
         std::uint64_t nTrapMiss = 0;
@@ -965,7 +1104,26 @@ class LockstepBsa
                                  AtomicBlockId block);
     void predictSuccessor(Group &group, AtomicBlockId committed,
                           const TraceEvent &lastEvent);
-    bool produceUnit(Group &group, TimingUnit &unit);
+
+    /** Advance @p group's fetch side one unit: choose the commit,
+     *  record its FetchOutcomeRecord (and sparse redirect) into the
+     *  group's stream, consume the events, train the predictor.
+     *  Returns false when the stream is exhausted. */
+    bool captureStep(Group &group);
+
+    /** Reconstruct the TimingUnit described by @p rec (redirect left
+     *  cleared; the drivers gather redirects per lane). */
+    void buildUnit(const Group &group, const FetchOutcomeRecord &rec,
+                   TimingUnit &unit) const;
+
+    /** Interleaved reference driver (PR 7 structure): one unit per
+     *  group per round, each group stepping alone. */
+    void runPerGroup(LanePipelines &pipes);
+
+    /** Decoupled driver: capture every group's stream to completion,
+     *  then walk the streams by minimum position, fusing coincident
+     *  groups into full-width batches. */
+    void runFused(LanePipelines &pipes);
 
     const BsaModule &bsa;
     const Module &module;
@@ -976,6 +1134,8 @@ class LockstepBsa
 
     /** Shared per-position translation memo (lazily filled). */
     std::vector<PosMemo> memo;
+    std::uint64_t memoLookups = 0;   //!< memoAt calls
+    std::uint64_t memoComputes = 0;  //!< calls that filled an entry
     /** Per-atomic-block successor tries, indexed by AtomicBlockId. */
     std::vector<BlockAux> blockAux;
 };
@@ -1014,9 +1174,11 @@ LockstepBsa::buildBlockAux()
 const LockstepBsa::PosMemo &
 LockstepBsa::memoAt(std::size_t pos)
 {
+    ++memoLookups;
     PosMemo &pm = memo[pos];
     if (pm.computed)
         return pm;
+    ++memoComputes;
 
     const TraceEvent *evs = trace.events + pos;
     const std::size_t size = availAt(pos);
@@ -1164,8 +1326,13 @@ LockstepBsa::predictSuccessor(Group &group, AtomicBlockId committed,
     };
 
     // ----------------------------------------------------- predict
+    // One combined PHT+BTB probe serves the whole predict section
+    // (the capture pre-pass runs this per fetch step, so halving the
+    // table traffic matters); the view stays valid until install()
+    // below — popReturn only touches the return stack.
     AtomicBlockId candidate = invalidId;
-    const BlockPredictor::Prediction pred = predictor.predict(pc);
+    const BlockPredictor::Probe pr = predictor.probe(pc);
+    const BlockPredictor::Prediction &pred = pr.pred;
     switch (term.op) {
       case Opcode::Trap: {
         const HeadTrie *trie =
@@ -1178,11 +1345,11 @@ LockstepBsa::predictSuccessor(Group &group, AtomicBlockId committed,
             const AtomicBlockId structural =
                 trie->nodes[trie->emitted[variant]].block;
             const unsigned slot = slot_of(pred.trapTaken, variant);
-            if (predictor.successor(pc, slot) == structural)
+            if (pr.btb.successor(slot) == structural)
                 candidate = structural;
-            else if (predictor.lastSuccessor(pc) != ~0ull)
-                candidate = static_cast<AtomicBlockId>(
-                    predictor.lastSuccessor(pc));
+            else if (pr.btb.lastSucc != ~0ull)
+                candidate =
+                    static_cast<AtomicBlockId>(pr.btb.lastSucc);
         }
         break;
       }
@@ -1207,18 +1374,17 @@ LockstepBsa::predictSuccessor(Group &group, AtomicBlockId committed,
             const AtomicBlockId structural =
                 trie->nodes[trie->emitted[variant]].block;
             const unsigned slot = variant & (btbSuccessorSlots - 1);
-            if (predictor.successor(pc, slot) == structural)
+            if (pr.btb.successor(slot) == structural)
                 candidate = structural;
-            else if (predictor.lastSuccessor(pc) != ~0ull)
-                candidate = static_cast<AtomicBlockId>(
-                    predictor.lastSuccessor(pc));
+            else if (pr.btb.lastSucc != ~0ull)
+                candidate =
+                    static_cast<AtomicBlockId>(pr.btb.lastSucc);
         }
         break;
       }
       case Opcode::IJmp: {
-        const std::uint64_t token = predictor.lastSuccessor(pc);
-        if (token != ~0ull)
-            candidate = static_cast<AtomicBlockId>(token);
+        if (pr.btb.lastSucc != ~0ull)
+            candidate = static_cast<AtomicBlockId>(pr.btb.lastSucc);
         break;
       }
       default:
@@ -1351,7 +1517,7 @@ LockstepBsa::predictSuccessor(Group &group, AtomicBlockId committed,
 }
 
 bool
-LockstepBsa::produceUnit(Group &group, TimingUnit &unit)
+LockstepBsa::captureStep(Group &group)
 {
     if (group.pos >= trace.eventCount)
         return false;
@@ -1372,16 +1538,14 @@ LockstepBsa::produceUnit(Group &group, TimingUnit &unit)
         committed = pm.smax;
     }
 
-    const AtomicBlock &blk = bsa.blocks[committed];
-    const DecodedUnit &du = decoded.unit(committed);
-    unit.pc = blk.addr;
-    unit.bytes = du.sizeBytes;
-    unit.ops = decoded.ops(du);
-    unit.opCount = du.opCount;
-    unit.redirect = group.pendingRedirect;
+    FetchOutcomeStream &st = group.stream;
+    FetchOutcomeRecord rec;
+    rec.pos = static_cast<std::uint32_t>(group.pos);
+    rec.committed = committed;
 
-    // Gather the block's memory addresses; the copying fallback for
-    // non-adjacent spans mirrors BsaFetchSource for safety.
+    // Record the block's memory span; the gathering fallback for
+    // non-adjacent spans mirrors BsaFetchSource for safety, appending
+    // into the stream's persistent side pool.
     std::size_t consume;
     bool adjacent;
     std::uint32_t total;
@@ -1390,6 +1554,7 @@ LockstepBsa::produceUnit(Group &group, TimingUnit &unit)
         adjacent = pm.adjacent;
         total = pm.memCount;
     } else {
+        const AtomicBlock &blk = bsa.blocks[committed];
         consume = std::min<std::size_t>(blk.bbs.size(),
                                         availAt(group.pos));
         adjacent = true;
@@ -1404,25 +1569,199 @@ LockstepBsa::produceUnit(Group &group, TimingUnit &unit)
         }
     }
     if (adjacent) {
-        unit.memAddrs = trace.memAddrs + e0.memBegin;
-        unit.memCount = total;
+        rec.memOffset = static_cast<std::uint32_t>(e0.memBegin);
+        rec.memCount = total;
+        rec.sideMem = 0;
     } else {
-        group.emitMemAddrs.clear();
+        // First non-adjacent span: one reservation covers the group's
+        // whole walk (each event's span is gathered at most once, so
+        // the side pool never exceeds the trace pool).
+        if (st.sideMem.capacity() == 0)
+            st.sideMem.reserve(trace.memAddrCount);
+        rec.memOffset = static_cast<std::uint32_t>(st.sideMem.size());
         for (std::size_t i = 0; i < consume; ++i) {
             const TraceEvent &e = ev(group, i);
-            group.emitMemAddrs.insert(
-                group.emitMemAddrs.end(), trace.memAddrs + e.memBegin,
-                trace.memAddrs + e.memBegin + e.memCount);
+            st.sideMem.insert(st.sideMem.end(),
+                              trace.memAddrs + e.memBegin,
+                              trace.memAddrs + e.memBegin + e.memCount);
         }
-        unit.memAddrs = group.emitMemAddrs.data();
-        unit.memCount =
-            static_cast<std::uint32_t>(group.emitMemAddrs.size());
+        rec.memCount =
+            static_cast<std::uint32_t>(st.sideMem.size()) -
+            rec.memOffset;
+        rec.sideMem = 1;
     }
+
+    // The redirect recorded by the PREVIOUS step's prediction applies
+    // to this unit's fetch; store it sparsely against this step.
+    if (group.pendingRedirect.mispredicted) {
+        st.redirectStep.push_back(
+            static_cast<std::uint32_t>(st.steps.size()));
+        st.redirects.push_back(group.pendingRedirect);
+    }
+    st.steps.push_back(rec);
 
     const TraceEvent &last = ev(group, consume - 1);
     group.pos += consume;
     predictSuccessor(group, committed, last);
     return true;
+}
+
+void
+LockstepBsa::buildUnit(const Group &group,
+                       const FetchOutcomeRecord &rec,
+                       TimingUnit &unit) const
+{
+    const AtomicBlock &blk = bsa.blocks[rec.committed];
+    const DecodedUnit &du = decoded.unit(rec.committed);
+    unit.pc = blk.addr;
+    unit.bytes = du.sizeBytes;
+    unit.ops = decoded.ops(du);
+    unit.opCount = du.opCount;
+    unit.memAddrs = (rec.sideMem ? group.stream.sideMem.data()
+                                 : trace.memAddrs) +
+                    rec.memOffset;
+    unit.memCount = rec.memCount;
+    unit.redirect = RedirectInfo{};
+}
+
+void
+LockstepBsa::runPerGroup(LanePipelines &pipes)
+{
+    // PR 7 reference structure: groups advance one unit per round, so
+    // their cursors stay within a block length of each other and
+    // every per-position memo entry is computed by the leading group
+    // and reused hot by the rest — but each stepBatch is only one
+    // group wide.  (Merging batches across groups by ROUND NUMBER was
+    // tried and measured here: shallow commits make group cursors
+    // random-walk apart, so same-round unit matches are <0.2%.
+    // runFused merges by STREAM POSITION instead, which the decoupled
+    // pre-pass makes exact.)
+    TimingUnit unit{};
+    for (;;) {
+        bool any = false;
+        for (Group &group : groups) {
+            if (group.done)
+                continue;
+            if (!captureStep(group)) {
+                group.done = true;
+                continue;
+            }
+            const FetchOutcomeStream &st = group.stream;
+            buildUnit(group, st.steps.back(), unit);
+            if (!st.redirectStep.empty() &&
+                st.redirectStep.back() == st.steps.size() - 1)
+                unit.redirect = st.redirects.back();
+            pipes.stepBatch(group.lanes.front(), group.lanes.size(),
+                            unit);
+            any = true;
+        }
+        if (!any)
+            break;
+    }
+}
+
+void
+LockstepBsa::runFused(LanePipelines &pipes)
+{
+    using Clock = std::chrono::steady_clock;
+    LockstepFetchStats &fs = lockstepFetchStatsSlot();
+
+    // Phase A: the fetch-outcome pre-pass.  Each group's predictor
+    // walk runs to completion, so every per-position memo entry is
+    // computed once (by the first group to reach it) and served from
+    // the memo to the rest.
+    const auto t0 = Clock::now();
+    for (Group &group : groups) {
+        while (captureStep(group)) {
+        }
+    }
+    const auto t1 = Clock::now();
+
+    // Phase B: the timing walk consumes the streams as plain data by
+    // MINIMUM POSITION: at each round the groups whose next record
+    // sits at the minimum stream position are partitioned by
+    // committed block, and each partition — adjacent groups form one
+    // contiguous lane run — steps as one full-width batch with
+    // per-lane redirects gathered from the streams.  Lanes never
+    // interact and each lane still sees its own (unit, redirect)
+    // sequence in stream order, so any such interleaving is
+    // bit-identical to the per-group reference.
+    const std::size_t ng = groups.size();
+    std::vector<std::size_t> cur(ng, 0);   //!< next record per group
+    std::vector<std::size_t> rcur(ng, 0);  //!< next redirect per group
+    std::vector<RedirectInfo> laneRedirects(machines.size());
+    constexpr std::size_t consumedMark = ~std::size_t(0);
+    std::vector<std::size_t> atPos;
+    atPos.reserve(ng);
+    TimingUnit unit{};
+
+    for (;;) {
+        std::uint64_t minPos = ~std::uint64_t(0);
+        for (std::size_t g = 0; g < ng; ++g) {
+            if (cur[g] < groups[g].stream.steps.size())
+                minPos = std::min<std::uint64_t>(
+                    minPos, groups[g].stream.steps[cur[g]].pos);
+        }
+        if (minPos == ~std::uint64_t(0))
+            break;
+        atPos.clear();
+        for (std::size_t g = 0; g < ng; ++g) {
+            if (cur[g] < groups[g].stream.steps.size() &&
+                groups[g].stream.steps[cur[g]].pos == minPos)
+                atPos.push_back(g);
+        }
+        for (std::size_t i = 0; i < atPos.size(); ++i) {
+            if (atPos[i] == consumedMark)
+                continue;
+            const std::size_t gl = atPos[i];  // partition leader
+            const FetchOutcomeRecord lead =
+                groups[gl].stream.steps[cur[gl]];
+            buildUnit(groups[gl], lead, unit);
+            std::size_t runFirst = 0;
+            std::size_t runCount = 0;
+            auto flush = [&]() {
+                if (runCount == 0)
+                    return;
+                pipes.stepBatch(runFirst, runCount, unit,
+                                laneRedirects.data() + runFirst);
+                runCount = 0;
+            };
+            for (std::size_t j = i; j < atPos.size(); ++j) {
+                const std::size_t g = atPos[j];
+                if (g == consumedMark)
+                    continue;
+                Group &grp = groups[g];
+                const FetchOutcomeRecord &r = grp.stream.steps[cur[g]];
+                if (r.committed != lead.committed)
+                    continue;
+                // Same position, same block: the span content is
+                // identical whichever group's storage backs it.
+                BSISA_ASSERT(r.memCount == lead.memCount);
+                RedirectInfo rd{};
+                const FetchOutcomeStream &st = grp.stream;
+                if (rcur[g] < st.redirectStep.size() &&
+                    st.redirectStep[rcur[g]] == cur[g])
+                    rd = st.redirects[rcur[g]++];
+                for (const std::size_t lane : grp.lanes)
+                    laneRedirects[lane] = rd;
+                const std::size_t laneFirst = grp.lanes.front();
+                if (runCount > 0 &&
+                    laneFirst == runFirst + runCount) {
+                    runCount += grp.lanes.size();
+                } else {
+                    flush();
+                    runFirst = laneFirst;
+                    runCount = grp.lanes.size();
+                }
+                ++cur[g];
+                atPos[j] = consumedMark;
+            }
+            flush();
+        }
+    }
+    const auto t2 = Clock::now();
+    fs.fetchSeconds = secondsBetween(t0, t1);
+    fs.timingSeconds = secondsBetween(t1, t2);
 }
 
 std::vector<SimResult>
@@ -1434,32 +1773,21 @@ LockstepBsa::run()
     for (const Group &group : groups)
         shareGroupIcaches(pipes, machines, group.lanes);
 
-    // Groups advance one unit per round, so their cursors stay within
-    // a block length of each other and every per-position memo entry
-    // is computed by the leading group and reused hot by the rest.
-    // Each group's lanes share one predicted unit per round, so the
-    // whole group advances as a single op-major batch.  (Merging
-    // batches ACROSS groups was tried and measured: shallow commits
-    // make group cursors random-walk apart, so same-round unit
-    // matches are <0.2% — the comparison overhead costs more than the
-    // occasional wider batch wins.)
-    for (;;) {
-        bool any = false;
-        for (Group &group : groups) {
-            if (group.done)
-                continue;
-            TimingUnit unit{};
-            if (!produceUnit(group, unit)) {
-                group.done = true;
-                continue;
-            }
-            pipes.stepBatch(group.lanes.front(), group.lanes.size(),
-                            unit);
-            any = true;
-        }
-        if (!any)
-            break;
-    }
+    LockstepFetchStats &fs = lockstepFetchStatsSlot();
+    fs = LockstepFetchStats{};
+    fs.groups = groups.size();
+    fs.lanes = n;
+    fs.fused = !envSet("BSISA_FORCE_PER_GROUP");
+
+    if (fs.fused)
+        runFused(pipes);
+    else
+        runPerGroup(pipes);
+
+    for (const Group &group : groups)
+        fs.fetchSteps += group.stream.steps.size();
+    fs.memoLookups = memoLookups;
+    fs.memoComputes = memoComputes;
 
     std::vector<SimResult> out(n);
     for (const Group &group : groups) {

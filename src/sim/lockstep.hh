@@ -26,6 +26,20 @@
  * config-dependent work (prediction state, cache models, scheduling)
  * runs per lane.
  *
+ * The fetch and timing sides are further DECOUPLED (sim/
+ * fetch_outcome.hh): each prediction group's predictor/fetch walk
+ * runs exactly once over the trace in a pre-pass, recording compact
+ * per-step outcome records (and sparse redirects) into a
+ * FetchOutcomeStream, and the timing walk consumes the recorded
+ * streams as plain data.  Freed from interleaving with prediction,
+ * the BSA timing walk advances the streams by minimum position and
+ * fuses lanes of DIFFERENT prediction groups that commit the same
+ * block at the same position into one full-width op-major batch.
+ * BSISA_FORCE_PER_GROUP restores the interleaved one-group-at-a-time
+ * structure (the PR 7 baseline and differential reference);
+ * lockstepLastFetchStats() reports the batching shape, memo hit
+ * rates, and the per-phase wall-clock split of the latest run.
+ *
  * The per-lane scheduling itself runs *op-major*: a prediction
  * group's member lanes are contiguous, and stepBatch() advances all
  * of them one operation at a time over register-major SoA pools — one
@@ -65,6 +79,7 @@
 #include "cache/cache.hh"
 #include "codegen/layout.hh"
 #include "core/bsa.hh"
+#include "sim/fetch_outcome.hh"
 #include "sim/fetch_source.hh"
 #include "sim/machine.hh"
 #include "sim/pipeline.hh"

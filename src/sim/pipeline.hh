@@ -16,6 +16,8 @@
 #define BSISA_SIM_PIPELINE_HH
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -37,16 +39,25 @@ SimResult simulatePipeline(FetchSource &source,
  * Stored as a power-of-two circular buffer of per-cycle counts
  * indexed by (cycle & mask): slot i holds the count for the unique
  * cycle in [base, base + capacity) congruent to i, and slots for
- * cycles never allocated read zero.  advanceTo() re-zeroes the slots
- * that leave the window, so the steady state never touches the
- * allocator (the std::deque this replaces allocated and freed chunks
- * as the window slid); growth happens only on a scheduling span
- * longer than the initial 4096 cycles, which doubles the buffer.
+ * cycles never allocated read zero.  A parallel occupancy bitmap
+ * (`full`, one bit per cycle slot, bit set iff the cycle's count
+ * reached width) turns the free-slot search from a per-cycle linear
+ * scan into a word scan: one ~word + countr_zero finds the first
+ * non-full cycle among 64 candidates, so congested schedules — deep
+ * windows backed up behind a load miss routinely saturate dozens of
+ * consecutive cycles — cost one probe per word instead of one per
+ * cycle.  advanceTo() re-zeroes the slots (and occupancy bits) that
+ * leave the window, so the steady state never touches the allocator;
+ * growth happens only on a scheduling span longer than the initial
+ * 4096 cycles, which doubles the buffer.
  */
 class IssueSlots
 {
   public:
-    explicit IssueSlots(unsigned width) : width(width), used(4096, 0) {}
+    explicit IssueSlots(unsigned width)
+        : width(width), used(4096, 0), full(4096 / 64, 0)
+    {
+    }
 
     /** First cycle >= @p earliest with a free slot; consumes it.
      *  @p earliest must be >= the last advanceTo() cycle.
@@ -62,22 +73,34 @@ class IssueSlots
     allocate(std::uint64_t earliest)
     {
         const std::uint64_t b = base;
-        const unsigned w = width;
-        std::uint8_t *u = used.data();
+        std::uint64_t *fw = full.data();
         std::uint64_t mask = used.size() - 1;
         std::uint64_t cycle = earliest < b ? b : earliest;
         for (;;) {
             if (cycle - b > mask) {
                 grow(cycle);
-                u = used.data();
+                fw = full.data();
                 mask = used.size() - 1;
             }
-            std::uint8_t &count = u[cycle & mask];
-            if (count < w) {
-                ++count;
-                return cycle;
+            const std::uint64_t idx = cycle & mask;
+            // Free cycles at or after idx within its occupancy word.
+            // Bits past the word end wrap to lower indices, which are
+            // other cycles entirely — never claimed here, only used to
+            // hop to the next word.
+            const std::uint64_t avail =
+                ~fw[idx >> 6] >> (idx & 63);
+            if (avail == 0) {
+                cycle += 64 - (idx & 63);  // whole word full: skip it
+                continue;
             }
-            ++cycle;
+            cycle += std::uint64_t(std::countr_zero(avail));
+            if (cycle - b > mask)
+                continue;  // free bit past the window: grow first
+            const std::uint64_t at = cycle & mask;
+            std::uint8_t &count = used[at];
+            if (++count == width)
+                fw[at >> 6] |= std::uint64_t(1) << (at & 63);
+            return cycle;
         }
     }
 
@@ -87,10 +110,14 @@ class IssueSlots
     {
         if (cycle <= base)
             return;
+        const std::uint64_t mask = used.size() - 1;
         const std::uint64_t gone =
             std::min<std::uint64_t>(cycle - base, used.size());
-        for (std::uint64_t i = 0; i < gone; ++i)
-            used[(base + i) & (used.size() - 1)] = 0;
+        for (std::uint64_t i = 0; i < gone; ++i) {
+            const std::uint64_t idx = (base + i) & mask;
+            used[idx] = 0;
+            full[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+        }
         base = cycle;
     }
 
@@ -107,11 +134,18 @@ class IssueSlots
             bigger[c & (cap - 1)] = used[c & (used.size() - 1)];
         }
         used.swap(bigger);
+        full.assign(cap / 64, 0);
+        for (std::size_t i = 0; i < used.size(); ++i) {
+            if (used[i] == width)
+                full[i >> 6] |= std::uint64_t(1) << (i & 63);
+        }
     }
 
     unsigned width;
     std::uint64_t base = 0;
     std::vector<std::uint8_t> used;
+    /** Bit (cycle & mask): that cycle's count reached width. */
+    std::vector<std::uint64_t> full;
 };
 
 } // namespace bsisa

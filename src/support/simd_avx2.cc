@@ -21,12 +21,13 @@
  * so pool accesses use unaligned loads/stores; the stride padding
  * guarantees a row's tail never crosses into the next row.
  *
- * Narrow batches (fewer than 8 lanes) delegate to the scalar
- * reference kernel: with a single quad the vector setup sits on the
- * critical path of the inherently scalar issue-slot search and
- * measures SLOWER than the plain per-lane loop — prediction-grouped
- * sweeps (4-lane groups are typical) hit this constantly.  Row-wide
- * passes only pay for themselves from two quads up.
+ * Narrow batches (fewer than 4 lanes — below one quad) delegate to
+ * the scalar reference kernel.  The floor used to be 8, back when the
+ * issue-slot search was a linear scan whose scalar cost dominated a
+ * single quad's vector setup; the bitmap-based IssueSlots::allocate
+ * and the vectorized operand-ready floor moved the crossover down to
+ * one quad, and the fused cross-group batches (sim/lockstep.cc) make
+ * sub-quad widths rare anyway.
  */
 
 #include "support/simd_dispatch.hh"
@@ -66,9 +67,16 @@ storeu(std::uint64_t *p, __m256i v)
 BSISA_AVX2 void
 avx2StepOps(const StepOpsCtx &c)
 {
-    if (c.n < 8) {
-        // A single quad can't amortize the vector setup around the
-        // scalar issue-slot search; the plain loop is faster.
+    if (c.n < 4) {
+        // Below one quad nothing vectorizes; the plain loop wins.
+        // The floor used to be 8: with the linear issue-slot scan a
+        // single quad couldn't amortize the vector setup around the
+        // dominant scalar search, and prediction-grouped batches
+        // (typically 4 lanes) delegated constantly.  Re-tuned after
+        // the bitmap allocator and the fused cross-group batches:
+        // Grid16's per-group reference path (4-lane batches) now
+        // measures faster through the vector kernel, and the fused
+        // path's full-width chunks never hit this branch at all.
         simdScalarStepOps(c);
         return;
     }
@@ -101,16 +109,29 @@ avx2StepOps(const StepOpsCtx &c)
             ++mem_idx;
         }
 
-        // Operand-ready resolution folded into the issue-slot loop:
-        // the slot search consumes the ready time scalar-by-scalar
-        // anyway, so a separate vector max pass would only add a
-        // store-forward round trip through the scratch row.
+        // SIMD-assisted multi-lane claim: the operand-ready floor
+        // max(src1, src2, earliest) is a pure row-wide max, computed
+        // vectorized into the scratch row; the claim loop then only
+        // walks the occupancy bitmap (IssueSlots::allocate, a ctz
+        // scan) per lane.  With the old linear slot scan the scalar
+        // claim dominated and folding the max into it measured
+        // faster; with the bitmap allocator the claim is short enough
+        // that the vector floor pass wins from one quad up.
         std::size_t l = 0;
-        for (l = 0; l < n; ++l) {
-            std::uint64_t m = s1[l] > s2[l] ? s1[l] : s2[l];
-            const std::uint64_t f = c.earliest[l];
-            ready[l] = c.slots[l].allocate(m > f ? m : f);
+        for (; l + 4 <= n; l += 4) {
+            const __m256i floor =
+                maxU64(maxU64(loadu(s1 + l), loadu(s2 + l)),
+                       loadu(c.earliest + l));
+            _mm256_store_si256(
+                reinterpret_cast<__m256i *>(ready + l), floor);
         }
+        for (; l < n; ++l) {
+            const std::uint64_t m = s1[l] > s2[l] ? s1[l] : s2[l];
+            const std::uint64_t f = c.earliest[l];
+            ready[l] = m > f ? m : f;
+        }
+        for (l = 0; l < n; ++l)
+            ready[l] = c.slots[l].allocate(ready[l]);
 
         // Completion writeback.
         if (miss == 0) {

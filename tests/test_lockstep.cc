@@ -23,6 +23,7 @@
 #include "exp/runner.hh"
 #include "frontend/compile.hh"
 #include "fuzz/corpus.hh"
+#include "sim/fetch_outcome.hh"
 #include "sim/trace.hh"
 #include "support/parallel.hh"
 #include "support/simd_dispatch.hh"
@@ -366,6 +367,112 @@ TEST(Lockstep, EveryLaneCountOneThroughThirtyThree)
             expectSameSim(convSeq[i], conv[i]);
             expectSameSim(bsaSeq[i], bsa2[i]);
         }
+    }
+}
+
+/** Three-way path equality at every lane count: the fused cross-group
+ *  timing walk (default), the interleaved per-group reference
+ *  (BSISA_FORCE_PER_GROUP), and the lane-major reference loop
+ *  (BSISA_FORCE_LANE_MAJOR) must be bit-identical for both fetch
+ *  models over grid33 prefixes — covering single-group prefixes,
+ *  prefixes whose groups fuse to full width, and ragged group tails. */
+TEST(Lockstep, FusedPerGroupAndLaneMajorAgree)
+{
+    const std::vector<MachineConfig> grid = grid33();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    for (std::size_t n = 1; n <= grid.size(); ++n) {
+        SCOPED_TRACE("lane count " + std::to_string(n));
+        const std::vector<MachineConfig> prefix(
+            grid.begin(), grid.begin() + std::ptrdiff_t(n));
+
+        const std::vector<SimResult> convFused =
+            runConventionalBatch(m, prefix, trace);
+        const std::vector<SimResult> bsaFused =
+            runBlockStructuredBatch(bsa, prefix, trace);
+
+        std::vector<SimResult> convPerGroup, bsaPerGroup;
+        {
+            ScopedEnv perGroup("BSISA_FORCE_PER_GROUP", "1");
+            convPerGroup = runConventionalBatch(m, prefix, trace);
+            bsaPerGroup = runBlockStructuredBatch(bsa, prefix, trace);
+        }
+        std::vector<SimResult> convLaneMajor, bsaLaneMajor;
+        {
+            ScopedEnv laneMajor("BSISA_FORCE_LANE_MAJOR", "1");
+            convLaneMajor = runConventionalBatch(m, prefix, trace);
+            bsaLaneMajor = runBlockStructuredBatch(bsa, prefix, trace);
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameSim(convFused[i], convPerGroup[i]);
+            expectSameSim(convFused[i], convLaneMajor[i]);
+            expectSameSim(bsaFused[i], bsaPerGroup[i]);
+            expectSameSim(bsaFused[i], bsaLaneMajor[i]);
+        }
+    }
+}
+
+/** The decoupled drivers' instrumentation: grid16 dedups to twelve
+ *  lanes in three prediction groups (hist8, hist12, perfect), so the
+ *  fused walk must issue batches wider than any single four-lane
+ *  group, the memoized decode must be hit more often than it fills,
+ *  and the conventional pre-pass must run each group's predictor
+ *  exactly once per trace event. */
+TEST(Lockstep, FetchStatsReportFusionAndMemoReuse)
+{
+    const std::vector<MachineConfig> grid = grid16();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    runBlockStructuredBatch(bsa, grid, trace);
+    {
+        const LockstepFetchStats &fs = lockstepLastFetchStats();
+        EXPECT_TRUE(fs.fused);
+        EXPECT_EQ(fs.groups, 3u);
+        EXPECT_EQ(fs.lanes, 12u);
+        // The fusion satellite: cross-group batches must exceed the
+        // four-lane width a prediction group caps out at.
+        EXPECT_GT(fs.maxBatchLanes, 4u);
+        EXPECT_GT(fs.fetchSteps, 0u);
+        // Memo hit rate: predictSuccessor and captureStep both probe
+        // the per-position decode memo, so lookups run about twice
+        // the computes (each position is filled at most once).
+        EXPECT_GT(fs.memoComputes, 0u);
+        EXPECT_GT(fs.memoLookups, fs.memoComputes);
+        EXPECT_GE(fs.memoLookups + fs.groups, 2 * fs.memoComputes);
+        EXPECT_GT(fs.timingBatches, 0u);
+        EXPECT_GT(fs.timingLaneSteps, fs.fetchSteps);
+    }
+
+    {
+        ScopedEnv perGroup("BSISA_FORCE_PER_GROUP", "1");
+        runBlockStructuredBatch(bsa, grid, trace);
+        const LockstepFetchStats &fs = lockstepLastFetchStats();
+        EXPECT_FALSE(fs.fused);
+        // The interleaved reference steps one group at a time, so it
+        // can never exceed the widest group.
+        EXPECT_LE(fs.maxBatchLanes, 4u);
+    }
+
+    runConventionalBatch(m, grid, trace);
+    {
+        const LockstepFetchStats &fs = lockstepLastFetchStats();
+        EXPECT_TRUE(fs.fused);
+        EXPECT_EQ(fs.groups, 3u);
+        EXPECT_EQ(fs.lanes, 12u);
+        // Conventional units are the trace events themselves: the
+        // pre-pass walks each group's predictor once per event.
+        EXPECT_EQ(fs.fetchSteps, trace.eventCount * fs.groups);
+        EXPECT_EQ(fs.maxBatchLanes, 12u);
     }
 }
 
