@@ -164,6 +164,11 @@ void
 ConvPredictor::captureOutcomes(const ExecTrace &trace,
                                FetchOutcomeStream &out)
 {
+    // The fused conventional driver compares redirect steps against
+    // truncated positions, so the stream length must fit the 32-bit
+    // step indices (the BSA driver asserts the same bound).
+    BSISA_ASSERT(trace.eventCount <= 0xffffffffull,
+                 "redirect step indices are 32-bit");
     // Exact upper bound (at most one redirect per event), reserved up
     // front so the capture loop is allocation-free: the lockstep
     // steady state performs a length-independent number of heap

@@ -87,6 +87,27 @@ secondsBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double>(b - a).count();
 }
 
+/** Ceiling on the bytes the fused drivers may commit to retained
+ *  fetch-outcome streams (worst case, reserved before any work so the
+ *  capture walk stays allocation-free — tests/test_decoded.cc pins a
+ *  length-independent allocation count, which rules out growing the
+ *  stream vectors on demand).  Sweeps whose worst case exceeds the
+ *  budget fall back to the interleaved per-group driver, which streams
+ *  in O(1) memory exactly like the engine before the decoupling.
+ *  BSISA_CAPTURE_BUDGET overrides the default (bytes; 0 = unlimited). */
+std::uint64_t
+captureBudgetBytes()
+{
+    const std::uint64_t v =
+        envU64("BSISA_CAPTURE_BUDGET", 512ull << 20);
+    return v == 0 ? ~std::uint64_t(0) : v;
+}
+
+/** Worst-case retained bytes of one group's redirect stream: one
+ *  RedirectInfo plus one step index per trace event. */
+constexpr std::uint64_t redirectBytesPerEvent =
+    sizeof(RedirectInfo) + sizeof(std::uint32_t);
+
 } // namespace
 
 const LockstepFetchStats &
@@ -829,7 +850,18 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
     fs = LockstepFetchStats{};
     fs.groups = ngroups;
     fs.lanes = n;
-    fs.fused = !envSet("BSISA_FORCE_PER_GROUP");
+    // Conventional units are the trace events themselves, so the
+    // fused pre-pass retains only the sparse redirect streams — but
+    // their reservations are worst-case (every event a mispredict).
+    // Fall back to the interleaved O(1)-memory driver when that
+    // commitment would blow the capture budget.
+    std::uint64_t captureBytes = 0;
+    for (const auto &group : grouped.groups) {
+        if (!grouped.ordered[group.front()].perfectPrediction)
+            captureBytes += redirectBytesPerEvent * trace.eventCount;
+    }
+    fs.fused = !envSet("BSISA_FORCE_PER_GROUP") &&
+               captureBytes <= captureBudgetBytes();
 
     // One basic block per event on every lane: walk the trace once,
     // decode each event into a unit once, and advance every lane over
@@ -844,7 +876,8 @@ lockstepConventional(const Module &module, const ConvLayout &layout,
     // (captureOutcomes) recording each group's sparse redirect stream,
     // and the timing walk consumes the recorded outcomes by cursor —
     // no predictor work interleaves with the kernel loop.
-    // BSISA_FORCE_PER_GROUP selects the interleaved reference
+    // BSISA_FORCE_PER_GROUP — or a worst-case redirect reservation
+    // past the capture budget — selects the interleaved reference
     // structure instead (the PR 7 baseline; bit-identical because the
     // pre-pass replays the exact pending()/predictSuccessor sequence).
     TimingUnit unit;
@@ -974,9 +1007,10 @@ headToken(FuncId func, BlockId block)
  * completion, then walks the recorded streams by minimum position so
  * groups whose streams coincide at a position — committing the same
  * block — FUSE into one full-width stepBatch with per-lane redirects
- * gathered from the streams.  BSISA_FORCE_PER_GROUP selects the
- * interleaved one-unit-per-group-per-round reference (the PR 7
- * structure) instead.
+ * gathered from the streams.  BSISA_FORCE_PER_GROUP — or a worst-case
+ * stream reservation past the capture budget (captureBudgetBytes) —
+ * selects the interleaved one-unit-per-group-per-round reference (the
+ * PR 7 structure) instead, which streams in O(1) memory.
  */
 class LockstepBsa
 {
@@ -999,17 +1033,37 @@ class LockstepBsa
                 BSISA_ASSERT(members[i] == members[i - 1] + 1,
                              "prediction groups must be contiguous");
             }
-            Group &group =
-                groups.emplace_back(machines[members.front()], members);
-            // Exact upper bounds (one record, at most one redirect,
-            // per event), reserved up front so the capture walk is
-            // allocation-free: the lockstep steady state performs a
-            // length-independent number of heap allocations
-            // (tests/test_decoded.cc).  Oracle groups never redirect.
-            group.stream.steps.reserve(trace.eventCount);
-            if (!group.perfect) {
-                group.stream.redirects.reserve(trace.eventCount);
-                group.stream.redirectStep.reserve(trace.eventCount);
+            groups.emplace_back(machines[members.front()], members);
+        }
+        // The fused walk retains every group's full stream; its worst
+        // case — one record per event, every event a mispredict, every
+        // span gathered into the side pool — is committed up front by
+        // the reservations below (exact upper bounds, so the capture
+        // walk is allocation-free: the lockstep steady state performs
+        // a length-independent number of heap allocations,
+        // tests/test_decoded.cc).  When that commitment would blow the
+        // capture budget, fall back to the per-group driver, which
+        // streams one record at a time in O(1) memory (the PR 7
+        // profile).  Oracle groups never redirect.
+        std::uint64_t captureBytes = 0;
+        for (const Group &group : groups) {
+            captureBytes +=
+                sizeof(FetchOutcomeRecord) * trace.eventCount;
+            if (!group.perfect)
+                captureBytes += redirectBytesPerEvent * trace.eventCount;
+            captureBytes +=
+                sizeof(std::uint64_t) * trace.memAddrCount;
+        }
+        fused = !envSet("BSISA_FORCE_PER_GROUP") &&
+                captureBytes <= captureBudgetBytes();
+        if (fused) {
+            for (Group &group : groups) {
+                group.stream.steps.reserve(trace.eventCount);
+                if (!group.perfect) {
+                    group.stream.redirects.reserve(trace.eventCount);
+                    group.stream.redirectStep.reserve(
+                        trace.eventCount);
+                }
             }
         }
         buildBlockAux();
@@ -1047,6 +1101,7 @@ class LockstepBsa
         std::uint64_t nTrapMiss = 0;
         std::uint64_t nFaultMiss = 0;
         std::uint64_t nCascadeHops = 0;
+        std::uint64_t nFetchSteps = 0;  //!< records captured in total
 
         bool done = false;
     };
@@ -1131,6 +1186,10 @@ class LockstepBsa
     const std::vector<MachineConfig> &machines;
     const ExecTrace &trace;
     std::vector<Group> groups;
+    /** Decoupled fused driver selected (full streams retained); false
+     *  streams the per-group reference in O(1) memory — forced by
+     *  BSISA_FORCE_PER_GROUP or a capture-budget overflow. */
+    bool fused = true;
 
     /** Shared per-position translation memo (lazily filled). */
     std::vector<PosMemo> memo;
@@ -1539,6 +1598,17 @@ LockstepBsa::captureStep(Group &group)
     }
 
     FetchOutcomeStream &st = group.stream;
+    if (!fused) {
+        // Streaming mode: runPerGroup consumes each record as soon as
+        // it is captured, so the stream only ever holds the newest one
+        // (and its redirect/side span) — O(1) memory over any trace
+        // length, like the engine before the decoupling.  clear()
+        // keeps capacity, so the steady state stays allocation-free.
+        st.steps.clear();
+        st.redirects.clear();
+        st.redirectStep.clear();
+        st.sideMem.clear();
+    }
     FetchOutcomeRecord rec;
     rec.pos = static_cast<std::uint32_t>(group.pos);
     rec.committed = committed;
@@ -1573,10 +1643,13 @@ LockstepBsa::captureStep(Group &group)
         rec.memCount = total;
         rec.sideMem = 0;
     } else {
-        // First non-adjacent span: one reservation covers the group's
-        // whole walk (each event's span is gathered at most once, so
-        // the side pool never exceeds the trace pool).
-        if (st.sideMem.capacity() == 0)
+        // First non-adjacent span in a fused (retaining) run: one
+        // reservation covers the group's whole walk (each event's
+        // span is gathered at most once, so the side pool never
+        // exceeds the trace pool).  A streaming run clears the pool
+        // every step, so its capacity only ever reaches the largest
+        // single span.
+        if (fused && st.sideMem.capacity() == 0)
             st.sideMem.reserve(trace.memAddrCount);
         rec.memOffset = static_cast<std::uint32_t>(st.sideMem.size());
         for (std::size_t i = 0; i < consume; ++i) {
@@ -1599,6 +1672,7 @@ LockstepBsa::captureStep(Group &group)
         st.redirects.push_back(group.pendingRedirect);
     }
     st.steps.push_back(rec);
+    ++group.nFetchSteps;
 
     const TraceEvent &last = ev(group, consume - 1);
     group.pos += consume;
@@ -1777,15 +1851,15 @@ LockstepBsa::run()
     fs = LockstepFetchStats{};
     fs.groups = groups.size();
     fs.lanes = n;
-    fs.fused = !envSet("BSISA_FORCE_PER_GROUP");
+    fs.fused = fused;
 
-    if (fs.fused)
+    if (fused)
         runFused(pipes);
     else
         runPerGroup(pipes);
 
     for (const Group &group : groups)
-        fs.fetchSteps += group.stream.steps.size();
+        fs.fetchSteps += group.nFetchSteps;
     fs.memoLookups = memoLookups;
     fs.memoComputes = memoComputes;
 

@@ -83,19 +83,30 @@ class IssueSlots
                 mask = used.size() - 1;
             }
             const std::uint64_t idx = cycle & mask;
-            // Free cycles at or after idx within its occupancy word.
-            // Bits past the word end wrap to lower indices, which are
-            // other cycles entirely — never claimed here, only used to
-            // hop to the next word.
+            // Free cycles at or after idx within its occupancy word,
+            // clamped to the in-window span: bits past the word end
+            // wrap to lower indices, and bits past the window end
+            // (base + capacity) alias early-window cycles — both are
+            // other cycles entirely.  The aliased bits must read as
+            // free here: cycles at or past base + capacity have a
+            // zero count by definition, so a set aliased bit would
+            // otherwise advance the search past a genuinely free
+            // boundary cycle and grow() would claim too late a cycle.
+            // span >= 1 always, and 2 << 63 wraps to 0, so the
+            // span == 64 case masks with ~0 without a UB shift.
+            const std::uint64_t span = std::min<std::uint64_t>(
+                64 - (idx & 63), mask - (cycle - b) + 1);
             const std::uint64_t avail =
-                ~fw[idx >> 6] >> (idx & 63);
+                (~fw[idx >> 6] >> (idx & 63)) &
+                ((std::uint64_t(2) << (span - 1)) - 1);
             if (avail == 0) {
-                cycle += 64 - (idx & 63);  // whole word full: skip it
+                // Word (or window) exhausted: hop to the next word,
+                // or just past the window so the next probe grows and
+                // claims base + capacity, the true first-free cycle.
+                cycle += span;
                 continue;
             }
             cycle += std::uint64_t(std::countr_zero(avail));
-            if (cycle - b > mask)
-                continue;  // free bit past the window: grow first
             const std::uint64_t at = cycle & mask;
             std::uint8_t &count = used[at];
             if (++count == width)

@@ -476,6 +476,41 @@ TEST(Lockstep, FetchStatsReportFusionAndMemoReuse)
     }
 }
 
+/** A capture budget too small for the fused drivers' worst-case
+ *  stream reservations must fall back to the streaming per-group
+ *  driver — with the stats reporting the fallback and the results
+ *  staying bit-identical to the fused walk. */
+TEST(Lockstep, CaptureBudgetFallsBackToPerGroup)
+{
+    const std::vector<MachineConfig> grid = grid16();
+    const auto suite = specint95Suite();
+    const Module m = generateWorkload(suite[0].params);
+    const ExecTrace trace = captureTrace(m, testLimits(suite[0]));
+    BsaModule bsa = enlargeModule(m, EnlargeConfig{}, nullptr, nullptr);
+    layoutBsaModule(bsa);
+
+    const std::vector<SimResult> convFused =
+        runConventionalBatch(m, grid, trace);
+    EXPECT_TRUE(lockstepLastFetchStats().fused);
+    const std::vector<SimResult> bsaFused =
+        runBlockStructuredBatch(bsa, grid, trace);
+    EXPECT_TRUE(lockstepLastFetchStats().fused);
+
+    ScopedEnv budget("BSISA_CAPTURE_BUDGET", "1");
+    const std::vector<SimResult> convTight =
+        runConventionalBatch(m, grid, trace);
+    EXPECT_FALSE(lockstepLastFetchStats().fused);
+    const std::vector<SimResult> bsaTight =
+        runBlockStructuredBatch(bsa, grid, trace);
+    EXPECT_FALSE(lockstepLastFetchStats().fused);
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        SCOPED_TRACE("lane " + std::to_string(i));
+        expectSameSim(convFused[i], convTight[i]);
+        expectSameSim(bsaFused[i], bsaTight[i]);
+    }
+}
+
 /** Restores the environment-driven kernel selection on scope exit, so
  *  a failing test cannot leak a forced kernel into later tests. */
 class ScopedSimdReset

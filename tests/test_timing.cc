@@ -73,6 +73,43 @@ TEST(IssueSlots, RespectsWidth)
     EXPECT_EQ(slots.allocate(12), 13u);
 }
 
+TEST(IssueSlots, WindowBoundaryAliasingDoesNotSkipFreeCycles)
+{
+    // The occupancy word covering the window's last cycles also holds
+    // bits for wrapped early-window cycles (cycle + k - capacity).
+    // With base = 32 the window is [32, 4128) and its final cycles
+    // 4096..4127 share word 0 with the aliased early cycles 32..63.
+    // Fill both; the first free cycle is then exactly base + capacity
+    // (4128), and the allocator must claim it — not hop past it off
+    // the set aliased bits.
+    {
+        IssueSlots slots(1);
+        slots.advanceTo(32);
+        for (std::uint64_t c = 32; c < 64; ++c)
+            EXPECT_EQ(slots.allocate(c), c);  // aliased bits 32..63
+        for (std::uint64_t c = 4096; c < 4128; ++c)
+            EXPECT_EQ(slots.allocate(4096), c);  // window tail
+        EXPECT_EQ(slots.allocate(4096), 4128u);
+    }
+    // Same shape with one aliased bit clear (early cycle 48 free):
+    // the countr_zero advance must not land on the aliased free bit
+    // either — it belongs to cycle 48, not to cycle 4144.
+    {
+        IssueSlots slots(1);
+        slots.advanceTo(32);
+        for (std::uint64_t c = 32; c < 64; ++c) {
+            if (c == 48)
+                continue;
+            EXPECT_EQ(slots.allocate(c), c);
+        }
+        for (std::uint64_t c = 4096; c < 4128; ++c)
+            EXPECT_EQ(slots.allocate(4096), c);
+        EXPECT_EQ(slots.allocate(4096), 4128u);
+        // And cycle 48 really is still free for a request behind it.
+        EXPECT_EQ(slots.allocate(48), 48u);
+    }
+}
+
 TEST(Layout, ConventionalAddressesAreDense)
 {
     const Module m = workloadModule(1);
