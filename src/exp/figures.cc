@@ -45,16 +45,7 @@ baseConfig(const SpecBenchmark &bench)
 BenchOutcome
 outcomeOf(const SpecBenchmark &bench, const PairResult &r)
 {
-    BenchOutcome o;
-    o.name = bench.params.name;
-    o.convCycles = r.conv.cycles;
-    o.bsaCycles = r.bsa.cycles;
-    o.convBlockSize = r.conv.avgBlockSize();
-    o.bsaBlockSize = r.bsa.avgBlockSize();
-    o.convIcacheMissRate = r.conv.icache.missRate();
-    o.bsaIcacheMissRate = r.bsa.icache.missRate();
-    o.dynOps = r.dynOps;
-    return o;
+    return benchOutcomeOf(bench.params.name, r);
 }
 
 /** Generate the whole suite's modules into index-stable slots. */
@@ -103,6 +94,79 @@ captureSuiteTraces(const std::vector<SpecBenchmark> &suite,
 }
 
 } // namespace
+
+BenchOutcome
+benchOutcomeOf(const std::string &name, const PairResult &r)
+{
+    BenchOutcome o;
+    o.name = name;
+    o.convCycles = r.conv.cycles;
+    o.bsaCycles = r.bsa.cycles;
+    o.convBlockSize = r.conv.avgBlockSize();
+    o.bsaBlockSize = r.bsa.avgBlockSize();
+    o.convIcacheMissRate = r.conv.icache.missRate();
+    o.bsaIcacheMissRate = r.bsa.icache.missRate();
+    o.dynOps = r.dynOps;
+    return o;
+}
+
+void
+renderCycleComparison(std::ostream &os,
+                      const std::vector<BenchOutcome> &outcomes,
+                      bool perfectPrediction)
+{
+    os << (perfectPrediction
+               ? "Figure 4: Performance comparison assuming perfect "
+                 "branch prediction.\n"
+               : "Figure 3: Performance comparison of block-structured "
+                 "ISA executables\nand conventional ISA executables "
+                 "(64KB 4-way L1 icache).\n")
+       << "\n";
+
+    Table t({"Benchmark", "Conventional (cycles)",
+             "Block-Structured (cycles)", "Reduction"});
+    BarChart chart("Total cycles (lower is better)",
+                   {"Conventional ISA", "Block-Structured ISA"});
+    double geo = 0.0;
+    for (const BenchOutcome &o : outcomes) {
+        t.addRow({o.name, Table::fmtSep(o.convCycles),
+                  Table::fmtSep(o.bsaCycles),
+                  Table::fmt(100.0 * o.reduction(), 1) + "%"});
+        chart.addGroup(o.name, {double(o.convCycles) / 1e3,
+                                double(o.bsaCycles) / 1e3});
+        geo += o.reduction();
+    }
+    t.addRow({"average", "", "",
+              Table::fmt(100.0 * geo / outcomes.size(), 1) + "%"});
+    t.print(os);
+    os << "\n";
+    chart.print(os);
+}
+
+void
+renderBlockSizeComparison(std::ostream &os,
+                          const std::vector<BenchOutcome> &outcomes)
+{
+    os << "Figure 5: Average block sizes for block-structured and "
+          "conventional ISA executables\n(retired blocks only).\n\n";
+
+    Table t({"Benchmark", "Conventional", "Block-Structured"});
+    BarChart chart("Average retired block size (operations)",
+                   {"Conventional ISA", "Block-Structured ISA"});
+    double conv_sum = 0.0, bsa_sum = 0.0;
+    for (const BenchOutcome &o : outcomes) {
+        t.addRow({o.name, Table::fmt(o.convBlockSize, 2),
+                  Table::fmt(o.bsaBlockSize, 2)});
+        chart.addGroup(o.name, {o.convBlockSize, o.bsaBlockSize});
+        conv_sum += o.convBlockSize;
+        bsa_sum += o.bsaBlockSize;
+    }
+    t.addRow({"average", Table::fmt(conv_sum / outcomes.size(), 2),
+              Table::fmt(bsa_sum / outcomes.size(), 2)});
+    t.print(os);
+    os << "\n";
+    chart.print(os);
+}
 
 void
 printTable1(std::ostream &os)
@@ -165,14 +229,6 @@ printTable2(std::ostream &os)
 std::vector<BenchOutcome>
 runCycleComparison(std::ostream &os, bool perfectPrediction)
 {
-    os << (perfectPrediction
-               ? "Figure 4: Performance comparison assuming perfect "
-                 "branch prediction.\n"
-               : "Figure 3: Performance comparison of block-structured "
-                 "ISA executables\nand conventional ISA executables "
-                 "(64KB 4-way L1 icache).\n")
-       << "\n";
-
     const auto suite = specint95Suite();
     const std::vector<Module> modules = generateSuiteModules(suite);
     const std::vector<ExecTrace> traces =
@@ -196,32 +252,13 @@ runCycleComparison(std::ostream &os, bool perfectPrediction)
         outcomes[i] =
             outcomeOf(suite[i], sweep.results()[pointOf[i]]);
 
-    Table t({"Benchmark", "Conventional (cycles)",
-             "Block-Structured (cycles)", "Reduction"});
-    BarChart chart("Total cycles (lower is better)",
-                   {"Conventional ISA", "Block-Structured ISA"});
-    double geo = 0.0;
-    for (const BenchOutcome &o : outcomes) {
-        t.addRow({o.name, Table::fmtSep(o.convCycles),
-                  Table::fmtSep(o.bsaCycles),
-                  Table::fmt(100.0 * o.reduction(), 1) + "%"});
-        chart.addGroup(o.name, {double(o.convCycles) / 1e3,
-                                double(o.bsaCycles) / 1e3});
-        geo += o.reduction();
-    }
-    t.addRow({"average", "", "",
-              Table::fmt(100.0 * geo / outcomes.size(), 1) + "%"});
-    t.print(os);
-    os << "\n";
-    chart.print(os);
+    renderCycleComparison(os, outcomes, perfectPrediction);
     return outcomes;
 }
 
 std::vector<BenchOutcome>
 runBlockSizeComparison(std::ostream &os)
 {
-    os << "Figure 5: Average block sizes for block-structured and "
-          "conventional ISA executables\n(retired blocks only).\n\n";
     const auto suite = specint95Suite();
     const std::vector<Module> modules = generateSuiteModules(suite);
     const std::vector<ExecTrace> traces =
@@ -243,22 +280,7 @@ runBlockSizeComparison(std::ostream &os)
         outcomes[i] =
             outcomeOf(suite[i], sweep.results()[pointOf[i]]);
 
-    Table t({"Benchmark", "Conventional", "Block-Structured"});
-    BarChart chart("Average retired block size (operations)",
-                   {"Conventional ISA", "Block-Structured ISA"});
-    double conv_sum = 0.0, bsa_sum = 0.0;
-    for (const BenchOutcome &o : outcomes) {
-        t.addRow({o.name, Table::fmt(o.convBlockSize, 2),
-                  Table::fmt(o.bsaBlockSize, 2)});
-        chart.addGroup(o.name, {o.convBlockSize, o.bsaBlockSize});
-        conv_sum += o.convBlockSize;
-        bsa_sum += o.bsaBlockSize;
-    }
-    t.addRow({"average", Table::fmt(conv_sum / outcomes.size(), 2),
-              Table::fmt(bsa_sum / outcomes.size(), 2)});
-    t.print(os);
-    os << "\n";
-    chart.print(os);
+    renderBlockSizeComparison(os, outcomes);
     return outcomes;
 }
 

@@ -48,6 +48,23 @@ struct BenchOutcome
 /** Scale divisor from BSISA_SCALE (default specScaleDivisor). */
 std::uint64_t scaleDivisor();
 
+/** Fold one benchmark's PairResult into a BenchOutcome (the figure
+ *  drivers' metric extraction, shared with the sweep service so
+ *  store-rendered figures use the exact same folding). */
+BenchOutcome benchOutcomeOf(const std::string &name,
+                            const PairResult &r);
+
+/** Render figures 3/4 from already-computed outcomes — the exact
+ *  print path of runCycleComparison, split out so the sweep service
+ *  renders byte-identical tables from its results store. */
+void renderCycleComparison(std::ostream &os,
+                           const std::vector<BenchOutcome> &outcomes,
+                           bool perfectPrediction);
+
+/** Render figure 5 from already-computed outcomes (see above). */
+void renderBlockSizeComparison(
+    std::ostream &os, const std::vector<BenchOutcome> &outcomes);
+
 /** Table 1: instruction classes and latencies. */
 void printTable1(std::ostream &os);
 

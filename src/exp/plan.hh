@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Content-addressed work-unit plans for the sweep service.
+ *
+ * A plan expands a SweepSpec's config grid into work units.  One unit
+ * is one (module digest x RunConfig digest x interp/format version)
+ * — exactly the identity the results store records — and grid points
+ * whose configs collapse to the same unit are deduplicated up front,
+ * the planning analog of lockstep's effectively-identical-config
+ * dedup: the unit runs once and its result serves every point.
+ *
+ * Units are grouped into lease *chunks* (per benchmark, split by the
+ * spec's chunk_units or a CLI override).  A chunk is the granularity
+ * at which workers claim work; its key hashes the member unit keys,
+ * so the same spec always produces the same lease names and two
+ * workers on the same store contend over the same files.
+ *
+ * Unit keys are stable across processes and sessions — everything
+ * hashed is either canonical spec text, module content, or
+ * fixed-width config fields — which is what makes the results store
+ * a warm cache rather than a per-run scratch file.
+ */
+
+#ifndef BSISA_EXP_PLAN_HH
+#define BSISA_EXP_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hh"
+#include "ir/module.hh"
+
+namespace bsisa
+{
+
+/** Stable digest of every RunConfig field (fixed order, fixed width;
+ *  doubles hashed by bit pattern; Interp::Limits included — the
+ *  budget changes the committed stream, hence the results). */
+std::uint64_t runConfigDigest(const RunConfig &config);
+
+/** The content address of one work unit. */
+std::uint64_t workUnitKey(std::uint64_t moduleDigest,
+                          std::uint64_t configDigest);
+
+/** One benchmark of a plan. */
+struct PlanBench
+{
+    std::string name;
+    std::size_t suiteIndex = 0;   //!< into specint95Suite()
+    std::uint64_t moduleDigest = 0;
+    Interp::Limits limits;        //!< scaled trace budget
+};
+
+/** One deduplicated work unit. */
+struct WorkUnit
+{
+    std::uint64_t key = 0;
+    std::uint64_t moduleDigest = 0;
+    std::uint64_t configDigest = 0;
+    std::size_t bench = 0;        //!< into SweepPlan::benches
+    RunConfig config;
+    /** Grid points (bench-major global ids) served by this unit. */
+    std::vector<std::size_t> pointIds;
+};
+
+/** A fully expanded plan. */
+struct SweepPlan
+{
+    SweepSpec spec;
+    std::uint64_t specDigest = 0;
+    std::vector<PlanBench> benches;
+    std::vector<Module> modules;  //!< per bench, generation order
+    std::vector<WorkUnit> units;
+    /** Grid point (bench-major) -> unit index. */
+    std::vector<std::size_t> pointUnit;
+    /** Lease chunks: unit indices, benchmark-major order. */
+    std::vector<std::vector<std::size_t>> chunks;
+    /** Chunk identity (lease file name component). */
+    std::vector<std::uint64_t> chunkKeys;
+
+    std::size_t gridPoints() const { return pointUnit.size(); }
+};
+
+/**
+ * Expand the spec's config grid for one benchmark budget: the axis
+ * cross-product applied over the base config (first axis outermost),
+ * then the explicit points.  Returns false on a config-key error
+ * (already excluded by parse validation; belt and braces).
+ */
+bool expandGrid(const SweepSpec &spec, Interp::Limits limits,
+                std::vector<RunConfig> &out, std::string &error);
+
+/**
+ * Build the full plan: generate the benchmark modules (parallelFor),
+ * digest them, expand and dedup the grid, and carve lease chunks.
+ * @p chunkOverride replaces the spec's chunk_units when non-zero.
+ */
+bool buildPlan(const SweepSpec &spec, std::uint64_t chunkOverride,
+               SweepPlan &out, std::string &error);
+
+} // namespace bsisa
+
+#endif // BSISA_EXP_PLAN_HH

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Results-store implementation: framed shard files, merge-on-refresh
+ * indexing with torn-tail repair, and deterministic compaction.
+ */
+
+#include "exp/result_store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "sim/interp.hh"
+#include "support/digest.hh"
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+// The record is a padding-free POD: every PairResult member is a
+// 64-bit scalar (SimResult = 14 uint64 + 2 x CacheStats, EnlargeStats
+// = 6 size_t), so the layout below is exact or the asserts fire and
+// force a resultStoreFormatVersion bump.
+static_assert(std::is_trivially_copyable_v<ResultRecord>);
+static_assert(sizeof(SimResult) == 144);
+static_assert(sizeof(PairResult) == 2 * sizeof(SimResult) +
+                                        sizeof(EnlargeStats) + 24);
+static_assert(sizeof(ResultRecord) == 32 + sizeof(PairResult),
+              "on-disk record layout changed; bump "
+              "resultStoreFormatVersion");
+
+/** 16-byte shard/snapshot file header. */
+struct ShardHeader
+{
+    char magic[8];
+    std::uint32_t formatVersion;
+    std::uint32_t reserved;
+};
+static_assert(sizeof(ShardHeader) == 16);
+
+/** 16-byte per-record frame header preceding the payload. */
+struct FrameHeader
+{
+    std::uint32_t payloadBytes;
+    std::uint32_t frameMagic;
+    std::uint64_t checksum;  //!< fnv1a64Words over the payload
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+constexpr std::uint32_t resultFrameMagic = 0x30434552;  // "REC0"
+
+std::atomic<bool> warnedDuplicate{false};
+std::atomic<bool> warnedWrite{false};
+std::atomic<std::uint64_t> tempSeq{0};
+
+std::uint64_t
+processTag()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return std::uint64_t(::getpid());
+#else
+    return 0;
+#endif
+}
+
+void
+appendShardHeader(std::string &out)
+{
+    ShardHeader h;
+    std::memset(&h, 0, sizeof(h));
+    std::memcpy(h.magic, resultStoreMagic, sizeof(h.magic));
+    h.formatVersion = resultStoreFormatVersion;
+    out.append(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+void
+appendFrame(std::string &out, const ResultRecord &record)
+{
+    FrameHeader f;
+    f.payloadBytes = sizeof(ResultRecord);
+    f.frameMagic = resultFrameMagic;
+    f.checksum = fnv1a64Words(&record, sizeof(record));
+    out.append(reinterpret_cast<const char *>(&f), sizeof(f));
+    out.append(reinterpret_cast<const char *>(&record),
+               sizeof(record));
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+/** Atomically publish @p bytes as @p path (temp + rename). */
+bool
+publishFile(const std::string &path, const std::string &bytes)
+{
+    const std::string temp =
+        path + ".tmp-" + std::to_string(processTag()) + "-" +
+        std::to_string(
+            tempSeq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out || !out.write(bytes.data(),
+                               std::streamsize(bytes.size()))) {
+            std::remove(temp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ResultRecord
+makeResultRecord(std::uint64_t unitKey, std::uint64_t moduleDigest,
+                 std::uint64_t configDigest, const PairResult &pair)
+{
+    ResultRecord record{};  // value-init: no indeterminate padding
+    record.unitKey = unitKey;
+    record.moduleDigest = moduleDigest;
+    record.configDigest = configDigest;
+    record.interpVersionTag = interpVersion;
+    record.formatVersion = resultStoreFormatVersion;
+    record.pair = pair;
+    return record;
+}
+
+ResultStore::ResultStore(std::string directory)
+    : dir(std::move(directory))
+{
+}
+
+ResultStore::~ResultStore() = default;
+
+const ResultRecord *
+ResultStore::find(std::uint64_t unitKey) const
+{
+    const auto it = index.find(unitKey);
+    return it == index.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t>
+ResultStore::keys() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(index.size());
+    for (const auto &kv : index)
+        out.push_back(kv.first);
+    return out;
+}
+
+ResultScanStats
+ResultStore::refresh()
+{
+    ResultScanStats stats;
+    index.clear();
+    scanned.clear();
+
+    // Snapshot first, then shards sorted by name: scan order decides
+    // nothing semantically (first record per key wins and duplicates
+    // are byte-identical), but a deterministic order keeps the
+    // duplicate counters stable for tests.
+    std::vector<std::string> files;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (!ec) {
+        for (const auto &de : it) {
+            if (!de.is_regular_file(ec) || ec)
+                continue;
+            if (de.path().extension() == ".bsr")
+                files.push_back(de.path().string());
+        }
+    }
+    const std::string snapshot = dir + "/snapshot.bsr";
+    std::sort(files.begin(), files.end(),
+              [&](const std::string &a, const std::string &b) {
+                  if ((a == snapshot) != (b == snapshot))
+                      return a == snapshot;
+                  return a < b;
+              });
+
+    for (const std::string &path : files) {
+        std::string bytes;
+        if (!readWholeFile(path, bytes) ||
+            bytes.size() < sizeof(ShardHeader)) {
+            ++stats.badShards;
+            continue;
+        }
+        ShardHeader h;
+        std::memcpy(&h, bytes.data(), sizeof(h));
+        if (std::memcmp(h.magic, resultStoreMagic, sizeof(h.magic)) !=
+                0 ||
+            h.formatVersion != resultStoreFormatVersion) {
+            ++stats.badShards;
+            continue;
+        }
+        ++stats.shardFiles;
+        scanned.push_back(path);
+
+        std::size_t pos = sizeof(ShardHeader);
+        while (pos < bytes.size()) {
+            if (bytes.size() - pos < sizeof(FrameHeader)) {
+                ++stats.tornTails;
+                break;
+            }
+            FrameHeader f;
+            std::memcpy(&f, bytes.data() + pos, sizeof(f));
+            if (f.frameMagic != resultFrameMagic ||
+                f.payloadBytes != sizeof(ResultRecord) ||
+                bytes.size() - pos - sizeof(f) < f.payloadBytes) {
+                ++stats.tornTails;
+                break;
+            }
+            const char *payload = bytes.data() + pos + sizeof(f);
+            if (f.checksum != fnv1a64Words(payload, f.payloadBytes)) {
+                ++stats.tornTails;
+                break;
+            }
+            ResultRecord record;
+            std::memcpy(&record, payload, sizeof(record));
+            pos += sizeof(f) + f.payloadBytes;
+
+            const auto [at, inserted] =
+                index.emplace(record.unitKey, record);
+            if (!inserted) {
+                ++stats.duplicates;
+                if (std::memcmp(&at->second, &record,
+                                sizeof(record)) != 0 &&
+                    !warnedDuplicate.exchange(true)) {
+                    warn("result store: byte-differing duplicate for "
+                         "unit key ",
+                         record.unitKey, " in ", path,
+                         "; keeping the first record seen");
+                }
+            }
+        }
+    }
+    stats.records = index.size();
+    return stats;
+}
+
+bool
+ResultStore::append(const ResultRecord &record)
+{
+    if (!shard.is_open()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        // One shard per process: the name embeds the pid plus a
+        // random salt so re-executed pids and non-unix builds (pid
+        // tag 0) never collide on a shared directory.
+        std::random_device rd;
+        shardPath = dir + "/shard-" + std::to_string(processTag()) +
+                    "-" + std::to_string(std::uint64_t(rd()) << 32 |
+                                         rd()) +
+                    ".bsr";
+        shard.open(shardPath, std::ios::binary | std::ios::trunc);
+        std::string header;
+        appendShardHeader(header);
+        if (!shard ||
+            !shard.write(header.data(),
+                         std::streamsize(header.size()))) {
+            shard.close();
+            shardPath.clear();
+            if (!warnedWrite.exchange(true))
+                warn("result store: cannot write to ", dir,
+                     "; results will not persist");
+            return false;
+        }
+    }
+    // One buffered write + flush per frame: after append() returns
+    // the frame is in the kernel, so killing the process cannot tear
+    // it; a kill *during* the write leaves a checksummed torn tail
+    // that the next refresh() drops.
+    std::string frame;
+    appendFrame(frame, record);
+    if (!shard.write(frame.data(), std::streamsize(frame.size())) ||
+        !shard.flush())
+        return false;
+    index.emplace(record.unitKey, record);
+    return true;
+}
+
+bool
+ResultStore::compact()
+{
+    refresh();
+    // Our own shard is about to be merged and unlinked; close it so
+    // a later append starts a fresh one.
+    if (shard.is_open()) {
+        shard.close();
+        shard = std::ofstream();
+        shardPath.clear();
+    }
+
+    std::string bytes;
+    appendShardHeader(bytes);
+    for (const auto &kv : index)
+        appendFrame(bytes, kv.second);
+
+    const std::string snapshot = dir + "/snapshot.bsr";
+    if (!publishFile(snapshot, bytes))
+        return false;
+    for (const std::string &path : scanned) {
+        if (path != snapshot)
+            std::remove(path.c_str());
+    }
+    scanned.assign(1, snapshot);
+    return true;
+}
+
+} // namespace bsisa

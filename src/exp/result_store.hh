@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Persistent, sharded results store for the sweep service.
+ *
+ * The store is a directory of append-only shard files plus an
+ * optional compacted snapshot.  Each record is one work unit's
+ * PairResult, framed with a length, a magic, and an FNV-1a checksum,
+ * so a `kill -9` mid-append costs exactly the torn tail frame: on
+ * the next open the intact prefix is kept and the tail dropped —
+ * the same graceful-degrade discipline as sim/trace_store.cc, with
+ * the same atomic write-to-temp+rename publish for the snapshot.
+ *
+ * Concurrency model: every writing process appends to its *own*
+ * shard (named by pid + sequence), so writers never contend; readers
+ * merge all shards at refresh() time, first record per unit key
+ * wins.  Duplicate keys are expected (two workers may race one unit
+ * — units are idempotent and deterministic, so duplicates are
+ * byte-identical; a byte-differing duplicate is warned about and
+ * ignored).  compact() folds everything into a deterministic
+ * `snapshot.bsr` — records sorted by unit key — and unlinks the
+ * merged shards; two stores with the same content compact to
+ * byte-identical snapshots, which is what the crash-resume test
+ * asserts.
+ */
+
+#ifndef BSISA_EXP_RESULT_STORE_HH
+#define BSISA_EXP_RESULT_STORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace bsisa
+{
+
+/** On-disk layout version; a component of every work-unit key, so
+ *  bumping it re-keys (and thus invalidates) old results. */
+constexpr std::uint32_t resultStoreFormatVersion = 1;
+
+constexpr char resultStoreMagic[8] = {'B', 'S', 'A', 'R',
+                                      'E', 'S', '0', '1'};
+
+/** One stored record.  POD, memcpy'd to disk; the key fields are
+ *  stored redundantly with the frame so a record is self-describing
+ *  (status tools need no plan to interpret a store). */
+struct ResultRecord
+{
+    std::uint64_t unitKey;
+    std::uint64_t moduleDigest;
+    std::uint64_t configDigest;
+    std::uint32_t interpVersionTag;
+    std::uint32_t formatVersion;
+    PairResult pair;
+};
+
+/** Build a fully initialised record (zeroed padding-free POD). */
+ResultRecord makeResultRecord(std::uint64_t unitKey,
+                              std::uint64_t moduleDigest,
+                              std::uint64_t configDigest,
+                              const PairResult &pair);
+
+/** What refresh() saw while scanning the directory. */
+struct ResultScanStats
+{
+    std::uint64_t records = 0;     //!< distinct unit keys indexed
+    std::uint64_t duplicates = 0;  //!< same-key records skipped
+    std::uint64_t tornTails = 0;   //!< shards truncated at a torn frame
+    std::uint64_t badShards = 0;   //!< unreadable headers (skipped)
+    std::uint64_t shardFiles = 0;  //!< files scanned (incl. snapshot)
+};
+
+/**
+ * One process's handle on a store directory.  refresh() (re)builds
+ * the in-memory index from disk; append() publishes one record to
+ * this process's shard and indexes it.  Many processes may share a
+ * directory; the handle itself is not thread-safe.
+ */
+class ResultStore
+{
+  public:
+    explicit ResultStore(std::string directory);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    const std::string &directory() const { return dir; }
+
+    /** Rebuild the index from every shard on disk. */
+    ResultScanStats refresh();
+
+    bool contains(std::uint64_t unitKey) const
+    {
+        return index.find(unitKey) != index.end();
+    }
+
+    /** The indexed record, or nullptr. */
+    const ResultRecord *find(std::uint64_t unitKey) const;
+
+    std::size_t size() const { return index.size(); }
+
+    /** Unit keys in sorted order (rendering walks the plan, not the
+     *  store, so this is for status output and tests). */
+    std::vector<std::uint64_t> keys() const;
+
+    /**
+     * Append one record to this process's shard (created lazily,
+     * directory included) and index it.  The frame is flushed before
+     * returning, so a subsequent SIGKILL cannot tear it.  False when
+     * the directory is not writable.
+     */
+    bool append(const ResultRecord &record);
+
+    /**
+     * Fold the current index into `snapshot.bsr` (records sorted by
+     * unit key, temp+rename publish) and unlink the shards that were
+     * merged into it.  Implies refresh().  False on write failure.
+     */
+    bool compact();
+
+  private:
+    std::string dir;
+    std::map<std::uint64_t, ResultRecord> index;
+    std::vector<std::string> scanned;  //!< shard paths last refresh()
+    std::ofstream shard;               //!< this process's shard
+    std::string shardPath;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_EXP_RESULT_STORE_HH

@@ -1,0 +1,925 @@
+/**
+ * @file
+ * Sweep-spec parser, config-key vocabulary, and canonicalisation.
+ *
+ * The accepted grammar is the YAML subset the experiment specs need:
+ *
+ *   - `#` starts a comment (outside quoted strings); blank lines are
+ *     ignored; indentation is spaces (tabs are an error).
+ *   - A block is either a map (`key: value` / `key:` + indented
+ *     block) or a list (`- value` lines at one indent level).
+ *   - Flow values: plain scalars, `"quoted strings"`, inline lists
+ *     `[a, b, c]`, and inline maps `{k: v, k2: v2}` of scalars.
+ *
+ * Anchors, multi-document streams, block scalars, and nested flow
+ * collections are deliberately out of scope.
+ */
+
+#include "exp/spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/digest.hh"
+#include "workloads/specmix.hh"
+
+namespace bsisa
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Generic node tree (the YAML-subset surface syntax).
+
+struct SpecNode
+{
+    enum class Kind { Scalar, Map, List };
+    Kind kind = Kind::Scalar;
+    std::string scalar;
+    std::vector<std::pair<std::string, SpecNode>> map;
+    std::vector<SpecNode> list;
+};
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split flow-collection contents on top-level commas. */
+bool
+splitFlowItems(const std::string &body, std::vector<std::string> &out,
+               std::string &error)
+{
+    out.clear();
+    int depth = 0;
+    bool quoted = false;
+    std::string cur;
+    for (char c : body) {
+        if (quoted) {
+            cur.push_back(c);
+            if (c == '"')
+                quoted = false;
+            continue;
+        }
+        if (c == '"') {
+            quoted = true;
+            cur.push_back(c);
+        } else if (c == '[' || c == '{') {
+            ++depth;
+            cur.push_back(c);
+        } else if (c == ']' || c == '}') {
+            --depth;
+            cur.push_back(c);
+        } else if (c == ',' && depth == 0) {
+            out.push_back(trimmed(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (quoted || depth != 0) {
+        error = "unterminated quote or bracket in flow value";
+        return false;
+    }
+    const std::string last = trimmed(cur);
+    if (!last.empty())
+        out.push_back(last);
+    else if (!out.empty()) {
+        error = "trailing comma in flow value";
+        return false;
+    }
+    return true;
+}
+
+bool parseFlow(const std::string &text, SpecNode &out,
+               std::string &error);
+
+bool
+parseFlowScalar(const std::string &text, SpecNode &out,
+                std::string &error)
+{
+    out = SpecNode{};
+    if (!text.empty() && text.front() == '"') {
+        if (text.size() < 2 || text.back() != '"') {
+            error = "unterminated quoted string";
+            return false;
+        }
+        const std::string body = text.substr(1, text.size() - 2);
+        if (body.find('"') != std::string::npos) {
+            error = "embedded quote in quoted string";
+            return false;
+        }
+        out.scalar = body;
+        return true;
+    }
+    if (text.empty()) {
+        error = "empty value";
+        return false;
+    }
+    out.scalar = text;
+    return true;
+}
+
+bool
+parseFlow(const std::string &text, SpecNode &out, std::string &error)
+{
+    out = SpecNode{};
+    if (!text.empty() && text.front() == '[') {
+        if (text.back() != ']') {
+            error = "unterminated inline list";
+            return false;
+        }
+        out.kind = SpecNode::Kind::List;
+        std::vector<std::string> items;
+        if (!splitFlowItems(text.substr(1, text.size() - 2), items,
+                            error))
+            return false;
+        for (const std::string &item : items) {
+            SpecNode child;
+            if (!parseFlowScalar(item, child, error))
+                return false;
+            out.list.push_back(std::move(child));
+        }
+        return true;
+    }
+    if (!text.empty() && text.front() == '{') {
+        if (text.back() != '}') {
+            error = "unterminated inline map";
+            return false;
+        }
+        out.kind = SpecNode::Kind::Map;
+        std::vector<std::string> items;
+        if (!splitFlowItems(text.substr(1, text.size() - 2), items,
+                            error))
+            return false;
+        for (const std::string &item : items) {
+            const std::size_t colon = item.find(':');
+            if (colon == std::string::npos) {
+                error = "inline map entry without ':': " + item;
+                return false;
+            }
+            const std::string key = trimmed(item.substr(0, colon));
+            SpecNode child;
+            if (key.empty() ||
+                !parseFlowScalar(trimmed(item.substr(colon + 1)),
+                                 child, error))
+                return false;
+            out.map.emplace_back(key, std::move(child));
+        }
+        return true;
+    }
+    return parseFlowScalar(text, out, error);
+}
+
+/** One logical line: indent width + comment-stripped content. */
+struct SpecLine
+{
+    std::size_t indent;
+    std::string text;
+    std::size_t number;  //!< 1-based, for error messages
+};
+
+bool
+splitLines(const std::string &text, std::vector<SpecLine> &out,
+           std::string &error)
+{
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        // Strip comments outside quotes.
+        bool quoted = false;
+        std::string content;
+        for (char c : raw) {
+            if (c == '"')
+                quoted = !quoted;
+            if (c == '#' && !quoted)
+                break;
+            content.push_back(c);
+        }
+        std::size_t indent = 0;
+        while (indent < content.size() && content[indent] == ' ')
+            ++indent;
+        if (indent < content.size() && content[indent] == '\t') {
+            error = "line " + std::to_string(number) +
+                    ": tab indentation is not supported";
+            return false;
+        }
+        const std::string body = trimmed(content);
+        if (body.empty())
+            continue;
+        out.push_back(SpecLine{indent, body, number});
+    }
+    return true;
+}
+
+class BlockParser
+{
+  public:
+    BlockParser(std::vector<SpecLine> lines) : lines(std::move(lines))
+    {
+    }
+
+    bool
+    parse(SpecNode &out, std::string &error)
+    {
+        if (lines.empty()) {
+            error = "empty spec";
+            return false;
+        }
+        if (!parseBlock(lines[0].indent, out, error))
+            return false;
+        if (pos < lines.size()) {
+            error = lineMsg("unexpected indentation");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    lineMsg(const std::string &what) const
+    {
+        const std::size_t n =
+            pos < lines.size() ? lines[pos].number : 0;
+        return "line " + std::to_string(n) + ": " + what;
+    }
+
+    bool
+    isListItem(const SpecLine &line) const
+    {
+        return line.text == "-" ||
+               (line.text.size() >= 2 && line.text[0] == '-' &&
+                line.text[1] == ' ');
+    }
+
+    bool
+    parseBlock(std::size_t indent, SpecNode &out, std::string &error)
+    {
+        out = SpecNode{};
+        if (lines[pos].indent != indent) {
+            error = lineMsg("inconsistent indentation");
+            return false;
+        }
+        const bool list = isListItem(lines[pos]);
+        out.kind = list ? SpecNode::Kind::List : SpecNode::Kind::Map;
+        while (pos < lines.size() && lines[pos].indent == indent) {
+            const SpecLine &line = lines[pos];
+            if (isListItem(line) != list) {
+                error = lineMsg("mixed list and map entries");
+                return false;
+            }
+            if (list) {
+                SpecNode item;
+                if (!parseFlow(trimmed(line.text.substr(1)), item,
+                               error))
+                    return false;
+                out.list.push_back(std::move(item));
+                ++pos;
+                continue;
+            }
+            const std::size_t colon = line.text.find(':');
+            if (colon == std::string::npos) {
+                error = lineMsg("expected 'key: value'");
+                return false;
+            }
+            const std::string key = trimmed(line.text.substr(0, colon));
+            const std::string rest = trimmed(line.text.substr(colon + 1));
+            if (key.empty()) {
+                error = lineMsg("empty key");
+                return false;
+            }
+            for (const auto &kv : out.map) {
+                if (kv.first == key) {
+                    error = lineMsg("duplicate key '" + key + "'");
+                    return false;
+                }
+            }
+            ++pos;
+            SpecNode child;
+            if (!rest.empty()) {
+                if (!parseFlow(rest, child, error))
+                    return false;
+            } else {
+                if (pos >= lines.size() ||
+                    lines[pos].indent <= indent) {
+                    error = lineMsg("key '" + key +
+                                    "' has no value or nested block");
+                    return false;
+                }
+                if (!parseBlock(lines[pos].indent, child, error))
+                    return false;
+            }
+            out.map.emplace_back(key, std::move(child));
+        }
+        if (pos < lines.size() && lines[pos].indent > indent) {
+            error = lineMsg("unexpected indentation");
+            return false;
+        }
+        return true;
+    }
+
+    std::vector<SpecLine> lines;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------
+// Config-key vocabulary.
+
+enum class KeyKind { U64, Bool, Double, Scheme };
+
+struct KeyValue
+{
+    std::uint64_t u = 0;
+    double d = 0.0;
+    bool b = false;
+    PredictorScheme scheme = PredictorScheme::GAs;
+};
+
+struct ConfigKeyDef
+{
+    const char *name;
+    KeyKind kind;
+    void (*set)(RunConfig &, const KeyValue &);
+};
+
+// Sorted by name (configKeyNames leans on it; binary search does not,
+// a linear scan over ~30 entries is fine).
+const ConfigKeyDef configKeys[] = {
+    {"btb_assoc", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.btbAssoc = unsigned(v.u);
+     }},
+    {"btb_entries", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.btbEntries = unsigned(v.u);
+     }},
+    {"dcache_assoc", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.dcache.assoc = std::uint32_t(v.u);
+     }},
+    {"dcache_kb", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.dcache.sizeBytes = std::uint32_t(v.u * 1024);
+     }},
+    {"dcache_perfect", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.dcache.perfect = v.b;
+     }},
+    {"enlarge_enabled", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) { c.enlarge.enabled = v.b; }},
+    {"enlarge_library_functions", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.enlarge.enlargeLibraryFunctions = v.b;
+     }},
+    {"enlarge_max_faults", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.enlarge.maxFaults = unsigned(v.u);
+     }},
+    {"enlarge_max_ops", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.enlarge.maxOps = unsigned(v.u);
+     }},
+    {"frontend_depth", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.frontendDepth = unsigned(v.u);
+     }},
+    {"history_bits", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.historyBits = unsigned(v.u);
+     }},
+    {"history_entries", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.historyEntries = unsigned(v.u);
+     }},
+    {"icache_assoc", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.icache.assoc = std::uint32_t(v.u);
+     }},
+    {"icache_kb", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.icache.sizeBytes = std::uint32_t(v.u * 1024);
+     }},
+    {"icache_perfect", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.icache.perfect = v.b;
+     }},
+    {"issue_width", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.issueWidth = unsigned(v.u);
+     }},
+    {"l2_latency", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.l2Latency = unsigned(v.u);
+     }},
+    {"max_variants_per_head", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.enlarge.maxVariantsPerHead = unsigned(v.u);
+     }},
+    {"merge_across_back_edges", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.enlarge.mergeAcrossBackEdges = v.b;
+     }},
+    {"min_merge_bias", KeyKind::Double,
+     [](RunConfig &c, const KeyValue &v) { c.minMergeBias = v.d; }},
+    {"perfect_prediction", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.perfectPrediction = v.b;
+     }},
+    {"pht_bits", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.phtBits = unsigned(v.u);
+     }},
+    {"predictor_perfect", KeyKind::Bool,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.perfect = v.b;
+     }},
+    {"predictor_scheme", KeyKind::Scheme,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.predictor.scheme = v.scheme;
+     }},
+    {"redirect_penalty", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.redirectPenalty = unsigned(v.u);
+     }},
+    {"window_ops", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.windowOps = unsigned(v.u);
+     }},
+    {"window_units", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.windowUnits = unsigned(v.u);
+     }},
+};
+
+const ConfigKeyDef *
+findKey(const std::string &name)
+{
+    for (const ConfigKeyDef &def : configKeys)
+        if (name == def.name)
+            return &def;
+    return nullptr;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseKeyValue(const ConfigKeyDef &def, const std::string &value,
+              KeyValue &out, std::string &error)
+{
+    switch (def.kind) {
+      case KeyKind::U64:
+        if (!parseU64(value, out.u)) {
+            error = std::string(def.name) +
+                    ": expected an unsigned integer, got '" + value +
+                    "'";
+            return false;
+        }
+        return true;
+      case KeyKind::Bool:
+        if (value == "true") {
+            out.b = true;
+            return true;
+        }
+        if (value == "false") {
+            out.b = false;
+            return true;
+        }
+        error = std::string(def.name) +
+                ": expected true or false, got '" + value + "'";
+        return false;
+      case KeyKind::Double: {
+        errno = 0;
+        char *end = nullptr;
+        out.d = std::strtod(value.c_str(), &end);
+        if (value.empty() || errno != 0 ||
+            end != value.c_str() + value.size()) {
+            error = std::string(def.name) +
+                    ": expected a number, got '" + value + "'";
+            return false;
+        }
+        return true;
+      }
+      case KeyKind::Scheme:
+        if (value == "GAg")
+            out.scheme = PredictorScheme::GAg;
+        else if (value == "GAs")
+            out.scheme = PredictorScheme::GAs;
+        else if (value == "PAg")
+            out.scheme = PredictorScheme::PAg;
+        else if (value == "PAs")
+            out.scheme = PredictorScheme::PAs;
+        else {
+            error = std::string(def.name) +
+                    ": expected GAg/GAs/PAg/PAs, got '" + value + "'";
+            return false;
+        }
+        return true;
+    }
+    error = "unreachable";
+    return false;
+}
+
+std::string
+renderKeyValue(const ConfigKeyDef &def, const KeyValue &v)
+{
+    switch (def.kind) {
+      case KeyKind::U64:
+        return std::to_string(v.u);
+      case KeyKind::Bool:
+        return v.b ? "true" : "false";
+      case KeyKind::Double: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.d);
+        return buf;
+      }
+      case KeyKind::Scheme:
+        return predictorSchemeName(v.scheme);
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------
+// Interpretation of the node tree into a SweepSpec.
+
+/** Validate + canonicalise an assignment list; sorts by key. */
+bool
+interpretAssigns(const SpecNode &node, const char *what,
+                 std::vector<SpecAssign> &out, std::string &error)
+{
+    if (node.kind != SpecNode::Kind::Map) {
+        error = std::string(what) + ": expected a map of config keys";
+        return false;
+    }
+    out.clear();
+    for (const auto &kv : node.map) {
+        if (kv.second.kind != SpecNode::Kind::Scalar) {
+            error = std::string(what) + "." + kv.first +
+                    ": expected a scalar value";
+            return false;
+        }
+        std::string canonical;
+        if (!canonicalConfigValue(kv.first, kv.second.scalar,
+                                  canonical, error))
+            return false;
+        out.emplace_back(kv.first, canonical);
+    }
+    std::sort(out.begin(), out.end());
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        if (out[i].first == out[i - 1].first) {
+            error = std::string(what) + ": duplicate key '" +
+                    out[i].first + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+interpretSpec(const SpecNode &root, SweepSpec &spec, std::string &error)
+{
+    if (root.kind != SpecNode::Kind::Map) {
+        error = "spec must be a top-level map";
+        return false;
+    }
+    spec = SweepSpec{};
+    bool sawBenchmarks = false;
+    for (const auto &kv : root.map) {
+        const std::string &key = kv.first;
+        const SpecNode &node = kv.second;
+        if (key == "name") {
+            if (node.kind != SpecNode::Kind::Scalar ||
+                node.scalar.empty()) {
+                error = "name: expected a non-empty scalar";
+                return false;
+            }
+            spec.name = node.scalar;
+        } else if (key == "scale" || key == "budget_div" ||
+                   key == "chunk_units") {
+            std::uint64_t v = 0;
+            if (node.kind != SpecNode::Kind::Scalar ||
+                !parseU64(node.scalar, v)) {
+                error = key + ": expected an unsigned integer";
+                return false;
+            }
+            if (key == "scale") {
+                // Scale is a divisor; an explicit zero is always a
+                // mistake (omit the key to get the default).
+                if (v == 0) {
+                    error = "scale must be >= 1";
+                    return false;
+                }
+                spec.scale = v;
+            }
+            else if (key == "budget_div")
+                spec.budgetDiv = v;
+            else
+                spec.chunkUnits = v;
+        } else if (key == "figure") {
+            if (node.kind != SpecNode::Kind::Scalar ||
+                (node.scalar != "none" && node.scalar != "cycles" &&
+                 node.scalar != "blocksize")) {
+                error = "figure: expected none, cycles, or blocksize";
+                return false;
+            }
+            spec.figure = node.scalar;
+        } else if (key == "benchmarks") {
+            sawBenchmarks = true;
+            std::vector<std::string> names;
+            if (node.kind == SpecNode::Kind::Scalar) {
+                names.push_back(node.scalar);
+            } else if (node.kind == SpecNode::Kind::List) {
+                for (const SpecNode &item : node.list) {
+                    if (item.kind != SpecNode::Kind::Scalar) {
+                        error = "benchmarks: expected scalar names";
+                        return false;
+                    }
+                    names.push_back(item.scalar);
+                }
+            } else {
+                error = "benchmarks: expected a name or list of names";
+                return false;
+            }
+            const auto suite = specint95Suite();
+            for (const std::string &name : names) {
+                if (name == "suite") {
+                    for (const SpecBenchmark &b : suite)
+                        spec.benchmarks.push_back(b.params.name);
+                    continue;
+                }
+                const bool known = std::any_of(
+                    suite.begin(), suite.end(),
+                    [&](const SpecBenchmark &b) {
+                        return name == b.params.name;
+                    });
+                if (!known) {
+                    error = "benchmarks: unknown benchmark '" + name +
+                            "'";
+                    return false;
+                }
+                spec.benchmarks.push_back(name);
+            }
+            std::vector<std::string> seen;
+            for (const std::string &name : spec.benchmarks) {
+                if (std::find(seen.begin(), seen.end(), name) !=
+                    seen.end()) {
+                    error = "benchmarks: duplicate benchmark '" + name +
+                            "'";
+                    return false;
+                }
+                seen.push_back(name);
+            }
+        } else if (key == "base") {
+            if (!interpretAssigns(node, "base", spec.base, error))
+                return false;
+        } else if (key == "axes") {
+            if (node.kind != SpecNode::Kind::Map) {
+                error = "axes: expected a map of key -> value list";
+                return false;
+            }
+            for (const auto &axis : node.map) {
+                if (axis.second.kind != SpecNode::Kind::List ||
+                    axis.second.list.empty()) {
+                    error = "axes." + axis.first +
+                            ": expected a non-empty value list";
+                    return false;
+                }
+                std::vector<std::string> values;
+                for (const SpecNode &item : axis.second.list) {
+                    if (item.kind != SpecNode::Kind::Scalar) {
+                        error = "axes." + axis.first +
+                                ": expected scalar values";
+                        return false;
+                    }
+                    std::string canonical;
+                    if (!canonicalConfigValue(axis.first, item.scalar,
+                                              canonical, error))
+                        return false;
+                    values.push_back(canonical);
+                }
+                for (const auto &prev : spec.axes) {
+                    if (prev.first == axis.first) {
+                        error = "axes: duplicate axis '" + axis.first +
+                                "'";
+                        return false;
+                    }
+                }
+                spec.axes.emplace_back(axis.first, std::move(values));
+            }
+        } else if (key == "points") {
+            if (node.kind != SpecNode::Kind::List) {
+                error = "points: expected a list of config maps";
+                return false;
+            }
+            for (const SpecNode &item : node.list) {
+                std::vector<SpecAssign> point;
+                if (!interpretAssigns(item, "points", point, error))
+                    return false;
+                spec.points.push_back(std::move(point));
+            }
+        } else {
+            error = "unknown top-level key '" + key + "'";
+            return false;
+        }
+    }
+
+    if (spec.name.empty()) {
+        error = "spec is missing 'name'";
+        return false;
+    }
+    if (!sawBenchmarks || spec.benchmarks.empty()) {
+        error = "spec is missing 'benchmarks'";
+        return false;
+    }
+    if (spec.budgetDiv == 0) {
+        error = "budget_div must be >= 1";
+        return false;
+    }
+    if (spec.pointsPerBenchmark() == 0) {
+        error = "spec defines an empty config grid";
+        return false;
+    }
+    if (spec.figure != "none" && spec.pointsPerBenchmark() != 1) {
+        error = "figure '" + spec.figure +
+                "' needs exactly one config per benchmark (got " +
+                std::to_string(spec.pointsPerBenchmark()) + ")";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+SweepSpec::effectiveScale() const
+{
+    return scale == 0 ? specScaleDivisor : scale;
+}
+
+std::uint64_t
+SweepSpec::pointsPerBenchmark() const
+{
+    std::uint64_t grid = 1;
+    for (const auto &axis : axes)
+        grid *= axis.second.size();
+    if (axes.empty())
+        grid = points.empty() ? 1 : 0;
+    return grid + points.size();
+}
+
+bool
+parseSweepSpec(const std::string &text, SweepSpec &out,
+               std::string &error)
+{
+    std::vector<SpecLine> lines;
+    if (!splitLines(text, lines, error))
+        return false;
+    SpecNode root;
+    BlockParser parser(std::move(lines));
+    if (!parser.parse(root, error))
+        return false;
+    return interpretSpec(root, out, error);
+}
+
+bool
+parseSweepSpecFile(const std::string &path, SweepSpec &out,
+                   std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open spec file: " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseSweepSpec(text.str(), out, error);
+}
+
+std::string
+canonicalSpec(const SweepSpec &spec)
+{
+    std::ostringstream os;
+    os << "name: " << spec.name << "\n";
+    os << "scale: " << spec.effectiveScale() << "\n";
+    os << "budget_div: " << spec.budgetDiv << "\n";
+    os << "chunk_units: " << spec.chunkUnits << "\n";
+    os << "figure: " << spec.figure << "\n";
+    os << "benchmarks: [";
+    for (std::size_t i = 0; i < spec.benchmarks.size(); ++i)
+        os << (i ? ", " : "") << spec.benchmarks[i];
+    os << "]\n";
+
+    const auto renderAssigns = [&](const std::vector<SpecAssign> &as) {
+        os << "{";
+        for (std::size_t i = 0; i < as.size(); ++i)
+            os << (i ? ", " : "") << as[i].first << ": "
+               << as[i].second;
+        os << "}";
+    };
+    os << "base: ";
+    renderAssigns(spec.base);
+    os << "\n";
+
+    if (spec.axes.empty()) {
+        os << "axes: {}\n";
+    } else {
+        os << "axes:\n";
+        for (const auto &axis : spec.axes) {
+            os << "  " << axis.first << ": [";
+            for (std::size_t i = 0; i < axis.second.size(); ++i)
+                os << (i ? ", " : "") << axis.second[i];
+            os << "]\n";
+        }
+    }
+
+    if (spec.points.empty()) {
+        os << "points: []\n";
+    } else {
+        os << "points:\n";
+        for (const auto &point : spec.points) {
+            os << "  - ";
+            renderAssigns(point);
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::uint64_t
+specDigest(const SweepSpec &spec)
+{
+    const std::string canonical = canonicalSpec(spec);
+    return Fnv1a64()
+        .bytes(canonical.data(), canonical.size())
+        .u64(sweepSpecVersion)
+        .value();
+}
+
+bool
+applyConfigKey(RunConfig &config, const std::string &key,
+               const std::string &value, std::string &error)
+{
+    const ConfigKeyDef *def = findKey(key);
+    if (!def) {
+        error = "unknown config key '" + key + "'";
+        return false;
+    }
+    KeyValue v;
+    if (!parseKeyValue(*def, value, v, error))
+        return false;
+    def->set(config, v);
+    return true;
+}
+
+bool
+canonicalConfigValue(const std::string &key, const std::string &value,
+                     std::string &canonical, std::string &error)
+{
+    const ConfigKeyDef *def = findKey(key);
+    if (!def) {
+        error = "unknown config key '" + key + "'";
+        return false;
+    }
+    KeyValue v;
+    if (!parseKeyValue(*def, value, v, error))
+        return false;
+    canonical = renderKeyValue(*def, v);
+    return true;
+}
+
+std::vector<std::string>
+configKeyNames()
+{
+    std::vector<std::string> names;
+    for (const ConfigKeyDef &def : configKeys)
+        names.push_back(def.name);
+    return names;
+}
+
+} // namespace bsisa

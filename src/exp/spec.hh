@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Declarative sweep specifications for the experiment service.
+ *
+ * A spec file names a benchmark set, a base machine configuration, a
+ * config grid (axis cross-products plus explicit points), and the
+ * figure to render from the results.  The syntax is a small YAML
+ * subset (see parseSpecText for the exact grammar) — enough to write
+ * the paper's grids by hand, small enough to parse with no
+ * dependencies.
+ *
+ * Every spec canonicalises to a normalized text form (fixed field
+ * order, normalized scalar spellings, sorted map keys where order is
+ * not semantic) and is digested via support/digest.hh; the digest is
+ * the spec's identity in plan markers and status output, so two
+ * spellings of the same experiment — reordered keys, comments,
+ * different whitespace — share one identity, while any semantic
+ * change (an axis value, the scale, a benchmark) produces a new one.
+ */
+
+#ifndef BSISA_EXP_SPEC_HH
+#define BSISA_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace bsisa
+{
+
+/** Version of the spec grammar + canonical form (digest component). */
+constexpr std::uint32_t sweepSpecVersion = 1;
+
+/** One `key: value` assignment of config-grid text. */
+using SpecAssign = std::pair<std::string, std::string>;
+
+/** A parsed, validated sweep specification. */
+struct SweepSpec
+{
+    std::string name;
+
+    /** Divisor applied to the paper's Table-2 instruction counts
+     *  (the spec-file analog of BSISA_SCALE). */
+    std::uint64_t scale = 0;  //!< 0 = specScaleDivisor default
+
+    /** Extra budget divisor on top of scale (the ablation drivers
+     *  run at 1/4 budget; specs express that here). */
+    std::uint64_t budgetDiv = 1;
+
+    /** Benchmark names, suite order; "suite" in the file expands to
+     *  all eight. */
+    std::vector<std::string> benchmarks;
+
+    /** Figure rendered from the results: "none", "cycles"
+     *  (figures 3/4), or "blocksize" (figure 5). */
+    std::string figure = "none";
+
+    /** Base config overrides, sorted by key (order has no meaning). */
+    std::vector<SpecAssign> base;
+
+    /** Grid axes in file order (order defines grid enumeration:
+     *  first axis outermost).  Each axis is (key, values). */
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+
+    /** Explicit extra grid points, file order, each sorted by key. */
+    std::vector<std::vector<SpecAssign>> points;
+
+    /** Default work-unit chunk size for leasing (0 = one chunk per
+     *  benchmark); CLI --chunk overrides. */
+    std::uint64_t chunkUnits = 0;
+
+    /** The effective scale divisor. */
+    std::uint64_t effectiveScale() const;
+
+    /** Grid points per benchmark (axis cross-product + points). */
+    std::uint64_t pointsPerBenchmark() const;
+};
+
+/**
+ * Parse and validate spec text.  Returns false with a one-line
+ * message in @p error on any syntax or semantic problem (unknown
+ * key, unknown benchmark, unparsable value, empty grid...).
+ */
+bool parseSweepSpec(const std::string &text, SweepSpec &out,
+                    std::string &error);
+
+/** parseSweepSpec over a file's contents. */
+bool parseSweepSpecFile(const std::string &path, SweepSpec &out,
+                        std::string &error);
+
+/** The canonical text form (also valid spec input). */
+std::string canonicalSpec(const SweepSpec &spec);
+
+/** Identity digest: canonical text + sweepSpecVersion. */
+std::uint64_t specDigest(const SweepSpec &spec);
+
+/**
+ * Apply one config-key assignment to @p config.  Key names are the
+ * spec-file vocabulary (issue_width, icache_kb, enlarge_max_ops,
+ * predictor_scheme, ...); returns false with @p error set on an
+ * unknown key or unparsable value.
+ */
+bool applyConfigKey(RunConfig &config, const std::string &key,
+                    const std::string &value, std::string &error);
+
+/** Normalize one assignment's value to its canonical spelling
+ *  (numerics re-rendered, booleans to true/false, scheme names to
+ *  their exact case); false on unknown key / bad value. */
+bool canonicalConfigValue(const std::string &key,
+                          const std::string &value,
+                          std::string &canonical, std::string &error);
+
+/** Every known config key, sorted (docs and error messages). */
+std::vector<std::string> configKeyNames();
+
+} // namespace bsisa
+
+#endif // BSISA_EXP_SPEC_HH

@@ -6,6 +6,7 @@
 
 #include "sim/trace_store.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstddef>
@@ -300,6 +301,39 @@ readTraceHeader(const std::string &path, TraceFileHeader &out)
     std::ifstream in(path, std::ios::binary);
     return in &&
            bool(in.read(reinterpret_cast<char *>(&out), sizeof(out)));
+}
+
+std::vector<TraceStoreEntryInfo>
+listTraceStore(const std::string &dir)
+{
+    std::vector<TraceStoreEntryInfo> entries;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return entries;
+    for (const auto &de : it) {
+        if (!de.is_regular_file(ec) || ec)
+            continue;
+        const std::string path = de.path().string();
+        if (de.path().extension() != ".bstrace")
+            continue;
+        TraceStoreEntryInfo info;
+        info.path = path;
+        info.fileBytes = std::uint64_t(de.file_size(ec));
+        if (ec)
+            info.fileBytes = 0;
+        std::memset(&info.header, 0, sizeof(info.header));
+        info.headerOk = readTraceHeader(path, info.header) &&
+                        std::memcmp(info.header.magic, traceStoreMagic,
+                                    sizeof(info.header.magic)) == 0;
+        entries.push_back(std::move(info));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const TraceStoreEntryInfo &a,
+                 const TraceStoreEntryInfo &b) {
+                  return a.path < b.path;
+              });
+    return entries;
 }
 
 TraceOpenStatus

@@ -128,6 +128,23 @@ TraceOpenStatus openTraceFile(const std::string &path,
 /** Read just the header of an entry file (tracedump). */
 bool readTraceHeader(const std::string &path, TraceFileHeader &out);
 
+/** One entry of a store-directory listing (`bsisa-tracedump --list`,
+ *  `bsisa-sweep status`).  The header is only meaningful when
+ *  headerOk; a false headerOk flags a short or unreadable entry
+ *  without aborting the listing. */
+struct TraceStoreEntryInfo
+{
+    std::string path;           //!< full path of the entry file
+    TraceFileHeader header;     //!< raw header bytes (when headerOk)
+    std::uint64_t fileBytes = 0;
+    bool headerOk = false;
+};
+
+/** Enumerate every `*.bstrace` entry under @p dir, sorted by file
+ *  name for deterministic output.  Missing/empty directories yield an
+ *  empty listing (not an error — a cold cache looks the same). */
+std::vector<TraceStoreEntryInfo> listTraceStore(const std::string &dir);
+
 /** Process-wide store traffic, for suite reporting and tests. */
 struct TraceStoreStats
 {

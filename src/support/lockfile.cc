@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Advisory file-lease implementation (exclusive create + pid-based
+ * stale-lease breaking).
+ */
+
+#include "support/lockfile.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#define BSISA_HAVE_LEASES 1
+#else
+#define BSISA_HAVE_LEASES 0
+#endif
+
+namespace bsisa
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> trashSeq{0};
+
+#if BSISA_HAVE_LEASES
+
+/** One exclusive-create attempt; writes "pid <pid>\n" on success. */
+bool
+createExclusive(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                          0644);
+    if (fd < 0)
+        return false;
+    char buf[48];
+    const int len = std::snprintf(
+        buf, sizeof(buf), "pid %llu\n",
+        static_cast<unsigned long long>(::getpid()));
+    // A short write leaves a lease that parses as pid 0 — treated as
+    // malformed by probers, i.e. honored until this process exits and
+    // the file is unlinked by release(); never a correctness issue.
+    (void)!::write(fd, buf, std::size_t(len));
+    ::close(fd);
+    return true;
+}
+
+#endif // BSISA_HAVE_LEASES
+
+} // namespace
+
+std::uint64_t
+leaseHolderPid(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string tag;
+    std::uint64_t pid = 0;
+    if (!(in >> tag >> pid) || tag != "pid")
+        return 0;
+    return pid;
+}
+
+bool
+processAlive(std::uint64_t pid)
+{
+#if BSISA_HAVE_LEASES
+    if (pid == 0)
+        return true;  // malformed lease: assume live, honor it
+    if (::kill(pid_t(pid), 0) == 0)
+        return true;
+    return errno != ESRCH;
+#else
+    (void)pid;
+    return true;
+#endif
+}
+
+bool
+FileLease::tryAcquire(const std::string &path)
+{
+#if BSISA_HAVE_LEASES
+    release();
+    if (createExclusive(path)) {
+        path_ = path;
+        return true;
+    }
+    if (errno != EEXIST)
+        return false;
+
+    // The lease exists.  Break it only if its holder is provably
+    // dead: rename to a unique trash name first so exactly one of N
+    // concurrent breakers wins (rename is atomic; the losers' renames
+    // fail with ENOENT), then retry the exclusive create once.
+    const std::uint64_t holder = leaseHolderPid(path);
+    if (processAlive(holder))
+        return false;
+    const std::string trash =
+        path + ".trash-" +
+        std::to_string(std::uint64_t(::getpid())) + "-" +
+        std::to_string(trashSeq.fetch_add(1,
+                                          std::memory_order_relaxed));
+    if (std::rename(path.c_str(), trash.c_str()) != 0)
+        return false;  // a peer won the steal (or holder released)
+    std::remove(trash.c_str());
+    if (createExclusive(path)) {
+        path_ = path;
+        return true;
+    }
+    return false;
+#else
+    (void)path;
+    return false;
+#endif
+}
+
+void
+FileLease::release()
+{
+    if (path_.empty())
+        return;
+    std::remove(path_.c_str());
+    path_.clear();
+}
+
+} // namespace bsisa

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Advisory file leases for the multi-process sweep service.
+ *
+ * A lease is a lock *hint*, not a correctness mechanism: sweep work
+ * units are idempotent and their publishes are atomic renames, so two
+ * workers running the same unit waste cycles but never corrupt state.
+ * The lease exists to make that waste rare — a worker claims a chunk
+ * of units by creating `<name>.lease` with O_CREAT|O_EXCL (atomic on
+ * every POSIX filesystem), and peers skip chunks whose lease exists.
+ *
+ * Crash recovery: the lease file records the holder's pid.  When
+ * acquisition fails, the prober reads that pid and checks liveness
+ * with kill(pid, 0); a dead holder's lease is *stolen* by renaming it
+ * to a unique trash name first — rename is atomic, so exactly one of
+ * N concurrent breakers wins the steal — and then retrying the
+ * exclusive create.  A live holder's lease is simply honored.
+ *
+ * Non-POSIX builds degrade to "never acquire": the service then runs
+ * single-process (the store and plan layers are platform-neutral;
+ * only the cheap multi-process hinting is Unix-bound, matching the
+ * mmap degradation in sim/trace_store.cc).
+ */
+
+#ifndef BSISA_SUPPORT_LOCKFILE_HH
+#define BSISA_SUPPORT_LOCKFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bsisa
+{
+
+/**
+ * One advisory lease.  Move-only RAII: releasing (or destroying) a
+ * held lease unlinks its file.  The path should live on the same
+ * filesystem as the store it guards so create/rename are atomic.
+ */
+class FileLease
+{
+  public:
+    FileLease() = default;
+    ~FileLease() { release(); }
+
+    FileLease(FileLease &&other) noexcept { swap(other); }
+    FileLease &operator=(FileLease &&other) noexcept
+    {
+        release();
+        swap(other);
+        return *this;
+    }
+    FileLease(const FileLease &) = delete;
+    FileLease &operator=(const FileLease &) = delete;
+
+    /**
+     * Try to acquire the lease at @p path.  Returns true and holds on
+     * success.  A lease whose recorded holder is a dead process is
+     * broken and re-acquired transparently.  Never blocks.
+     */
+    bool tryAcquire(const std::string &path);
+
+    /** Unlink the lease file if held; safe to call when not held. */
+    void release();
+
+    bool held() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void swap(FileLease &other) noexcept { path_.swap(other.path_); }
+
+    std::string path_;  //!< empty when not held
+};
+
+/** Read the holder pid recorded in a lease file; 0 when absent or
+ *  malformed (tests, `bsisa-sweep status`). */
+std::uint64_t leaseHolderPid(const std::string &path);
+
+/** True when @p pid names a live process on this host.  Conservative:
+ *  unknown (e.g. EPERM) counts as alive, so leases are only broken on
+ *  a definite ESRCH. */
+bool processAlive(std::uint64_t pid);
+
+} // namespace bsisa
+
+#endif // BSISA_SUPPORT_LOCKFILE_HH

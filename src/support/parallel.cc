@@ -5,6 +5,7 @@
 
 #include "support/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -24,25 +25,38 @@ parallelJobs()
     return static_cast<unsigned>(jobs);
 }
 
-void
-parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+namespace detail
 {
+
+void
+parallelForImpl(std::size_t n, std::size_t chunk,
+                void (*fn)(void *, std::size_t, std::size_t),
+                void *ctx)
+{
+    if (n == 0)
+        return;
     const std::size_t workers =
         std::min<std::size_t>(parallelJobs(), n);
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+        fn(ctx, 0, n);
         return;
+    }
+    if (chunk == 0) {
+        // Adaptive: aim for ~8 claims per worker so late-finishing
+        // chunks still balance, but never claim fewer than 1 or more
+        // than 64 indices per CAS.
+        chunk = std::min<std::size_t>(
+            std::max<std::size_t>(n / (workers * 8), 1), 64);
     }
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
+            const std::size_t begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= n)
                 return;
-            fn(i);
+            fn(ctx, begin, std::min(begin + chunk, n));
         }
     };
 
@@ -54,5 +68,7 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     for (std::thread &t : pool)
         t.join();
 }
+
+} // namespace detail
 
 } // namespace bsisa

@@ -10,13 +10,23 @@
  * in index order afterwards, so the output is byte-identical for any
  * worker count — including BSISA_JOBS=1, which runs inline on the
  * caller's thread with no pool at all.
+ *
+ * Work is claimed in *chunks*: each CAS on the shared counter claims a
+ * run of K consecutive indices, not one, so fine-grained grids (the
+ * sweep service plans thousands of work units) no longer serialize on
+ * the counter's cache line.  The callable is invoked through a
+ * monomorphic trampoline captured from the template wrapper — no
+ * std::function, no per-index indirect allocation.  Claim order is
+ * still unspecified; the determinism contract is unchanged (every
+ * index exactly once, results into caller-owned slots).
  */
 
 #ifndef BSISA_SUPPORT_PARALLEL_HH
 #define BSISA_SUPPORT_PARALLEL_HH
 
 #include <cstddef>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 namespace bsisa
 {
@@ -26,14 +36,50 @@ namespace bsisa
  *  can re-point it between runs. */
 unsigned parallelJobs();
 
+namespace detail
+{
+
+/** Range-claiming core: invokes @p fn(ctx, begin, end) over disjoint
+ *  chunks covering [0, n), @p chunk indices per claim (0 = pick an
+ *  adaptive chunk from n and the worker count). */
+void parallelForImpl(std::size_t n, std::size_t chunk,
+                     void (*fn)(void *, std::size_t, std::size_t),
+                     void *ctx);
+
+} // namespace detail
+
 /**
  * Invoke @p fn(i) for every i in [0, n), fanning across up to
- * parallelJobs() threads.  Indices are claimed from a shared atomic
- * counter; @p fn must not depend on claim order and must write its
- * result to storage owned by index i.  Blocks until all calls return.
+ * parallelJobs() threads; indices are claimed @p chunk at a time from
+ * a shared atomic counter (one CAS per chunk).  @p fn must not depend
+ * on claim order and must write its result to storage owned by index
+ * i.  Blocks until all calls return.
  */
-void parallelFor(std::size_t n,
-                 const std::function<void(std::size_t)> &fn);
+template <typename Fn>
+void
+parallelForChunked(std::size_t n, std::size_t chunk, Fn &&fn)
+{
+    using Callable = std::remove_reference_t<Fn>;
+    Callable &callable = fn;
+    detail::parallelForImpl(
+        n, chunk,
+        [](void *ctx, std::size_t begin, std::size_t end) {
+            Callable &f = *static_cast<Callable *>(ctx);
+            for (std::size_t i = begin; i < end; ++i)
+                f(i);
+        },
+        const_cast<void *>(static_cast<const void *>(&callable)));
+}
+
+/** parallelForChunked with an adaptive chunk size (grids much larger
+ *  than the worker count claim runs of indices per CAS; small grids
+ *  degrade to one index per claim, preserving load balance). */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn &&fn)
+{
+    parallelForChunked(n, 0, std::forward<Fn>(fn));
+}
 
 } // namespace bsisa
 

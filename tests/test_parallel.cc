@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "exp/figures.hh"
@@ -94,6 +95,67 @@ TEST(Parallel, ResultsLandInOwnSlots)
     parallelFor(n, [&](std::size_t i) { out[i] = i * i; });
     for (std::size_t i = 0; i < n; ++i)
         EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, ChunkedEveryIndexExactlyOnce)
+{
+    // Chunked claiming must still visit every index exactly once, for
+    // chunk sizes that divide n, don't divide n, exceed n, and the
+    // degenerate chunk of 1 (equivalent to the per-index claim).
+    ScopedEnv env("BSISA_JOBS", "8");
+    const std::size_t n = 1000;
+    for (std::size_t chunk : {std::size_t(1), std::size_t(3),
+                              std::size_t(64), std::size_t(999),
+                              std::size_t(4096)}) {
+        std::vector<std::atomic<unsigned>> hits(n);
+        parallelForChunked(n, chunk,
+                           [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1u)
+                << "chunk=" << chunk << " i=" << i;
+    }
+}
+
+TEST(Parallel, ChunkedResultsDeterministicAcrossChunkAndJobs)
+{
+    // The determinism contract: results written to caller-owned slots
+    // are identical for any (chunk, jobs) combination, because every
+    // index runs exactly once regardless of claim granularity.
+    const std::size_t n = 777;
+    std::vector<std::uint64_t> reference(n);
+    for (std::size_t i = 0; i < n; ++i)
+        reference[i] = i * 2654435761u;
+
+    for (const char *jobs : {"1", "3", "8"}) {
+        ScopedEnv env("BSISA_JOBS", jobs);
+        for (std::size_t chunk : {std::size_t(0), std::size_t(1),
+                                  std::size_t(5), std::size_t(900)}) {
+            std::vector<std::uint64_t> out(n, 0);
+            parallelForChunked(n, chunk, [&](std::size_t i) {
+                out[i] = i * 2654435761u;
+            });
+            EXPECT_EQ(out, reference)
+                << "jobs=" << jobs << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST(Parallel, ChunkedClaimsAreContiguousRanges)
+{
+    // Each CAS claims a run of `chunk` consecutive indices; observe
+    // the claim granularity by recording which thread ran each index
+    // and checking every aligned chunk was executed by one thread.
+    ScopedEnv env("BSISA_JOBS", "4");
+    const std::size_t n = 512;
+    const std::size_t chunk = 16;
+    std::vector<std::thread::id> owner(n);
+    parallelForChunked(n, chunk, [&](std::size_t i) {
+        owner[i] = std::this_thread::get_id();
+    });
+    for (std::size_t base = 0; base < n; base += chunk) {
+        for (std::size_t i = base; i < base + chunk; ++i)
+            EXPECT_EQ(owner[i], owner[base]) << "base=" << base;
+    }
 }
 
 TEST(Parallel, FigureDriversDeterministicAcrossJobCounts)

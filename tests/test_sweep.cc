@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Tests of the sweep service's layers below the process boundary:
+ *
+ *   spec    — parse/validate/canonicalise/digest: two spellings of
+ *             one experiment share a digest, any semantic change
+ *             moves it, every rejection carries a message.
+ *   plan    — grid expansion order, config-digest field sensitivity,
+ *             and cross-point dedup (coinciding grid points collapse
+ *             to one unit serving both).
+ *   store   — bit-exact round trip, torn-tail repair that keeps the
+ *             intact prefix, bad-shard skip, and deterministic
+ *             compaction (same content => byte-identical snapshot).
+ *   lease   — exclusive acquire, peer conflict, release, and the
+ *             stale-break of a dead holder's lease.
+ *   worker  — an in-process end-to-end run whose stored PairResults
+ *             are bit-identical to monolithic runPair, and a
+ *             store-rendered figure byte-identical to the monolithic
+ *             driver's output.
+ *
+ * The process-level crash-resume property (SIGKILL mid-grid) lives in
+ * test_sweep_service.cc, which drives the real bsisa-sweep binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exp/figures.hh"
+#include "exp/plan.hh"
+#include "exp/result_store.hh"
+#include "exp/service.hh"
+#include "exp/spec.hh"
+#include "support/lockfile.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+SweepSpec
+mustParse(const std::string &text)
+{
+    SweepSpec spec;
+    std::string error;
+    const bool ok = parseSweepSpec(text, spec, error);
+    EXPECT_TRUE(ok) << error;
+    return spec;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    SweepSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseSweepSpec(text, spec, error)) << text;
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** A scratch directory per test, removed on teardown. */
+class SweepDirTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = (std::filesystem::temp_directory_path() /
+               ("bsisa-test-sweep-" + std::to_string(::getpid()) +
+                "-" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name()))
+                  .string();
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        std::filesystem::create_directories(dir);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    std::string dir;
+};
+
+ResultRecord
+testRecord(std::uint64_t key)
+{
+    PairResult pair;
+    pair.conv.cycles = key * 3 + 1;
+    pair.bsa.cycles = key * 2 + 1;
+    pair.enlarge.atomicBlocks = std::size_t(key);
+    return makeResultRecord(key, key ^ 0x1111, key ^ 0x2222, pair);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- spec
+
+TEST(SweepSpec_, ParsesFullGrammar)
+{
+    const SweepSpec spec = mustParse(
+        "# comment\n"
+        "name: demo\n"
+        "scale: 400\n"
+        "budget_div: 2\n"
+        "benchmarks: [compress, go]\n"
+        "figure: none\n"
+        "chunk_units: 3\n"
+        "base:\n"
+        "  issue_width: 8\n"
+        "  predictor_scheme: PAs\n"
+        "axes:\n"
+        "  icache_kb: [16, 64]\n"
+        "  history_bits: [8, 12]\n"
+        "points:\n"
+        "  - {icache_kb: 32, perfect_prediction: true}\n");
+    EXPECT_EQ(spec.name, "demo");
+    EXPECT_EQ(spec.effectiveScale(), 400u);
+    EXPECT_EQ(spec.budgetDiv, 2u);
+    EXPECT_EQ(spec.chunkUnits, 3u);
+    ASSERT_EQ(spec.benchmarks.size(), 2u);
+    ASSERT_EQ(spec.axes.size(), 2u);
+    EXPECT_EQ(spec.axes[0].first, "icache_kb");
+    EXPECT_EQ(spec.axes[1].second.size(), 2u);
+    ASSERT_EQ(spec.points.size(), 1u);
+    // 2x2 cross product + 1 explicit point.
+    EXPECT_EQ(spec.pointsPerBenchmark(), 5u);
+}
+
+TEST(SweepSpec_, SuiteKeywordExpandsToAllBenchmarks)
+{
+    const SweepSpec spec = mustParse("name: s\nbenchmarks: suite\n");
+    EXPECT_EQ(spec.benchmarks.size(), 8u);
+    // No axes, no points: the implicit base point.
+    EXPECT_EQ(spec.pointsPerBenchmark(), 1u);
+}
+
+TEST(SweepSpec_, CanonicalFormIsAFixpoint)
+{
+    const SweepSpec spec = mustParse(
+        "benchmarks: [go, compress]\n"
+        "axes:\n"
+        "  icache_kb: [16, 64]\n"
+        "base: {perfect_prediction: true}\n"
+        "name: \"demo\"\n");
+    const std::string canon = canonicalSpec(spec);
+    const SweepSpec again = mustParse(canon);
+    EXPECT_EQ(canonicalSpec(again), canon);
+    EXPECT_EQ(specDigest(again), specDigest(spec));
+}
+
+TEST(SweepSpec_, DigestIgnoresSpellingButNotSemantics)
+{
+    // Same experiment, different spelling: comments, key order,
+    // quoting, numeric bases.
+    const SweepSpec a = mustParse(
+        "name: x\n"
+        "benchmarks: [compress]\n"
+        "base:\n"
+        "  issue_width: 16\n"
+        "  l2_latency: 6\n"
+        "axes:\n"
+        "  history_bits: [8, 12]\n");
+    const SweepSpec b = mustParse(
+        "# reordered keys, flow maps, quoted scalars\n"
+        "axes:\n"
+        "  history_bits: [\"8\", 12]\n"
+        "base: {l2_latency: 6, issue_width: 16}\n"
+        "benchmarks: [\"compress\"]\n"
+        "name: \"x\"\n");
+    EXPECT_EQ(specDigest(a), specDigest(b));
+
+    // Any semantic change moves the digest.
+    const SweepSpec c = mustParse(
+        "name: x\nbenchmarks: [compress]\n"
+        "base: {issue_width: 16, l2_latency: 7}\n"
+        "axes:\n"
+        "  history_bits: [8, 12]\n");
+    EXPECT_NE(specDigest(a), specDigest(c));
+}
+
+TEST(SweepSpec_, RejectsBadInput)
+{
+    parseError("benchmarks: [compress]\n");             // no name
+    parseError("name: x\n");                            // no benchmarks
+    parseError("name: x\nbenchmarks: [nosuch]\n");      // unknown bench
+    parseError("name: x\nbenchmarks: [go, go]\n");      // duplicate
+    parseError("name: x\nname: y\nbenchmarks: [go]\n"); // dup key
+    parseError("name: x\nbenchmarks: [go]\n\tbase:\n"); // tab indent
+    parseError("name: x\nbenchmarks: [go]\n"
+               "base: {warp_factor: 9}\n");             // unknown key
+    parseError("name: x\nbenchmarks: [go]\n"
+               "base: {issue_width: fast}\n");          // bad value
+    parseError("name: x\nbenchmarks: [go]\nscale: 0\n");
+    // A figure needs exactly one point per benchmark.
+    parseError("name: x\nbenchmarks: suite\nfigure: cycles\n"
+               "axes: {icache_kb: [16, 64]}\n");
+}
+
+TEST(SweepSpec_, ConfigKeysReachTheirFields)
+{
+    RunConfig config;
+    std::string error;
+    ASSERT_TRUE(applyConfigKey(config, "issue_width", "16", error));
+    ASSERT_TRUE(applyConfigKey(config, "icache_kb", "64", error));
+    ASSERT_TRUE(
+        applyConfigKey(config, "predictor_scheme", "PAs", error));
+    ASSERT_TRUE(
+        applyConfigKey(config, "perfect_prediction", "true", error));
+    ASSERT_TRUE(
+        applyConfigKey(config, "min_merge_bias", "0.75", error));
+    ASSERT_TRUE(
+        applyConfigKey(config, "enlarge_max_ops", "32", error));
+    EXPECT_EQ(config.machine.issueWidth, 16u);
+    EXPECT_EQ(config.machine.icache.sizeBytes, 64u * 1024u);
+    EXPECT_EQ(config.machine.predictor.scheme,
+              PredictorScheme::PAs);
+    EXPECT_TRUE(config.machine.perfectPrediction);
+    EXPECT_DOUBLE_EQ(config.minMergeBias, 0.75);
+    EXPECT_EQ(config.enlarge.maxOps, 32u);
+
+    EXPECT_FALSE(applyConfigKey(config, "nope", "1", error));
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(SweepPlan_, ConfigDigestIsFieldSensitive)
+{
+    RunConfig base;
+    const std::uint64_t baseDigest = runConfigDigest(base);
+    EXPECT_EQ(runConfigDigest(base), baseDigest);  // stable
+
+    const char *keys[] = {
+        "issue_width",     "window_ops",       "frontend_depth",
+        "redirect_penalty", "l2_latency",      "icache_kb",
+        "icache_assoc",    "dcache_kb",        "history_bits",
+        "pht_bits",        "btb_entries",      "perfect_prediction",
+        "icache_perfect",  "enlarge_max_ops",  "enlarge_max_faults",
+        "merge_across_back_edges",             "min_merge_bias",
+        "max_variants_per_head",
+    };
+    for (const char *key : keys) {
+        RunConfig mutated;
+        std::string error;
+        // "5" differs from every numeric default in the vocabulary.
+        const std::string value =
+            std::string(key) == std::string("min_merge_bias")
+                ? "0.123"
+                : (std::string(key).find("perfect") !=
+                               std::string::npos ||
+                           std::string(key) ==
+                               "merge_across_back_edges"
+                       ? "true"
+                       : "5");
+        ASSERT_TRUE(applyConfigKey(mutated, key, value, error))
+            << key << ": " << error;
+        EXPECT_NE(runConfigDigest(mutated), baseDigest) << key;
+    }
+
+    // The trace budget is part of the identity too.
+    RunConfig budget;
+    budget.limits.maxOps += 1;
+    EXPECT_NE(runConfigDigest(budget), baseDigest);
+}
+
+TEST(SweepPlan_, GridExpansionOrderAndCollapse)
+{
+    const SweepSpec spec = mustParse(
+        "name: grid\n"
+        "scale: 2000\n"
+        "benchmarks: [compress]\n"
+        "base: {issue_width: 8}\n"
+        "axes:\n"
+        "  icache_kb: [16, 64]\n"
+        "  history_bits: [8, 12]\n"
+        "points:\n"
+        "  - {icache_kb: 16, history_bits: 8}\n");
+
+    Interp::Limits limits;
+    limits.maxOps = 1000;
+    std::vector<RunConfig> grid;
+    std::string error;
+    ASSERT_TRUE(expandGrid(spec, limits, grid, error)) << error;
+    ASSERT_EQ(grid.size(), 5u);
+    // First axis outermost: icache 16,16,64,64; history 8,12,8,12.
+    EXPECT_EQ(grid[0].machine.icache.sizeBytes, 16u * 1024u);
+    EXPECT_EQ(grid[1].machine.icache.sizeBytes, 16u * 1024u);
+    EXPECT_EQ(grid[2].machine.icache.sizeBytes, 64u * 1024u);
+    EXPECT_EQ(grid[0].machine.predictor.historyBits, 8u);
+    EXPECT_EQ(grid[1].machine.predictor.historyBits, 12u);
+    // The explicit point coincides with grid point 0.
+    EXPECT_EQ(runConfigDigest(grid[4]), runConfigDigest(grid[0]));
+
+    SweepPlan plan;
+    ASSERT_TRUE(buildPlan(spec, 0, plan, error)) << error;
+    EXPECT_EQ(plan.gridPoints(), 5u);
+    // ...so the plan holds 4 units, one serving two points.
+    ASSERT_EQ(plan.units.size(), 4u);
+    EXPECT_EQ(plan.pointUnit[4], plan.pointUnit[0]);
+    std::size_t twoPointUnits = 0;
+    for (const WorkUnit &unit : plan.units)
+        if (unit.pointIds.size() == 2)
+            ++twoPointUnits;
+    EXPECT_EQ(twoPointUnits, 1u);
+
+    // Chunk carving: cap 3 over 4 units -> chunks of 3 + 1, keys
+    // distinct, every unit in exactly one chunk.
+    SweepPlan chunked;
+    ASSERT_TRUE(buildPlan(spec, 3, chunked, error)) << error;
+    ASSERT_EQ(chunked.chunks.size(), 2u);
+    EXPECT_EQ(chunked.chunks[0].size(), 3u);
+    EXPECT_EQ(chunked.chunks[1].size(), 1u);
+    EXPECT_NE(chunked.chunkKeys[0], chunked.chunkKeys[1]);
+}
+
+// --------------------------------------------------------------- store
+
+TEST_F(SweepDirTest, StoreRoundTripIsBitExact)
+{
+    ResultStore writer(dir);
+    for (std::uint64_t key : {7u, 3u, 11u})
+        ASSERT_TRUE(writer.append(testRecord(key)));
+
+    ResultStore reader(dir);
+    const ResultScanStats stats = reader.refresh();
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.tornTails, 0u);
+    EXPECT_EQ(stats.badShards, 0u);
+    for (std::uint64_t key : {3u, 7u, 11u}) {
+        const ResultRecord *got = reader.find(key);
+        ASSERT_NE(got, nullptr);
+        const ResultRecord want = testRecord(key);
+        EXPECT_EQ(std::memcmp(got, &want, sizeof(want)), 0);
+    }
+    EXPECT_FALSE(reader.contains(12345));
+}
+
+TEST_F(SweepDirTest, TornTailKeepsIntactPrefix)
+{
+    {
+        ResultStore writer(dir);
+        for (std::uint64_t key = 1; key <= 4; ++key)
+            ASSERT_TRUE(writer.append(testRecord(key)));
+    }
+    // Tear the final frame: chop 5 bytes off the single shard.
+    std::string shardPath;
+    for (const auto &de : std::filesystem::directory_iterator(dir))
+        shardPath = de.path().string();
+    ASSERT_FALSE(shardPath.empty());
+    const auto size = std::filesystem::file_size(shardPath);
+    std::filesystem::resize_file(shardPath, size - 5);
+
+    ResultStore reader(dir);
+    const ResultScanStats stats = reader.refresh();
+    EXPECT_EQ(stats.tornTails, 1u);
+    EXPECT_EQ(stats.records, 3u);  // only the torn record is lost
+    EXPECT_TRUE(reader.contains(3));
+    EXPECT_FALSE(reader.contains(4));
+
+    // A corrupted *byte* in an intact record is also a torn tail:
+    // the checksum catches it and the scan stops there, keeping the
+    // records before it (16-byte shard header, then 16-byte frame
+    // headers — aim inside the second record's payload).
+    std::string bytes = readFileBytes(shardPath);
+    bytes[16 + (16 + sizeof(ResultRecord)) + 16 + 40] ^= 0x40;
+    std::ofstream(shardPath, std::ios::binary | std::ios::trunc)
+        << bytes;
+    const ResultScanStats again = reader.refresh();
+    EXPECT_EQ(again.tornTails, 1u);
+    EXPECT_EQ(again.records, 1u);
+    EXPECT_TRUE(reader.contains(1));
+    EXPECT_FALSE(reader.contains(2));
+}
+
+TEST_F(SweepDirTest, BadShardIsSkippedNotFatal)
+{
+    ResultStore writer(dir);
+    ASSERT_TRUE(writer.append(testRecord(1)));
+    std::ofstream(dir + "/junk.bsr", std::ios::binary)
+        << "not a shard at all";
+
+    ResultStore reader(dir);
+    const ResultScanStats stats = reader.refresh();
+    EXPECT_EQ(stats.badShards, 1u);
+    EXPECT_EQ(stats.records, 1u);
+}
+
+TEST_F(SweepDirTest, CompactionIsDeterministic)
+{
+    const std::string dirB = dir + "-b";
+    std::filesystem::create_directories(dirB);
+
+    // Same records, different shard layout and append order — plus a
+    // duplicate in one store.
+    {
+        ResultStore a(dir);
+        for (std::uint64_t key : {5u, 1u, 9u})
+            ASSERT_TRUE(a.append(testRecord(key)));
+        ASSERT_TRUE(a.compact());
+    }
+    {
+        ResultStore b1(dirB);
+        ASSERT_TRUE(b1.append(testRecord(9)));
+        ASSERT_TRUE(b1.append(testRecord(5)));
+        ResultStore b2(dirB);  // second "process": its own shard
+        ASSERT_TRUE(b2.append(testRecord(1)));
+        ASSERT_TRUE(b2.append(testRecord(5)));  // racing duplicate
+        b2.refresh();
+        EXPECT_EQ(b2.refresh().duplicates, 1u);
+        ASSERT_TRUE(b2.compact());
+    }
+
+    EXPECT_EQ(readFileBytes(dir + "/snapshot.bsr"),
+              readFileBytes(dirB + "/snapshot.bsr"));
+    // Compaction unlinked the merged shards.
+    std::size_t filesLeft = 0;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        (void)de;
+        ++filesLeft;
+    }
+    EXPECT_EQ(filesLeft, 1u);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dirB, ec);
+}
+
+// --------------------------------------------------------------- lease
+
+TEST_F(SweepDirTest, LeaseIsExclusiveUntilReleased)
+{
+    const std::string path = dir + "/chunk.lease";
+    FileLease first;
+    ASSERT_TRUE(first.tryAcquire(path));
+    EXPECT_TRUE(first.held());
+    EXPECT_EQ(leaseHolderPid(path), std::uint64_t(::getpid()));
+    EXPECT_TRUE(processAlive(std::uint64_t(::getpid())));
+
+    FileLease second;
+    EXPECT_FALSE(second.tryAcquire(path));  // we are alive
+
+    first.release();
+    EXPECT_FALSE(first.held());
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(second.tryAcquire(path));
+}
+
+TEST_F(SweepDirTest, DeadHoldersLeaseIsBroken)
+{
+    // A real dead pid: fork a child that exits immediately, reap it.
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0)
+        ::_exit(0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_FALSE(processAlive(std::uint64_t(child)));
+
+    const std::string path = dir + "/stale.lease";
+    std::ofstream(path) << "pid " << child << "\n";
+    FileLease lease;
+    EXPECT_TRUE(lease.tryAcquire(path));
+    EXPECT_EQ(leaseHolderPid(path), std::uint64_t(::getpid()));
+}
+
+// -------------------------------------------------------------- worker
+
+namespace
+{
+
+class WorkerFixture : public SweepDirTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SweepDirTest::SetUp();
+        ::setenv("BSISA_SCALE", "2000", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("BSISA_SCALE");
+        SweepDirTest::TearDown();
+    }
+};
+
+} // namespace
+
+TEST_F(WorkerFixture, EndToEndMatchesMonolithicRunPair)
+{
+    const SweepSpec spec = mustParse(
+        "name: e2e\n"
+        "scale: 2000\n"
+        "benchmarks: [compress, go]\n"
+        "axes:\n"
+        "  icache_kb: [16, 64]\n");
+
+    SweepWorkerOptions opts;
+    opts.storeDir = dir;
+    const SweepWorkerOutcome outcome = runSweepWorker(spec, opts);
+    EXPECT_TRUE(outcome.complete);
+    EXPECT_EQ(outcome.units, 4u);
+    EXPECT_EQ(outcome.executed, 4u);
+    EXPECT_EQ(outcome.warm, 0u);
+
+    // Every stored result is bit-identical to a monolithic runPair of
+    // the same module + config.
+    SweepPlan plan;
+    std::string error;
+    ASSERT_TRUE(buildPlan(spec, 0, plan, error)) << error;
+    ResultStore store(dir);
+    store.refresh();
+    ASSERT_EQ(store.size(), plan.units.size());
+    for (const WorkUnit &unit : plan.units) {
+        const ResultRecord *got = store.find(unit.key);
+        ASSERT_NE(got, nullptr);
+        const PairResult want =
+            runPair(plan.modules[unit.bench], unit.config);
+        EXPECT_EQ(std::memcmp(&got->pair, &want, sizeof(want)), 0);
+    }
+
+    // A second worker run over the same store is fully warm (and the
+    // plan marker fast path reports completion without a plan).
+    const SweepWorkerOutcome warm = runSweepWorker(spec, opts);
+    EXPECT_TRUE(warm.complete);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.warm, warm.units);
+}
+
+TEST_F(WorkerFixture, StoreRenderedFigureMatchesMonolithicDriver)
+{
+    const SweepSpec spec = mustParse(
+        "name: fig\n"
+        "scale: 2000\n"
+        "benchmarks: suite\n"
+        "figure: cycles\n");
+
+    SweepWorkerOptions opts;
+    opts.storeDir = dir;
+    ASSERT_TRUE(runSweepWorker(spec, opts).complete);
+
+    std::ostringstream fromStore;
+    std::string error;
+    ASSERT_TRUE(
+        renderSweepFromStore(fromStore, spec, dir, error))
+        << error;
+
+    std::ostringstream monolithic;
+    runCycleComparison(monolithic, false);
+    EXPECT_EQ(fromStore.str(), monolithic.str());
+}

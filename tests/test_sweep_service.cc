@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Process-level crash-resume test of the sweep service, driving the
+ * real bsisa-sweep binary (path injected as BSISA_SWEEP_BIN).
+ *
+ * The property under test is the service's headline guarantee: a
+ * `kill -9` of a worker mid-grid costs nothing but the units it had
+ * not yet published.  Concretely:
+ *
+ *   1. A worker is started with BSISA_SWEEP_STALL_AFTER=3, which
+ *      parks it forever right after its third published record —
+ *      a deterministic mid-grid checkpoint, lease still held.
+ *   2. The test waits for the three records to land, then SIGKILLs
+ *      the parked worker: on disk are three intact frames, a shard
+ *      with no footer ceremony, and a lease naming a dead pid.
+ *   3. A fresh worker on the same store must (a) break the dead
+ *      holder's lease, (b) execute exactly total-3 units — the three
+ *      stored ones count as warm, none re-executed — and complete.
+ *   4. After compaction the store's snapshot is byte-identical to
+ *      that of an uninterrupted run in a clean directory: the crash
+ *      left no trace in the final artifact.
+ *
+ * Traces are shared through one BSISA_TRACE_DIR so the resumed and
+ * reference runs replay the same captures (and run fast).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exp/result_store.hh"
+
+using namespace bsisa;
+
+namespace
+{
+
+struct WorkerReport
+{
+    int exitStatus = -1;
+    bool signaled = false;
+    std::size_t units = 0;
+    std::size_t executed = 0;
+    std::size_t warm = 0;
+};
+
+class SweepServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root = (std::filesystem::temp_directory_path() /
+                ("bsisa-test-service-" + std::to_string(::getpid())))
+                   .string();
+        std::error_code ec;
+        std::filesystem::remove_all(root, ec);
+        std::filesystem::create_directories(root);
+
+        specPath = root + "/grid.yml";
+        std::ofstream(specPath)
+            << "name: crash-resume\n"
+               "scale: 2000\n"
+               "benchmarks: [compress, go]\n"
+               "chunk_units: 2\n"
+               "axes:\n"
+               "  icache_kb: [16, 64]\n"
+               "  history_bits: [8, 12]\n";
+        // 2 benchmarks x 4 grid points = 8 units, 4 lease chunks.
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(root, ec);
+    }
+
+    /** Spawn `bsisa-sweep worker` on @p storeDir; stderr to a file. */
+    pid_t
+    spawnWorker(const std::string &storeDir, const char *stallAfter,
+                const std::string &errPath)
+    {
+        const pid_t pid = ::fork();
+        if (pid != 0)
+            return pid;
+        const int err =
+            ::open(errPath.c_str(),
+                   O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (err >= 0) {
+            ::dup2(err, 2);
+            ::close(err);
+        }
+        ::setenv("BSISA_TRACE_DIR", (root + "/traces").c_str(), 1);
+        if (stallAfter)
+            ::setenv("BSISA_SWEEP_STALL_AFTER", stallAfter, 1);
+        else
+            ::unsetenv("BSISA_SWEEP_STALL_AFTER");
+        ::execl(BSISA_SWEEP_BIN, BSISA_SWEEP_BIN, "worker",
+                specPath.c_str(), "--store", storeDir.c_str(),
+                (char *)nullptr);
+        ::_exit(127);
+    }
+
+    /** Wait for @p pid and parse its outcome line from @p errPath. */
+    WorkerReport
+    reapWorker(pid_t pid, const std::string &errPath)
+    {
+        WorkerReport report;
+        int status = 0;
+        EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+        report.signaled = WIFSIGNALED(status);
+        report.exitStatus =
+            WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+        std::ifstream in(errPath);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::size_t u = 0, e = 0, w = 0;
+            if (std::sscanf(line.c_str(),
+                            "sweep-worker: units=%zu executed=%zu "
+                            "warm=%zu",
+                            &u, &e, &w) == 3) {
+                report.units = u;
+                report.executed = e;
+                report.warm = w;
+            }
+        }
+        return report;
+    }
+
+    /** Poll @p storeDir until @p count records are on disk. */
+    bool
+    waitForRecords(const std::string &storeDir, std::size_t count)
+    {
+        ResultStore probe(storeDir);
+        for (int i = 0; i < 1500; ++i) {  // <= 30 s
+            if (probe.refresh().records >= count)
+                return true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        return false;
+    }
+
+    std::string root;
+    std::string specPath;
+};
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+TEST_F(SweepServiceTest, SigkillMidGridResumesWithoutRework)
+{
+    const std::string crashed = root + "/store-crashed";
+    const std::string clean = root + "/store-clean";
+
+    // Phase 1: park a worker right after its third published record,
+    // then SIGKILL it — lease held, shard mid-write, pid now dead.
+    const pid_t stalled =
+        spawnWorker(crashed, "3", root + "/stalled.err");
+    ASSERT_GT(stalled, 0);
+    ASSERT_TRUE(waitForRecords(crashed, 3))
+        << "stalled worker never reached its checkpoint";
+    ASSERT_EQ(::kill(stalled, SIGKILL), 0);
+    WorkerReport killedReport =
+        reapWorker(stalled, root + "/stalled.err");
+    EXPECT_TRUE(killedReport.signaled);
+
+    {
+        ResultStore probe(crashed);
+        EXPECT_EQ(probe.refresh().records, 3u);
+        // The dead worker's lease is still on disk.
+        std::size_t leases = 0;
+        for (const auto &de :
+             std::filesystem::directory_iterator(crashed))
+            if (de.path().extension() == ".lease")
+                ++leases;
+        EXPECT_EQ(leases, 1u);
+    }
+
+    // Phase 2: a fresh worker resumes — breaks the stale lease,
+    // counts the three stored units as warm, executes exactly the
+    // other five, and completes.
+    const pid_t resumed =
+        spawnWorker(crashed, nullptr, root + "/resumed.err");
+    ASSERT_GT(resumed, 0);
+    const WorkerReport report =
+        reapWorker(resumed, root + "/resumed.err");
+    EXPECT_FALSE(report.signaled);
+    EXPECT_EQ(report.exitStatus, 0);
+    EXPECT_EQ(report.units, 8u);
+    EXPECT_EQ(report.warm, 3u);
+    EXPECT_EQ(report.executed, 5u);
+
+    // Phase 3: an uninterrupted reference run in a clean store.
+    const pid_t reference =
+        spawnWorker(clean, nullptr, root + "/clean.err");
+    ASSERT_GT(reference, 0);
+    const WorkerReport cleanReport =
+        reapWorker(reference, root + "/clean.err");
+    EXPECT_EQ(cleanReport.exitStatus, 0);
+    EXPECT_EQ(cleanReport.executed, 8u);
+
+    // Phase 4: compacted, the crashed-and-resumed store is
+    // byte-identical to the never-crashed one.
+    {
+        ResultStore a(crashed);
+        ASSERT_TRUE(a.compact());
+        ResultStore b(clean);
+        ASSERT_TRUE(b.compact());
+    }
+    const std::string snapA =
+        readFileBytes(crashed + "/snapshot.bsr");
+    const std::string snapB = readFileBytes(clean + "/snapshot.bsr");
+    ASSERT_FALSE(snapA.empty());
+    EXPECT_EQ(snapA, snapB);
+}

@@ -9,6 +9,10 @@
  *   bsisa-tracedump --suite-key          print the content key of the
  *                                        benchmark suite at the current
  *                                        BSISA_SCALE (CI cache keying)
+ *   bsisa-tracedump --list [dir]         one-line-per-entry listing of
+ *                                        a store (key, benchmark,
+ *                                        events, bytes); defaults to
+ *                                        BSISA_TRACE_DIR
  *
  * Verification re-runs the exact open path the simulator uses (mmap,
  * header + section checksums, event-stream decode), using the entry's
@@ -21,10 +25,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/figures.hh"
+#include "exp/service.hh"
 #include "sim/trace_store.hh"
 #include "support/digest.hh"
 #include "workloads/specmix.hh"
@@ -40,7 +46,8 @@ usage()
     std::fprintf(stderr,
                  "usage: bsisa-tracedump [--verify] <entry>...\n"
                  "       bsisa-tracedump [--verify] --dir <store-dir>\n"
-                 "       bsisa-tracedump --suite-key\n");
+                 "       bsisa-tracedump --suite-key\n"
+                 "       bsisa-tracedump --list [store-dir]\n");
     return 2;
 }
 
@@ -140,6 +147,22 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg == "--suite-key") {
             return printSuiteKey();
+        } else if (arg == "--list") {
+            // Shared with `bsisa-sweep status`: the same listing code
+            // renders both tools' view of a store directory.
+            const std::string listDir =
+                i + 1 < argc ? argv[++i]
+                             : TraceStore::fromEnv().directory();
+            if (listDir.empty()) {
+                std::fprintf(stderr,
+                             "--list needs a directory (argument or "
+                             "BSISA_TRACE_DIR)\n");
+                return 2;
+            }
+            std::ostringstream os;
+            printTraceStoreListing(os, listDir);
+            std::fputs(os.str().c_str(), stdout);
+            return 0;
         } else if (arg == "--dir") {
             if (++i >= argc)
                 return usage();
