@@ -21,6 +21,7 @@
 
 #include "sim/interp.hh"
 #include "support/digest.hh"
+#include "support/lockfile.hh"
 #include "support/logging.hh"
 
 namespace bsisa
@@ -73,6 +74,30 @@ processTag()
 #else
     return 0;
 #endif
+}
+
+constexpr char snapshotName[] = "snapshot.bsr";
+
+bool
+isSnapshotPath(const std::string &path)
+{
+    // Compare by filename, never by raw string: the same file can be
+    // spelled `results/snapshot.bsr` or `results//snapshot.bsr`
+    // depending on how the directory was given.
+    return std::filesystem::path(path).filename() == snapshotName;
+}
+
+/** The writer pid embedded in a `shard-<pid>-<salt>.bsr` name, or 0
+ *  when the name does not carry one (snapshot, foreign files). */
+std::uint64_t
+shardWriterPid(const std::string &path)
+{
+    const std::string name =
+        std::filesystem::path(path).filename().string();
+    unsigned long long pid = 0;
+    if (std::sscanf(name.c_str(), "shard-%llu-", &pid) != 1)
+        return 0;
+    return pid;
 }
 
 void
@@ -151,6 +176,10 @@ makeResultRecord(std::uint64_t unitKey, std::uint64_t moduleDigest,
 ResultStore::ResultStore(std::string directory)
     : dir(std::move(directory))
 {
+    // Normalize away trailing slashes so paths built as dir + "/x"
+    // match what directory_iterator yields for the same files.
+    while (dir.size() > 1 && dir.back() == '/')
+        dir.pop_back();
 }
 
 ResultStore::~ResultStore() = default;
@@ -194,11 +223,12 @@ ResultStore::refresh()
                 files.push_back(de.path().string());
         }
     }
-    const std::string snapshot = dir + "/snapshot.bsr";
     std::sort(files.begin(), files.end(),
               [&](const std::string &a, const std::string &b) {
-                  if ((a == snapshot) != (b == snapshot))
-                      return a == snapshot;
+                  const bool sa = isSnapshotPath(a);
+                  const bool sb = isSnapshotPath(b);
+                  if (sa != sb)
+                      return sa;
                   return a < b;
               });
 
@@ -320,14 +350,31 @@ ResultStore::compact()
     for (const auto &kv : index)
         appendFrame(bytes, kv.second);
 
-    const std::string snapshot = dir + "/snapshot.bsr";
+    const std::string snapshot = dir + "/" + snapshotName;
     if (!publishFile(snapshot, bytes))
         return false;
+    std::vector<std::string> kept;
+    kept.push_back(snapshot);
     for (const std::string &path : scanned) {
-        if (path != snapshot)
-            std::remove(path.c_str());
+        if (isSnapshotPath(path))
+            continue;
+        // Keep shards whose writer is a live peer process: it still
+        // holds the file open and will append more records, which an
+        // unlink would silently divert to an orphaned inode.  Its
+        // already-merged records stay on disk twice until the writer
+        // exits and a later compaction folds them (duplicates are
+        // byte-identical and first-record-wins at refresh).  Our own
+        // shard was closed above, and a dead writer's shard is fully
+        // merged, so both are safe to unlink.
+        const std::uint64_t writer = shardWriterPid(path);
+        if (writer != 0 && writer != processTag() &&
+            processAlive(writer)) {
+            kept.push_back(path);
+            continue;
+        }
+        std::remove(path.c_str());
     }
-    scanned.assign(1, snapshot);
+    scanned = std::move(kept);
     return true;
 }
 

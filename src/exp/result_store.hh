@@ -18,9 +18,11 @@
  * byte-identical; a byte-differing duplicate is warned about and
  * ignored).  compact() folds everything into a deterministic
  * `snapshot.bsr` — records sorted by unit key — and unlinks the
- * merged shards; two stores with the same content compact to
- * byte-identical snapshots, which is what the crash-resume test
- * asserts.
+ * merged shards, except shards still held open by a live writer
+ * process (identified by the pid in the shard name), which survive
+ * until a compaction after that writer exits; two stores with the
+ * same content compact to byte-identical snapshots, which is what
+ * the crash-resume test asserts.
  */
 
 #ifndef BSISA_EXP_RESULT_STORE_HH
@@ -118,7 +120,9 @@ class ResultStore
     /**
      * Fold the current index into `snapshot.bsr` (records sorted by
      * unit key, temp+rename publish) and unlink the shards that were
-     * merged into it.  Implies refresh().  False on write failure.
+     * merged into it — except shards whose writer process is still
+     * alive (it holds the file open and may append more records).
+     * Implies refresh().  False on write failure.
      */
     bool compact();
 

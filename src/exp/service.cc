@@ -117,6 +117,29 @@ writePlanMarker(const std::string &path, const SweepPlan &plan)
     publishTextFile(path, os.str());
 }
 
+/** Probe that @p dir accepts file creation.  A worker whose store is
+ *  unwritable can make no progress, but the wait loop cannot tell
+ *  "every chunk leased by a peer" from "every write fails" — so
+ *  writability is checked once up front instead. */
+bool
+storeWritable(const std::string &dir)
+{
+#if BSISA_HAVE_FORK
+    const std::uint64_t pid = std::uint64_t(::getpid());
+#else
+    const std::uint64_t pid = 0;
+#endif
+    const std::string probe =
+        dir + "/.probe-" + std::to_string(pid);
+    {
+        std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+    }
+    std::remove(probe.c_str());
+    return true;
+}
+
 /** Test hook: BSISA_SWEEP_STALL_AFTER=K parks the worker forever
  *  after its K-th published record (the crash-resume test SIGKILLs a
  *  worker parked mid-grid at a known checkpoint). */
@@ -145,6 +168,12 @@ runSweepWorker(const SweepSpec &spec, const SweepWorkerOptions &opts)
     // to create the directory would spin forever.
     std::error_code dirEc;
     std::filesystem::create_directories(opts.storeDir, dirEc);
+    if (dirEc || !storeWritable(opts.storeDir)) {
+        if (opts.log)
+            *opts.log << "sweep-worker: store directory "
+                      << opts.storeDir << " is not writable\n";
+        return outcome;
+    }
     ResultStore store(opts.storeDir);
     store.refresh();
 
@@ -248,9 +277,21 @@ runSweepWorker(const SweepSpec &spec, const SweepWorkerOptions &opts)
 
             for (std::size_t i = 0; i < pending.size(); ++i) {
                 const WorkUnit &unit = plan.units[pending[i]];
-                store.append(makeResultRecord(
-                    unit.key, unit.moduleDigest, unit.configDigest,
-                    sweep.results()[pointOf[i]]));
+                if (!store.append(makeResultRecord(
+                        unit.key, unit.moduleDigest,
+                        unit.configDigest,
+                        sweep.results()[pointOf[i]]))) {
+                    // The store went unwritable mid-run (disk full,
+                    // directory removed).  Abort rather than spin:
+                    // unpersisted units stay pending forever from
+                    // this process's point of view.
+                    if (opts.log)
+                        *opts.log << "sweep-worker: failed to "
+                                     "persist unit "
+                                  << hex16(unit.key)
+                                  << "; aborting\n";
+                    return outcome;
+                }
                 ++outcome.executed;
                 maybeStall(outcome.executed, opts.log);
             }

@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -26,15 +28,33 @@ namespace bsisa
 namespace
 {
 
-std::atomic<std::uint64_t> trashSeq{0};
+std::atomic<std::uint64_t> uniqueSeq{0};
 
 #if BSISA_HAVE_LEASES
 
-/** One exclusive-create attempt; writes "pid <pid>\n" on success. */
+std::string
+uniqueSibling(const std::string &path, const char *tag)
+{
+    return path + tag + std::to_string(std::uint64_t(::getpid())) +
+           "-" +
+           std::to_string(
+               uniqueSeq.fetch_add(1, std::memory_order_relaxed));
+}
+
+/**
+ * One exclusive-create attempt.  The "pid <pid>\n" line is written to
+ * a private temp file which is then link()ed into place, so creation
+ * and content are one atomic step: no observer can ever see a lease
+ * without a parseable holder pid, however the creator dies.  (A
+ * SIGKILL between the temp write and the link leaves only an inert
+ * `.new-*` temp, never a malformed lease.)  On failure errno is
+ * preserved from the failing call; an existing lease reads as EEXIST.
+ */
 bool
 createExclusive(const std::string &path)
 {
-    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+    const std::string temp = uniqueSibling(path, ".new-");
+    const int fd = ::open(temp.c_str(), O_CREAT | O_EXCL | O_WRONLY,
                           0644);
     if (fd < 0)
         return false;
@@ -42,12 +62,34 @@ createExclusive(const std::string &path)
     const int len = std::snprintf(
         buf, sizeof(buf), "pid %llu\n",
         static_cast<unsigned long long>(::getpid()));
-    // A short write leaves a lease that parses as pid 0 — treated as
-    // malformed by probers, i.e. honored until this process exits and
-    // the file is unlinked by release(); never a correctness issue.
-    (void)!::write(fd, buf, std::size_t(len));
+    const bool wrote = ::write(fd, buf, std::size_t(len)) == len;
     ::close(fd);
-    return true;
+    if (!wrote) {
+        std::remove(temp.c_str());
+        errno = EIO;
+        return false;
+    }
+    const bool linked = ::link(temp.c_str(), path.c_str()) == 0;
+    const int linkErrno = errno;
+    std::remove(temp.c_str());
+    errno = linkErrno;
+    return linked;
+}
+
+/** A lease without a parseable pid line is foreign or torn.  Honor it
+ *  briefly (it may be a peer's mid-publish artifact on a filesystem
+ *  we did not anticipate), then treat it as stale — otherwise one
+ *  such file would park every worker forever. */
+bool
+malformedLeaseExpired(const std::string &path)
+{
+    constexpr auto grace = std::chrono::seconds(5);
+    std::error_code ec;
+    const auto stamp = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return false;  // vanished: the next acquire attempt decides
+    return std::filesystem::file_time_type::clock::now() - stamp >
+           grace;
 }
 
 #endif // BSISA_HAVE_LEASES
@@ -93,19 +135,31 @@ FileLease::tryAcquire(const std::string &path)
         return false;
 
     // The lease exists.  Break it only if its holder is provably
-    // dead: rename to a unique trash name first so exactly one of N
+    // dead (or the file is malformed and older than the grace
+    // window): rename to a unique trash name first so one of N
     // concurrent breakers wins (rename is atomic; the losers' renames
     // fail with ENOENT), then retry the exclusive create once.
     const std::uint64_t holder = leaseHolderPid(path);
-    if (processAlive(holder))
+    if (holder != 0) {
+        if (processAlive(holder))
+            return false;
+    } else if (!malformedLeaseExpired(path)) {
         return false;
-    const std::string trash =
-        path + ".trash-" +
-        std::to_string(std::uint64_t(::getpid())) + "-" +
-        std::to_string(trashSeq.fetch_add(1,
-                                          std::memory_order_relaxed));
+    }
+    const std::string trash = uniqueSibling(path, ".trash-");
     if (std::rename(path.c_str(), trash.c_str()) != 0)
         return false;  // a peer won the steal (or holder released)
+    // The rename alone is not proof of winning: a slow breaker can
+    // rename the *fresh* lease a faster breaker just re-created, not
+    // the stale one.  The trashed file's content tells the two apart
+    // — if it no longer names the dead holder we observed, put it
+    // back (link is atomic and fails if yet another lease appeared
+    // meanwhile) and report the lease as held.
+    if (leaseHolderPid(trash) != holder) {
+        (void)!::link(trash.c_str(), path.c_str());
+        std::remove(trash.c_str());
+        return false;
+    }
     std::remove(trash.c_str());
     if (createExclusive(path)) {
         path_ = path;

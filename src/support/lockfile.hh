@@ -9,12 +9,19 @@
  * of units by creating `<name>.lease` with O_CREAT|O_EXCL (atomic on
  * every POSIX filesystem), and peers skip chunks whose lease exists.
  *
- * Crash recovery: the lease file records the holder's pid.  When
- * acquisition fails, the prober reads that pid and checks liveness
- * with kill(pid, 0); a dead holder's lease is *stolen* by renaming it
- * to a unique trash name first — rename is atomic, so exactly one of
- * N concurrent breakers wins the steal — and then retrying the
- * exclusive create.  A live holder's lease is simply honored.
+ * Crash recovery: the lease file records the holder's pid, written
+ * atomically with the file itself (temp + link), so a lease can never
+ * be observed without a parseable holder — a creator killed at any
+ * instant leaves either no lease or a complete one.  When acquisition
+ * fails, the prober reads that pid and checks liveness with
+ * kill(pid, 0); a dead holder's lease is *stolen* by renaming it to a
+ * unique trash name first — rename is atomic, and the breaker
+ * verifies the trashed content still names the dead holder (restoring
+ * it when it grabbed a freshly re-created lease instead), so one of N
+ * concurrent breakers wins the steal — and then retrying the
+ * exclusive create.  A live holder's lease is honored; a malformed
+ * (foreign/torn) lease is honored for a short mtime grace window and
+ * then treated as stale.
  *
  * Non-POSIX builds degrade to "never acquire": the service then runs
  * single-process (the store and plan layers are platform-neutral;

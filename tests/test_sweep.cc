@@ -10,9 +10,13 @@
  *             to one unit serving both).
  *   store   — bit-exact round trip, torn-tail repair that keeps the
  *             intact prefix, bad-shard skip, and deterministic
- *             compaction (same content => byte-identical snapshot).
- *   lease   — exclusive acquire, peer conflict, release, and the
- *             stale-break of a dead holder's lease.
+ *             compaction (same content => byte-identical snapshot)
+ *             that survives trailing-slash directory spellings and
+ *             preserves live writers' open shards.
+ *   lease   — exclusive acquire, peer conflict, release, the
+ *             stale-break of a dead holder's lease, atomic
+ *             pid-with-create publication, and the malformed-lease
+ *             grace window.
  *   worker  — an in-process end-to-end run whose stored PairResults
  *             are bit-identical to monolithic runPair, and a
  *             store-rendered figure byte-identical to the monolithic
@@ -24,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -449,6 +454,86 @@ TEST_F(SweepDirTest, CompactionIsDeterministic)
     std::filesystem::remove_all(dirB, ec);
 }
 
+TEST_F(SweepDirTest, CompactionHandlesTrailingSlashDir)
+{
+    // Regression: compact() used to compare scanned paths to the
+    // snapshot path by raw string, so `dir/` yielded `dir//snapshot`
+    // vs `dir/snapshot` — same inode, unequal strings — and the
+    // freshly published snapshot was unlinked along with the shards,
+    // destroying the whole store.
+    {
+        ResultStore writer(dir + "/");
+        ASSERT_TRUE(writer.append(testRecord(1)));
+        ASSERT_TRUE(writer.append(testRecord(2)));
+        ASSERT_TRUE(writer.compact());
+    }
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/snapshot.bsr"));
+    std::size_t filesLeft = 0;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        (void)de;
+        ++filesLeft;
+    }
+    EXPECT_EQ(filesLeft, 1u);
+
+    ResultStore reader(dir);
+    EXPECT_EQ(reader.refresh().records, 2u);
+    EXPECT_TRUE(reader.contains(1));
+    EXPECT_TRUE(reader.contains(2));
+
+    // A second compaction through the slashed spelling is also safe.
+    ResultStore again(dir + "//");
+    ASSERT_TRUE(again.compact());
+    EXPECT_EQ(again.refresh().records, 2u);
+}
+
+TEST_F(SweepDirTest, CompactionKeepsLiveWritersShards)
+{
+    // A shard whose name carries a live foreign pid belongs to a
+    // worker that still holds it open: compaction must merge its
+    // records but leave the file in place, or the worker's later
+    // appends vanish into an unlinked inode.  A dead writer's shard
+    // is fully merged and safe to drop.
+    const pid_t deadChild = ::fork();
+    ASSERT_GE(deadChild, 0);
+    if (deadChild == 0)
+        ::_exit(0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(deadChild, &status, 0), deadChild);
+
+    const auto craftShard = [&](std::uint64_t key,
+                                const std::string &name) {
+        const std::string dirB = dir + "-craft";
+        std::filesystem::create_directories(dirB);
+        {
+            ResultStore tmp(dirB);
+            ASSERT_TRUE(tmp.append(testRecord(key)));
+        }
+        for (const auto &de :
+             std::filesystem::directory_iterator(dirB))
+            std::filesystem::rename(de.path(), dir + "/" + name);
+        std::error_code ec;
+        std::filesystem::remove_all(dirB, ec);
+    };
+    const std::string liveShard =
+        "shard-" + std::to_string(::getppid()) + "-42.bsr";
+    const std::string deadShard =
+        "shard-" + std::to_string(deadChild) + "-43.bsr";
+    craftShard(3, liveShard);
+    craftShard(4, deadShard);
+
+    ResultStore store(dir);
+    ASSERT_TRUE(store.append(testRecord(1)));
+    ASSERT_TRUE(store.compact());
+
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + liveShard));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/" + deadShard));
+    ResultStore reader(dir);
+    EXPECT_EQ(reader.refresh().records, 3u);
+    for (std::uint64_t key : {1u, 3u, 4u})
+        EXPECT_TRUE(reader.contains(key));
+}
+
 // --------------------------------------------------------------- lease
 
 TEST_F(SweepDirTest, LeaseIsExclusiveUntilReleased)
@@ -487,6 +572,41 @@ TEST_F(SweepDirTest, DeadHoldersLeaseIsBroken)
     EXPECT_EQ(leaseHolderPid(path), std::uint64_t(::getpid()));
 }
 
+TEST_F(SweepDirTest, AcquireLeavesNoTempLitterAndWritesPidAtomically)
+{
+    const std::string path = dir + "/atomic.lease";
+    FileLease lease;
+    ASSERT_TRUE(lease.tryAcquire(path));
+    // The lease is created with its pid line already in place (temp +
+    // link), and the temp is gone by the time tryAcquire returns.
+    EXPECT_EQ(leaseHolderPid(path), std::uint64_t(::getpid()));
+    std::size_t files = 0;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        (void)de;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(SweepDirTest, MalformedLeaseIsStaleOnlyAfterGrace)
+{
+    // A lease file with no parseable pid (foreign writer, torn byte)
+    // must not park workers forever: it is honored for a short mtime
+    // grace window, then broken.
+    const std::string path = dir + "/weird.lease";
+    std::ofstream(path) << "not a lease\n";
+    ASSERT_EQ(leaseHolderPid(path), 0u);
+
+    FileLease lease;
+    EXPECT_FALSE(lease.tryAcquire(path));  // fresh: honored
+
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::seconds(30));
+    EXPECT_TRUE(lease.tryAcquire(path));  // past grace: stale
+    EXPECT_EQ(leaseHolderPid(path), std::uint64_t(::getpid()));
+}
+
 // -------------------------------------------------------------- worker
 
 namespace
@@ -511,6 +631,28 @@ class WorkerFixture : public SweepDirTest
 };
 
 } // namespace
+
+TEST_F(WorkerFixture, WorkerFailsFastOnUnwritableStore)
+{
+    // A store that cannot be created (here: nested under a regular
+    // file, which fails even for root) must fail the worker up front
+    // instead of letting it spin forever in the peer-wait loop.
+    std::ofstream(dir + "/blocker") << "x";
+
+    const SweepSpec spec = mustParse(
+        "name: unwritable\n"
+        "scale: 2000\n"
+        "benchmarks: [compress]\n");
+    std::ostringstream log;
+    SweepWorkerOptions opts;
+    opts.storeDir = dir + "/blocker/store";
+    opts.log = &log;
+    const SweepWorkerOutcome outcome = runSweepWorker(spec, opts);
+    EXPECT_FALSE(outcome.complete);
+    EXPECT_EQ(outcome.executed, 0u);
+    EXPECT_NE(log.str().find("not writable"), std::string::npos)
+        << log.str();
+}
 
 TEST_F(WorkerFixture, EndToEndMatchesMonolithicRunPair)
 {
