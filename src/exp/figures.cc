@@ -39,6 +39,12 @@ baseConfig(const SpecBenchmark &bench)
 {
     RunConfig config;
     config.limits.maxOps = bench.scaledBudget(scaleDivisor());
+    // BSISA_TIMING_MODEL=ooo re-runs every figure driver on the
+    // out-of-order backend (sim/ooo); traces are model-independent,
+    // so both models replay the same store entries.  Routing the
+    // knob through here covers Fig. 3-7 and the ablations at once.
+    if (envString("BSISA_TIMING_MODEL", "abstract") == "ooo")
+        config.machine.timingModel = TimingModel::Ooo;
     return config;
 }
 

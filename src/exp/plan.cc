@@ -74,6 +74,12 @@ runConfigDigest(const RunConfig &c)
         .u64(c.limits.maxOps)
         .u64(c.limits.maxBlocks)
         .u64(doubleBits(c.minMergeBias))
+        .u64(std::uint64_t(c.machine.timingModel))
+        .u64(c.machine.ooo.robOps)
+        .u64(c.machine.ooo.physRegs)
+        .u64(c.machine.ooo.rsPerClass)
+        .u64(c.machine.ooo.lsqEntries)
+        .u64(c.machine.ooo.commitWidth)
         .value();
 }
 

@@ -9,6 +9,7 @@
 #include "sim/bsa_source.hh"
 #include "sim/conv_source.hh"
 #include "sim/lockstep.hh"
+#include "sim/ooo/ooo.hh"
 #include "sim/pipeline.hh"
 #include "sim/tc_source.hh"
 #include "sim/trace_store.hh"
@@ -18,13 +19,37 @@
 namespace bsisa
 {
 
+namespace
+{
+
+/** Hand @p source to the backend config.machine selects: the paper's
+ *  abstract window model or the out-of-order engine (sim/ooo). */
+SimResult
+simulateModel(FetchSource &source, const MachineConfig &machine)
+{
+    return machine.timingModel == TimingModel::Ooo
+               ? simulateOoO(source, machine)
+               : simulatePipeline(source, machine);
+}
+
+bool
+anyOoo(const std::vector<MachineConfig> &machines)
+{
+    for (const MachineConfig &m : machines)
+        if (m.timingModel == TimingModel::Ooo)
+            return true;
+    return false;
+}
+
+} // namespace
+
 SimResult
 runConventional(const Module &module, const MachineConfig &machine,
                 Interp::Limits limits)
 {
     const ConvLayout layout(module);
     ConvFetchSource source(module, layout, machine, limits);
-    return simulatePipeline(source, machine);
+    return simulateModel(source, machine);
 }
 
 SimResult
@@ -33,7 +58,7 @@ runConventional(const Module &module, const MachineConfig &machine,
 {
     const ConvLayout layout(module);
     ConvFetchSource source(module, layout, machine, trace);
-    return simulatePipeline(source, machine);
+    return simulateModel(source, machine);
 }
 
 SimResult
@@ -41,7 +66,7 @@ runBlockStructured(const BsaModule &bsa, const MachineConfig &machine,
                    Interp::Limits limits)
 {
     BsaFetchSource source(bsa, machine, limits);
-    return simulatePipeline(source, machine);
+    return simulateModel(source, machine);
 }
 
 SimResult
@@ -49,7 +74,7 @@ runBlockStructured(const BsaModule &bsa, const MachineConfig &machine,
                    const ExecTrace &trace)
 {
     BsaFetchSource source(bsa, machine, trace);
-    return simulatePipeline(source, machine);
+    return simulateModel(source, machine);
 }
 
 TraceCacheResult
@@ -60,7 +85,7 @@ runTraceCache(const Module &module, const MachineConfig &machine,
     TraceCacheFetchSource source(module, layout, machine, tcConfig,
                                  limits);
     TraceCacheResult result;
-    result.sim = simulatePipeline(source, machine);
+    result.sim = simulateModel(source, machine);
     result.traceHits = source.traceHits();
     result.traceMisses = source.traceMisses();
     return result;
@@ -74,7 +99,7 @@ runTraceCache(const Module &module, const MachineConfig &machine,
     TraceCacheFetchSource source(module, layout, machine, tcConfig,
                                  trace);
     TraceCacheResult result;
-    result.sim = simulatePipeline(source, machine);
+    result.sim = simulateModel(source, machine);
     result.traceHits = source.traceHits();
     result.traceMisses = source.traceMisses();
     return result;
@@ -87,6 +112,13 @@ runTraceCache(const Module &module, const MachineConfig &machine,
 // fused full-width batches (sim/lockstep.hh).  A single config goes
 // through the singleton replay instead: the lockstep layout and
 // stream capture only pay for themselves with multiple lanes.
+//
+// Out-of-order lanes are the second grouping axis: the OoO backend
+// reorders consumption and keeps private rename/ROB/LSQ state, so it
+// cannot share a lockstep walk.  A batch is partitioned by timing
+// model — abstract lanes keep the lockstep path, each OoO lane walks
+// its own replay — with the layout and DecodedProgram still built
+// once and shared by every lane of the batch.
 
 std::vector<SimResult>
 runConventionalBatch(const Module &module,
@@ -99,8 +131,35 @@ runConventionalBatch(const Module &module,
         return {runConventional(module, machines[0], trace)};
     const ConvLayout layout(module);
     const DecodedProgram decoded = DecodedProgram::forModule(module);
-    return lockstepConventional(module, layout, decoded, machines,
-                                trace);
+    if (!anyOoo(machines))
+        return lockstepConventional(module, layout, decoded, machines,
+                                    trace);
+
+    std::vector<SimResult> out(machines.size());
+    std::vector<MachineConfig> abstractLanes;
+    std::vector<std::size_t> abstractIdx;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        if (machines[i].timingModel == TimingModel::Ooo) {
+            ConvFetchSource source(module, layout, machines[i], trace,
+                                   decoded);
+            out[i] = simulateOoO(source, machines[i]);
+        } else {
+            abstractIdx.push_back(i);
+            abstractLanes.push_back(machines[i]);
+        }
+    }
+    if (abstractLanes.size() == 1) {
+        ConvFetchSource source(module, layout, abstractLanes[0], trace,
+                               decoded);
+        out[abstractIdx[0]] =
+            simulatePipeline(source, abstractLanes[0]);
+    } else if (!abstractLanes.empty()) {
+        const std::vector<SimResult> sims = lockstepConventional(
+            module, layout, decoded, abstractLanes, trace);
+        for (std::size_t i = 0; i < abstractIdx.size(); ++i)
+            out[abstractIdx[i]] = sims[i];
+    }
+    return out;
 }
 
 std::vector<SimResult>
@@ -113,7 +172,32 @@ runBlockStructuredBatch(const BsaModule &bsa,
     if (machines.size() == 1)
         return {runBlockStructured(bsa, machines[0], trace)};
     const DecodedProgram decoded = DecodedProgram::forBsa(bsa);
-    return lockstepBlockStructured(bsa, decoded, machines, trace);
+    if (!anyOoo(machines))
+        return lockstepBlockStructured(bsa, decoded, machines, trace);
+
+    std::vector<SimResult> out(machines.size());
+    std::vector<MachineConfig> abstractLanes;
+    std::vector<std::size_t> abstractIdx;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        if (machines[i].timingModel == TimingModel::Ooo) {
+            BsaFetchSource source(bsa, machines[i], trace, decoded);
+            out[i] = simulateOoO(source, machines[i]);
+        } else {
+            abstractIdx.push_back(i);
+            abstractLanes.push_back(machines[i]);
+        }
+    }
+    if (abstractLanes.size() == 1) {
+        BsaFetchSource source(bsa, abstractLanes[0], trace, decoded);
+        out[abstractIdx[0]] =
+            simulatePipeline(source, abstractLanes[0]);
+    } else if (!abstractLanes.empty()) {
+        const std::vector<SimResult> sims =
+            lockstepBlockStructured(bsa, decoded, abstractLanes, trace);
+        for (std::size_t i = 0; i < abstractIdx.size(); ++i)
+            out[abstractIdx[i]] = sims[i];
+    }
+    return out;
 }
 
 std::vector<TraceCacheResult>
@@ -130,8 +214,42 @@ runTraceCacheBatch(const Module &module,
                               trace)};
     const ConvLayout layout(module);
     const DecodedProgram decoded = DecodedProgram::forModule(module);
-    return lockstepTraceCache(module, layout, decoded, machines,
-                              tcConfigs, trace);
+    if (!anyOoo(machines))
+        return lockstepTraceCache(module, layout, decoded, machines,
+                                  tcConfigs, trace);
+
+    std::vector<TraceCacheResult> out(machines.size());
+    std::vector<MachineConfig> abstractLanes;
+    std::vector<TraceCacheConfig> abstractTc;
+    std::vector<std::size_t> abstractIdx;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        if (machines[i].timingModel == TimingModel::Ooo) {
+            TraceCacheFetchSource source(module, layout, machines[i],
+                                         tcConfigs[i], trace, decoded);
+            out[i].sim = simulateOoO(source, machines[i]);
+            out[i].traceHits = source.traceHits();
+            out[i].traceMisses = source.traceMisses();
+        } else {
+            abstractIdx.push_back(i);
+            abstractLanes.push_back(machines[i]);
+            abstractTc.push_back(tcConfigs[i]);
+        }
+    }
+    if (abstractLanes.size() == 1) {
+        TraceCacheFetchSource source(module, layout, abstractLanes[0],
+                                     abstractTc[0], trace, decoded);
+        out[abstractIdx[0]].sim =
+            simulatePipeline(source, abstractLanes[0]);
+        out[abstractIdx[0]].traceHits = source.traceHits();
+        out[abstractIdx[0]].traceMisses = source.traceMisses();
+    } else if (!abstractLanes.empty()) {
+        const std::vector<TraceCacheResult> sims =
+            lockstepTraceCache(module, layout, decoded, abstractLanes,
+                               abstractTc, trace);
+        for (std::size_t i = 0; i < abstractIdx.size(); ++i)
+            out[abstractIdx[i]] = sims[i];
+    }
+    return out;
 }
 
 namespace
@@ -188,16 +306,34 @@ PairSweep::plan()
             continue;
         // All conventional points of a benchmark share one walk: the
         // conventional machine is independent of the enlargement
-        // parameters, so any config mix is a valid batch.
-        batches.push_back(Batch{false, b, ids});
-        // Block-structured points group by enlargement identity.
+        // parameters, so any config mix is a valid batch.  Timing
+        // model is a grouping axis too — abstract lanes go to one
+        // lockstep batch, out-of-order lanes (which each walk a
+        // private replay) to another, so a mixed grid neither
+        // serializes the lockstep lanes behind OoO walks nor
+        // re-partitions inside the batch entry points.
+        std::vector<std::size_t> abstractIds;
+        std::vector<std::size_t> oooIds;
+        for (std::size_t idx : ids)
+            (pointConfig[idx].machine.timingModel == TimingModel::Ooo
+                 ? oooIds
+                 : abstractIds)
+                .push_back(idx);
+        if (!abstractIds.empty())
+            batches.push_back(Batch{false, b, abstractIds});
+        if (!oooIds.empty())
+            batches.push_back(Batch{false, b, oooIds});
+        // Block-structured points group by enlargement identity (the
+        // lanes must share one BsaModule) and by timing model.
         std::vector<std::size_t> groups;  // batch indices, this bench
         for (std::size_t idx : ids) {
             bool placed = false;
             for (std::size_t g : groups) {
-                if (sameEnlargement(
-                        pointConfig[batches[g].pointIds.front()],
-                        pointConfig[idx])) {
+                const RunConfig &head =
+                    pointConfig[batches[g].pointIds.front()];
+                if (sameEnlargement(head, pointConfig[idx]) &&
+                    head.machine.timingModel ==
+                        pointConfig[idx].machine.timingModel) {
                     batches[g].pointIds.push_back(idx);
                     placed = true;
                     break;

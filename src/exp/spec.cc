@@ -340,7 +340,7 @@ class BlockParser
 // ---------------------------------------------------------------
 // Config-key vocabulary.
 
-enum class KeyKind { U64, Bool, Double, Scheme };
+enum class KeyKind { U64, Bool, Double, Scheme, Model };
 
 struct KeyValue
 {
@@ -348,6 +348,7 @@ struct KeyValue
     double d = 0.0;
     bool b = false;
     PredictorScheme scheme = PredictorScheme::GAs;
+    TimingModel model = TimingModel::Abstract;
 };
 
 struct ConfigKeyDef
@@ -367,6 +368,10 @@ const ConfigKeyDef configKeys[] = {
     {"btb_entries", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
          c.machine.predictor.btbEntries = unsigned(v.u);
+     }},
+    {"commit_width", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.ooo.commitWidth = unsigned(v.u);
      }},
     {"dcache_assoc", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
@@ -426,6 +431,10 @@ const ConfigKeyDef configKeys[] = {
      [](RunConfig &c, const KeyValue &v) {
          c.machine.l2Latency = unsigned(v.u);
      }},
+    {"lsq_entries", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.ooo.lsqEntries = unsigned(v.u);
+     }},
     {"max_variants_per_head", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
          c.enlarge.maxVariantsPerHead = unsigned(v.u);
@@ -439,6 +448,10 @@ const ConfigKeyDef configKeys[] = {
     {"perfect_prediction", KeyKind::Bool,
      [](RunConfig &c, const KeyValue &v) {
          c.machine.perfectPrediction = v.b;
+     }},
+    {"phys_regs", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.ooo.physRegs = unsigned(v.u);
      }},
     {"pht_bits", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
@@ -455,6 +468,18 @@ const ConfigKeyDef configKeys[] = {
     {"redirect_penalty", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
          c.machine.redirectPenalty = unsigned(v.u);
+     }},
+    {"rob_ops", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.ooo.robOps = unsigned(v.u);
+     }},
+    {"rs_per_class", KeyKind::U64,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.ooo.rsPerClass = unsigned(v.u);
+     }},
+    {"timing_model", KeyKind::Model,
+     [](RunConfig &c, const KeyValue &v) {
+         c.machine.timingModel = v.model;
      }},
     {"window_ops", KeyKind::U64,
      [](RunConfig &c, const KeyValue &v) {
@@ -541,6 +566,17 @@ parseKeyValue(const ConfigKeyDef &def, const std::string &value,
             return false;
         }
         return true;
+      case KeyKind::Model:
+        if (value == "abstract")
+            out.model = TimingModel::Abstract;
+        else if (value == "ooo")
+            out.model = TimingModel::Ooo;
+        else {
+            error = std::string(def.name) +
+                    ": expected abstract or ooo, got '" + value + "'";
+            return false;
+        }
+        return true;
     }
     error = "unreachable";
     return false;
@@ -561,6 +597,8 @@ renderKeyValue(const ConfigKeyDef &def, const KeyValue &v)
       }
       case KeyKind::Scheme:
         return predictorSchemeName(v.scheme);
+      case KeyKind::Model:
+        return v.model == TimingModel::Ooo ? "ooo" : "abstract";
     }
     return "";
 }

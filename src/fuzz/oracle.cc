@@ -20,11 +20,15 @@
 #include <utility>
 #include <vector>
 
+#include "codegen/layout.hh"
 #include "core/enlarge.hh"
 #include "exp/runner.hh"
 #include "frontend/compile.hh"
 #include "cache/trace_cache.hh"
 #include "sim/bsa_interp.hh"
+#include "sim/bsa_source.hh"
+#include "sim/conv_source.hh"
+#include "sim/ooo/ooo.hh"
 #include "sim/trace.hh"
 #include "sim/trace_store.hh"
 #include "support/parallel.hh"
@@ -49,6 +53,8 @@ parseOracleMask(const std::string &spec)
             mask |= oracleModels;
         else if (part == "lockstep")
             mask |= oracleLockstep;
+        else if (part == "ooo")
+            mask |= oracleOoo;
         else if (part == "all")
             mask |= oracleAll;
         else
@@ -715,6 +721,200 @@ checkLockstep(const Module &module, const ExecTrace &trace,
     return {};
 }
 
+// ------------------------------------------------------ ooo oracle
+
+/** Structural invariants of one simulateOoO() run.  The OoO backend
+ *  reports ROB occupancy through peakWindow*, so the abstract window
+ *  bounds do not apply; the bounds here are the configured ROB/LSQ
+ *  capacities plus the telemetry violation counters, which a correct
+ *  backend never increments (ROB within capacity, in-order commit, no
+ *  load forwards from a younger store). */
+OracleResult
+checkOooInvariants(const SimResult &r, const OooTelemetry &tel,
+                   const MachineConfig &machine, const char *what)
+{
+    auto bad = [&](const std::string &msg) {
+        return fail("ooo", std::string(what) + ": " + msg);
+    };
+    if (r.retiredUnits == 0 || r.cycles < r.retiredUnits)
+        return bad("fewer cycles than retired units");
+    if (r.retiredOps < r.retiredUnits)
+        return bad("retired fewer ops than units");
+    if (r.mispredicts > r.predictions)
+        return bad("more mispredicts than predictions");
+    if (r.mispredicts != r.trapMispredicts + r.faultMispredicts)
+        return bad("mispredict breakdown does not sum");
+    if (r.peakWindowOps > machine.ooo.robOps ||
+        tel.peakRobOps > machine.ooo.robOps)
+        return bad("ROB held more ops than robOps");
+    if (tel.peakLsq > machine.ooo.lsqEntries)
+        return bad("LSQ held more entries than lsqEntries");
+    if (tel.robOverflows)
+        return bad("ROB overflow recorded");
+    if (tel.commitOrderViolations)
+        return bad("out-of-order commit recorded");
+    if (tel.youngerForwards)
+        return bad("load forwarded from a younger store");
+    if (tel.checkpointsRestored > tel.checkpointsTaken)
+        return bad("more checkpoints restored than taken");
+    if (r.stallRedirect + r.stallWindow + r.stallIcache > r.cycles)
+        return bad("stall cycles exceed total cycles");
+    if (r.icache.misses > r.icache.accesses ||
+        r.dcache.misses > r.dcache.accesses)
+        return bad("cache misses exceed accesses");
+    return {};
+}
+
+OracleResult
+checkOoo(const Module &module, const ExecTrace &trace,
+         const OracleOptions &options)
+{
+    (void)options;
+    const MachineConfig abstractM;
+    MachineConfig oooM;
+    oooM.timingModel = TimingModel::Ooo;
+
+    // Conventional machine: exact committed-op accounting, the
+    // span-retention digest, and determinism.
+    const ConvLayout layout(module);
+    OooTelemetry tel;
+    SimResult conv;
+    {
+        ConvFetchSource source(module, layout, oooM, trace);
+        conv = simulateOoO(source, oooM, &tel);
+    }
+    OracleResult r = checkOooInvariants(conv, tel, oooM, "conv");
+    if (!r.ok)
+        return r;
+    if (conv.retiredOps != trace.dynOps)
+        return fail("ooo", "conv committed " +
+                               std::to_string(conv.retiredOps) +
+                               " ops, functional execution ran " +
+                               std::to_string(trace.dynOps));
+    if (conv.retiredUnits != trace.eventCount)
+        return fail("ooo", "conv committed-unit count diverged from "
+                           "the committed block stream");
+    {
+        // Commit order == emit order under in-order commit, so the
+        // digest folded at ROB drain (from spans retained across many
+        // next() calls) must equal the emit-time fold on a fresh walk.
+        ConvFetchSource ref(module, layout, oooM, trace);
+        if (tel.commitDigest != fetchStreamDigest(ref))
+            return fail("ooo", "conv commit-order digest differs from "
+                               "the emit-time fetch-stream digest");
+    }
+    {
+        OooTelemetry again;
+        ConvFetchSource source(module, layout, oooM, trace);
+        if (!sameSim(conv, simulateOoO(source, oooM, &again)) ||
+            again.commitDigest != tel.commitDigest)
+            return fail("ooo", "conv rerun on the same trace differs");
+    }
+    // The runner must dispatch timing_model=ooo to this backend.
+    if (!sameSim(conv, runConventional(module, oooM, trace)))
+        return fail("ooo", "runner dispatch differs from direct "
+                           "simulateOoO");
+    // Same committed stream as the abstract model; only the cycle
+    // accounting may (and on real streams does) differ.
+    const SimResult abstractConv =
+        runConventional(module, abstractM, trace);
+    if (abstractConv.retiredOps != conv.retiredOps ||
+        abstractConv.retiredUnits != conv.retiredUnits)
+        return fail("ooo", "abstract and ooo committed streams differ");
+
+    // Block-structured machine on the default enlargement.
+    const BsaModule bsa = enlargeModule(module, EnlargeConfig{});
+    OooTelemetry btel;
+    SimResult bs;
+    {
+        BsaFetchSource source(bsa, oooM, trace);
+        bs = simulateOoO(source, oooM, &btel);
+    }
+    r = checkOooInvariants(bs, btel, oooM, "bsa");
+    if (!r.ok)
+        return r;
+    if (bs.retiredOps > trace.dynOps ||
+        bs.retiredOps + trace.eventCount < trace.dynOps)
+        return fail("ooo", "bsa committed-op count outside the "
+                           "merge-deletion envelope");
+    {
+        BsaFetchSource ref(bsa, oooM, trace);
+        if (btel.commitDigest != fetchStreamDigest(ref))
+            return fail("ooo", "bsa commit-order digest differs from "
+                               "the emit-time fetch-stream digest");
+    }
+    if (!sameSim(bs, runBlockStructured(bsa, oooM, trace)))
+        return fail("ooo", "bsa rerun on the same trace differs");
+
+    // Trace-cache machine through the runner dispatch.
+    const TraceCacheConfig tcConfig;
+    const TraceCacheResult tc =
+        runTraceCache(module, oooM, tcConfig, trace);
+    if (tc.sim.retiredOps != trace.dynOps)
+        return fail("ooo", "tcache committed-op count diverged from "
+                           "the functional execution");
+    if (!sameSim(tc.sim,
+                 runTraceCache(module, oooM, tcConfig, trace).sim))
+        return fail("ooo", "tcache rerun on the same trace differs");
+
+    // A mixed abstract/ooo grid through the batch entry points must
+    // equal the per-config path (the lane partition in exp/runner.cc
+    // peels OoO lanes out of the lockstep walk and scatters results
+    // back by lane index).
+    std::vector<MachineConfig> mixed{abstractM, oooM, abstractM, oooM};
+    mixed[2].issueWidth = 8;
+    mixed[3].ooo.robOps = 64;
+    mixed[3].ooo.lsqEntries = 8;
+    mixed[3].ooo.rsPerClass = 6;
+    std::vector<SimResult> seq(mixed.size());
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        seq[i] = runConventional(module, mixed[i], trace);
+    const std::vector<SimResult> batch =
+        runConventionalBatch(module, mixed, trace);
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+        if (!sameSim(seq[i], batch[i])) {
+            return fail("ooo", "mixed conv batch lane " +
+                                   std::to_string(i) +
+                                   " differs from per-config run");
+        }
+    }
+    std::vector<SimResult> bseq(mixed.size());
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        bseq[i] = runBlockStructured(bsa, mixed[i], trace);
+    const std::vector<SimResult> bbatch =
+        runBlockStructuredBatch(bsa, mixed, trace);
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+        if (!sameSim(bseq[i], bbatch[i])) {
+            return fail("ooo", "mixed bsa batch lane " +
+                                   std::to_string(i) +
+                                   " differs from per-config run");
+        }
+    }
+
+    // Tiny-geometry stress: every structural bound pinching at once
+    // must still commit the exact functional stream.
+    MachineConfig tiny = oooM;
+    tiny.ooo.robOps = 24;
+    tiny.ooo.physRegs = 40;
+    tiny.ooo.rsPerClass = 2;
+    tiny.ooo.lsqEntries = 4;
+    tiny.ooo.commitWidth = 2;
+    OooTelemetry ttel;
+    SimResult ts;
+    {
+        ConvFetchSource source(module, layout, tiny, trace);
+        ts = simulateOoO(source, tiny, &ttel);
+    }
+    r = checkOooInvariants(ts, ttel, tiny, "tiny");
+    if (!r.ok)
+        return r;
+    if (ts.retiredOps != trace.dynOps ||
+        ttel.commitDigest != tel.commitDigest)
+        return fail("ooo", "tiny-geometry run changed the committed "
+                           "stream");
+    return {};
+}
+
 } // namespace
 
 OracleResult
@@ -753,6 +953,11 @@ checkProgram(const std::string &source, unsigned mask,
     }
     if (mask & oracleLockstep) {
         r = checkLockstep(module, trace, options);
+        if (!r.ok)
+            return r;
+    }
+    if (mask & oracleOoo) {
+        r = checkOoo(module, trace, options);
         if (!r.ok)
             return r;
     }

@@ -26,6 +26,15 @@
  *             bit-identical to independent per-config replay on all
  *             three machines, for full batches, partial batches, and
  *             odd lane orders.
+ *   ooo     — the out-of-order backend (sim/ooo) commits the same
+ *             architectural stream as the interpreter: committed-op
+ *             counts match the functional execution, the commit-order
+ *             digest equals the emit-time fetch-stream digest (the
+ *             span-retention proof), its structural invariants hold
+ *             (ROB within capacity, in-order commit, no load forwards
+ *             from a younger store), results are deterministic across
+ *             reruns, and a mixed abstract/ooo batch equals the
+ *             per-config path.
  *
  * A bug can be injected deliberately (fault-injection testing of the
  * harness itself): the enlarged module is mutated after enlargement
@@ -52,11 +61,12 @@ enum OracleMask : unsigned
     oracleEnlarge = 1u << 1,
     oracleModels = 1u << 2,
     oracleLockstep = 1u << 3,
-    oracleAll =
-        oracleInterp | oracleEnlarge | oracleModels | oracleLockstep,
+    oracleOoo = 1u << 4,
+    oracleAll = oracleInterp | oracleEnlarge | oracleModels |
+                oracleLockstep | oracleOoo,
 };
 
-/** Parse "interp|enlarge|models|lockstep|all" (comma-separated
+/** Parse "interp|enlarge|models|lockstep|ooo|all" (comma-separated
  *  allowed); returns 0 on an unrecognized name. */
 unsigned parseOracleMask(const std::string &spec);
 

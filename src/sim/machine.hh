@@ -45,6 +45,50 @@ laneStride(std::size_t laneCount)
                      laneStrideMultiple * laneStrideMultiple;
 }
 
+/**
+ * Which timing model consumes the fetch stream.
+ *
+ * Abstract is the paper's engine: uniform fully-pipelined FUs and a
+ * flat instruction window (sim/pipeline.hh, sim/lockstep.hh).  Ooo is
+ * the high-fidelity backend (sim/ooo/ooo.hh): ROB, RAT renaming with a
+ * free list, per-class reservation stations, an LSQ with store-to-load
+ * forwarding, and checkpoint recovery on redirects.  Both consume the
+ * identical TimingUnit stream, so any fetch-side difference between
+ * them is attributable to the backend alone.
+ */
+enum class TimingModel : std::uint8_t
+{
+    Abstract = 0,
+    Ooo = 1,
+};
+
+/**
+ * Structure sizes of the out-of-order backend.  Defaults are sized so
+ * the 16-wide frontend is backend-limited but not starved: the ROB is
+ * smaller than the abstract 512-op window, and rename/issue/commit
+ * bandwidth is finite, so OoO IPC genuinely differs from the abstract
+ * model on every non-trivial stream.
+ */
+struct OooParams
+{
+    /** Reorder-buffer capacity in operations (in-order commit). */
+    unsigned robOps = 192;
+
+    /** Physical register file size; must exceed numArchRegs + 1
+     *  (the committed map pins one register per architectural slot
+     *  plus the dump slot). */
+    unsigned physRegs = 160;
+
+    /** Reservation-station entries per functional-unit class. */
+    unsigned rsPerClass = 24;
+
+    /** Load/store-queue entries (loads and stores share the pool). */
+    unsigned lsqEntries = 48;
+
+    /** Operations committed per cycle from the ROB head. */
+    unsigned commitWidth = 16;
+};
+
 struct MachineConfig
 {
     /** Maximum operations issued per cycle and per fetch unit. */
@@ -72,6 +116,12 @@ struct MachineConfig
 
     /** Oracle branch prediction (figure 4). */
     bool perfectPrediction = false;
+
+    /** Which backend consumes the fetch stream (spec key
+     *  `timing_model`); Ooo reads the sizes below. */
+    TimingModel timingModel = TimingModel::Abstract;
+
+    OooParams ooo;
 };
 
 /** Aggregate result of one timing simulation. */

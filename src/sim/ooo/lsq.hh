@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Load/store queue: program-ordered ring of in-flight memory ops with
+ * store-to-load forwarding and conservative alias handling.
+ *
+ * Every access is modelled as accessBytes wide.  A load searching the
+ * queue walks older stores youngest-first and classifies the first
+ * address conflict it finds:
+ *
+ *   Forward — identical address: the store's data feeds the load
+ *             directly (the load never touches the dcache).
+ *   Overlap — byte ranges intersect but the addresses differ (the
+ *             classic partial-overlap case): forwarding would splice
+ *             bytes from two sources, so the load conservatively
+ *             waits for the store to leave the queue.
+ *
+ * Independently of conflicts, a load may not issue before every older
+ * store's address is known (olderStoreAddrReady) — the conservative
+ * alias discipline: with any older address unresolved, the conflict
+ * classification itself would be speculative.
+ *
+ * Entries are pushed at dispatch, their commit cycle is stamped when
+ * the owning unit commits (in program order, so commit stamps are
+ * monotone along the ring), and capacity is reclaimed oldest-first.
+ * The queue retains its own copy of each address: TimingUnit address
+ * slices are only stable until the next fetch, and the whole point of
+ * this structure is comparing addresses across fetches.
+ */
+
+#ifndef BSISA_SIM_OOO_LSQ_HH
+#define BSISA_SIM_OOO_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace bsisa
+{
+
+class LoadStoreQueue
+{
+  public:
+    /** Modelled width of one memory access. */
+    static constexpr std::uint64_t accessBytes = 8;
+
+    /** Commit stamp of entries whose unit has not committed yet. */
+    static constexpr std::uint64_t commitPending = ~0ull;
+
+    struct Entry
+    {
+        std::uint64_t addr = 0;
+        std::uint64_t addrReady = 0;  //!< issue cycle (address known)
+        std::uint64_t dataReady = 0;  //!< store data available
+        std::uint64_t commit = commitPending;
+        std::uint64_t seq = 0;     //!< global program-order number
+        bool isStore = false;
+    };
+
+    enum class ConflictKind
+    {
+        None,     //!< no older in-flight store touches the line
+        Forward,  //!< exact match: forward store data
+        Overlap,  //!< partial overlap: wait for the store to drain
+    };
+
+    struct Conflict
+    {
+        ConflictKind kind = ConflictKind::None;
+        std::uint64_t dataReady = 0;  //!< Forward: store data cycle
+        std::uint64_t drain = 0;      //!< Overlap: wait-until cycle
+        std::uint64_t storeSeq = 0;   //!< conflicting store's seq
+    };
+
+    explicit LoadStoreQueue(unsigned entries) : cap(entries)
+    {
+        BSISA_ASSERT(entries >= 1);
+        ring.resize(cap + 1);
+    }
+
+    std::size_t size() const
+    {
+        return tail >= head ? tail - head : tail + ring.size() - head;
+    }
+
+    bool full() const { return size() >= cap; }
+
+    /** Oldest entry's commit cycle, or commitPending if the oldest
+     *  entry belongs to a unit still being scheduled. */
+    std::uint64_t oldestCommit() const
+    {
+        BSISA_ASSERT(head != tail, "oldestCommit on empty queue");
+        return ring[head].commit;
+    }
+
+    /** Drop committed entries whose commit cycle is <= @p cycle. */
+    void drainCommitted(std::uint64_t cycle)
+    {
+        while (head != tail && ring[head].commit != commitPending &&
+               ring[head].commit <= cycle)
+            head = next(head);
+    }
+
+    /** Drop the oldest entry unconditionally (capacity reclaim). */
+    void popOldest()
+    {
+        BSISA_ASSERT(head != tail, "popOldest on empty queue");
+        head = next(head);
+    }
+
+    std::uint64_t pushStore(std::uint64_t addr, std::uint64_t addrReady,
+                            std::uint64_t dataReady)
+    {
+        return push(addr, addrReady, dataReady, true);
+    }
+
+    std::uint64_t pushLoad(std::uint64_t addr, std::uint64_t addrReady)
+    {
+        return push(addr, addrReady, addrReady, false);
+    }
+
+    /**
+     * Latest address-ready cycle over all stores currently queued —
+     * the conservative alias gate: a load dispatched now may not
+     * issue before this cycle.
+     */
+    std::uint64_t olderStoreAddrReady() const
+    {
+        std::uint64_t gate = 0;
+        for (std::size_t i = head; i != tail; i = next(i))
+            if (ring[i].isStore && ring[i].addrReady > gate)
+                gate = ring[i].addrReady;
+        return gate;
+    }
+
+    /**
+     * Classify the youngest older store conflicting with a load of
+     * @p addr.  All queued entries are older than the load about to
+     * be pushed, so the walk runs youngest-first from the tail; the
+     * returned storeSeq lets callers verify no forward ever crosses
+     * program order.
+     */
+    Conflict searchOlderStores(std::uint64_t addr) const
+    {
+        for (std::size_t i = tail; i != head;) {
+            i = prev(i);
+            const Entry &e = ring[i];
+            if (!e.isStore)
+                continue;
+            const std::uint64_t lo = e.addr < addr ? e.addr : addr;
+            const std::uint64_t hi = e.addr < addr ? addr : e.addr;
+            if (hi - lo >= accessBytes)
+                continue;
+            Conflict c;
+            c.storeSeq = e.seq;
+            if (e.addr == addr) {
+                c.kind = ConflictKind::Forward;
+                c.dataReady = e.dataReady;
+            } else {
+                c.kind = ConflictKind::Overlap;
+                // Wait for the store to leave the queue: its commit
+                // if known, else the cycle both its address and data
+                // are resolved (same-unit store, conservatively).
+                c.drain = e.commit != commitPending ? e.commit
+                                                    : e.dataReady;
+            }
+            return c;
+        }
+        return Conflict{};
+    }
+
+    /** Stamp every entry with seq >= @p fromSeq as committing at
+     *  @p cycle.  Commit is in program order, so stamps only ever
+     *  grow along the ring. */
+    void stampCommit(std::uint64_t fromSeq, std::uint64_t cycle)
+    {
+        for (std::size_t i = tail; i != head;) {
+            i = prev(i);
+            if (ring[i].seq < fromSeq)
+                break;
+            BSISA_ASSERT(ring[i].commit == commitPending);
+            ring[i].commit = cycle;
+        }
+    }
+
+    /** Sequence number the next pushed entry will receive. */
+    std::uint64_t nextSeq() const { return nextSeqNum; }
+
+    /** Squash every entry with seq >= @p fromSeq (wrong path). */
+    void squashFrom(std::uint64_t fromSeq)
+    {
+        while (tail != head && ring[prev(tail)].seq >= fromSeq)
+            tail = prev(tail);
+    }
+
+  private:
+    std::size_t next(std::size_t i) const
+    {
+        return i + 1 == ring.size() ? 0 : i + 1;
+    }
+
+    std::size_t prev(std::size_t i) const
+    {
+        return (i == 0 ? ring.size() : i) - 1;
+    }
+
+    std::uint64_t push(std::uint64_t addr, std::uint64_t addrReady,
+                       std::uint64_t dataReady, bool isStore)
+    {
+        BSISA_ASSERT(!full(), "LSQ overflow");
+        Entry &e = ring[tail];
+        e.addr = addr;
+        e.addrReady = addrReady;
+        e.dataReady = dataReady;
+        e.commit = commitPending;
+        e.seq = nextSeqNum++;
+        e.isStore = isStore;
+        tail = next(tail);
+        return e.seq;
+    }
+
+    unsigned cap;
+    std::vector<Entry> ring;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    std::uint64_t nextSeqNum = 0;
+};
+
+} // namespace bsisa
+
+#endif // BSISA_SIM_OOO_LSQ_HH

@@ -15,10 +15,14 @@
 #include <sstream>
 
 #include "core/enlarge.hh"
+#include "exp/runner.hh"
 #include "frontend/compile.hh"
 #include "sim/bsa_interp.hh"
 #include "sim/interp.hh"
+#include "sim/trace.hh"
+#include "cache/trace_cache.hh"
 #include "support/rng.hh"
+#include "workloads/specmix.hh"
 
 using namespace bsisa;
 
@@ -242,4 +246,61 @@ TEST(Equivalence, SmallIssueWidthStillCorrect)
     for (const auto &blk : bsa.blocks)
         EXPECT_LE(blk.ops.size(), 8u);
     expectBsaMatches(m, bsa, want, randomVariantPolicy(11), "narrow");
+}
+
+// The timing models never touch architectural state, but each one
+// independently accounts every committed operation — so committed-op
+// agreement across the full (benchmark x fetch model x timing model)
+// matrix is the cheap, exhaustive cross-check that the out-of-order
+// backend consumes the exact stream the abstract model does.
+TEST(Equivalence, TimingModelAgreementMatrix)
+{
+    const auto suite = specint95Suite();
+    ASSERT_EQ(suite.size(), 8u);
+
+    MachineConfig abstractM;
+    MachineConfig oooM;
+    oooM.timingModel = TimingModel::Ooo;
+
+    for (const SpecBenchmark &bench : suite) {
+        const std::string &name = bench.params.name;
+        const Module module = generateWorkload(bench.params);
+        Interp::Limits limits;
+        limits.maxOps = bench.scaledBudget(10000);
+        const ExecTrace trace = captureTrace(module, limits);
+        ASSERT_GT(trace.dynOps, 0u) << name;
+
+        // Conventional machine: both models commit the functional
+        // stream exactly; only the cycle accounting differs.
+        const SimResult convA =
+            runConventional(module, abstractM, trace);
+        const SimResult convO = runConventional(module, oooM, trace);
+        EXPECT_EQ(convA.retiredOps, trace.dynOps) << name;
+        EXPECT_EQ(convO.retiredOps, trace.dynOps) << name;
+        EXPECT_EQ(convA.retiredUnits, trace.eventCount) << name;
+        EXPECT_EQ(convO.retiredUnits, convA.retiredUnits) << name;
+        EXPECT_NE(convA.cycles, convO.cycles) << name;
+        EXPECT_NE(convA.ipc(), convO.ipc()) << name;
+
+        // Block-structured machine: merge deletions shrink the op
+        // stream identically for both models.
+        const BsaModule bsa = enlargeModule(module, EnlargeConfig{});
+        const SimResult bsA = runBlockStructured(bsa, abstractM, trace);
+        const SimResult bsO = runBlockStructured(bsa, oooM, trace);
+        EXPECT_EQ(bsO.retiredOps, bsA.retiredOps) << name;
+        EXPECT_EQ(bsO.retiredUnits, bsA.retiredUnits) << name;
+        EXPECT_LE(bsA.retiredOps, trace.dynOps) << name;
+        EXPECT_GE(bsA.retiredOps + trace.eventCount, trace.dynOps)
+            << name;
+
+        // Trace-cache machine: same committed stream again.
+        const TraceCacheConfig tcConfig;
+        const TraceCacheResult tcA =
+            runTraceCache(module, abstractM, tcConfig, trace);
+        const TraceCacheResult tcO =
+            runTraceCache(module, oooM, tcConfig, trace);
+        EXPECT_EQ(tcA.sim.retiredOps, trace.dynOps) << name;
+        EXPECT_EQ(tcO.sim.retiredOps, trace.dynOps) << name;
+        EXPECT_EQ(tcO.sim.retiredUnits, tcA.sim.retiredUnits) << name;
+    }
 }

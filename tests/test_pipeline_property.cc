@@ -25,6 +25,7 @@
 #include "opt/inliner.hh"
 #include "sim/bsa_interp.hh"
 #include "sim/interp.hh"
+#include "sim/trace.hh"
 #include "support/rng.hh"
 
 using namespace bsisa;
@@ -141,6 +142,68 @@ TEST_P(FullPipelinePropertyTest, EveryStagePreservesTheProgram)
         EXPECT_GE(r.bsa.cycles * 16, r.bsa.retiredOps) << src;
         EXPECT_GE(r.bsa.avgBlockSize(), r.conv.avgBlockSize() * 0.99)
             << src;
+
+        // The out-of-order backend consumes the same streams: exact
+        // committed-op agreement with the abstract model, ROB bounded
+        // by its configuration, and a deterministic rerun.
+        RunConfig oooConfig;
+        oooConfig.machine.timingModel = TimingModel::Ooo;
+        const PairResult o = runPair(m, oooConfig);
+        EXPECT_EQ(o.conv.retiredOps, r.conv.retiredOps) << src;
+        EXPECT_EQ(o.conv.retiredUnits, r.conv.retiredUnits) << src;
+        EXPECT_EQ(o.bsa.retiredOps, r.bsa.retiredOps) << src;
+        EXPECT_EQ(o.bsa.retiredUnits, r.bsa.retiredUnits) << src;
+        EXPECT_LE(o.conv.peakWindowOps, oooConfig.machine.ooo.robOps)
+            << src;
+        EXPECT_LE(o.bsa.peakWindowOps, oooConfig.machine.ooo.robOps)
+            << src;
+        const PairResult o2 = runPair(m, oooConfig);
+        EXPECT_EQ(o.conv.cycles, o2.conv.cycles) << src;
+        EXPECT_EQ(o.bsa.cycles, o2.bsa.cycles) << src;
+    }
+}
+
+// Identical (trace, config) pairs must produce bit-identical results
+// down every execution path that can compute them: the sequential
+// per-config replay and a lockstep batch containing the config (for
+// OoO lanes, the batch partition's singleton path).  The same test
+// compiled under -DBSISA_DISABLE_SIMD=ON covers the scalar-kernel
+// build, so a cross-build result drift fails CI in either build.
+TEST(FullPipelineProperty, TimingResultsAreBitIdenticalAcrossPaths)
+{
+    Rng rng(97);
+    const std::string src = fuzzProgram(rng);
+    Module m = compileBlockCOrDie(src);
+    for (std::size_t i = 0; i < m.data.size(); ++i)
+        m.data[i] = rng.nextBelow(64);
+    Interp::Limits limits;
+    const ExecTrace trace = captureTrace(m, limits);
+
+    for (const TimingModel model :
+         {TimingModel::Abstract, TimingModel::Ooo}) {
+        MachineConfig machine;
+        machine.timingModel = model;
+        MachineConfig narrow = machine;
+        narrow.issueWidth = 8;
+
+        const SimResult solo = runConventional(m, machine, trace);
+        const SimResult rerun = runConventional(m, machine, trace);
+        const std::vector<SimResult> batch = runConventionalBatch(
+            m, std::vector<MachineConfig>{machine, narrow}, trace);
+
+        for (const SimResult *other : {&rerun, &batch[0]}) {
+            EXPECT_EQ(solo.cycles, other->cycles);
+            EXPECT_EQ(solo.retiredOps, other->retiredOps);
+            EXPECT_EQ(solo.retiredUnits, other->retiredUnits);
+            EXPECT_EQ(solo.wrongPathOps, other->wrongPathOps);
+            EXPECT_EQ(solo.stallRedirect, other->stallRedirect);
+            EXPECT_EQ(solo.stallWindow, other->stallWindow);
+            EXPECT_EQ(solo.stallIcache, other->stallIcache);
+            EXPECT_EQ(solo.peakWindowUnits, other->peakWindowUnits);
+            EXPECT_EQ(solo.peakWindowOps, other->peakWindowOps);
+            EXPECT_EQ(solo.icache.misses, other->icache.misses);
+            EXPECT_EQ(solo.dcache.misses, other->dcache.misses);
+        }
     }
 }
 

@@ -240,6 +240,24 @@ TEST(SweepSpec_, ConfigKeysReachTheirFields)
         applyConfigKey(config, "min_merge_bias", "0.75", error));
     ASSERT_TRUE(
         applyConfigKey(config, "enlarge_max_ops", "32", error));
+    ASSERT_TRUE(
+        applyConfigKey(config, "timing_model", "ooo", error));
+    EXPECT_EQ(config.machine.timingModel, TimingModel::Ooo);
+    ASSERT_TRUE(
+        applyConfigKey(config, "timing_model", "abstract", error));
+    EXPECT_EQ(config.machine.timingModel, TimingModel::Abstract);
+    EXPECT_FALSE(
+        applyConfigKey(config, "timing_model", "cycle", error));
+    ASSERT_TRUE(applyConfigKey(config, "rob_ops", "96", error));
+    ASSERT_TRUE(applyConfigKey(config, "phys_regs", "80", error));
+    ASSERT_TRUE(applyConfigKey(config, "rs_per_class", "12", error));
+    ASSERT_TRUE(applyConfigKey(config, "lsq_entries", "24", error));
+    ASSERT_TRUE(applyConfigKey(config, "commit_width", "8", error));
+    EXPECT_EQ(config.machine.ooo.robOps, 96u);
+    EXPECT_EQ(config.machine.ooo.physRegs, 80u);
+    EXPECT_EQ(config.machine.ooo.rsPerClass, 12u);
+    EXPECT_EQ(config.machine.ooo.lsqEntries, 24u);
+    EXPECT_EQ(config.machine.ooo.commitWidth, 8u);
     EXPECT_EQ(config.machine.issueWidth, 16u);
     EXPECT_EQ(config.machine.icache.sizeBytes, 64u * 1024u);
     EXPECT_EQ(config.machine.predictor.scheme,
@@ -285,6 +303,25 @@ TEST(SweepPlan_, ConfigDigestIsFieldSensitive)
         ASSERT_TRUE(applyConfigKey(mutated, key, value, error))
             << key << ": " << error;
         EXPECT_NE(runConfigDigest(mutated), baseDigest) << key;
+    }
+
+    // The timing-model axis and the OoO structure sizes it gates are
+    // part of the identity: a sweep comparing backends must never
+    // alias its points onto one stored result.
+    {
+        RunConfig mutated;
+        std::string error;
+        ASSERT_TRUE(
+            applyConfigKey(mutated, "timing_model", "ooo", error))
+            << error;
+        EXPECT_NE(runConfigDigest(mutated), baseDigest);
+    }
+    for (auto field : {&OooParams::robOps, &OooParams::physRegs,
+                       &OooParams::rsPerClass, &OooParams::lsqEntries,
+                       &OooParams::commitWidth}) {
+        RunConfig mutated;
+        mutated.machine.ooo.*field += 1;
+        EXPECT_NE(runConfigDigest(mutated), baseDigest);
     }
 
     // The trace budget is part of the identity too.
